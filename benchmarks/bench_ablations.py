@@ -1,0 +1,90 @@
+"""A1-A4 — ablations over the pipeline components (DESIGN.md).
+
+Reruns the Table 2 evaluation with individual components disabled and with
+alternative string-similarity metrics, quantifying each component's
+contribution:
+
+* A1 without PATTY patterns  — verb-predicate questions collapse;
+* A2 without WordNet         — property-pair expansion and adjective map off;
+* A3 without type checking   — wrong-typed answers leak, precision drops;
+* A4 similarity metric swap  — LCS vs Levenshtein vs Dice vs Jaro-Winkler.
+
+    pytest benchmarks/bench_ablations.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.qald import QaldEvaluator, load_questions
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return load_questions()
+
+
+def _evaluate(kb, config, questions):
+    system = QuestionAnsweringSystem.over(kb, config)
+    return QaldEvaluator(kb, system).evaluate(questions)
+
+
+def _show(name, result):
+    print(
+        f"{name:28s} answered={result.answered:2d} correct={result.correct:2d} "
+        f"P={result.paper_precision:.2f} R={result.paper_recall:.2f} "
+        f"F1={result.paper_f1:.2f}"
+    )
+
+
+def test_a1_without_patterns(benchmark, kb, questions):
+    full = _evaluate(kb, PipelineConfig(), questions)
+    ablated = benchmark(_evaluate, kb, PipelineConfig().without_patterns(), questions)
+    print()
+    _show("full pipeline", full)
+    _show("A1: no PATTY patterns", ablated)
+    # Relational patterns carry the verb-predicate questions; recall drops.
+    assert ablated.answered < full.answered
+    assert ablated.correct < full.correct
+
+
+def test_a2_without_wordnet(benchmark, kb, questions):
+    full = _evaluate(kb, PipelineConfig(), questions)
+    ablated = benchmark(_evaluate, kb, PipelineConfig().without_wordnet(), questions)
+    print()
+    _show("full pipeline", full)
+    _show("A2: no WordNet", ablated)
+    # The adjective map carries 'How tall ...'; coverage cannot grow.
+    assert ablated.answered <= full.answered
+    tall = QuestionAnsweringSystem.over(
+        kb, PipelineConfig().without_wordnet()
+    ).answer("How tall is Claudia Schiffer?")
+    assert not tall.answered
+
+
+def test_a3_without_type_checking(benchmark, kb, questions):
+    full = _evaluate(kb, PipelineConfig(), questions)
+    ablated = benchmark(
+        _evaluate, kb, PipelineConfig().without_type_checking(), questions
+    )
+    print()
+    _show("full pipeline", full)
+    _show("A3: no type checking", ablated)
+    # Without the filter more questions get (some) answer...
+    assert ablated.answered >= full.answered
+    # ...but precision must not improve (wrong-typed answers leak through).
+    assert ablated.paper_precision <= full.paper_precision
+
+
+@pytest.mark.parametrize("metric", ["levenshtein", "dice", "jaro-winkler"])
+def test_a4_similarity_metric_swap(benchmark, kb, questions, metric):
+    baseline = _evaluate(kb, PipelineConfig(), questions)
+    swapped = benchmark(
+        _evaluate, kb, PipelineConfig().with_similarity(metric), questions
+    )
+    print()
+    _show("A4 baseline (lcs)", baseline)
+    _show(f"A4: {metric}", swapped)
+    # Property mapping tolerates metric choice on the easy band but the
+    # paper's LCS configuration must remain at least as good.
+    assert swapped.correct <= baseline.correct
+    assert swapped.paper_precision <= 1.0

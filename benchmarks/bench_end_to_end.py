@@ -1,0 +1,43 @@
+"""P3 — end-to-end question latency.
+
+Per-question wall time for each question shape the pipeline covers, plus
+the one-off resource-construction cost (pattern mining + WordNet maps).
+
+    pytest benchmarks/bench_end_to_end.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import QuestionAnsweringSystem
+
+QUESTIONS = {
+    "passive-wh": "Which book is written by Orhan Pamuk?",
+    "howadj": "How tall is Michael Jordan?",
+    "where-do": "Where did Abraham Lincoln die?",
+    "role-copula": "Who is the mayor of Berlin?",
+    "howmany": "How many pages does War and Peace have?",
+    "fronted-object": "Which river does the Brooklyn Bridge cross?",
+    "unanswerable": "Is Frank Herbert still alive?",
+}
+
+
+@pytest.mark.parametrize("shape", list(QUESTIONS), ids=list(QUESTIONS))
+def test_question_latency(benchmark, qa, shape):
+    question = QUESTIONS[shape]
+    answer = benchmark(qa.answer, question)
+    if shape == "unanswerable":
+        assert not answer.answered
+    else:
+        assert answer.answered, answer.failure
+
+
+def test_system_construction(benchmark, kb):
+    """One-off cost: mining patterns + building the WordNet maps."""
+    system = benchmark(QuestionAnsweringSystem.over, kb)
+    assert system.answer("How tall is Michael Jordan?").answered
+
+
+def test_kb_construction(benchmark):
+    from repro.kb import load_curated_kb
+    kb = benchmark(load_curated_kb)
+    assert len(kb) > 3000

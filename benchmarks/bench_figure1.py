@@ -1,0 +1,81 @@
+"""E3 — Figure 1: the dependency graph of the paper's running example.
+
+Regenerates the dependency analysis of "Which book is written by Orhan
+Pamuk" and checks that the arcs and the two extracted triple patterns
+match the paper, then benchmarks the annotation pipeline.
+
+    pytest benchmarks/bench_figure1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import TripleExtractor
+from repro.nlp import Pipeline
+
+QUESTION = "Which book is written by Orhan Pamuk?"
+
+#: The typed dependencies of Figure 1 (entity mention pre-merged, as the
+#: NER/MWE stage of the original pipeline would).
+EXPECTED_ARCS = {
+    ("det", "book", "Which"),
+    ("nsubjpass", "written", "book"),
+    ("auxpass", "written", "is"),
+    ("prep", "written", "by"),
+    ("pobj", "by", "Orhan Pamuk"),
+}
+
+EXPECTED_TRIPLES = {
+    "[Subject: ?x] [Predicate: rdf:type] [Object: book]",
+    "[Subject: ?x] [Predicate: write] [Object: Orhan Pamuk]",
+}
+
+
+def test_figure1_dependency_graph(benchmark, kb):
+    pipeline = Pipeline(kb.surface_index)
+
+    sentence = benchmark(pipeline.annotate, QUESTION)
+
+    graph = sentence.graph
+    print("\nFigure 1 — dependency graph")
+    print(graph.to_figure())
+
+    arcs = {
+        (arc.relation, graph.token(arc.head).text, graph.token(arc.dependent).text)
+        for arc in graph.arcs
+    }
+    assert graph.root.text == "written"
+    assert arcs == EXPECTED_ARCS
+
+
+def test_figure1_triple_extraction(benchmark, kb):
+    pipeline = Pipeline(kb.surface_index)
+    extractor = TripleExtractor()
+    sentence = pipeline.annotate(QUESTION)
+
+    bucket = benchmark(extractor.extract, sentence)
+
+    print("\nExtracted triple patterns:")
+    for pattern in bucket:
+        print(f"  {pattern}")
+    assert {str(pattern) for pattern in bucket} == EXPECTED_TRIPLES
+
+
+def test_pipeline_throughput(benchmark, kb):
+    """Annotation throughput over a mixed batch (parser templates)."""
+    pipeline = Pipeline(kb.surface_index)
+    batch = [
+        QUESTION,
+        "How tall is Michael Jordan?",
+        "Where did Abraham Lincoln die?",
+        "Who is the mayor of Berlin?",
+        "How many pages does War and Peace have?",
+        "Is Frank Herbert still alive?",
+        "Which river does the Brooklyn Bridge cross?",
+        "In which country is the Limerick Lake?",
+    ]
+
+    def annotate_batch():
+        return [pipeline.annotate(text) for text in batch]
+
+    sentences = benchmark(annotate_batch)
+    assert all(s.graph.root is not None for s in sentences)

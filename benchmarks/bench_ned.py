@@ -1,0 +1,79 @@
+"""NED accuracy and throughput: degree vs personalised-PageRank centrality.
+
+Disambiguation gold set: ambiguous surface forms with a context mention
+that settles the reading (the section 2.2.5 task).  Measures accuracy of
+both centrality methods and the per-mention latency.
+
+    pytest benchmarks/bench_ned.py --benchmark-only
+"""
+
+import pytest
+
+from repro.ned import Disambiguator
+from repro.rdf import DBR
+
+#: (ambiguous surface, context surface or None, expected entity local name)
+GOLD = [
+    ("Michael Jordan", None, "Michael_Jordan"),
+    ("Michael Jordan", "Chicago Bulls", "Michael_Jordan"),
+    ("Berlin", None, "Berlin"),
+    ("Berlin", "Germany", "Berlin"),
+    ("Berlin", "New Hampshire", "Berlin_New_Hampshire"),
+    ("Paris", None, "Paris"),
+    ("Paris", "France", "Paris"),
+    ("Paris", "Texas", "Paris_Texas"),
+    ("Dune", "Frank Herbert", "Dune_novel"),
+    ("Dune", "David Lynch", "Dune_film"),
+    ("Anne Hathaway", "William Shakespeare", "Anne_Hathaway_Shakespeare"),
+    ("Anne Hathaway", "Brooklyn", "Anne_Hathaway_actress"),
+]
+
+
+def _mentions(kb, surface, context):
+    mentions = [(surface, kb.surface_index.candidates(surface))]
+    if context is not None:
+        mentions.append((context, kb.surface_index.candidates(context)))
+    return mentions
+
+
+def _accuracy(kb, method):
+    ned = Disambiguator(kb, method=method)
+    correct = 0
+    failures = []
+    for surface, context, expected in GOLD:
+        results = ned.disambiguate(_mentions(kb, surface, context))
+        chosen = results[0].entity
+        if chosen == DBR[expected]:
+            correct += 1
+        else:
+            failures.append((surface, context, chosen.local_name, expected))
+    return correct / len(GOLD), failures
+
+
+@pytest.mark.parametrize("method", ["degree", "pagerank"])
+def test_disambiguation_accuracy(benchmark, kb, method):
+    accuracy, failures = benchmark(_accuracy, kb, method)
+    print(f"\n{method}: accuracy {accuracy:.0%} on {len(GOLD)} cases")
+    for surface, context, chosen, expected in failures:
+        print(f"  MISS {surface!r} (ctx {context!r}): {chosen} != {expected}")
+    if method == "degree":
+        # The pipeline's method must nail the gold set.
+        assert accuracy == 1.0
+    else:
+        # Finding: personalised PageRank *underperforms* direct-link
+        # agreement on sparse page-link graphs — teleport mass pools in
+        # low-degree loops (tiny towns, film<->director pairs) instead of
+        # following the context mention.  Pinned so the gap stays visible.
+        assert 0.4 <= accuracy < 1.0
+
+
+def test_degree_beats_pagerank(kb):
+    degree_accuracy, __ = _accuracy(kb, "degree")
+    pagerank_accuracy, __ = _accuracy(kb, "pagerank")
+    assert degree_accuracy > pagerank_accuracy
+
+
+def test_single_mention_latency(benchmark, kb):
+    ned = Disambiguator(kb)
+    result = benchmark(ned.resolve, "Michael Jordan")
+    assert result.entity == DBR.Michael_Jordan

@@ -1,0 +1,77 @@
+"""P2 — PATTY mining scalability with corpus size.
+
+Measures the full mining pipeline (corpus verbalisation, distant-
+supervision extraction, aggregation, store construction) as the corpus
+grows, plus the prefix-tree subsumption machinery in isolation.
+
+    pytest benchmarks/bench_patty_mining.py --benchmark-only
+"""
+
+import pytest
+
+from repro.patty import (
+    PatternExtractor,
+    PatternTaxonomy,
+    PrefixTree,
+    build_pattern_store,
+    generate_corpus,
+)
+
+SENTENCES_PER_FACT = [1, 3, 9]
+
+
+@pytest.mark.parametrize("spf", SENTENCES_PER_FACT, ids=lambda n: f"{n}x")
+def test_full_mining_pipeline(benchmark, kb, spf):
+    store = benchmark(build_pattern_store, kb, spf)
+    # The headline artefact must be stable at every scale.
+    assert store.properties_for("die")[0][0] == "deathPlace"
+    assert store.properties_for("bear")[0][0] == "birthPlace"
+    print(f"\nspf={spf}: {len(store)} indexed words, "
+          f"{len(store.patterns())} aggregated patterns")
+
+
+@pytest.mark.parametrize("spf", SENTENCES_PER_FACT, ids=lambda n: f"{n}x")
+def test_extraction_only(benchmark, kb, spf):
+    corpus = generate_corpus(kb, sentences_per_fact=spf)
+    extractor = PatternExtractor(kb)
+    occurrences = benchmark(extractor.extract, corpus)
+    assert occurrences
+
+
+def test_corpus_generation(benchmark, kb):
+    corpus = benchmark(generate_corpus, kb, 3)
+    assert len(corpus) > 500
+
+
+def test_taxonomy_construction(benchmark, kb):
+    corpus = generate_corpus(kb, sentences_per_fact=5)
+    extractor = PatternExtractor(kb)
+    aggregates = extractor.aggregate(extractor.extract(corpus))
+
+    taxonomy = benchmark(PatternTaxonomy, aggregates.values())
+    clusters = taxonomy.synonym_sets()
+    assert clusters
+    print(f"\n{len(taxonomy.patterns())} patterns, {len(clusters)} synonym sets")
+
+
+def test_prefix_tree_operations(benchmark):
+    """Insert + subsumption query throughput on a synthetic pattern load."""
+    patterns = [
+        (tuple(f"w{i % 7}" for i in range(start, start + length)),
+         {(f"s{j}", f"o{j}") for j in range(start % 5 + 1)})
+        for start in range(200)
+        for length in (1, 2, 3)
+    ]
+
+    def build_and_query():
+        tree = PrefixTree()
+        for tokens, support in patterns:
+            tree.insert(tokens, support)
+        hits = 0
+        for tokens, __ in patterns[:100]:
+            if tree.inclusion(tokens, patterns[0][0]) > 0:
+                hits += 1
+        return tree, hits
+
+    tree, __ = benchmark(build_and_query)
+    assert len(tree) > 0

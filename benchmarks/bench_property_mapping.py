@@ -1,0 +1,93 @@
+"""E4/E5 — the property-mapping worked examples of sections 2.2.1-2.2.3.
+
+* E4: "written" -> {dbo:writer, dbo:author}; the taxiDriver/river trap.
+* E5: "die" -> {deathPlace, birthPlace, residence}, deathPlace first.
+
+    pytest benchmarks/bench_property_mapping.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import PipelineConfig, TripleExtractor, TripleMapper
+from repro.nlp import Pipeline
+from repro.patty import build_pattern_store
+from repro.rdf import DBO
+from repro.similarity import lcs_score, subsequence_similarity
+from repro.wordnet import (
+    build_adjective_map,
+    build_similar_property_pairs,
+    build_wordnet,
+)
+
+
+@pytest.fixture(scope="module")
+def mapper(kb):
+    wordnet = build_wordnet()
+    return TripleMapper(
+        kb,
+        build_pattern_store(kb),
+        build_similar_property_pairs(kb.ontology, wordnet),
+        build_adjective_map(kb.ontology, wordnet),
+        PipelineConfig(),
+    )
+
+
+def _predicates(kb, mapper, question):
+    pipeline = Pipeline(kb.surface_index)
+    sentence = pipeline.annotate(question)
+    mapped = mapper.map(sentence, TripleExtractor().extract(sentence))
+    main = next(c for c in mapped if c.pattern.is_main)
+    return main.predicates
+
+
+def test_e4_written_maps_to_writer_and_author(benchmark, kb, mapper):
+    predicates = benchmark(
+        _predicates, kb, mapper, "Which book is written by Orhan Pamuk?"
+    )
+    iris = {candidate.iri for candidate in predicates}
+    print("\nPt(\"written\") =", sorted(iri.local_name for iri in iris))
+    assert DBO.writer in iris and DBO.author in iris
+
+
+def test_e4_taxidriver_trap(benchmark):
+    """Section 2.2.1: 'the property taxiDriver encapsulates the word river'
+    — the similarity scheme must not treat that as a match."""
+
+    def scores():
+        return {
+            "one_sided": lcs_score("river", "taxiDriver"),
+            "symmetric": subsequence_similarity("river", "taxiDriver"),
+            "exact": subsequence_similarity("river", "river"),
+        }
+
+    observed = benchmark(scores)
+    print(f"\nriver vs taxiDriver: one-sided={observed['one_sided']:.2f} "
+          f"symmetric={observed['symmetric']:.2f}")
+    # The naive one-sided score falls into the trap ...
+    assert observed["one_sided"] == 1.0
+    # ... the pipeline's symmetric score does not.
+    assert observed["symmetric"] <= 0.5 < PipelineConfig().similarity_threshold
+    assert observed["exact"] == 1.0
+
+
+def test_e5_die_property_ranking(benchmark, kb):
+    store = benchmark(build_pattern_store, kb)
+    ranked = store.properties_for("die")
+    print("\nPt(\"die\") =", [(name, freq) for name, freq in ranked])
+    names = [name for name, __ in ranked]
+    # The paper's candidate set ...
+    assert set(names) >= {"deathPlace", "birthPlace", "residence"}
+    # ... with deathPlace ranked first by frequency.
+    assert names[0] == "deathPlace"
+
+
+def test_e5_frequencies_drive_answer(kb, qa):
+    answer = qa.answer("Where did Abraham Lincoln die?")
+    assert answer.query is not None
+    assert any(t.predicate == DBO.deathPlace for t in answer.query.triples)
+
+
+def test_adjective_example_tall(benchmark, kb, mapper):
+    predicates = benchmark(_predicates, kb, mapper, "How tall is Michael Jordan?")
+    assert predicates[0].iri == DBO.height
+    print("\nPt(\"tall\") =", [c.iri.local_name for c in predicates])

@@ -1,0 +1,70 @@
+"""E2 — Table 1: expected answer types per question word.
+
+Regenerates the routing table and verifies, over every answered benchmark
+question, that the type filter admits exactly the type Table 1 specifies.
+
+    pytest benchmarks/bench_table1.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import ExpectedType, expected_answer_type
+from repro.core.typecheck import answer_matches_type
+from repro.nlp import Pipeline
+from repro.qald import load_questions
+
+#: The paper's Table 1, with the question forms used to probe each row.
+TABLE_1_ROWS = [
+    ("Who", "Who wrote Dune?", ExpectedType.PERSON_OR_ORGANISATION,
+     "Person, Organization, Company"),
+    ("Where", "Where did Abraham Lincoln die?", ExpectedType.PLACE, "Place"),
+    ("When", "When did Frank Herbert die?", ExpectedType.DATE, "Date"),
+    ("How many", "How many pages does War and Peace have?",
+     ExpectedType.NUMERIC, "Numeric"),
+]
+
+
+def test_table1_routing(benchmark, kb):
+    pipeline = Pipeline(kb.surface_index)
+
+    def classify_all():
+        return [
+            expected_answer_type(pipeline.annotate(question))
+            for __, question, __e, __l in TABLE_1_ROWS
+        ]
+
+    observed = benchmark(classify_all)
+
+    print("\nTable 1 — Expected answer types for questions")
+    print(f"{'Question Type':16s}{'Expected answer type':32s}{'Observed':24s}")
+    for (word, __, expected, label), got in zip(TABLE_1_ROWS, observed):
+        print(f"{word:16s}{label:32s}{got.value:24s}")
+        assert got is expected
+
+
+def test_type_filter_on_live_answers(benchmark, kb, qa):
+    """Every answer the system returns must satisfy its question's expected
+    type — the filter of section 2.3.2 in action on the whole benchmark."""
+    in_scope = [q for q in load_questions() if q.in_scope]
+
+    def answer_all():
+        return [(q, qa.answer(q.text)) for q in in_scope]
+
+    results = benchmark(answer_all)
+
+    checked = 0
+    for question, answer in results:
+        for term in answer.answers:
+            assert answer_matches_type(kb, term, answer.expected_type), (
+                question.text, term,
+            )
+            checked += 1
+    assert checked > 0
+    print(f"\n{checked} answers type-checked across {len(results)} questions")
+
+
+def test_which_questions_skip_type_check(kb, qa):
+    """'Which N' carries its class constraint in the query instead."""
+    answer = qa.answer("Which book is written by Orhan Pamuk?")
+    assert answer.expected_type is ExpectedType.ANY
+    assert all(kb.is_instance_of(a, "Book") for a in answer.answers)

@@ -1,0 +1,56 @@
+"""E1 — Table 2: Precision, Recall, F1 on the QALD-2-style benchmark.
+
+Regenerates the paper's headline table (and benchmarks the full evaluation
+run).  The assertion bands encode the reproduction target from DESIGN.md:
+high precision (>=0.75), low recall (0.25-0.45), F1 in the 0.40-0.55 band,
+with the same answered/correct counts the paper reports (18/15).
+
+    pytest benchmarks/bench_table2.py --benchmark-only
+"""
+
+import pytest
+
+from repro.qald import QaldEvaluator, format_table2, load_questions
+from repro.qald.report import PAPER_TABLE2, format_category_breakdown
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return load_questions()
+
+
+def test_table2_reproduction(benchmark, kb, qa, questions):
+    evaluator = QaldEvaluator(kb, qa)
+
+    result = benchmark(evaluator.evaluate, questions)
+
+    print()
+    print(format_table2(result))
+    print()
+    print(format_category_breakdown(result))
+
+    # Reproduction bands (shape, per DESIGN.md E1).
+    assert result.total == 55
+    assert result.paper_precision >= 0.75
+    assert 0.25 <= result.paper_recall <= 0.45
+    assert 0.40 <= result.paper_f1 <= 0.55
+    # Same counts as the paper: 18 processed, 15 correct.
+    assert result.answered == 18
+    assert result.correct == 15
+    # Within a whisker of the published percentages.
+    assert abs(result.paper_precision - PAPER_TABLE2["precision"]) < 0.05
+    assert abs(result.paper_recall - PAPER_TABLE2["recall"]) < 0.05
+    assert abs(result.paper_f1 - PAPER_TABLE2["f1"]) < 0.05
+
+
+def test_gold_standard_execution(benchmark, kb, questions):
+    """Benchmark the gold-query side alone (engine throughput on the
+    benchmark workload)."""
+    evaluator = QaldEvaluator(kb, object())
+    in_scope = [q for q in questions if q.in_scope]
+
+    def run_all_gold():
+        return [evaluator.gold_answers(q) for q in in_scope]
+
+    golds = benchmark(run_all_gold)
+    assert len(golds) == 55

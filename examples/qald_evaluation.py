@@ -1,0 +1,55 @@
+"""Reproduce Table 2: the QALD-2-style evaluation (experiment E1).
+
+Runs all 55 in-scope questions through the pipeline, scores them against
+the gold SPARQL, and prints the paper-vs-reproduction comparison plus the
+per-question outcome listing and the category breakdown that explains the
+low recall.
+
+    python examples/qald_evaluation.py [--verbose]
+"""
+
+import sys
+
+from repro.core import QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+from repro.qald import QaldEvaluator, format_outcomes, format_table2, load_questions
+from repro.qald.report import format_category_breakdown
+
+
+def main() -> None:
+    verbose = "--verbose" in sys.argv
+
+    kb = load_curated_kb()
+    system = QuestionAnsweringSystem.over(kb)
+    evaluator = QaldEvaluator(kb, system)
+
+    questions = load_questions()
+    excluded = [q for q in questions if not q.in_scope]
+    print(
+        f"Benchmark: {len(questions)} questions, "
+        f"{len(questions) - len(excluded)} in scope "
+        f"({len(excluded)} excluded, as in the paper)\n"
+    )
+
+    result = evaluator.evaluate(questions)
+
+    print(format_table2(result))
+    print()
+    print("Per-category breakdown (where coverage limits bite):")
+    print(format_category_breakdown(result))
+    print()
+    print("Per-question outcomes:")
+    print(format_outcomes(result, verbose=verbose))
+    print()
+    print("Exclusion reasons for the 45 out-of-scope questions:")
+    reasons: dict[str, int] = {}
+    for question in excluded:
+        reasons[question.out_of_scope_reason] = (
+            reasons.get(question.out_of_scope_reason, 0) + 1
+        )
+    for reason, count in sorted(reasons.items(), key=lambda kv: -kv[1]):
+        print(f"  {count:2d}  {reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Direct SPARQL access to the mini-DBpedia (the substrate on its own).
+
+Demonstrates the query engine's feature set — joins, FILTER, OPTIONAL,
+UNION, ORDER BY, LIMIT, COUNT, ASK — against the curated data, and shows
+the planner's join-order decisions.
+
+    python examples/sparql_playground.py
+"""
+
+from repro.kb import load_curated_kb
+from repro.sparql.parser import parse_query
+from repro.sparql.planner import plan_bgp
+
+
+def run(kb, title, query) -> None:
+    print(f"-- {title}")
+    for line in query.strip().splitlines():
+        print(f"   {line.strip()}")
+    result = kb.engine.query(query)
+    if hasattr(result, "rows"):
+        for row in result.rows[:8]:
+            cells = [kb.label_of(t) if hasattr(t, "local_name") else str(t)
+                     for t in row if t is not None]
+            print(f"   => {' | '.join(cells)}")
+        if len(result.rows) > 8:
+            print(f"   ... ({len(result.rows)} rows total)")
+    else:
+        print(f"   => {result.value}")
+    print()
+
+
+def main() -> None:
+    kb = load_curated_kb()
+    print(f"Curated mini-DBpedia: {len(kb)} triples\n")
+
+    run(kb, "Two-hop join: books by writers born in Istanbul", """
+        SELECT ?book WHERE {
+          ?book dbont:author ?writer .
+          ?writer dbont:birthPlace res:Istanbul .
+        }
+    """)
+
+    run(kb, "FILTER: cities over ten million inhabitants, largest first", """
+        SELECT ?city ?pop WHERE {
+          ?city a dbont:City .
+          ?city dbont:populationTotal ?pop
+          FILTER (?pop > 10000000)
+        } ORDER BY DESC(?pop)
+    """)
+
+    run(kb, "OPTIONAL + !BOUND: writers still alive", """
+        SELECT ?writer WHERE {
+          ?writer a dbont:Writer
+          OPTIONAL { ?writer dbont:deathDate ?d }
+          FILTER (!BOUND(?d))
+        } ORDER BY ?writer LIMIT 5
+    """)
+
+    run(kb, "UNION: everything the Nobel laureates wrote or starred in", """
+        SELECT DISTINCT ?work WHERE {
+          ?person dbont:award res:Nobel_Prize_in_Literature
+          { ?work dbont:author ?person } UNION { ?work dbont:starring ?person }
+        }
+    """)
+
+    run(kb, "COUNT: how many books the store knows", """
+        SELECT COUNT(?b) WHERE { ?b a dbont:Book }
+    """)
+
+    run(kb, "ASK: did Hemingway win the Nobel Prize in Literature?", """
+        ASK { res:Ernest_Hemingway dbont:award res:Nobel_Prize_in_Literature }
+    """)
+
+    # Peek at the planner.
+    query = parse_query("""
+        SELECT ?book WHERE {
+          ?book a dbont:Book .
+          ?writer dbont:birthPlace res:Istanbul .
+          ?book dbont:author ?writer .
+        }
+    """)
+    ordered = plan_bgp(kb.graph, query.where.triples(), set())
+    print("-- Planner: selectivity-ordered join for the three-pattern BGP")
+    for triple in ordered:
+        print(f"   {triple.n3()}")
+
+
+if __name__ == "__main__":
+    main()

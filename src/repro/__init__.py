@@ -1,0 +1,34 @@
+"""repro — reproduction of "Semantic Question Answering System over Linked
+Data using Relational Patterns" (Hakimov et al., EDBT/ICDT Workshops 2013).
+
+Top-level convenience API::
+
+    from repro import load_curated_kb, QuestionAnsweringSystem
+
+    kb = load_curated_kb()
+    qa = QuestionAnsweringSystem.over(kb)
+    print(qa.answer("Which book is written by Orhan Pamuk?").answers)
+
+Subsystems (see README.md for the map): :mod:`repro.rdf`,
+:mod:`repro.sparql`, :mod:`repro.kb`, :mod:`repro.nlp`,
+:mod:`repro.wordnet`, :mod:`repro.patty`, :mod:`repro.ned`,
+:mod:`repro.similarity`, :mod:`repro.core`, :mod:`repro.qald`.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.system import Answer, QuestionAnsweringSystem
+from repro.kb.builder import KnowledgeBase
+from repro.kb.dataset import load_curated_kb
+from repro.kb.generator import load_synthetic_kb
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuestionAnsweringSystem",
+    "Answer",
+    "PipelineConfig",
+    "KnowledgeBase",
+    "load_curated_kb",
+    "load_synthetic_kb",
+    "__version__",
+]

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+    python -m repro ask "Which book is written by Orhan Pamuk?"
+    python -m repro ask --extensions "When did Frank Herbert die?"
+    python -m repro eval --verbose
+    python -m repro sparql "SELECT ?x WHERE { ?x a dbont:Book } LIMIT 3"
+    python -m repro mine die bear write
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+from repro.qald import (
+    QaldEvaluator,
+    format_outcomes,
+    format_table2,
+    load_questions,
+)
+from repro.qald.report import format_category_breakdown
+from repro.rdf import Literal
+from repro.sparql.results import AskResult
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Semantic question answering over linked data using relational "
+            "patterns (EDBT 2013 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ask = sub.add_parser("ask", help="answer a natural-language question")
+    ask.add_argument("question", help="the question text")
+    ask.add_argument("--extensions", action="store_true",
+                     help="enable the section-6 future-work extensions")
+    ask.add_argument("--verbose", action="store_true",
+                     help="show pipeline internals (triples, queries)")
+
+    evaluate = sub.add_parser("eval", help="run the QALD-2-style benchmark (Table 2)")
+    evaluate.add_argument("--extensions", action="store_true")
+    evaluate.add_argument("--verbose", action="store_true",
+                          help="list per-question outcomes")
+    evaluate.add_argument("--json", metavar="PATH",
+                          help="also write a machine-readable report")
+
+    sparql = sub.add_parser("sparql", help="run SPARQL against the curated KB")
+    sparql.add_argument("query", help="SELECT/ASK query text")
+
+    mine = sub.add_parser("mine", help="inspect mined relational patterns")
+    mine.add_argument("words", nargs="*", default=[],
+                      help="words to look up (default: a sample)")
+
+    sub.add_parser("info", help="knowledge-base statistics")
+    sub.add_parser("validate", help="check KB consistency against the ontology")
+
+    explain = sub.add_parser("explain", help="show the engine's query plan")
+    explain.add_argument("query", help="SELECT/ASK query text")
+
+    export = sub.add_parser(
+        "export", help="export the curated KB and the mined pattern resource"
+    )
+    export.add_argument("directory", help="output directory (created if missing)")
+    export.add_argument("--format", choices=["nt", "ttl", "both"], default="both",
+                        help="graph serialisation(s) to write")
+    return parser
+
+
+def _config(extensions: bool) -> PipelineConfig:
+    return PipelineConfig().with_extensions() if extensions else PipelineConfig()
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    kb = load_curated_kb()
+    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions))
+    result = qa.answer(args.question)
+    if args.verbose:
+        print(result.explain())
+        print()
+    if result.boolean is not None:
+        print("Yes" if result.boolean else "No")
+        return 0
+    if not result.answered:
+        print(f"(unanswered: {result.failure})")
+        return 1
+    for answer in result.answers:
+        if isinstance(answer, Literal):
+            print(answer.lexical)
+        else:
+            print(kb.label_of(answer))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    kb = load_curated_kb()
+    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions))
+    result = QaldEvaluator(kb, qa).evaluate(load_questions())
+    print(format_table2(result))
+    print()
+    print(format_category_breakdown(result))
+    if args.verbose:
+        print()
+        print(format_outcomes(result, verbose=True))
+    if args.json:
+        import json
+
+        from repro.qald.report import to_json_dict
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(to_json_dict(result), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    return 0
+
+
+def _cmd_sparql(args: argparse.Namespace) -> int:
+    kb = load_curated_kb()
+    result = kb.engine.query(args.query)
+    if isinstance(result, AskResult):
+        print("true" if result.value else "false")
+        return 0
+    header = "\t".join(f"?{v.name}" for v in result.variables)
+    print(header)
+    for row in result.rows:
+        print("\t".join("" if t is None else str(t) for t in row))
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.patty import build_pattern_store
+
+    kb = load_curated_kb()
+    store = build_pattern_store(kb)
+    words = args.words or ["die", "bear", "write", "marry", "found", "cross"]
+    for word in words:
+        ranked = store.properties_for(word)
+        shown = ", ".join(f"{name}({freq})" for name, freq in ranked[:5])
+        print(f"{word:12s} -> {shown or '(no patterns)'}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    kb = load_curated_kb()
+    classes = list(kb.ontology.classes())
+    print(f"triples:            {len(kb)}")
+    print(f"entities:           {len(kb.entities())}")
+    print(f"ontology classes:   {len(classes)}")
+    print(f"object properties:  {len(kb.ontology.object_properties())}")
+    print(f"data properties:    {len(kb.ontology.data_properties())}")
+    print(f"surface forms:      {len(kb.surface_index)}")
+    print(f"page links:         {len(kb.page_links)}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.kb.validate import format_issues, validate_kb
+
+    issues = validate_kb(load_curated_kb())
+    print(format_issues(issues))
+    return 0 if not issues else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.sparql.explain import explain
+
+    kb = load_curated_kb()
+    print(explain(kb.graph, args.query))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.patty import build_pattern_store
+    from repro.patty.export import export_patterns_tsv, export_store_json
+    from repro.rdf import write_ntriples, write_turtle
+
+    directory = Path(args.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    kb = load_curated_kb()
+
+    if args.format in ("nt", "both"):
+        count = write_ntriples(iter(kb.graph), directory / "curated.nt")
+        print(f"wrote {count} triples to {directory / 'curated.nt'}")
+    if args.format in ("ttl", "both"):
+        write_turtle(iter(kb.graph), directory / "curated.ttl")
+        print(f"wrote Turtle to {directory / 'curated.ttl'}")
+
+    store = build_pattern_store(kb)
+    rows = export_patterns_tsv(store, directory / "patterns.tsv")
+    export_store_json(store, directory / "pattern_store.json")
+    print(f"wrote {rows} patterns to {directory / 'patterns.tsv'} "
+          f"and {directory / 'pattern_store.json'}")
+    return 0
+
+
+_COMMANDS = {
+    "ask": _cmd_ask,
+    "eval": _cmd_eval,
+    "sparql": _cmd_sparql,
+    "mine": _cmd_mine,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "explain": _cmd_explain,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The paper's question-answering pipeline (sections 2.1-2.3).
+
+Public entry point: :class:`repro.core.system.QuestionAnsweringSystem` —
+construct it over a knowledge base and call :meth:`answer`:
+
+    >>> from repro.kb import load_curated_kb
+    >>> from repro.core import QuestionAnsweringSystem
+    >>> qa = QuestionAnsweringSystem.over(load_curated_kb())
+    >>> result = qa.answer("Which book is written by Orhan Pamuk?")
+    >>> result.answered
+    True
+
+Pipeline stages, one module per paper subsection:
+
+* :mod:`repro.core.triples` — triple-pattern data model
+* :mod:`repro.core.extraction` — section 2.1, dependency tree -> patterns
+* :mod:`repro.core.mapping` — section 2.2, slots -> DBpedia vocabulary
+* :mod:`repro.core.querygen` — section 2.3, candidate SPARQL generation
+* :mod:`repro.core.ranking` — section 2.3.1, frequency-product ranking
+* :mod:`repro.core.typecheck` — section 2.3.2, expected-answer-type filter
+* :mod:`repro.core.config` — pipeline configuration (drives the ablations)
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.triples import Slot, SlotKind, TriplePattern
+from repro.core.extraction import TripleExtractor
+from repro.core.mapping import CandidateTriple, PredicateCandidate, TripleMapper
+from repro.core.querygen import CandidateQuery, QueryGenerator
+from repro.core.typecheck import ExpectedType, expected_answer_type
+from repro.core.system import Answer, QuestionAnsweringSystem
+
+__all__ = [
+    "PipelineConfig",
+    "Slot",
+    "SlotKind",
+    "TriplePattern",
+    "TripleExtractor",
+    "TripleMapper",
+    "CandidateTriple",
+    "PredicateCandidate",
+    "QueryGenerator",
+    "CandidateQuery",
+    "ExpectedType",
+    "expected_answer_type",
+    "Answer",
+    "QuestionAnsweringSystem",
+]

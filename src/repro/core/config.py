@@ -1,0 +1,74 @@
+"""Pipeline configuration.
+
+The faithful configuration is the default constructor; the ablation
+benchmarks (A1-A4 in DESIGN.md) flip individual components off or swap the
+string-similarity metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Feature switches and thresholds for the QA pipeline."""
+
+    #: Use PATTY relational patterns for predicate mapping (section 2.2.3).
+    use_patterns: bool = True
+    #: Expand object-property candidates with WordNet-similar pairs (2.2.1).
+    use_wordnet_pairs: bool = True
+    #: Use the WordNet adjective map for data properties (2.2.2).
+    use_adjective_map: bool = True
+    #: Apply expected-answer-type checking (section 2.3.2 / Table 1).
+    use_type_checking: bool = True
+    #: String-similarity function name from repro.similarity registry.
+    similarity: str = "lcs"
+    #: Minimum similarity for a property candidate from string matching.
+    similarity_threshold: float = 0.70
+    #: Keep at most this many property candidates per predicate slot.
+    max_predicate_candidates: int = 5
+    #: Discount applied to WordNet-expanded candidates relative to the
+    #: candidate they expand (the paper leaves their weight unspecified).
+    wordnet_expansion_discount: float = 0.9
+    #: Cap on candidate queries executed per question (guards the
+    #: Cartesian product of section 2.2).
+    max_queries: int = 64
+
+    # -- future-work extensions (paper section 6), all off by default so
+    # -- the faithful configuration reproduces Table 2 unchanged ----------
+
+    #: Generate ASK queries for boolean questions ("Is Berlin the capital
+    #: of Germany?") instead of failing on them.
+    enable_boolean_questions: bool = False
+    #: Mine relational patterns for *data* properties too (the research
+    #: gap of section 5), so "When was X born?" can map to dbo:birthDate.
+    enable_data_property_patterns: bool = False
+    #: Normalise imperative list requests ("Give me all ...") into the
+    #: wh-question grammar the extractor covers.
+    enable_imperatives: bool = False
+
+    def with_extensions(self) -> "PipelineConfig":
+        """All section-6 future-work extensions switched on."""
+        return self._replace(
+            enable_boolean_questions=True,
+            enable_data_property_patterns=True,
+            enable_imperatives=True,
+        )
+
+    def without_patterns(self) -> "PipelineConfig":
+        return self._replace(use_patterns=False)
+
+    def without_wordnet(self) -> "PipelineConfig":
+        return self._replace(use_wordnet_pairs=False, use_adjective_map=False)
+
+    def without_type_checking(self) -> "PipelineConfig":
+        return self._replace(use_type_checking=False)
+
+    def with_similarity(self, name: str) -> "PipelineConfig":
+        return self._replace(similarity=name)
+
+    def _replace(self, **changes) -> "PipelineConfig":
+        from dataclasses import replace
+
+        return replace(self, **changes)

@@ -1,0 +1,195 @@
+"""Triple-pattern extraction from the dependency tree (section 2.1).
+
+    "Starting from the root of the tree we examine each node with its
+    children.  We treat a node and its children as a subtree and by looking
+    their POS tags, relation tags and children's own triples, we decide if
+    they make up any triple. ... Verbs are the central elements in the
+    decision process."
+
+The extractor walks the graph from the root and applies subtree rules:
+
+* **verb root** — the verb is the predicate; nsubj/nsubjpass fills one
+  argument slot, dobj or prep+pobj the other; wh-elements become the
+  variable.  A wh-determined common noun argument additionally emits the
+  ``[?x, rdf:type, noun]`` pattern (the paper's second triple).
+* **noun root with copula** — role/attribute questions: the root noun is
+  the predicate, the prep+pobj (or nsubj) entity is the subject, the
+  questioned element the object: "mayor of Berlin" ->
+  ``[Berlin, mayor, ?x]``.
+* **adjective root with copula** — measurement questions: the adjective is
+  the predicate: "How tall is X" -> ``[X, tall, ?x]``; boolean copulas like
+  "Is X still alive" produce ``[X, alive, ?x]``, which downstream mapping
+  (correctly, per section 5) fails on.
+
+Questions whose parse is the degenerate fallback produce an empty bucket —
+these are the questions the tool "cannot process" in Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.dependencies import DependencyGraph, Token
+from repro.nlp.pipeline import Sentence
+from repro.core.triples import Slot, SlotKind, TriplePattern
+
+_COUNT_NOUNS = {"number", "amount", "count", "total"}
+
+
+class TripleExtractor:
+    """Builds the triple bucket for an annotated question."""
+
+    def extract(self, sentence: Sentence) -> list[TriplePattern]:
+        graph = sentence.graph
+        root = graph.root
+        if root is None:
+            return []
+        bucket: list[TriplePattern] = []
+        if root.is_verb():
+            self._from_verb_root(graph, root, bucket)
+        elif root.is_noun() and graph.child(root, "cop") is not None:
+            self._from_noun_root(graph, root, bucket)
+        elif root.is_adjective() and graph.child(root, "cop") is not None:
+            self._from_adjective_root(graph, root, bucket)
+        return bucket
+
+    # ------------------------------------------------------------------
+
+    def _argument_slot(
+        self, graph: DependencyGraph, token: Token, bucket: list[TriplePattern]
+    ) -> Slot:
+        """Convert an argument token to a slot; wh-determined nouns emit
+        the extra rdf:type pattern and become the variable."""
+        if token.is_wh_word():
+            return Slot.variable()
+        determiner = graph.child(token, "det")
+        if determiner is not None and determiner.is_wh_word():
+            bucket.append(TriplePattern(
+                Slot.variable(), Slot.rdf_type(),
+                Slot.text_of(token, graph.phrase(token).lower()
+                             if graph.children(token, "nn") else token.lemma),
+            ))
+            return Slot.variable()
+        if token.entity:
+            return Slot.entity(token)
+        return Slot.text_of(token, token.text)
+
+    def _from_verb_root(
+        self, graph: DependencyGraph, root: Token, bucket: list[TriplePattern]
+    ) -> None:
+        subject_token = graph.child(root, "nsubj") or graph.child(root, "nsubjpass")
+        if subject_token is None:
+            return
+
+        # Object position: dobj, or the pobj behind a prep.
+        object_token = graph.child(root, "dobj")
+        if object_token is None:
+            prep = graph.child(root, "prep")
+            if prep is not None:
+                object_token = graph.child(prep, "pobj")
+
+        wh_adverb = self._wh_adverb(graph, root)
+
+        subject_slot = self._argument_slot(graph, subject_token, bucket)
+        if object_token is not None:
+            object_slot = self._argument_slot(graph, object_token, bucket)
+        elif wh_adverb is not None:
+            # "Where did X die?" — the adverb is the questioned element.
+            object_slot = Slot.variable()
+        else:
+            return
+
+        # Counting questions ("How many pages does X have?") reduce to the
+        # counted noun as a data-property predicate: [X, pages, ?x].
+        counted = self._counted_noun(graph, root)
+        if counted is not None:
+            bucket.append(TriplePattern(
+                subject_slot if not subject_slot.is_variable else object_slot,
+                Slot.text_of(counted),
+                Slot.variable(),
+                is_main=True,
+            ))
+            return
+
+        predicate = Slot.text_of(root)
+        if not subject_slot.is_variable and not object_slot.is_variable:
+            # No questioned element reachable: nothing extractable.
+            return
+        bucket.append(TriplePattern(subject_slot, predicate, object_slot, is_main=True))
+
+    def _from_noun_root(
+        self, graph: DependencyGraph, root: Token, bucket: list[TriplePattern]
+    ) -> None:
+        subject_token = graph.child(root, "nsubj")
+        prep = graph.child(root, "prep")
+        pobj = graph.child(prep, "pobj") if prep is not None else None
+
+        determiner = graph.child(root, "det")
+        root_is_questioned = determiner is not None and determiner.is_wh_word()
+
+        # Pick the entity argument: "of <entity>" wins, else the nsubj.
+        argument: Token | None = None
+        if pobj is not None and not pobj.is_wh_word():
+            argument = pobj
+        elif subject_token is not None and not subject_token.is_wh_word():
+            argument = subject_token
+
+        if argument is None:
+            return
+
+        # Count nouns defer to their complement: "the number of employees
+        # of X" — handled only in its simple form here.
+        if argument.entity:
+            subject_slot = Slot.entity(argument)
+        else:
+            subject_slot = Slot.text_of(argument, argument.text)
+
+        questioned = root_is_questioned or (
+            subject_token is not None and subject_token.is_wh_word()
+        ) or self._wh_adverb(graph, root) is not None
+        if not questioned:
+            return
+
+        bucket.append(TriplePattern(
+            subject_slot,
+            Slot.text_of(root),
+            Slot.variable(),
+            is_main=True,
+        ))
+
+    def _from_adjective_root(
+        self, graph: DependencyGraph, root: Token, bucket: list[TriplePattern]
+    ) -> None:
+        subject_token = graph.child(root, "nsubj")
+        if subject_token is None:
+            return
+        if subject_token.entity:
+            subject_slot = Slot.entity(subject_token)
+        elif subject_token.is_wh_word():
+            subject_slot = Slot.variable()
+        else:
+            subject_slot = Slot.text_of(subject_token, subject_token.text)
+        bucket.append(TriplePattern(
+            subject_slot,
+            Slot.text_of(root),
+            Slot.variable(),
+            is_main=True,
+        ))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wh_adverb(graph: DependencyGraph, root: Token) -> Token | None:
+        for adverb in graph.children(root, "advmod"):
+            if adverb.pos == "WRB":
+                return adverb
+        return None
+
+    @staticmethod
+    def _counted_noun(graph: DependencyGraph, root: Token) -> Token | None:
+        """The noun of a 'how many N' object, if present."""
+        obj = graph.child(root, "dobj")
+        if obj is None or not obj.is_noun():
+            return None
+        for amod in graph.children(obj, "amod"):
+            if amod.lemma in ("many", "much"):
+                return obj
+        return None

@@ -1,0 +1,252 @@
+"""Entity and property extraction (section 2.2).
+
+For every triple pattern from section 2.1, each slot is mapped to DBpedia
+vocabulary:
+
+* **named entities** (2.2.5) through the page-link disambiguator;
+* **classes** (2.2.4) through ontology labels, for ``rdf:type`` objects;
+* **verb predicates** (2.2.1) through string similarity over object
+  properties, expanded with WordNet-similar property pairs;
+* **noun/adjective predicates** (2.2.2) through string similarity over
+  property labels and the WordNet adjective map;
+* **any predicate** (2.2.3) through the PATTY pattern store, ranked by
+  pattern frequency.
+
+Candidate weights feed the ranking of section 2.3.1: pattern candidates
+carry their corpus frequency, similarity candidates their score in [0, 1]
+(the paper leaves the weight of non-pattern candidates unspecified; scores
+are only ever compared within one question, so the mixed scale is safe and
+pattern evidence deliberately dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.core.triples import Slot, SlotKind, TriplePattern
+from repro.kb.builder import KnowledgeBase
+from repro.kb.ontology import PropertyDef, PropertyKind
+from repro.ned.disambiguator import Disambiguator
+from repro.nlp.pipeline import Sentence
+from repro.patty.store import PatternStore
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import IRI, Term, Variable
+from repro.similarity import get_similarity
+from repro.wordnet.adjectives import AdjectivePropertyMap
+from repro.wordnet.pairs import SimilarPropertyIndex
+
+
+@dataclass(frozen=True)
+class PredicateCandidate:
+    """One possible predicate IRI with its evidence."""
+
+    iri: IRI
+    kind: PropertyKind | None  # None for rdf:type
+    weight: float
+    source: str  # "pattern" | "similarity" | "wordnet" | "adjective" | "rdf:type"
+
+
+@dataclass
+class CandidateTriple:
+    """A triple pattern with per-slot candidate lists."""
+
+    pattern: TriplePattern
+    subjects: list[Term] = field(default_factory=list)
+    predicates: list[PredicateCandidate] = field(default_factory=list)
+    objects: list[Term] = field(default_factory=list)
+
+    @property
+    def mapped(self) -> bool:
+        return bool(self.subjects and self.predicates and self.objects)
+
+
+class MappingFailure(Exception):
+    """A slot could not be mapped; the question is unanswerable (the
+    'cannot process' bucket of Table 2)."""
+
+    def __init__(self, pattern: TriplePattern, slot_name: str) -> None:
+        super().__init__(f"cannot map {slot_name} of {pattern}")
+        self.pattern = pattern
+        self.slot_name = slot_name
+
+
+class TripleMapper:
+    """Maps triple-pattern slots onto the knowledge-base vocabulary."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        pattern_store: PatternStore,
+        similar_pairs: SimilarPropertyIndex,
+        adjective_map: AdjectivePropertyMap,
+        config: PipelineConfig | None = None,
+        data_pattern_store: PatternStore | None = None,
+    ) -> None:
+        self._kb = kb
+        self._patterns = pattern_store
+        self._pairs = similar_pairs
+        self._adjectives = adjective_map
+        self._config = config if config is not None else PipelineConfig()
+        self._similarity = get_similarity(self._config.similarity)
+        self._ned = Disambiguator(kb, similarity=self._similarity)
+        #: Optional extension resource (section 5 research gap): patterns
+        #: for data properties, consulted only when the config enables it.
+        self._data_patterns = data_pattern_store
+
+    # ------------------------------------------------------------------
+
+    def map(self, sentence: Sentence, bucket: list[TriplePattern]) -> list[CandidateTriple]:
+        """Map every pattern; raises :class:`MappingFailure` when a slot
+        has no candidates."""
+        entity_bindings = self._disambiguate_entities(sentence, bucket)
+        mapped: list[CandidateTriple] = []
+        for pattern in bucket:
+            candidate = CandidateTriple(pattern)
+            candidate.subjects = self._map_argument(
+                pattern, pattern.subject, "subject", entity_bindings
+            )
+            candidate.objects = self._map_argument(
+                pattern, pattern.object, "object", entity_bindings
+            )
+            candidate.predicates = self._map_predicate(pattern)
+            mapped.append(candidate)
+        return mapped
+
+    # ------------------------------------------------------------------
+    # Arguments (2.2.4 / 2.2.5)
+    # ------------------------------------------------------------------
+
+    def _disambiguate_entities(
+        self, sentence: Sentence, bucket: list[TriplePattern]
+    ) -> dict[str, IRI]:
+        """Jointly disambiguate all entity mentions of the question."""
+        mentions: list[tuple[str, list[IRI]]] = []
+        seen: set[str] = set()
+        for pattern in bucket:
+            for slot in (pattern.subject, pattern.object):
+                if slot.kind is not SlotKind.ENTITY or slot.text in seen:
+                    continue
+                seen.add(slot.text)
+                mention = (
+                    sentence.mention_at(slot.token.index)
+                    if slot.token is not None else None
+                )
+                candidates = (
+                    mention.candidates if mention is not None
+                    else self._kb.surface_index.candidates(slot.text)
+                )
+                if candidates:
+                    mentions.append((slot.text, candidates))
+        results = self._ned.disambiguate(mentions)
+        return {result.surface: result.entity for result in results}
+
+    def _map_argument(
+        self,
+        pattern: TriplePattern,
+        slot: Slot,
+        slot_name: str,
+        entity_bindings: dict[str, IRI],
+    ) -> list[Term]:
+        if slot.is_variable:
+            return [Variable("x")]
+        if slot.kind is SlotKind.ENTITY:
+            entity = entity_bindings.get(slot.text)
+            if entity is None:
+                raise MappingFailure(pattern, slot_name)
+            return [entity]
+        if pattern.predicate.kind is SlotKind.RDF_TYPE and slot_name == "object":
+            classes = self._kb.classes_for_label(slot.text)
+            if not classes:
+                raise MappingFailure(pattern, slot_name)
+            return list(classes)
+        # A plain text argument: last chance through the surface index
+        # (lower-case mentions the chunker did not merge).
+        candidates = self._kb.surface_index.candidates(slot.text)
+        if candidates:
+            return candidates[:1]
+        raise MappingFailure(pattern, slot_name)
+
+    # ------------------------------------------------------------------
+    # Predicates (2.2.1 / 2.2.2 / 2.2.3)
+    # ------------------------------------------------------------------
+
+    def _map_predicate(self, pattern: TriplePattern) -> list[PredicateCandidate]:
+        slot = pattern.predicate
+        if slot.kind is SlotKind.RDF_TYPE:
+            return [PredicateCandidate(RDF.type, None, 1.0, "rdf:type")]
+
+        token = slot.token
+        word = slot.text.lower()
+        is_verb = token is not None and token.is_verb()
+        is_adjective = token is not None and token.is_adjective()
+
+        candidates: dict[IRI, PredicateCandidate] = {}
+
+        def offer(candidate: PredicateCandidate) -> None:
+            existing = candidates.get(candidate.iri)
+            if existing is None or candidate.weight > existing.weight:
+                candidates[candidate.iri] = candidate
+
+        # 2.2.3 — relational patterns, any predicate kind.
+        if self._config.use_patterns:
+            for name, frequency in self._patterns.properties_for(word):
+                prop = self._kb.ontology.get_property(name)
+                offer(PredicateCandidate(prop.iri, prop.kind, float(frequency), "pattern"))
+
+        # Extension (section 5 research gap): data-property patterns.
+        if (
+            self._config.enable_data_property_patterns
+            and self._data_patterns is not None
+        ):
+            for name, frequency in self._data_patterns.properties_for(word):
+                prop = self._kb.ontology.get_property(name)
+                offer(PredicateCandidate(
+                    prop.iri, prop.kind, float(frequency), "data-pattern"
+                ))
+
+        # 2.2.1 / 2.2.2 — string similarity against the property catalogue.
+        # Verbs target object properties, nouns and adjectives any property
+        # (the paper sends nouns to data properties; role nouns like
+        # "mayor" additionally match object properties by name).
+        searchable = (
+            self._kb.ontology.object_properties()
+            if is_verb else list(self._kb.ontology.properties())
+        )
+        for prop in searchable:
+            score = self._property_similarity(word, prop)
+            if score >= self._config.similarity_threshold:
+                offer(PredicateCandidate(prop.iri, prop.kind, score, "similarity"))
+
+        # 2.2.2 — the WordNet adjective map.
+        if self._config.use_adjective_map and (is_adjective or not is_verb):
+            for name in self._adjectives.properties_for(word):
+                prop = self._kb.ontology.get_property(name)
+                offer(PredicateCandidate(prop.iri, prop.kind, 1.0, "adjective"))
+
+        # 2.2.1 — WordNet-similar property expansion.
+        if self._config.use_wordnet_pairs:
+            for existing in list(candidates.values()):
+                if existing.kind is not PropertyKind.OBJECT:
+                    continue
+                for similar_name in self._pairs.similar_to(existing.iri.local_name):
+                    prop = self._kb.ontology.get_property(similar_name)
+                    offer(PredicateCandidate(
+                        prop.iri,
+                        prop.kind,
+                        existing.weight * self._config.wordnet_expansion_discount,
+                        "wordnet",
+                    ))
+
+        if not candidates:
+            raise MappingFailure(pattern, "predicate")
+        ranked = sorted(candidates.values(), key=lambda c: (-c.weight, c.iri.value))
+        return ranked[: self._config.max_predicate_candidates]
+
+    def _property_similarity(self, word: str, prop: PropertyDef) -> float:
+        """Best similarity between the word and the property's name or any
+        word of its decamelised label."""
+        best = self._similarity(word, prop.name)
+        for label_word in prop.display_label().split():
+            best = max(best, self._similarity(word, label_word))
+        return best

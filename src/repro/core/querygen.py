@@ -1,0 +1,115 @@
+"""Candidate query construction (section 2.3).
+
+Builds the Cartesian product of per-slot candidates:
+
+    "By using all possibilities we can build ∏ (cardinality of Ptn) ...
+    For example if T has three members each has 2, 5 and 3 possible
+    predicates consecutively.  Then there will be 30 possible triple query
+    list."
+
+For object-property predicates where one argument is the variable, both
+orientations are generated (``?x p E`` and ``E p ?x``): dependency trees do
+not reveal which side of the DBpedia property the question element is on,
+and the wrong orientation simply returns no bindings.  Data-property
+predicates are always oriented entity-subject/literal-object.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.core.mapping import CandidateTriple, PredicateCandidate
+from repro.kb.ontology import PropertyKind
+from repro.rdf.namespaces import RDF, shrink_iri
+from repro.rdf.terms import IRI, Term, Triple, Variable
+from repro.sparql.ast import BGP, Group, SelectQuery
+
+
+@dataclass(frozen=True)
+class CandidateQuery:
+    """One fully instantiated SPARQL candidate with its ranking score."""
+
+    triples: tuple[Triple, ...]
+    score: float
+    sources: tuple[str, ...]
+
+    def to_ast(self) -> SelectQuery:
+        return SelectQuery(
+            projection=(Variable("x"),),
+            where=Group((BGP(self.triples),)),
+            distinct=True,
+        )
+
+    def to_sparql(self) -> str:
+        lines = [f"  {_term(t.subject)} {_term(t.predicate)} {_term(t.object)} ."
+                 for t in self.triples]
+        body = "\n".join(lines)
+        return f"SELECT DISTINCT ?x WHERE {{\n{body}\n}}"
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, Variable):
+        return term.n3()
+    if isinstance(term, IRI):
+        return shrink_iri(term)
+    return term.n3()
+
+
+class QueryGenerator:
+    """Expands mapped triples into ranked candidate queries."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self._config = config if config is not None else PipelineConfig()
+
+    def generate(self, mapped: list[CandidateTriple]) -> list[CandidateQuery]:
+        """All candidate queries, best score first, capped at max_queries."""
+        if not mapped:
+            return []
+        per_pattern: list[list[tuple[Triple, float, str]]] = []
+        for candidate in mapped:
+            choices = list(self._expand(candidate))
+            if not choices:
+                return []
+            per_pattern.append(choices)
+
+        queries: list[CandidateQuery] = []
+        for combination in itertools.product(*per_pattern):
+            score = 1.0
+            triples: list[Triple] = []
+            sources: list[str] = []
+            for triple, weight, source in combination:
+                score *= weight
+                triples.append(triple)
+                sources.append(source)
+            queries.append(CandidateQuery(tuple(triples), score, tuple(sources)))
+
+        queries.sort(key=lambda q: -q.score)
+        return queries[: self._config.max_queries]
+
+    def _expand(self, candidate: CandidateTriple):
+        """All (triple, weight, source) instantiations of one pattern."""
+        for subject, predicate, obj in itertools.product(
+            candidate.subjects, candidate.predicates, candidate.objects
+        ):
+            yield from self._orient(subject, predicate, obj)
+
+    @staticmethod
+    def _orient(subject: Term, predicate: PredicateCandidate, obj: Term):
+        weight = predicate.weight
+        source = predicate.source
+        if predicate.iri == RDF.type:
+            yield (Triple(subject, RDF.type, obj), weight, source)
+            return
+        if predicate.kind is PropertyKind.DATA:
+            # Literal-valued: the entity must be the subject.
+            if isinstance(subject, Variable) and not isinstance(obj, Variable):
+                yield (Triple(obj, predicate.iri, subject), weight, source)
+            else:
+                yield (Triple(subject, predicate.iri, obj), weight, source)
+            return
+        # Object property: both orientations are plausible readings.
+        yield (Triple(subject, predicate.iri, obj), weight, source)
+        if isinstance(subject, Variable) != isinstance(obj, Variable):
+            yield (Triple(obj, predicate.iri, subject), weight, source)

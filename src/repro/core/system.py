@@ -1,0 +1,234 @@
+"""The question-answering system facade (the paper's whole pipeline).
+
+``answer()`` runs: annotate -> extract triple patterns (2.1) -> map slots
+(2.2) -> generate candidate queries (2.3) -> execute against the KB ->
+filter by expected answer type (2.3.2) -> return the answers of the
+best-scoring productive query (2.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.core.extraction import TripleExtractor
+from repro.core.mapping import CandidateTriple, MappingFailure, TripleMapper
+from repro.core.querygen import CandidateQuery, QueryGenerator
+from repro.core.triples import TriplePattern
+from repro.core.typecheck import ExpectedType, answer_matches_type, expected_answer_type
+from repro.kb.builder import KnowledgeBase
+from repro.nlp.pipeline import Pipeline, Sentence
+from repro.patty.store import PatternStore, build_pattern_store
+from repro.rdf.terms import Term, Variable
+from repro.wordnet.adjectives import AdjectivePropertyMap, build_adjective_map
+from repro.wordnet.database import build_wordnet
+from repro.wordnet.pairs import SimilarPropertyIndex, build_similar_property_pairs
+
+
+@dataclass
+class Answer:
+    """Everything the pipeline produced for one question."""
+
+    question: str
+    answers: list[Term] = field(default_factory=list)
+    query: CandidateQuery | None = None
+    expected_type: ExpectedType = ExpectedType.ANY
+    triples: list[TriplePattern] = field(default_factory=list)
+    candidate_queries: list[CandidateQuery] = field(default_factory=list)
+    failure: str | None = None
+    #: Yes/no verdict, only set by the boolean-questions extension.
+    boolean: bool | None = None
+    #: Imperative rewrite applied before answering, when the extension ran.
+    rewritten_question: str | None = None
+
+    @property
+    def answered(self) -> bool:
+        return bool(self.answers) or self.boolean is not None
+
+    @property
+    def top(self) -> Term | None:
+        """The single top-ranked answer (what the paper reports to users)."""
+        return self.answers[0] if self.answers else None
+
+    def explain(self) -> str:
+        """Human-readable trace of what the pipeline did for this question.
+
+        One line per stage: rewrite, extracted patterns, candidate-query
+        count, the winning query, the expected-type filter, and the final
+        verdict.  Used by ``python -m repro ask --verbose``.
+        """
+        lines = [f"question: {self.question}"]
+        if self.rewritten_question is not None:
+            lines.append(f"rewritten (imperative extension): {self.rewritten_question}")
+        if self.triples:
+            lines.append("triple patterns (section 2.1):")
+            for pattern in self.triples:
+                lines.append(f"  {pattern}")
+        else:
+            lines.append("triple patterns (section 2.1): none extracted")
+        if self.candidate_queries:
+            lines.append(
+                f"candidate queries (section 2.3): {len(self.candidate_queries)}"
+            )
+        if self.expected_type is not ExpectedType.ANY:
+            lines.append(f"expected answer type (Table 1): {self.expected_type.value}")
+        if self.query is not None:
+            lines.append("winning query:")
+            for line in self.query.to_sparql().splitlines():
+                lines.append(f"  {line}")
+        if self.boolean is not None:
+            lines.append(f"verdict: {'yes' if self.boolean else 'no'} (ASK extension)")
+        elif self.answered:
+            lines.append(f"answers: {len(self.answers)}")
+        else:
+            lines.append(f"unanswered: {self.failure}")
+        return "\n".join(lines)
+
+
+class QuestionAnsweringSystem:
+    """End-to-end natural-language question answering over the KB."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        pattern_store: PatternStore,
+        similar_pairs: SimilarPropertyIndex,
+        adjective_map: AdjectivePropertyMap,
+        config: PipelineConfig | None = None,
+        data_pattern_store: PatternStore | None = None,
+    ) -> None:
+        self._kb = kb
+        self._config = config if config is not None else PipelineConfig()
+        self._pipeline = Pipeline(kb.surface_index)
+        self._extractor = TripleExtractor()
+        self._mapper = TripleMapper(
+            kb, pattern_store, similar_pairs, adjective_map, self._config,
+            data_pattern_store=data_pattern_store,
+        )
+        self._generator = QueryGenerator(self._config)
+        self._boolean_handler = None
+        if self._config.enable_boolean_questions:
+            from repro.extensions.booleans import BooleanQuestionHandler
+
+            self._boolean_handler = BooleanQuestionHandler(self._mapper)
+
+    @classmethod
+    def over(
+        cls, kb: KnowledgeBase, config: PipelineConfig | None = None
+    ) -> "QuestionAnsweringSystem":
+        """Build the system with all resources mined/derived from the KB:
+        the PATTY pattern store, WordNet property pairs and adjective map
+        (plus the data-property pattern store when that extension is on)."""
+        config = config if config is not None else PipelineConfig()
+        wordnet = build_wordnet()
+        data_pattern_store = None
+        if config.enable_data_property_patterns:
+            from repro.extensions.datapatterns import build_data_pattern_store
+
+            data_pattern_store = build_data_pattern_store(kb)
+        return cls(
+            kb,
+            pattern_store=build_pattern_store(kb),
+            similar_pairs=build_similar_property_pairs(kb.ontology, wordnet),
+            adjective_map=build_adjective_map(kb.ontology, wordnet),
+            config=config,
+            data_pattern_store=data_pattern_store,
+        )
+
+    # ------------------------------------------------------------------
+
+    def answer(self, question: str) -> Answer:
+        """Answer one natural-language question."""
+        text = question
+        rewritten: str | None = None
+        if self._config.enable_imperatives:
+            from repro.extensions.imperatives import normalize_imperative
+
+            rewritten = normalize_imperative(question)
+            if rewritten is not None:
+                text = rewritten
+
+        sentence = self._pipeline.annotate(text)
+        result = Answer(question=question,
+                        expected_type=expected_answer_type(sentence),
+                        rewritten_question=rewritten)
+
+        if (
+            self._boolean_handler is not None
+            and self._boolean_handler.is_boolean_question(sentence)
+        ):
+            if self._answer_boolean(sentence, result):
+                return result
+
+        result.triples = self._extractor.extract(sentence)
+        if not result.triples:
+            result.failure = "no triple patterns extracted (section 2.1 coverage)"
+            return result
+
+        try:
+            mapped = self._mapper.map(sentence, result.triples)
+        except MappingFailure as failure:
+            result.failure = f"mapping failed: {failure}"
+            return result
+
+        result.candidate_queries = self._generator.generate(mapped)
+        if not result.candidate_queries:
+            result.failure = "no candidate queries generated"
+            return result
+
+        self._execute(result)
+        if not result.answered and result.failure is None:
+            result.failure = "no candidate query produced type-conforming answers"
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _answer_boolean(self, sentence: Sentence, result: Answer) -> bool:
+        """Extension path: try to settle a yes/no question via ASK.
+
+        Returns True when a verdict was reached; False falls through to the
+        ordinary pipeline (which will fail the question, preserving the
+        faithful behaviour for unmappable predicates like "alive").
+        """
+        assert self._boolean_handler is not None
+        bucket = self._boolean_handler.extract(sentence)
+        if not bucket:
+            return False
+        result.triples = bucket
+        candidates = self._boolean_handler.candidates(sentence, bucket)
+        if not candidates:
+            return False
+        # Verdict comes from the best-ranked predicate only (both of its
+        # orientations): checking lower-ranked predicates too would let
+        # "Was X born in Y?" answer yes because X *died* in Y.
+        best_predicate = candidates[0].triples[0].predicate
+        result.boolean = any(
+            self._kb.engine.query(candidate.to_ast()).value
+            for candidate in candidates
+            if candidate.triples[0].predicate == best_predicate
+        )
+        return True
+
+    def _execute(self, result: Answer) -> None:
+        """Run candidates best-first; keep the first productive one."""
+        check_types = self._config.use_type_checking
+        for candidate in result.candidate_queries:
+            select = self._kb.engine.query(candidate.to_ast())
+            answers = [term for term in select.column(Variable("x")) if term is not None]
+            if check_types:
+                answers = [
+                    term for term in answers
+                    if answer_matches_type(self._kb, term, result.expected_type)
+                ]
+            if answers:
+                result.answers = answers
+                result.query = candidate
+                return
+
+    @property
+    def kb(self) -> KnowledgeBase:
+        return self._kb
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config

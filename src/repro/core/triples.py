@@ -1,0 +1,82 @@
+"""Triple-pattern model for section 2.1 output.
+
+A pattern has three slots; each is a variable (``?x``), a text fragment to
+be mapped ("written", "book"), or an already-identified entity mention
+("Orhan Pamuk").  This is exactly the intermediate form of the paper's
+worked example::
+
+    [Subject: ?x] [Predicate: rdf:type] [Object: book]
+    [Subject: ?x] [Predicate: written]  [Object: Orhan Pamuk]
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nlp.dependencies import Token
+
+
+class SlotKind(enum.Enum):
+    VARIABLE = "variable"   # the questioned element
+    TEXT = "text"           # a word/phrase to map to the ontology
+    ENTITY = "entity"       # a spotted named-entity mention
+    RDF_TYPE = "rdf:type"   # the fixed rdf:type predicate
+
+
+@dataclass(frozen=True, slots=True)
+class Slot:
+    """One slot of a triple pattern."""
+
+    kind: SlotKind
+    text: str = ""
+    token: Token | None = None  # source token, when applicable
+
+    @classmethod
+    def variable(cls) -> "Slot":
+        return cls(SlotKind.VARIABLE, "?x")
+
+    @classmethod
+    def rdf_type(cls) -> "Slot":
+        return cls(SlotKind.RDF_TYPE, "rdf:type")
+
+    @classmethod
+    def entity(cls, token: Token) -> "Slot":
+        return cls(SlotKind.ENTITY, token.text, token)
+
+    @classmethod
+    def text_of(cls, token: Token, text: str | None = None) -> "Slot":
+        return cls(SlotKind.TEXT, text if text is not None else token.lemma, token)
+
+    @property
+    def is_variable(self) -> bool:
+        return self.kind is SlotKind.VARIABLE
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """An (subject, predicate, object) pattern over slots.
+
+    ``is_main`` marks the triple containing the dependency root (the paper
+    treats it as the main triple; others hang off its variables).
+    """
+
+    subject: Slot
+    predicate: Slot
+    object: Slot
+    is_main: bool = False
+
+    def variables(self) -> int:
+        return sum(
+            1 for slot in (self.subject, self.predicate, self.object)
+            if slot.is_variable
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"[Subject: {self.subject}] [Predicate: {self.predicate}] "
+            f"[Object: {self.object}]"
+        )

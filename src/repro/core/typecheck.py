@@ -1,0 +1,82 @@
+"""Expected-answer-type checking (section 2.3.2, Table 1).
+
+=============  ==============================
+Question type  Expected answer type
+=============  ==============================
+Who            Person, Organization, Company
+Where          Place
+When           Date
+How many       Numeric
+=============  ==============================
+
+'Which N' questions carry their own class constraint in the query and need
+no check; 'How <adjective>' questions expect the numeric measurement.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.kb.builder import KnowledgeBase
+from repro.nlp.pipeline import Sentence
+from repro.rdf.datatypes import is_date_literal, is_numeric_literal
+from repro.rdf.terms import IRI, Literal, Term
+
+
+class ExpectedType(enum.Enum):
+    PERSON_OR_ORGANISATION = "person-or-organisation"  # Who
+    PLACE = "place"                                    # Where
+    DATE = "date"                                      # When
+    NUMERIC = "numeric"                                # How many / How tall
+    ANY = "any"                                        # Which N / What
+
+
+#: Table 1 of the paper, keyed by the (lower-cased) question word.
+TABLE_1: dict[str, ExpectedType] = {
+    "who": ExpectedType.PERSON_OR_ORGANISATION,
+    "whom": ExpectedType.PERSON_OR_ORGANISATION,
+    "where": ExpectedType.PLACE,
+    "when": ExpectedType.DATE,
+}
+
+#: Ontology classes accepted for each entity-valued expectation.
+_ACCEPTED_CLASSES: dict[ExpectedType, tuple[str, ...]] = {
+    ExpectedType.PERSON_OR_ORGANISATION: ("Person", "Organisation", "Company"),
+    ExpectedType.PLACE: ("Place",),
+}
+
+
+def expected_answer_type(sentence: Sentence) -> ExpectedType:
+    """Classify the question by its interrogative (Table 1).
+
+    ``How many``/``How much``/``How <adjective>`` expect numbers;
+    ``Which``/``What`` questions are unconstrained (their noun constrains
+    the query instead).
+    """
+    tokens = sentence.tokens
+    if not tokens:
+        return ExpectedType.ANY
+    first = tokens[0].text.lower()
+    if first == "how" and len(tokens) > 1:
+        second = tokens[1].text.lower()
+        if second in ("many", "much") or tokens[1].pos.startswith("JJ"):
+            return ExpectedType.NUMERIC
+        return ExpectedType.ANY
+    return TABLE_1.get(first, ExpectedType.ANY)
+
+
+def answer_matches_type(
+    kb: KnowledgeBase, answer: Term, expected: ExpectedType
+) -> bool:
+    """Does one answer term satisfy the expected type?"""
+    if expected is ExpectedType.ANY:
+        return True
+    if expected is ExpectedType.NUMERIC:
+        return isinstance(answer, Literal) and is_numeric_literal(answer)
+    if expected is ExpectedType.DATE:
+        return isinstance(answer, Literal) and is_date_literal(answer)
+    if not isinstance(answer, IRI):
+        return False
+    accepted = _ACCEPTED_CLASSES[expected]
+    types = kb.entity_types(answer)
+    return any(class_name in types for class_name in accepted)

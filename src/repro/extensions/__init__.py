@@ -1,0 +1,37 @@
+"""Future-work extensions (paper, section 6).
+
+    "As for the future work, triple extraction method should be improved to
+    handle a broad range of questions.  Also, relational patterns for
+    object and data properties can be extracted from large corpora."
+
+Three extensions, each guarded by a :class:`repro.core.PipelineConfig`
+flag and off by default (the faithful configuration must reproduce the
+paper's Table 2, including its failures):
+
+* :mod:`repro.extensions.imperatives` — normalise "Give me all ..."
+  requests into the wh-question grammar (``enable_imperatives``);
+* :mod:`repro.extensions.booleans` — ground triple patterns + ASK query
+  generation for yes/no questions (``enable_boolean_questions``);
+* :mod:`repro.extensions.datapatterns` — mine relational patterns for
+  *data* properties from date-bearing corpus sentences, closing the
+  section 5 research gap (``enable_data_property_patterns``).
+
+The benchmark ``benchmarks/bench_extensions.py`` quantifies how much of
+the paper's "room for improvement" each extension recovers.
+"""
+
+from repro.extensions.booleans import BooleanQuestionHandler
+from repro.extensions.datapatterns import (
+    DATA_TEMPLATES,
+    build_data_pattern_store,
+    generate_data_corpus,
+)
+from repro.extensions.imperatives import normalize_imperative
+
+__all__ = [
+    "normalize_imperative",
+    "BooleanQuestionHandler",
+    "generate_data_corpus",
+    "build_data_pattern_store",
+    "DATA_TEMPLATES",
+]

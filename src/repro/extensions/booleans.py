@@ -1,0 +1,147 @@
+"""Boolean (yes/no) question support via ASK query generation.
+
+The original pipeline only builds SELECT queries, so every boolean
+question goes unanswered (five of them in the benchmark).  The extension
+covers the two boolean frames the parser already analyses:
+
+* **copular**: "Is Berlin the capital of Germany?" — parses to a noun root
+  with ``cop``/``nsubj``/``prep``/``pobj``; the extension extracts the
+  *ground* pattern ``[Germany, capital, Berlin]`` and asks it.
+* **passive/locative**: "Was Abraham Lincoln born in Washington?" — verb
+  root with ``nsubjpass`` and ``prep``/``pobj``; ground pattern
+  ``[Abraham Lincoln, bear, Washington]``.
+
+Property mapping reuses the unmodified section 2.2 machinery; the only
+new moving part is ASK construction and boolean answer shaping.
+Questions like "Is Frank Herbert still alive?" *remain* unanswerable —
+the predicate still cannot be mapped; the extension widens query shapes,
+not lexical coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import CandidateTriple, MappingFailure, TripleMapper
+from repro.core.triples import Slot, SlotKind, TriplePattern
+from repro.nlp.dependencies import DependencyGraph, Token
+from repro.nlp.pipeline import Sentence
+from repro.rdf.namespaces import RDF
+from repro.rdf.terms import Term, Triple, Variable
+from repro.sparql.ast import AskQuery, BGP, Group
+
+
+@dataclass(frozen=True)
+class BooleanCandidate:
+    """One ground ASK candidate with its ranking weight."""
+
+    triples: tuple[Triple, ...]
+    score: float
+
+    def to_ast(self) -> AskQuery:
+        return AskQuery(where=Group((BGP(self.triples),)))
+
+
+class BooleanQuestionHandler:
+    """Extracts ground patterns from boolean parses and builds ASK queries."""
+
+    def __init__(self, mapper: TripleMapper) -> None:
+        self._mapper = mapper
+
+    # ------------------------------------------------------------------
+
+    def is_boolean_question(self, sentence: Sentence) -> bool:
+        """Auxiliary-fronted questions with no wh-word are yes/no."""
+        tokens = [t for t in sentence.tokens if t.pos not in (".", ",")]
+        if not tokens:
+            return False
+        first = tokens[0]
+        fronted_aux = first.is_verb() and first.lemma in ("be", "do", "have")
+        has_wh = any(t.is_wh_word() for t in tokens)
+        return fronted_aux and not has_wh
+
+    def extract(self, sentence: Sentence) -> list[TriplePattern]:
+        """Ground triple patterns for a boolean question (may be empty)."""
+        graph = sentence.graph
+        root = graph.root
+        if root is None:
+            return []
+        if root.is_noun() and graph.child(root, "cop") is not None:
+            return self._from_copular(graph, root)
+        if root.is_verb():
+            return self._from_verbal(graph, root)
+        return []
+
+    def _argument(self, token: Token) -> Slot | None:
+        if token.entity:
+            return Slot.entity(token)
+        return None
+
+    def _from_copular(self, graph: DependencyGraph, root: Token) -> list[TriplePattern]:
+        # "Is <S> the <N> of <O>?" -> [O, N, S]
+        subject_token = graph.child(root, "nsubj")
+        prep = graph.child(root, "prep")
+        pobj = graph.child(prep, "pobj") if prep is not None else None
+        if subject_token is None or pobj is None:
+            return []
+        subject_slot = self._argument(pobj)
+        object_slot = self._argument(subject_token)
+        if subject_slot is None or object_slot is None:
+            return []
+        return [TriplePattern(subject_slot, Slot.text_of(root), object_slot,
+                              is_main=True)]
+
+    def _from_verbal(self, graph: DependencyGraph, root: Token) -> list[TriplePattern]:
+        # "Was <S> VBN in <O>?" / "Did <S> VB <O>?" -> [S, V, O]
+        subject_token = graph.child(root, "nsubjpass") or graph.child(root, "nsubj")
+        object_token = graph.child(root, "dobj")
+        if object_token is None:
+            prep = graph.child(root, "prep")
+            if prep is not None:
+                object_token = graph.child(prep, "pobj")
+        if subject_token is None or object_token is None:
+            return []
+        subject_slot = self._argument(subject_token)
+        object_slot = self._argument(object_token)
+        if subject_slot is None or object_slot is None:
+            return []
+        return [TriplePattern(subject_slot, Slot.text_of(root), object_slot,
+                              is_main=True)]
+
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self, sentence: Sentence, bucket: list[TriplePattern]
+    ) -> list[BooleanCandidate]:
+        """Map the ground patterns and expand into ranked ASK candidates."""
+        try:
+            mapped = self._mapper.map(sentence, bucket)
+        except MappingFailure:
+            return []
+        out: list[BooleanCandidate] = []
+        for candidate in mapped:
+            out.extend(self._expand(candidate))
+        out.sort(key=lambda c: -c.score)
+        return out
+
+    @staticmethod
+    def _expand(candidate: CandidateTriple) -> list[BooleanCandidate]:
+        out = []
+        for subject in candidate.subjects:
+            for obj in candidate.objects:
+                if isinstance(subject, Variable) or isinstance(obj, Variable):
+                    continue
+                for predicate in candidate.predicates:
+                    if predicate.iri == RDF.type:
+                        continue
+                    out.append(BooleanCandidate(
+                        (Triple(subject, predicate.iri, obj),), predicate.weight,
+                    ))
+                    # The fronted form often inverts the property direction
+                    # ("Is Berlin the capital of Germany?" asks
+                    # capital(Germany) = Berlin): try both.
+                    out.append(BooleanCandidate(
+                        (Triple(obj, predicate.iri, subject),),
+                        predicate.weight * 0.99,
+                    ))
+        return out

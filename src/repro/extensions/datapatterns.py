@@ -1,0 +1,182 @@
+"""Relational patterns for *data* properties (the section 5 research gap).
+
+    "Extracted relational patterns in [6] consist of only object
+    properties.  There is a research gap for extracting relational pattern
+    for data properties."
+
+The extension closes the gap with the same distant-supervision machinery
+as :mod:`repro.patty`, applied to date-bearing sentences: the corpus
+verbalises date facts ("Frank Herbert died on 11 February 1986"), the
+extractor spots one entity plus one date expression, lifts the connecting
+phrase, and attributes it to every date-valued KB fact matching the
+(entity, date) pair.  The result is a second :class:`PatternStore` whose
+lookups map verbs to data properties: "bear" -> ``dbo:birthDate``,
+"die" -> ``dbo:deathDate``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+import re
+
+from repro.kb.builder import KnowledgeBase
+from repro.kb.ontology import PropertyKind, ValueType
+from repro.nlp.morphology import lemmatize
+from repro.nlp.postagger import PosTagger
+from repro.nlp.tokenizer import tokenize
+from repro.patty.patterns import RelationalPattern
+from repro.patty.store import PatternStore
+from repro.rdf.datatypes import literal_value
+from repro.rdf.namespaces import DBO
+from repro.rdf.terms import Literal
+
+#: Verbalisation templates for date-valued properties; {s} = entity label,
+#: {d} = rendered date.
+DATA_TEMPLATES: dict[str, list[tuple[str, int]]] = {
+    "birthDate": [
+        ("{s} was born on {d}", 8),
+        ("{s} , born {d} ,", 3),
+    ],
+    "deathDate": [
+        ("{s} died on {d}", 8),
+        ("{s} passed away on {d}", 2),
+    ],
+    "foundingDate": [
+        ("{s} was founded on {d}", 5),
+        ("{s} was established on {d}", 2),
+    ],
+    "releaseDate": [
+        ("{s} was released on {d}", 5),
+    ],
+    "publicationDate": [
+        ("{s} was published on {d}", 4),
+    ],
+    "launchDate": [
+        ("{s} was launched on {d}", 5),
+    ],
+}
+
+_MONTHS = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+_DATE_RE = re.compile(
+    r"\b(?P<day>\d{1,2})\s+(?P<month>" + "|".join(_MONTHS) + r")\s+(?P<year>\d{4})\b"
+)
+
+MAX_PATTERN_TOKENS = 6
+
+
+def _render_date(value: dt.date) -> str:
+    return f"{value.day} {_MONTHS[value.month - 1]} {value.year}"
+
+
+def _parse_date(day: str, month: str, year: str) -> dt.date | None:
+    try:
+        return dt.date(int(year), _MONTHS.index(month) + 1, int(day))
+    except ValueError:
+        return None
+
+
+def generate_data_corpus(
+    kb: KnowledgeBase, sentences_per_fact: int = 3, seed: int = 47
+) -> list[tuple[str, str, dt.date, str]]:
+    """Verbalise date facts; yields (text, entity_name, date, relation)."""
+    rng = random.Random(seed)
+    sentences: list[tuple[str, str, dt.date, str]] = []
+    for prop_name, templates in sorted(DATA_TEMPLATES.items()):
+        predicate = DBO[prop_name]
+        total = sum(weight for __, weight in templates)
+        for triple in kb.graph.match(None, predicate, None):
+            if not isinstance(triple.object, Literal):
+                continue
+            value = literal_value(triple.object)
+            if not isinstance(value, dt.date):
+                continue
+            label = kb.label_of(triple.subject)
+            for __ in range(sentences_per_fact):
+                pick = rng.randrange(total)
+                for template, weight in templates:
+                    if pick < weight:
+                        break
+                    pick -= weight
+                sentences.append((
+                    template.format(s=label, d=_render_date(value)),
+                    triple.subject.local_name,
+                    value,
+                    prop_name,
+                ))
+    return sentences
+
+
+class DataPatternExtractor:
+    """Distant supervision over (entity, date) sentence pairs."""
+
+    def __init__(self, kb: KnowledgeBase) -> None:
+        self._kb = kb
+        self._tagger = PosTagger()
+        self._date_properties = [
+            prop for prop in kb.ontology.data_properties()
+            if prop.value_type is ValueType.DATE
+        ]
+
+    def extract(self, sentences) -> dict[tuple[str, str], RelationalPattern]:
+        aggregates: dict[tuple[str, str], RelationalPattern] = {}
+        for text, __entity, __value, __relation in sentences:
+            for pattern_text, subject, relation in self._extract_one(text):
+                key = (pattern_text, relation)
+                aggregate = aggregates.get(key)
+                if aggregate is None:
+                    aggregate = RelationalPattern(pattern_text, relation)
+                    aggregates[key] = aggregate
+                aggregate.record(subject, "date")
+        return aggregates
+
+    def _extract_one(self, text: str):
+        date_match = _DATE_RE.search(text)
+        if date_match is None:
+            return
+        value = _parse_date(
+            date_match.group("day"), date_match.group("month"),
+            date_match.group("year"),
+        )
+        if value is None:
+            return
+        prefix = text[: date_match.start()]
+        tokens = tokenize(prefix)
+        spots = list(self._kb.surface_index.spot(tokens))
+        if not spots:
+            return
+        start, end, candidates = spots[0]
+        between = [t for t in tokens[end:] if any(ch.isalnum() for ch in t)]
+        if not between or len(between) > MAX_PATTERN_TOKENS:
+            return
+        tags = self._tagger.tag(between)
+        lemmas = [lemmatize(word, tag).lower() for word, tag in zip(between, tags)]
+        pattern_text = " ".join(lemmas)
+        # Attribute to every date property whose value matches the pair.
+        for entity in candidates:
+            for prop in self._date_properties:
+                for obj in self._kb.graph.objects_of(entity, prop.iri):
+                    if isinstance(obj, Literal) and literal_value(obj) == value:
+                        yield (pattern_text, entity.local_name, prop.name)
+
+
+def build_data_pattern_store(
+    kb: KnowledgeBase, sentences_per_fact: int = 3, seed: int = 47
+) -> PatternStore:
+    """Mine the data-property pattern store.
+
+    >>> from repro.kb import load_curated_kb
+    >>> store = build_data_pattern_store(load_curated_kb())
+    >>> store.properties_for("die")[0][0]
+    'deathDate'
+    """
+    sentences = generate_data_corpus(kb, sentences_per_fact, seed)
+    aggregates = DataPatternExtractor(kb).extract(sentences)
+    store = PatternStore()
+    for aggregate in aggregates.values():
+        store.add_pattern(aggregate)
+    return store

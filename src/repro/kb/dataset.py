@@ -1,0 +1,1850 @@
+"""The curated mini-DBpedia dataset.
+
+Real-world facts for a few hundred entities, chosen to cover the QALD-2
+style question set in :mod:`repro.qald.dataset` plus distractors that make
+entity disambiguation non-trivial (same surface form, different entities).
+Values follow the DBpedia 3.8 vintage the paper used (e.g. Barack Obama as
+``dbo:leaderName`` of the United States, Klaus Wowereit as mayor of
+Berlin).
+
+The module is long by design: it *is* the data substitution documented in
+DESIGN.md — curated content standing in for the DBpedia endpoint.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+from repro.kb.builder import KnowledgeBase
+from repro.kb.records import EntityRecord, entity
+from repro.kb.schema import build_dbpedia_ontology
+
+
+def _date(year: int, month: int, day: int) -> dt.date:
+    return dt.date(year, month, day)
+
+
+def curated_records() -> list[EntityRecord]:
+    """All records of the curated knowledge base."""
+    records: list[EntityRecord] = []
+    add = records.append
+
+    # ------------------------------------------------------------------
+    # Writers and written works
+    # ------------------------------------------------------------------
+    add(entity(
+        "Orhan_Pamuk", "Writer",
+        label="Orhan Pamuk",
+        aliases=["Pamuk", "Ferit Orhan Pamuk"],
+        birthPlace="Istanbul",
+        birthDate=_date(1952, 6, 7),
+        residence="Istanbul",
+        nationality="Turkey",
+        award="Nobel_Prize_in_Literature",
+        links=["Istanbul", "Turkey", "Nobel_Prize_in_Literature"],
+    ))
+    for name, label, pages, year in (
+        ("Snow_novel", "Snow", 426, 2002),
+        ("My_Name_Is_Red", "My Name Is Red", 432, 1998),
+        ("The_White_Castle", "The White Castle", 161, 1985),
+        ("The_Black_Book_novel", "The Black Book", 400, 1990),
+        ("The_Museum_of_Innocence", "The Museum of Innocence", 536, 2008),
+    ):
+        add(entity(
+            name, "Novel",
+            label=label,
+            author="Orhan_Pamuk",
+            numberOfPages=pages,
+            publicationDate=_date(year, 1, 1),
+            links=["Orhan_Pamuk", "Istanbul"],
+        ))
+
+    add(entity(
+        "Danielle_Steel", "Writer",
+        label="Danielle Steel",
+        birthPlace="New_York_City",
+        birthDate=_date(1947, 8, 14),
+        nationality="United_States",
+        links=["New_York_City"],
+    ))
+    for name, label, year in (
+        ("Fine_Things", "Fine Things", 1987),
+        ("Jewels_novel", "Jewels", 1992),
+        ("Zoya_novel", "Zoya", 1988),
+        ("The_Ring_novel", "The Ring", 1980),
+    ):
+        add(entity(
+            name, "Novel",
+            label=label,
+            author="Danielle_Steel",
+            publicationDate=_date(year, 1, 1),
+            links=["Danielle_Steel"],
+        ))
+
+    add(entity(
+        "Frank_Herbert", "Writer",
+        label="Frank Herbert",
+        birthPlace="Tacoma",
+        birthDate=_date(1920, 10, 8),
+        deathPlace="Madison_Wisconsin",
+        deathDate=_date(1986, 2, 11),
+        nationality="United_States",
+        links=["Dune_novel", "Tacoma"],
+    ))
+    add(entity(
+        "Dune_novel", "Novel",
+        label="Dune",
+        aliases=["Dune novel"],
+        author="Frank_Herbert",
+        publicationDate=_date(1965, 8, 1),
+        numberOfPages=412,
+        links=["Frank_Herbert"],
+    ))
+    add(entity(
+        "Dune_film", "Film",
+        label="Dune",
+        aliases=["Dune film", "Dune 1984"],
+        director="David_Lynch",
+        basedOn="Dune_novel",
+        releaseDate=_date(1984, 12, 14),
+        runtime=137,
+        links=["David_Lynch", "Dune_novel"],
+    ))
+
+    add(entity(
+        "Ken_Follett", "Writer",
+        label="Ken Follett",
+        birthPlace="Cardiff",
+        birthDate=_date(1949, 6, 5),
+        nationality="United_Kingdom",
+        links=["Cardiff"],
+    ))
+    add(entity(
+        "The_Pillars_of_the_Earth", "Novel",
+        label="The Pillars of the Earth",
+        author="Ken_Follett",
+        publicationDate=_date(1989, 10, 2),
+        numberOfPages=973,
+        links=["Ken_Follett"],
+    ))
+
+    add(entity(
+        "J_R_R_Tolkien", "Writer",
+        label="J. R. R. Tolkien",
+        aliases=["Tolkien", "John Ronald Reuel Tolkien"],
+        birthPlace="Bloemfontein",
+        birthDate=_date(1892, 1, 3),
+        deathDate=_date(1973, 9, 2),
+        deathPlace="Bournemouth",
+        nationality="United_Kingdom",
+        links=["The_Hobbit", "The_Lord_of_the_Rings"],
+    ))
+    add(entity(
+        "The_Hobbit", "Novel",
+        label="The Hobbit",
+        author="J_R_R_Tolkien",
+        publicationDate=_date(1937, 9, 21),
+        numberOfPages=310,
+        links=["J_R_R_Tolkien"],
+    ))
+    add(entity(
+        "The_Lord_of_the_Rings", "Novel",
+        label="The Lord of the Rings",
+        author="J_R_R_Tolkien",
+        publicationDate=_date(1954, 7, 29),
+        numberOfPages=1178,
+        links=["J_R_R_Tolkien"],
+    ))
+
+    add(entity(
+        "George_Orwell", "Writer",
+        label="George Orwell",
+        aliases=["Eric Arthur Blair"],
+        birthPlace="Motihari",
+        birthDate=_date(1903, 6, 25),
+        deathPlace="London",
+        deathDate=_date(1950, 1, 21),
+        nationality="United_Kingdom",
+        links=["London", "Nineteen_Eighty_Four"],
+    ))
+    add(entity(
+        "Nineteen_Eighty_Four", "Novel",
+        label="Nineteen Eighty-Four",
+        aliases=["1984"],
+        author="George_Orwell",
+        publicationDate=_date(1949, 6, 8),
+        numberOfPages=328,
+        links=["George_Orwell"],
+    ))
+    add(entity(
+        "Animal_Farm", "Novel",
+        label="Animal Farm",
+        author="George_Orwell",
+        publicationDate=_date(1945, 8, 17),
+        numberOfPages=112,
+        links=["George_Orwell"],
+    ))
+
+    add(entity(
+        "William_Shakespeare", "Writer",
+        label="William Shakespeare",
+        aliases=["Shakespeare"],
+        birthPlace="Stratford_upon_Avon",
+        birthDate=_date(1564, 4, 26),
+        deathPlace="Stratford_upon_Avon",
+        deathDate=_date(1616, 4, 23),
+        spouse="Anne_Hathaway_Shakespeare",
+        nationality="United_Kingdom",
+        links=["Stratford_upon_Avon", "Hamlet"],
+    ))
+    add(entity(
+        "Anne_Hathaway_Shakespeare", "Person",
+        label="Anne Hathaway",
+        aliases=["Anne Hathaway (wife of Shakespeare)"],
+        spouse="William_Shakespeare",
+        links=["William_Shakespeare", "Stratford_upon_Avon"],
+    ))
+    add(entity(
+        "Anne_Hathaway_actress", "Actor",
+        label="Anne Hathaway",
+        aliases=["Anne Hathaway (actress)"],
+        birthPlace="Brooklyn",
+        birthDate=_date(1982, 11, 12),
+        links=["Brooklyn", "Hollywood"],
+    ))
+    for name, label in (
+        ("Hamlet", "Hamlet"),
+        ("Macbeth", "Macbeth"),
+        ("Romeo_and_Juliet", "Romeo and Juliet"),
+    ):
+        add(entity(
+            name, "WrittenWork",
+            label=label,
+            author="William_Shakespeare",
+            links=["William_Shakespeare"],
+        ))
+
+    add(entity(
+        "Ernest_Hemingway", "Writer",
+        label="Ernest Hemingway",
+        aliases=["Hemingway"],
+        birthPlace="Oak_Park_Illinois",
+        birthDate=_date(1899, 7, 21),
+        deathPlace="Ketchum_Idaho",
+        deathDate=_date(1961, 7, 2),
+        award="Nobel_Prize_in_Literature",
+        nationality="United_States",
+        links=["Nobel_Prize_in_Literature"],
+    ))
+    add(entity(
+        "The_Old_Man_and_the_Sea", "Novel",
+        label="The Old Man and the Sea",
+        author="Ernest_Hemingway",
+        publicationDate=_date(1952, 9, 1),
+        numberOfPages=127,
+        links=["Ernest_Hemingway"],
+    ))
+
+    add(entity(
+        "Leo_Tolstoy", "Writer",
+        label="Leo Tolstoy",
+        aliases=["Tolstoy"],
+        birthPlace="Yasnaya_Polyana",
+        birthDate=_date(1828, 9, 9),
+        deathDate=_date(1910, 11, 20),
+        nationality="Russia",
+        links=["Russia", "War_and_Peace"],
+    ))
+    add(entity(
+        "War_and_Peace", "Novel",
+        label="War and Peace",
+        author="Leo_Tolstoy",
+        publicationDate=_date(1869, 1, 1),
+        numberOfPages=1225,
+        links=["Leo_Tolstoy", "Russia"],
+    ))
+
+    add(entity(
+        "Agatha_Christie", "Writer",
+        label="Agatha Christie",
+        birthPlace="Torquay",
+        birthDate=_date(1890, 9, 15),
+        residence="Wallingford",
+        deathPlace="Wallingford",
+        deathDate=_date(1976, 1, 12),
+        nationality="United_Kingdom",
+        links=["Torquay", "Wallingford"],
+    ))
+    add(entity("Wallingford", "Town", label="Wallingford",
+               country="United_Kingdom", links=["Agatha_Christie"]))
+    add(entity(
+        "Murder_on_the_Orient_Express", "Novel",
+        label="Murder on the Orient Express",
+        author="Agatha_Christie",
+        publicationDate=_date(1934, 1, 1),
+        numberOfPages=256,
+        links=["Agatha_Christie"],
+    ))
+
+    # Comics and cartoon characters.
+    add(entity(
+        "Dick_Bruna", "ComicsCreator",
+        label="Dick Bruna",
+        birthPlace="Utrecht",
+        birthDate=_date(1927, 8, 23),
+        nationality="Netherlands",
+        links=["Utrecht", "Netherlands", "Miffy"],
+    ))
+    add(entity(
+        "Miffy", "Comic",
+        label="Miffy",
+        creator="Dick_Bruna",
+        links=["Dick_Bruna", "Netherlands"],
+    ))
+    add(entity(
+        "Walt_Disney", "ComicsCreator",
+        label="Walt Disney",
+        birthPlace="Chicago",
+        birthDate=_date(1901, 12, 5),
+        deathPlace="Burbank_California",
+        deathDate=_date(1966, 12, 15),
+        nationality="United_States",
+        links=["Goofy", "Mickey_Mouse", "The_Walt_Disney_Company"],
+    ))
+    add(entity(
+        "Goofy", "Comic",
+        label="Goofy",
+        creator="Walt_Disney",
+        links=["Walt_Disney", "Mickey_Mouse"],
+    ))
+    add(entity(
+        "Mickey_Mouse", "Comic",
+        label="Mickey Mouse",
+        creator="Walt_Disney",
+        links=["Walt_Disney", "Goofy"],
+    ))
+    add(entity(
+        "Zorro_TV_series", "TelevisionShow",
+        label="Zorro",
+        creator="Walt_Disney",
+        numberOfEpisodes=78,
+        links=["Walt_Disney"],
+    ))
+    add(entity(
+        "The_Mickey_Mouse_Club", "TelevisionShow",
+        label="The Mickey Mouse Club",
+        creator="Walt_Disney",
+        numberOfEpisodes=360,
+        links=["Walt_Disney", "Mickey_Mouse"],
+    ))
+
+    # ------------------------------------------------------------------
+    # Politicians and heads of state (DBpedia 3.8 vintage)
+    # ------------------------------------------------------------------
+    add(entity(
+        "Abraham_Lincoln", "President",
+        label="Abraham Lincoln",
+        aliases=["President Lincoln", "Lincoln"],
+        birthPlace="Hodgenville_Kentucky",
+        birthDate=_date(1809, 2, 12),
+        deathPlace="Washington_D_C",
+        deathDate=_date(1865, 4, 15),
+        spouse="Mary_Todd_Lincoln",
+        nationality="United_States",
+        links=["United_States", "Washington_D_C"],
+    ))
+    add(entity(
+        "Mary_Todd_Lincoln", "Person",
+        label="Mary Todd Lincoln",
+        spouse="Abraham_Lincoln",
+        birthPlace="Lexington_Kentucky",
+        links=["Abraham_Lincoln"],
+    ))
+    add(entity(
+        "Barack_Obama", "President",
+        label="Barack Obama",
+        aliases=["Obama"],
+        birthPlace="Honolulu",
+        birthDate=_date(1961, 8, 4),
+        spouse="Michelle_Obama",
+        child="Malia_Obama",
+        nationality="United_States",
+        links=["United_States", "Honolulu", "White_House"],
+    ))
+    add(entity(
+        "Michelle_Obama", "Person",
+        label="Michelle Obama",
+        spouse="Barack_Obama",
+        birthPlace="Chicago",
+        links=["Barack_Obama", "Chicago"],
+    ))
+    add(entity("Malia_Obama", "Person", label="Malia Obama", links=["Barack_Obama"]))
+    add(entity(
+        "Bill_Clinton", "President",
+        label="Bill Clinton",
+        birthPlace="Hope_Arkansas",
+        birthDate=_date(1946, 8, 19),
+        spouse="Hillary_Clinton",
+        child="Chelsea_Clinton",
+        nationality="United_States",
+        links=["United_States", "Hillary_Clinton"],
+    ))
+    add(entity(
+        "Hillary_Clinton", "Politician",
+        label="Hillary Clinton",
+        spouse="Bill_Clinton",
+        child="Chelsea_Clinton",
+        birthPlace="Chicago",
+        links=["Bill_Clinton"],
+    ))
+    add(entity(
+        "Chelsea_Clinton", "Person",
+        label="Chelsea Clinton",
+        parent="Bill_Clinton",
+        spouse="Marc_Mezvinsky",
+        birthDate=_date(1980, 2, 27),
+        links=["Bill_Clinton", "Hillary_Clinton"],
+    ))
+    add(entity("Marc_Mezvinsky", "Person", label="Marc Mezvinsky",
+               spouse="Chelsea_Clinton", links=["Chelsea_Clinton"]))
+    add(entity(
+        "Angela_Merkel", "Chancellor",
+        label="Angela Merkel",
+        aliases=["Merkel"],
+        birthPlace="Hamburg",
+        birthDate=_date(1954, 7, 17),
+        nationality="Germany",
+        links=["Germany", "Hamburg"],
+    ))
+    add(entity(
+        "Klaus_Wowereit", "Mayor",
+        label="Klaus Wowereit",
+        birthPlace="Berlin",
+        birthDate=_date(1953, 10, 1),
+        nationality="Germany",
+        links=["Berlin"],
+    ))
+    add(entity(
+        "Boris_Johnson", "Mayor",
+        label="Boris Johnson",
+        birthPlace="New_York_City",
+        birthDate=_date(1964, 6, 19),
+        nationality="United_Kingdom",
+        links=["London"],
+    ))
+    add(entity(
+        "Michael_Bloomberg", "Mayor",
+        label="Michael Bloomberg",
+        birthPlace="Boston",
+        birthDate=_date(1942, 2, 14),
+        nationality="United_States",
+        links=["New_York_City"],
+    ))
+    add(entity(
+        "Rick_Perry", "Governor",
+        label="Rick Perry",
+        birthPlace="Paint_Creek_Texas",
+        birthDate=_date(1950, 3, 4),
+        nationality="United_States",
+        links=["Texas"],
+    ))
+    add(entity(
+        "Mario_Monti", "PrimeMinister",
+        label="Mario Monti",
+        birthPlace="Varese",
+        birthDate=_date(1943, 3, 19),
+        nationality="Italy",
+        links=["Italy"],
+    ))
+    add(entity(
+        "Recep_Tayyip_Erdogan", "PrimeMinister",
+        label="Recep Tayyip Erdogan",
+        aliases=["Erdogan"],
+        birthPlace="Istanbul",
+        birthDate=_date(1954, 2, 26),
+        nationality="Turkey",
+        links=["Turkey", "Istanbul"],
+    ))
+    add(entity(
+        "Elizabeth_II", "Monarch",
+        label="Elizabeth II",
+        aliases=["Queen Elizabeth II"],
+        birthPlace="London",
+        birthDate=_date(1926, 4, 21),
+        spouse="Prince_Philip",
+        links=["United_Kingdom", "London"],
+    ))
+    add(entity("Prince_Philip", "Person", label="Prince Philip",
+               spouse="Elizabeth_II", links=["Elizabeth_II"]))
+
+    # ------------------------------------------------------------------
+    # Athletes, models, musicians
+    # ------------------------------------------------------------------
+    add(entity(
+        "Michael_Jordan", "BasketballPlayer",
+        label="Michael Jordan",
+        height=1.98,
+        birthPlace="Brooklyn",
+        birthDate=_date(1963, 2, 17),
+        team="Chicago_Bulls",
+        nationality="United_States",
+        links=["Chicago_Bulls", "Brooklyn", "National_Basketball_Association"],
+    ))
+    add(entity(
+        "Michael_I_Jordan", "Scientist",
+        label="Michael I. Jordan",
+        aliases=["Michael Jordan (scientist)", "Michael Jordan"],
+        birthDate=_date(1956, 2, 25),
+        employer="University_of_California_Berkeley",
+        nationality="United_States",
+        links=["University_of_California_Berkeley"],
+    ))
+    add(entity(
+        "Claudia_Schiffer", "Model",
+        label="Claudia Schiffer",
+        height=1.81,
+        birthPlace="Rheinberg",
+        birthDate=_date(1970, 8, 25),
+        spouse="Matthew_Vaughn",
+        nationality="Germany",
+        links=["Germany", "Rheinberg"],
+    ))
+    add(entity("Matthew_Vaughn", "FilmDirector", label="Matthew Vaughn",
+               spouse="Claudia_Schiffer", links=["Claudia_Schiffer"]))
+    add(entity(
+        "Lionel_Messi", "SoccerPlayer",
+        label="Lionel Messi",
+        aliases=["Messi"],
+        height=1.70,
+        birthPlace="Rosario",
+        birthDate=_date(1987, 6, 24),
+        team="FC_Barcelona",
+        nationality="Argentina",
+        links=["FC_Barcelona", "Argentina"],
+    ))
+    add(entity(
+        "Michael_Jackson", "MusicalArtist",
+        label="Michael Jackson",
+        aliases=["King of Pop"],
+        birthPlace="Gary_Indiana",
+        birthDate=_date(1958, 8, 29),
+        deathPlace="Los_Angeles",
+        deathDate=_date(2009, 6, 25),
+        height=1.75,
+        nationality="United_States",
+        links=["Gary_Indiana", "Thriller_album", "Los_Angeles"],
+    ))
+    add(entity(
+        "Thriller_album", "Album",
+        label="Thriller",
+        artist="Michael_Jackson",
+        releaseDate=_date(1982, 11, 30),
+        links=["Michael_Jackson"],
+    ))
+    add(entity(
+        "Bad_album", "Album",
+        label="Bad",
+        artist="Michael_Jackson",
+        releaseDate=_date(1987, 8, 31),
+        links=["Michael_Jackson"],
+    ))
+    add(entity(
+        "Wham", "Band",
+        label="Wham!",
+        aliases=["Wham"],
+        bandMember="George_Michael",
+        foundingDate=_date(1981, 1, 1),
+        links=["George_Michael", "Last_Christmas"],
+    ))
+    add(entity("George_Michael", "MusicalArtist", label="George Michael",
+               birthPlace="London", links=["Wham", "London"]))
+    add(entity(
+        "Last_Christmas", "Song",
+        label="Last Christmas",
+        artist="George_Michael",
+        album="Music_from_the_Edge_of_Heaven",
+        releaseDate=_date(1984, 12, 3),
+        links=["Wham", "George_Michael"],
+    ))
+    add(entity(
+        "Music_from_the_Edge_of_Heaven", "Album",
+        label="Music from the Edge of Heaven",
+        artist="George_Michael",
+        releaseDate=_date(1986, 6, 27),
+        links=["Wham", "Last_Christmas"],
+    ))
+    add(entity(
+        "The_Beatles", "Band",
+        label="The Beatles",
+        aliases=["Beatles"],
+        bandMember=("John_Lennon", "Paul_McCartney", "George_Harrison", "Ringo_Starr"),
+        foundingDate=_date(1960, 8, 1),
+        links=["Liverpool", "John_Lennon", "Paul_McCartney"],
+    ))
+    add(entity("John_Lennon", "MusicalArtist", label="John Lennon",
+               birthPlace="Liverpool", birthDate=_date(1940, 10, 9),
+               deathPlace="New_York_City", deathDate=_date(1980, 12, 8),
+               links=["The_Beatles", "Liverpool"]))
+    add(entity("Paul_McCartney", "MusicalArtist", label="Paul McCartney",
+               birthPlace="Liverpool", birthDate=_date(1942, 6, 18),
+               links=["The_Beatles", "Liverpool"]))
+    add(entity("George_Harrison", "MusicalArtist", label="George Harrison",
+               birthPlace="Liverpool", deathDate=_date(2001, 11, 29),
+               links=["The_Beatles"]))
+    add(entity("Ringo_Starr", "MusicalArtist", label="Ringo Starr",
+               birthPlace="Liverpool", links=["The_Beatles"]))
+    add(entity(
+        "Queen_band", "Band",
+        label="Queen",
+        aliases=["Queen band"],
+        bandMember=("Freddie_Mercury", "Brian_May", "Roger_Taylor", "John_Deacon"),
+        foundingDate=_date(1970, 1, 1),
+        links=["Freddie_Mercury", "London"],
+    ))
+    add(entity("Freddie_Mercury", "MusicalArtist", label="Freddie Mercury",
+               birthPlace="Stone_Town", deathPlace="London",
+               deathDate=_date(1991, 11, 24), links=["Queen_band"]))
+    add(entity("Brian_May", "MusicalArtist", label="Brian May",
+               birthPlace="London", links=["Queen_band"]))
+    add(entity("Roger_Taylor", "MusicalArtist", label="Roger Taylor",
+               links=["Queen_band"]))
+    add(entity("John_Deacon", "MusicalArtist", label="John Deacon",
+               links=["Queen_band"]))
+
+    # ------------------------------------------------------------------
+    # Scientists, astronauts, directors, actors
+    # ------------------------------------------------------------------
+    add(entity(
+        "Albert_Einstein", "Scientist",
+        label="Albert Einstein",
+        aliases=["Einstein"],
+        birthPlace="Ulm",
+        birthDate=_date(1879, 3, 14),
+        residence="Princeton_New_Jersey",
+        deathPlace="Princeton_New_Jersey",
+        deathDate=_date(1955, 4, 18),
+        award="Nobel_Prize_in_Physics",
+        links=["Ulm", "Princeton_New_Jersey", "Nobel_Prize_in_Physics"],
+    ))
+    add(entity(
+        "Neil_Armstrong", "Astronaut",
+        label="Neil Armstrong",
+        birthPlace="Wapakoneta_Ohio",
+        birthDate=_date(1930, 8, 5),
+        deathDate=_date(2012, 8, 25),
+        almaMater="Purdue_University",
+        nationality="United_States",
+        links=["Apollo_11", "Purdue_University"],
+    ))
+    add(entity("Buzz_Aldrin", "Astronaut", label="Buzz Aldrin",
+               birthPlace="Glen_Ridge_New_Jersey", links=["Apollo_11"]))
+    add(entity("Michael_Collins_astronaut", "Astronaut", label="Michael Collins",
+               aliases=["Michael Collins (astronaut)"], links=["Apollo_11"]))
+    add(entity(
+        "Yuri_Gagarin", "Astronaut",
+        label="Yuri Gagarin",
+        birthPlace="Klushino",
+        birthDate=_date(1934, 3, 9),
+        deathDate=_date(1968, 3, 27),
+        nationality="Russia",
+        links=["Vostok_1", "Russia"],
+    ))
+    add(entity(
+        "Apollo_11", "SpaceMission",
+        label="Apollo 11",
+        crewMember=("Neil_Armstrong", "Buzz_Aldrin", "Michael_Collins_astronaut"),
+        launchDate=_date(1969, 7, 16),
+        launchSite="Kennedy_Space_Center",
+        operator="NASA",
+        links=["NASA", "Neil_Armstrong"],
+    ))
+    add(entity(
+        "Vostok_1", "SpaceMission",
+        label="Vostok 1",
+        crewMember="Yuri_Gagarin",
+        launchDate=_date(1961, 4, 12),
+        links=["Yuri_Gagarin"],
+    ))
+    add(entity("Kennedy_Space_Center", "Place", label="Kennedy Space Center",
+               country="United_States", links=["NASA", "Apollo_11"]))
+    add(entity("NASA", "GovernmentAgency", label="NASA",
+               foundingDate=_date(1958, 7, 29), headquarter="Washington_D_C",
+               abbreviation="NASA", links=["Apollo_11", "United_States"]))
+
+    add(entity(
+        "Francis_Ford_Coppola", "FilmDirector",
+        label="Francis Ford Coppola",
+        birthPlace="Detroit",
+        birthDate=_date(1939, 4, 7),
+        links=["The_Godfather"],
+    ))
+    add(entity(
+        "The_Godfather", "Film",
+        label="The Godfather",
+        director="Francis_Ford_Coppola",
+        starring=("Marlon_Brando", "Al_Pacino"),
+        producer="Albert_S_Ruddy",
+        basedOn="The_Godfather_novel",
+        releaseDate=_date(1972, 3, 15),
+        runtime=175,
+        links=["Francis_Ford_Coppola", "Marlon_Brando"],
+    ))
+    add(entity("The_Godfather_novel", "Novel", label="The Godfather (novel)",
+               author="Mario_Puzo", links=["Mario_Puzo"]))
+    add(entity("Mario_Puzo", "Writer", label="Mario Puzo",
+               birthPlace="New_York_City", links=["The_Godfather_novel"]))
+    add(entity("Marlon_Brando", "Actor", label="Marlon Brando",
+               birthPlace="Omaha_Nebraska", deathDate=_date(2004, 7, 1),
+               links=["The_Godfather"]))
+    add(entity("Al_Pacino", "Actor", label="Al Pacino",
+               birthPlace="New_York_City", links=["The_Godfather"]))
+    add(entity("Albert_S_Ruddy", "Person", label="Albert S. Ruddy",
+               links=["The_Godfather"]))
+    add(entity(
+        "Alfred_Hitchcock", "FilmDirector",
+        label="Alfred Hitchcock",
+        aliases=["Hitchcock"],
+        birthPlace="London",
+        birthDate=_date(1899, 8, 13),
+        deathPlace="Los_Angeles",
+        deathDate=_date(1980, 4, 29),
+        links=["Psycho_film", "London"],
+    ))
+    add(entity(
+        "Psycho_film", "Film",
+        label="Psycho",
+        director="Alfred_Hitchcock",
+        starring="Anthony_Perkins",
+        releaseDate=_date(1960, 6, 16),
+        runtime=109,
+        links=["Alfred_Hitchcock"],
+    ))
+    add(entity("Anthony_Perkins", "Actor", label="Anthony Perkins",
+               links=["Psycho_film"]))
+    add(entity(
+        "George_Lucas", "FilmDirector",
+        label="George Lucas",
+        birthPlace="Modesto_California",
+        birthDate=_date(1944, 5, 14),
+        links=["Star_Wars"],
+    ))
+    add(entity(
+        "Star_Wars", "Film",
+        label="Star Wars",
+        director="George_Lucas",
+        starring=("Mark_Hamill", "Harrison_Ford"),
+        releaseDate=_date(1977, 5, 25),
+        runtime=121,
+        budget=11000000,
+        links=["George_Lucas", "Harrison_Ford"],
+    ))
+    add(entity("Mark_Hamill", "Actor", label="Mark Hamill", links=["Star_Wars"]))
+    add(entity("Harrison_Ford", "Actor", label="Harrison Ford",
+               birthPlace="Chicago", links=["Star_Wars"]))
+    add(entity("David_Lynch", "FilmDirector", label="David Lynch",
+               birthPlace="Missoula_Montana", links=["Dune_film"]))
+    add(entity(
+        "Batman_film", "Film",
+        label="Batman",
+        director="Tim_Burton",
+        starring=("Michael_Keaton", "Jack_Nicholson"),
+        releaseDate=_date(1989, 6, 23),
+        runtime=126,
+        links=["Tim_Burton"],
+    ))
+    add(entity("Tim_Burton", "FilmDirector", label="Tim Burton",
+               birthPlace="Burbank_California", links=["Batman_film"]))
+    add(entity("Michael_Keaton", "Actor", label="Michael Keaton",
+               links=["Batman_film"]))
+    add(entity("Jack_Nicholson", "Actor", label="Jack Nicholson",
+               birthPlace="New_York_City", links=["Batman_film"]))
+    add(entity("Tom_Cruise", "Actor", label="Tom Cruise",
+               birthPlace="Syracuse_New_York", birthDate=_date(1962, 7, 3),
+               height=1.70, links=["Hollywood"]))
+
+    add(entity(
+        "The_Simpsons", "TelevisionShow",
+        label="The Simpsons",
+        creator="Matt_Groening",
+        numberOfEpisodes=508,
+        links=["Matt_Groening"],
+    ))
+    add(entity("Matt_Groening", "ComicsCreator", label="Matt Groening",
+               birthPlace="Portland_Oregon", links=["The_Simpsons"]))
+
+    # ------------------------------------------------------------------
+    # Countries (facts per DBpedia 3.8 vintage)
+    # ------------------------------------------------------------------
+    add(entity(
+        "United_States", "Country",
+        label="United States",
+        aliases=["USA", "United States of America", "America", "U.S."],
+        capital="Washington_D_C",
+        largestCity="New_York_City",
+        leaderName="Barack_Obama",
+        populationTotal=312780968,
+        areaTotal=9826675,
+        currency="United_States_dollar",
+        officialLanguage="English_language",
+        links=["Washington_D_C", "New_York_City", "Barack_Obama"],
+    ))
+    add(entity(
+        "Turkey", "Country",
+        label="Turkey",
+        capital="Ankara",
+        largestCity="Istanbul",
+        leaderName="Recep_Tayyip_Erdogan",
+        populationTotal=74724269,
+        areaTotal=783562,
+        currency="Turkish_lira",
+        officialLanguage="Turkish_language",
+        links=["Ankara", "Istanbul"],
+    ))
+    add(entity(
+        "Germany", "Country",
+        label="Germany",
+        capital="Berlin",
+        largestCity="Berlin",
+        leaderName="Angela_Merkel",
+        populationTotal=81831000,
+        areaTotal=357021,
+        currency="Euro",
+        officialLanguage="German_language",
+        links=["Berlin", "Angela_Merkel"],
+    ))
+    add(entity(
+        "Italy", "Country",
+        label="Italy",
+        capital="Rome",
+        largestCity="Rome",
+        leaderName="Mario_Monti",
+        populationTotal=59464644,
+        areaTotal=301338,
+        currency="Euro",
+        officialLanguage="Italian_language",
+        links=["Rome", "Mario_Monti"],
+    ))
+    add(entity(
+        "France", "Country",
+        label="France",
+        capital="Paris",
+        largestCity="Paris",
+        populationTotal=65350000,
+        areaTotal=674843,
+        currency="Euro",
+        officialLanguage="French_language",
+        links=["Paris"],
+    ))
+    add(entity(
+        "Spain", "Country",
+        label="Spain",
+        capital="Madrid",
+        largestCity="Madrid",
+        populationTotal=47265321,
+        currency="Euro",
+        officialLanguage="Spanish_language",
+        links=["Madrid"],
+    ))
+    add(entity(
+        "United_Kingdom", "Country",
+        label="United Kingdom",
+        aliases=["UK", "Great Britain", "Britain"],
+        capital="London",
+        largestCity="London",
+        leaderName="Elizabeth_II",
+        populationTotal=62262000,
+        currency="Pound_sterling",
+        officialLanguage="English_language",
+        links=["London", "Elizabeth_II"],
+    ))
+    add(entity(
+        "Canada", "Country",
+        label="Canada",
+        capital="Ottawa",
+        largestCity="Toronto",
+        populationTotal=34482779,
+        areaTotal=9984670,
+        currency="Canadian_dollar",
+        officialLanguage=("English_language", "French_language"),
+        links=["Ottawa", "Toronto"],
+    ))
+    add(entity(
+        "Australia", "Country",
+        label="Australia",
+        capital="Canberra",
+        largestCity="Sydney",
+        populationTotal=22696229,
+        areaTotal=7692024,
+        currency="Australian_dollar",
+        officialLanguage="English_language",
+        links=["Canberra", "Sydney"],
+    ))
+    add(entity(
+        "Japan", "Country",
+        label="Japan",
+        capital="Tokyo",
+        largestCity="Tokyo",
+        populationTotal=127530000,
+        currency="Japanese_yen",
+        officialLanguage="Japanese_language",
+        links=["Tokyo"],
+    ))
+    add(entity(
+        "Netherlands", "Country",
+        label="Netherlands",
+        aliases=["Holland"],
+        capital="Amsterdam",
+        largestCity="Amsterdam",
+        populationTotal=16751323,
+        currency="Euro",
+        officialLanguage="Dutch_language",
+        links=["Amsterdam", "Utrecht"],
+    ))
+    add(entity(
+        "Russia", "Country",
+        label="Russia",
+        capital="Moscow",
+        largestCity="Moscow",
+        populationTotal=143030106,
+        areaTotal=17098242,
+        currency="Russian_ruble",
+        officialLanguage="Russian_language",
+        links=["Moscow"],
+    ))
+    add(entity(
+        "Egypt", "Country",
+        label="Egypt",
+        capital="Cairo",
+        largestCity="Cairo",
+        populationTotal=82120000,
+        currency="Egyptian_pound",
+        officialLanguage="Arabic_language",
+        links=["Cairo", "Nile"],
+    ))
+    add(entity(
+        "Brazil", "Country",
+        label="Brazil",
+        capital="Brasilia",
+        largestCity="Sao_Paulo",
+        populationTotal=192376496,
+        currency="Brazilian_real",
+        officialLanguage="Portuguese_language",
+        links=["Brasilia", "Sao_Paulo"],
+    ))
+    add(entity(
+        "China", "Country",
+        label="China",
+        aliases=["People's Republic of China"],
+        capital="Beijing",
+        largestCity="Shanghai",
+        populationTotal=1347350000,
+        areaTotal=9640011,
+        currency="Renminbi",
+        officialLanguage="Chinese_language",
+        links=["Beijing", "Shanghai"],
+    ))
+    add(entity(
+        "India", "Country",
+        label="India",
+        capital="New_Delhi",
+        largestCity="Mumbai",
+        populationTotal=1210193422,
+        currency="Indian_rupee",
+        officialLanguage=("Hindi_language", "English_language"),
+        links=["New_Delhi", "Mumbai"],
+    ))
+    add(entity(
+        "Philippines", "Country",
+        label="Philippines",
+        capital="Manila",
+        largestCity="Quezon_City",
+        populationTotal=92337852,
+        currency="Philippine_peso",
+        officialLanguage=("Filipino_language", "English_language"),
+        links=["Manila"],
+    ))
+    add(entity(
+        "Switzerland", "Country",
+        label="Switzerland",
+        capital="Bern",
+        largestCity="Zurich",
+        populationTotal=7952600,
+        currency="Swiss_franc",
+        officialLanguage=(
+            "German_language",
+            "French_language",
+            "Italian_language",
+            "Romansh_language",
+        ),
+        links=["Bern", "Zurich"],
+    ))
+    add(entity(
+        "Argentina", "Country",
+        label="Argentina",
+        capital="Buenos_Aires",
+        largestCity="Buenos_Aires",
+        populationTotal=40117096,
+        currency="Argentine_peso",
+        officialLanguage="Spanish_language",
+        links=["Buenos_Aires"],
+    ))
+    add(entity(
+        "Nepal", "Country",
+        label="Nepal",
+        capital="Kathmandu",
+        populationTotal=26494504,
+        officialLanguage="Nepali_language",
+        links=["Kathmandu", "Mount_Everest"],
+    ))
+
+    # Currencies and languages (leaf entities).
+    for name, label in (
+        ("United_States_dollar", "United States dollar"),
+        ("Turkish_lira", "Turkish lira"),
+        ("Euro", "Euro"),
+        ("Pound_sterling", "Pound sterling"),
+        ("Canadian_dollar", "Canadian dollar"),
+        ("Australian_dollar", "Australian dollar"),
+        ("Japanese_yen", "Japanese yen"),
+        ("Russian_ruble", "Russian ruble"),
+        ("Egyptian_pound", "Egyptian pound"),
+        ("Brazilian_real", "Brazilian real"),
+        ("Renminbi", "Renminbi"),
+        ("Indian_rupee", "Indian rupee"),
+        ("Philippine_peso", "Philippine peso"),
+        ("Swiss_franc", "Swiss franc"),
+        ("Argentine_peso", "Argentine peso"),
+    ):
+        add(entity(name, "Currency", label=label))
+    for name, label in (
+        ("English_language", "English"),
+        ("Turkish_language", "Turkish"),
+        ("German_language", "German"),
+        ("Italian_language", "Italian"),
+        ("French_language", "French"),
+        ("Spanish_language", "Spanish"),
+        ("Dutch_language", "Dutch"),
+        ("Russian_language", "Russian"),
+        ("Arabic_language", "Arabic"),
+        ("Portuguese_language", "Portuguese"),
+        ("Chinese_language", "Chinese"),
+        ("Hindi_language", "Hindi"),
+        ("Filipino_language", "Filipino"),
+        ("Romansh_language", "Romansh"),
+        ("Japanese_language", "Japanese"),
+        ("Nepali_language", "Nepali"),
+    ):
+        add(entity(name, "Language", label=label))
+
+    # ------------------------------------------------------------------
+    # Cities, towns and other places
+    # ------------------------------------------------------------------
+    city = lambda name, label, country, pop=None, **extra: entity(  # noqa: E731
+        name, "City", label=label, country=country,
+        **({"populationTotal": pop} if pop else {}), **extra,
+    )
+    add(city("Istanbul", "Istanbul", "Turkey", 13854740,
+             links=["Turkey", "Orhan_Pamuk"]))
+    add(city("Ankara", "Ankara", "Turkey", 4890893, links=["Turkey"]))
+    add(city("Berlin", "Berlin", "Germany", 3499879,
+             leaderName="Klaus_Wowereit", mayor="Klaus_Wowereit",
+             links=["Germany", "Klaus_Wowereit"]))
+    add(entity("Berlin_New_Hampshire", "Town", label="Berlin",
+               aliases=["Berlin, New Hampshire"], country="United_States",
+               populationTotal=10051, links=["New_Hampshire"]))
+    add(entity("New_Hampshire", "State", label="New Hampshire",
+               country="United_States", links=["United_States"]))
+    add(city("Hamburg", "Hamburg", "Germany", 1798836, links=["Germany"]))
+    add(city("Rome", "Rome", "Italy", 2761477, links=["Italy"]))
+    add(city("Varese", "Varese", "Italy", 81579, links=["Italy"]))
+    add(city("Paris", "Paris", "France", 2234105, links=["France"]))
+    add(entity("Paris_Texas", "Town", label="Paris",
+               aliases=["Paris, Texas"], country="United_States",
+               populationTotal=25171, links=["Texas"]))
+    add(city("Madrid", "Madrid", "Spain", 3265038, links=["Spain"]))
+    add(city("London", "London", "United_Kingdom", 8173941,
+             leaderName="Boris_Johnson", mayor="Boris_Johnson",
+             links=["United_Kingdom", "Boris_Johnson", "River_Thames"]))
+    add(city("Liverpool", "Liverpool", "United_Kingdom", 466400,
+             links=["United_Kingdom", "The_Beatles"]))
+    add(city("Cardiff", "Cardiff", "United_Kingdom", 346090,
+             links=["United_Kingdom"]))
+    add(entity("Torquay", "Town", label="Torquay", country="United_Kingdom",
+               links=["United_Kingdom"]))
+    add(entity("Bournemouth", "Town", label="Bournemouth",
+               country="United_Kingdom", links=["United_Kingdom"]))
+    add(entity("Stratford_upon_Avon", "Town", label="Stratford-upon-Avon",
+               country="United_Kingdom", links=["William_Shakespeare"]))
+    add(city("New_York_City", "New York City", "United_States", 8336697,
+             leaderName="Michael_Bloomberg", mayor="Michael_Bloomberg",
+             aliases=("New York",),
+             links=["United_States", "Brooklyn_Bridge", "East_River"]))
+    add(city("Washington_D_C", "Washington, D.C.", "United_States", 632323,
+             aliases=("Washington DC", "Washington"),
+             links=["United_States", "White_House"]))
+    add(city("Chicago", "Chicago", "United_States", 2695598,
+             links=["United_States", "Chicago_Bulls"]))
+    add(city("Los_Angeles", "Los Angeles", "United_States", 3792621,
+             aliases=("LA",), links=["United_States", "Hollywood"]))
+    add(city("Boston", "Boston", "United_States", 617594,
+             links=["United_States"]))
+    add(city("Honolulu", "Honolulu", "United_States", 337256,
+             links=["United_States", "Barack_Obama"]))
+    add(city("Seattle", "Seattle", "United_States", 608660,
+             links=["United_States"]))
+    add(city("Tacoma", "Tacoma", "United_States", 198397,
+             links=["United_States", "Frank_Herbert"]))
+    add(city("Madison_Wisconsin", "Madison", "United_States", 233209,
+             aliases=("Madison, Wisconsin",), links=["United_States"]))
+    add(city("Detroit", "Detroit", "United_States", 713777,
+             links=["United_States", "General_Motors"]))
+    add(city("Gary_Indiana", "Gary, Indiana", "United_States", 80294,
+             aliases=("Gary",), links=["United_States", "Michael_Jackson"]))
+    add(entity("Brooklyn", "Town", label="Brooklyn", country="United_States",
+               isPartOf="New_York_City", links=["New_York_City"]))
+    add(entity("Hollywood", "Town", label="Hollywood", country="United_States",
+               isPartOf="Los_Angeles", links=["Los_Angeles"]))
+    add(entity("Hodgenville_Kentucky", "Town", label="Hodgenville",
+               aliases=("Hodgenville, Kentucky",), country="United_States",
+               links=["Abraham_Lincoln"]))
+    add(entity("Lexington_Kentucky", "City", label="Lexington",
+               country="United_States"))
+    add(entity("Hope_Arkansas", "Town", label="Hope",
+               aliases=("Hope, Arkansas",), country="United_States",
+               links=["Bill_Clinton"]))
+    add(entity("Ketchum_Idaho", "Town", label="Ketchum",
+               aliases=("Ketchum, Idaho",), country="United_States"))
+    add(entity("Oak_Park_Illinois", "Town", label="Oak Park",
+               aliases=("Oak Park, Illinois",), country="United_States"))
+    add(entity("Paint_Creek_Texas", "Town", label="Paint Creek",
+               country="United_States", links=["Texas"]))
+    add(entity("Syracuse_New_York", "City", label="Syracuse",
+               country="United_States"))
+    add(entity("Omaha_Nebraska", "City", label="Omaha", country="United_States"))
+    add(entity("Modesto_California", "City", label="Modesto",
+               country="United_States"))
+    add(entity("Burbank_California", "City", label="Burbank",
+               country="United_States"))
+    add(entity("Missoula_Montana", "City", label="Missoula",
+               country="United_States"))
+    add(entity("Portland_Oregon", "City", label="Portland",
+               country="United_States"))
+    add(entity("Wapakoneta_Ohio", "Town", label="Wapakoneta",
+               country="United_States", links=["Neil_Armstrong"]))
+    add(entity("Glen_Ridge_New_Jersey", "Town", label="Glen Ridge",
+               country="United_States"))
+    add(entity("Princeton_New_Jersey", "Town", label="Princeton",
+               country="United_States", links=["Albert_Einstein"]))
+    add(entity("Armonk_New_York", "Town", label="Armonk",
+               country="United_States", links=["IBM"]))
+    add(entity("Cupertino", "City", label="Cupertino", country="United_States",
+               links=["Apple_Inc"]))
+    add(entity("Redmond", "City", label="Redmond", country="United_States",
+               links=["Microsoft"]))
+    add(entity("Irvine_California", "City", label="Irvine",
+               country="United_States", links=["Blizzard_Entertainment"]))
+    add(entity("Mountain_View_California", "City", label="Mountain View",
+               country="United_States", links=["Google"]))
+    add(entity("Texas", "State", label="Texas", country="United_States",
+               governor="Rick_Perry", populationTotal=25674681,
+               links=["United_States", "Rick_Perry"]))
+    add(city("Ottawa", "Ottawa", "Canada", 883391, links=["Canada"]))
+    add(city("Toronto", "Toronto", "Canada", 2615060, links=["Canada"]))
+    add(city("Canberra", "Canberra", "Australia", 358222, links=["Australia"]))
+    add(city("Sydney", "Sydney", "Australia", 4627345, links=["Australia"]))
+    add(city("Tokyo", "Tokyo", "Japan", 13185502, links=["Japan"]))
+    add(city("Moscow", "Moscow", "Russia", 11503501, links=["Russia"]))
+    add(city("Cairo", "Cairo", "Egypt", 6758581, links=["Egypt", "Nile"]))
+    add(city("Brasilia", "Brasilia", "Brazil", 2562963, links=["Brazil"]))
+    add(city("Sao_Paulo", "Sao Paulo", "Brazil", 11244369, links=["Brazil"]))
+    add(city("Beijing", "Beijing", "China", 19612368, links=["China"]))
+    add(city("Shanghai", "Shanghai", "China", 23019148, links=["China"]))
+    add(city("New_Delhi", "New Delhi", "India", 249998, links=["India"]))
+    add(city("Mumbai", "Mumbai", "India", 12478447, links=["India"]))
+    add(city("Manila", "Manila", "Philippines", 1652171, links=["Philippines"]))
+    add(city("Quezon_City", "Quezon City", "Philippines", 2761720,
+             links=["Philippines"]))
+    add(city("Bern", "Bern", "Switzerland", 125681, links=["Switzerland"]))
+    add(city("Zurich", "Zurich", "Switzerland", 390474, links=["Switzerland"]))
+    add(city("Buenos_Aires", "Buenos Aires", "Argentina", 2890151,
+             links=["Argentina"]))
+    add(city("Rosario", "Rosario", "Argentina", 1193605,
+             links=["Argentina", "Lionel_Messi"]))
+    add(city("Amsterdam", "Amsterdam", "Netherlands", 790044,
+             links=["Netherlands"]))
+    add(city("Utrecht", "Utrecht", "Netherlands", 316275,
+             links=["Netherlands", "Dick_Bruna"]))
+    add(city("Kathmandu", "Kathmandu", "Nepal", 975453, links=["Nepal"]))
+    add(city("Ulm", "Ulm", "Germany", 123672,
+             links=["Germany", "Albert_Einstein"]))
+    add(city("Rheinberg", "Rheinberg", "Germany", 31627, links=["Germany"]))
+    add(entity("Motihari", "Town", label="Motihari", country="India"))
+    add(entity("Bloemfontein", "City", label="Bloemfontein"))
+    add(entity("Yasnaya_Polyana", "Town", label="Yasnaya Polyana",
+               country="Russia", links=["Leo_Tolstoy"]))
+    add(entity("Klushino", "Town", label="Klushino", country="Russia"))
+    add(entity("Stone_Town", "Town", label="Stone Town"))
+    add(entity("White_House", "Building", label="White House",
+               location="Washington_D_C", links=["Barack_Obama"]))
+
+    # ------------------------------------------------------------------
+    # Rivers, bridges, mountains, lakes
+    # ------------------------------------------------------------------
+    add(entity(
+        "Nile", "River",
+        label="Nile",
+        aliases=["Nile River", "River Nile"],
+        length=6650,
+        sourceCountry="Rwanda",
+        mouth="Mediterranean_Sea",
+        links=["Egypt", "Mediterranean_Sea", "Rwanda"],
+    ))
+    add(entity("Rwanda", "Country", label="Rwanda", capital="Kigali",
+               populationTotal=10718379, links=["Kigali", "Nile"]))
+    add(entity("Kigali", "City", label="Kigali", country="Rwanda"))
+    add(entity(
+        "Amazon_River", "River",
+        label="Amazon River",
+        aliases=["Amazon"],
+        length=6400,
+        sourceCountry="Peru",
+        links=["Brazil", "Peru"],
+    ))
+    add(entity("Peru", "Country", label="Peru", capital="Lima",
+               populationTotal=30135875, officialLanguage="Spanish_language",
+               links=["Lima", "Amazon_River"]))
+    add(entity("Lima", "City", label="Lima", country="Peru"))
+    add(entity(
+        "Mississippi_River", "River",
+        label="Mississippi River",
+        aliases=["Mississippi"],
+        length=3730,
+        sourceCountry="United_States",
+        links=["United_States"],
+    ))
+    add(entity(
+        "River_Thames", "River",
+        label="River Thames",
+        aliases=["Thames"],
+        length=346,
+        sourceCountry="United_Kingdom",
+        links=["London", "United_Kingdom", "Tower_Bridge"],
+    ))
+    add(entity(
+        "East_River", "River",
+        label="East River",
+        length=26,
+        sourceCountry="United_States",
+        links=["New_York_City", "Brooklyn_Bridge"],
+    ))
+    add(entity(
+        "Brooklyn_Bridge", "Bridge",
+        label="Brooklyn Bridge",
+        crosses="East_River",
+        location="New_York_City",
+        completionDate=_date(1883, 5, 24),
+        length=1.825,
+        links=["New_York_City", "East_River", "Brooklyn"],
+    ))
+    add(entity(
+        "Tower_Bridge", "Bridge",
+        label="Tower Bridge",
+        crosses="River_Thames",
+        location="London",
+        completionDate=_date(1894, 6, 30),
+        links=["London", "River_Thames"],
+    ))
+    add(entity("Mediterranean_Sea", "Sea", label="Mediterranean Sea",
+               links=["Nile"]))
+    add(entity(
+        "Mount_Everest", "Mountain",
+        label="Mount Everest",
+        aliases=["Everest"],
+        elevation=8848,
+        locatedInArea="Himalayas",
+        country="Nepal",
+        links=["Nepal", "Himalayas"],
+    ))
+    add(entity(
+        "K2", "Mountain",
+        label="K2",
+        elevation=8611,
+        locatedInArea="Karakoram",
+        links=["Karakoram", "Pakistan"],
+    ))
+    add(entity(
+        "Karakoram", "Region",
+        label="Karakoram",
+        highestPlace="K2",
+        links=["K2", "Pakistan"],
+    ))
+    add(entity("Pakistan", "Country", label="Pakistan", capital="Islamabad",
+               populationTotal=177100000, links=["Islamabad", "K2"]))
+    add(entity("Islamabad", "City", label="Islamabad", country="Pakistan"))
+    add(entity(
+        "Himalayas", "Region",
+        label="Himalayas",
+        highestPlace="Mount_Everest",
+        links=["Mount_Everest", "Nepal"],
+    ))
+    add(entity(
+        "Mont_Blanc", "Mountain",
+        label="Mont Blanc",
+        elevation=4810,
+        country="France",
+        locatedInArea="Alps",
+        links=["France", "Alps"],
+    ))
+    add(entity("Alps", "Region", label="Alps", highestPlace="Mont_Blanc",
+               links=["Mont_Blanc", "Switzerland"]))
+    add(entity(
+        "Limerick_Lake", "Lake",
+        label="Limerick Lake",
+        country="Canada",
+        links=["Canada"],
+    ))
+    add(entity(
+        "Lake_Baikal", "Lake",
+        label="Lake Baikal",
+        aliases=["Baikal"],
+        depth=1642,
+        country="Russia",
+        links=["Russia"],
+    ))
+
+    # ------------------------------------------------------------------
+    # Companies, universities, clubs
+    # ------------------------------------------------------------------
+    add(entity(
+        "IBM", "Company",
+        label="IBM",
+        aliases=["International Business Machines"],
+        foundedBy="Charles_Ranlett_Flint",
+        foundingDate=_date(1911, 6, 16),
+        headquarter="Armonk_New_York",
+        numberOfEmployees=433362,
+        links=["Armonk_New_York", "United_States"],
+    ))
+    add(entity("Charles_Ranlett_Flint", "Person", label="Charles Ranlett Flint",
+               links=["IBM"]))
+    add(entity(
+        "Apple_Inc", "Company",
+        label="Apple Inc.",
+        aliases=["Apple"],
+        foundedBy=("Steve_Jobs", "Steve_Wozniak"),
+        keyPerson="Tim_Cook",
+        foundingDate=_date(1976, 4, 1),
+        headquarter="Cupertino",
+        numberOfEmployees=72800,
+        links=["Cupertino", "Steve_Jobs"],
+    ))
+    add(entity("Steve_Jobs", "Person", label="Steve Jobs",
+               birthPlace="San_Francisco", deathDate=_date(2011, 10, 5),
+               links=["Apple_Inc"]))
+    add(entity("Steve_Wozniak", "Person", label="Steve Wozniak",
+               birthPlace="San_Jose_California", links=["Apple_Inc"]))
+    add(entity("Tim_Cook", "Person", label="Tim Cook", links=["Apple_Inc"]))
+    add(entity("San_Francisco", "City", label="San Francisco",
+               country="United_States", populationTotal=805235))
+    add(entity("San_Jose_California", "City", label="San Jose",
+               country="United_States"))
+    add(entity(
+        "Microsoft", "Company",
+        label="Microsoft",
+        foundedBy=("Bill_Gates", "Paul_Allen"),
+        foundingDate=_date(1975, 4, 4),
+        headquarter="Redmond",
+        numberOfEmployees=94000,
+        links=["Redmond", "Bill_Gates"],
+    ))
+    add(entity("Bill_Gates", "Person", label="Bill Gates",
+               birthPlace="Seattle", birthDate=_date(1955, 10, 28),
+               residence="Medina_Washington",
+               spouse="Melinda_Gates", links=["Microsoft", "Seattle"]))
+    add(entity("Medina_Washington", "Town", label="Medina",
+               country="United_States", links=["Bill_Gates"]))
+    add(entity("Melinda_Gates", "Person", label="Melinda Gates",
+               spouse="Bill_Gates", links=["Bill_Gates"]))
+    add(entity("Paul_Allen", "Person", label="Paul Allen",
+               birthPlace="Seattle", links=["Microsoft"]))
+    add(entity(
+        "Intel", "Company",
+        label="Intel",
+        foundedBy=("Gordon_Moore", "Robert_Noyce"),
+        foundingDate=_date(1968, 7, 18),
+        headquarter="Santa_Clara_California",
+        numberOfEmployees=100100,
+        links=["Santa_Clara_California"],
+    ))
+    add(entity("Gordon_Moore", "Person", label="Gordon Moore", links=["Intel"]))
+    add(entity("Robert_Noyce", "Person", label="Robert Noyce", links=["Intel"]))
+    add(entity("Santa_Clara_California", "City", label="Santa Clara",
+               country="United_States"))
+    add(entity(
+        "Google", "Company",
+        label="Google",
+        foundedBy=("Larry_Page", "Sergey_Brin"),
+        foundingDate=_date(1998, 9, 4),
+        headquarter="Mountain_View_California",
+        numberOfEmployees=53861,
+        links=["Mountain_View_California"],
+    ))
+    add(entity("Larry_Page", "Person", label="Larry Page", links=["Google"]))
+    add(entity("Sergey_Brin", "Person", label="Sergey Brin", links=["Google"]))
+    add(entity(
+        "General_Motors", "Company",
+        label="General Motors",
+        aliases=["GM"],
+        headquarter="Detroit",
+        foundingDate=_date(1908, 9, 16),
+        numberOfEmployees=202000,
+        links=["Detroit"],
+    ))
+    add(entity(
+        "Universal_Studios", "Company",
+        label="Universal Studios",
+        owner="NBCUniversal",
+        headquarter="Los_Angeles",
+        links=["NBCUniversal", "Los_Angeles"],
+    ))
+    add(entity("NBCUniversal", "Company", label="NBCUniversal",
+               links=["Universal_Studios"]))
+    add(entity(
+        "The_Walt_Disney_Company", "Company",
+        label="The Walt Disney Company",
+        aliases=["Disney"],
+        foundedBy="Walt_Disney",
+        foundingDate=_date(1923, 10, 16),
+        headquarter="Burbank_California",
+        links=["Walt_Disney"],
+    ))
+    add(entity(
+        "Blizzard_Entertainment", "Company",
+        label="Blizzard Entertainment",
+        aliases=["Blizzard"],
+        headquarter="Irvine_California",
+        foundingDate=_date(1991, 2, 8),
+        links=["World_of_Warcraft", "Irvine_California"],
+    ))
+    add(entity(
+        "World_of_Warcraft", "VideoGame",
+        label="World of Warcraft",
+        aliases=["WoW"],
+        developer="Blizzard_Entertainment",
+        releaseDate=_date(2004, 11, 23),
+        links=["Blizzard_Entertainment"],
+    ))
+    add(entity(
+        "Mojang", "Company",
+        label="Mojang",
+        headquarter="Stockholm",
+        foundedBy="Markus_Persson",
+        links=["Minecraft", "Stockholm"],
+    ))
+    add(entity("Markus_Persson", "Person", label="Markus Persson",
+               aliases=["Notch"], links=["Mojang", "Minecraft"]))
+    add(entity("Stockholm", "City", label="Stockholm", country="Sweden",
+               populationTotal=871952))
+    add(entity("Sweden", "Country", label="Sweden", capital="Stockholm",
+               populationTotal=9514406, currency="Swedish_krona",
+               officialLanguage="Swedish_language", links=["Stockholm"]))
+    add(entity("Swedish_krona", "Currency", label="Swedish krona"))
+    add(entity("Swedish_language", "Language", label="Swedish"))
+    add(entity(
+        "Minecraft", "VideoGame",
+        label="Minecraft",
+        developer="Mojang",
+        releaseDate=_date(2011, 11, 18),
+        links=["Mojang"],
+    ))
+    add(entity(
+        "Harvard_University", "University",
+        label="Harvard University",
+        aliases=["Harvard"],
+        location="Cambridge_Massachusetts",
+        numberOfStudents=21000,
+        foundingDate=_date(1636, 9, 8),
+        links=["Cambridge_Massachusetts", "United_States"],
+    ))
+    add(entity("Cambridge_Massachusetts", "City", label="Cambridge",
+               country="United_States"))
+    add(entity(
+        "Purdue_University", "University",
+        label="Purdue University",
+        location="West_Lafayette_Indiana",
+        numberOfStudents=39256,
+        links=["Neil_Armstrong"],
+    ))
+    add(entity("West_Lafayette_Indiana", "City", label="West Lafayette",
+               country="United_States"))
+    add(entity(
+        "University_of_California_Berkeley", "University",
+        label="University of California, Berkeley",
+        aliases=["UC Berkeley", "Berkeley"],
+        location="Berkeley_California",
+        numberOfStudents=36142,
+        links=["Berkeley_California"],
+    ))
+    add(entity("Berkeley_California", "City", label="Berkeley",
+               country="United_States"))
+    add(entity(
+        "Chicago_Bulls", "Organisation",
+        label="Chicago Bulls",
+        location="Chicago",
+        foundingDate=_date(1966, 1, 16),
+        links=["Chicago", "Michael_Jordan", "National_Basketball_Association"],
+    ))
+    add(entity("National_Basketball_Association", "Organisation",
+               label="National Basketball Association", aliases=["NBA"],
+               foundingDate=_date(1946, 6, 6), headquarter="New_York_City",
+               links=["Chicago_Bulls"]))
+    add(entity(
+        "FC_Barcelona", "SoccerClub",
+        label="FC Barcelona",
+        aliases=["Barcelona", "Barça"],
+        location="Barcelona_city",
+        country="Spain",
+        foundingDate=_date(1899, 11, 29),
+        links=["Barcelona_city", "Lionel_Messi", "Spain"],
+    ))
+    add(entity("Barcelona_city", "City", label="Barcelona", country="Spain",
+               populationTotal=1621537, links=["Spain", "FC_Barcelona"]))
+    add(entity(
+        "Real_Madrid", "SoccerClub",
+        label="Real Madrid",
+        location="Madrid",
+        country="Spain",
+        foundingDate=_date(1902, 3, 6),
+        links=["Madrid", "Spain"],
+    ))
+    add(entity(
+        "Valencia_CF", "SoccerClub",
+        label="Valencia CF",
+        location="Valencia_city",
+        country="Spain",
+        links=["Spain"],
+    ))
+    add(entity("Valencia_city", "City", label="Valencia", country="Spain"))
+    add(entity(
+        "Manchester_United", "SoccerClub",
+        label="Manchester United",
+        location="Manchester",
+        country="United_Kingdom",
+        links=["Manchester", "United_Kingdom"],
+    ))
+    add(entity("Manchester", "City", label="Manchester",
+               country="United_Kingdom"))
+
+    # ------------------------------------------------------------------
+    # Buildings, monuments, awards, species, aircraft etc.
+    # ------------------------------------------------------------------
+    add(entity(
+        "Empire_State_Building", "Skyscraper",
+        label="Empire State Building",
+        location="New_York_City",
+        floorCount=102,
+        height=381,
+        architect="William_F_Lamb",
+        completionDate=_date(1931, 4, 11),
+        links=["New_York_City"],
+    ))
+    add(entity("William_F_Lamb", "Person", label="William F. Lamb",
+               links=["Empire_State_Building"]))
+    add(entity(
+        "Eiffel_Tower", "Monument",
+        label="Eiffel Tower",
+        location="Paris",
+        height=324,
+        architect="Gustave_Eiffel",
+        completionDate=_date(1889, 3, 31),
+        links=["Paris", "France"],
+    ))
+    add(entity("Gustave_Eiffel", "Person", label="Gustave Eiffel",
+               links=["Eiffel_Tower"]))
+    add(entity(
+        "Burj_Khalifa", "Skyscraper",
+        label="Burj Khalifa",
+        location="Dubai",
+        floorCount=163,
+        height=828,
+        completionDate=_date(2010, 1, 4),
+        links=["Dubai"],
+    ))
+    add(entity("Dubai", "City", label="Dubai", populationTotal=2106177))
+    add(entity("Nobel_Prize_in_Literature", "Award",
+               label="Nobel Prize in Literature",
+               links=["Orhan_Pamuk", "Ernest_Hemingway"]))
+    add(entity("Nobel_Prize_in_Physics", "Award",
+               label="Nobel Prize in Physics", links=["Albert_Einstein"]))
+    add(entity(
+        "Wandering_Albatross", "Bird",
+        label="Wandering Albatross",
+        wingspan=3.5,
+        links=[],
+    ))
+    add(entity(
+        "Andean_Condor", "Bird",
+        label="Andean Condor",
+        wingspan=3.2,
+        links=[],
+    ))
+    add(entity(
+        "Volkswagen_Golf", "Automobile",
+        label="Volkswagen Golf",
+        manufacturer="Volkswagen",
+        links=["Volkswagen"],
+    ))
+    add(entity("Volkswagen", "Company", label="Volkswagen",
+               headquarter="Wolfsburg", numberOfEmployees=501956,
+               links=["Germany", "Wolfsburg"]))
+    add(entity("Wolfsburg", "City", label="Wolfsburg", country="Germany"))
+
+    # ------------------------------------------------------------------
+    # Classical composers and works
+    # ------------------------------------------------------------------
+    add(entity(
+        "Wolfgang_Amadeus_Mozart", "MusicalArtist",
+        label="Wolfgang Amadeus Mozart",
+        aliases=["Mozart"],
+        birthPlace="Salzburg",
+        birthDate=_date(1756, 1, 27),
+        deathPlace="Vienna",
+        deathDate=_date(1791, 12, 5),
+        links=["Vienna", "Salzburg", "The_Magic_Flute"],
+    ))
+    add(entity(
+        "Ludwig_van_Beethoven", "MusicalArtist",
+        label="Ludwig van Beethoven",
+        aliases=["Beethoven"],
+        birthPlace="Bonn",
+        birthDate=_date(1770, 12, 17),
+        deathPlace="Vienna",
+        deathDate=_date(1827, 3, 26),
+        links=["Vienna", "Bonn"],
+    ))
+    add(entity(
+        "Johann_Sebastian_Bach", "MusicalArtist",
+        label="Johann Sebastian Bach",
+        aliases=["Bach"],
+        birthPlace="Eisenach",
+        birthDate=_date(1685, 3, 31),
+        deathPlace="Leipzig",
+        deathDate=_date(1750, 7, 28),
+        links=["Leipzig"],
+    ))
+    add(entity(
+        "The_Magic_Flute", "MusicalWork",
+        label="The Magic Flute",
+        musicComposer="Wolfgang_Amadeus_Mozart",
+        releaseDate=_date(1791, 9, 30),
+        links=["Wolfgang_Amadeus_Mozart", "Vienna"],
+    ))
+    add(entity("Vienna", "City", label="Vienna", country="Austria",
+               populationTotal=1714142, links=["Austria"]))
+    add(entity("Salzburg", "City", label="Salzburg", country="Austria",
+               populationTotal=145871, links=["Austria"]))
+    add(entity("Austria", "Country", label="Austria", capital="Vienna",
+               largestCity="Vienna", populationTotal=8443018,
+               currency="Euro", officialLanguage="German_language",
+               links=["Vienna"]))
+    add(entity("Bonn", "City", label="Bonn", country="Germany",
+               populationTotal=305765, links=["Germany"]))
+    add(entity("Eisenach", "Town", label="Eisenach", country="Germany"))
+    add(entity("Leipzig", "City", label="Leipzig", country="Germany",
+               populationTotal=510043, links=["Germany"]))
+
+    # ------------------------------------------------------------------
+    # Painters and paintings
+    # ------------------------------------------------------------------
+    add(entity(
+        "Leonardo_da_Vinci", "Artist",
+        label="Leonardo da Vinci",
+        aliases=["Leonardo", "da Vinci"],
+        birthPlace="Vinci_Tuscany",
+        birthDate=_date(1452, 4, 15),
+        deathPlace="Amboise",
+        deathDate=_date(1519, 5, 2),
+        links=["Mona_Lisa", "Vinci_Tuscany"],
+    ))
+    add(entity(
+        "Vincent_van_Gogh", "Artist",
+        label="Vincent van Gogh",
+        aliases=["van Gogh"],
+        birthPlace="Zundert",
+        birthDate=_date(1853, 3, 30),
+        deathPlace="Auvers_sur_Oise",
+        deathDate=_date(1890, 7, 29),
+        nationality="Netherlands",
+        links=["The_Starry_Night", "Netherlands"],
+    ))
+    add(entity(
+        "Pablo_Picasso", "Artist",
+        label="Pablo Picasso",
+        aliases=["Picasso"],
+        birthPlace="Malaga",
+        birthDate=_date(1881, 10, 25),
+        deathPlace="Mougins",
+        deathDate=_date(1973, 4, 8),
+        nationality="Spain",
+        links=["Guernica_painting", "Spain"],
+    ))
+    add(entity("Mona_Lisa", "Work", label="Mona Lisa",
+               creator="Leonardo_da_Vinci",
+               links=["Leonardo_da_Vinci", "Paris"]))
+    add(entity("The_Starry_Night", "Work", label="The Starry Night",
+               creator="Vincent_van_Gogh", links=["Vincent_van_Gogh"]))
+    add(entity("Guernica_painting", "Work", label="Guernica",
+               creator="Pablo_Picasso", links=["Pablo_Picasso"]))
+    add(entity("Vinci_Tuscany", "Town", label="Vinci", country="Italy"))
+    add(entity("Amboise", "Town", label="Amboise", country="France"))
+    add(entity("Zundert", "Town", label="Zundert", country="Netherlands"))
+    add(entity("Auvers_sur_Oise", "Town", label="Auvers-sur-Oise",
+               country="France"))
+    add(entity("Malaga", "City", label="Malaga", country="Spain",
+               populationTotal=568030))
+    add(entity("Mougins", "Town", label="Mougins", country="France"))
+
+    # ------------------------------------------------------------------
+    # US states (governor/capital shapes) and more American geography
+    # ------------------------------------------------------------------
+    add(entity("California", "State", label="California",
+               country="United_States", populationTotal=37253956,
+               largestCity="Los_Angeles", links=["United_States"]))
+    add(entity("New_York_State", "State", label="New York",
+               aliases=["New York State"], country="United_States",
+               populationTotal=19378102, largestCity="New_York_City",
+               links=["United_States", "New_York_City"]))
+    add(entity("Illinois", "State", label="Illinois",
+               country="United_States", populationTotal=12830632,
+               largestCity="Chicago", links=["United_States", "Chicago"]))
+    add(entity("Hawaii", "State", label="Hawaii", country="United_States",
+               populationTotal=1360301, links=["United_States", "Honolulu"]))
+    add(entity(
+        "Lake_Michigan", "Lake",
+        label="Lake Michigan",
+        depth=281,
+        country="United_States",
+        links=["United_States", "Chicago"],
+    ))
+    add(entity(
+        "Golden_Gate_Bridge", "Bridge",
+        label="Golden Gate Bridge",
+        location="San_Francisco",
+        completionDate=_date(1937, 5, 27),
+        length=2.737,
+        links=["San_Francisco"],
+    ))
+
+    # ------------------------------------------------------------------
+    # More films and actors (director/starring shapes)
+    # ------------------------------------------------------------------
+    add(entity(
+        "Jaws_film", "Film",
+        label="Jaws",
+        director="Steven_Spielberg",
+        releaseDate=_date(1975, 6, 20),
+        runtime=124,
+        links=["Steven_Spielberg"],
+    ))
+    add(entity(
+        "E_T_the_Extra_Terrestrial", "Film",
+        label="E.T. the Extra-Terrestrial",
+        aliases=["E.T."],
+        director="Steven_Spielberg",
+        releaseDate=_date(1982, 6, 11),
+        runtime=115,
+        links=["Steven_Spielberg"],
+    ))
+    add(entity(
+        "Steven_Spielberg", "FilmDirector",
+        label="Steven Spielberg",
+        birthPlace="Cincinnati",
+        birthDate=_date(1946, 12, 18),
+        nationality="United_States",
+        links=["Jaws_film", "E_T_the_Extra_Terrestrial"],
+    ))
+    add(entity("Cincinnati", "City", label="Cincinnati",
+               country="United_States", populationTotal=296943))
+    add(entity(
+        "Casablanca_film", "Film",
+        label="Casablanca",
+        director="Michael_Curtiz",
+        starring=("Humphrey_Bogart", "Ingrid_Bergman"),
+        releaseDate=_date(1942, 11, 26),
+        runtime=102,
+        links=["Michael_Curtiz", "Humphrey_Bogart"],
+    ))
+    add(entity("Michael_Curtiz", "FilmDirector", label="Michael Curtiz",
+               birthPlace="Budapest", links=["Casablanca_film"]))
+    add(entity("Humphrey_Bogart", "Actor", label="Humphrey Bogart",
+               birthPlace="New_York_City", deathDate=_date(1957, 1, 14),
+               links=["Casablanca_film"]))
+    add(entity("Ingrid_Bergman", "Actor", label="Ingrid Bergman",
+               birthPlace="Stockholm", deathPlace="London",
+               deathDate=_date(1982, 8, 29), links=["Casablanca_film"]))
+    add(entity("Budapest", "City", label="Budapest", country="Hungary",
+               populationTotal=1733685, links=["Hungary"]))
+    add(entity("Hungary", "Country", label="Hungary", capital="Budapest",
+               largestCity="Budapest", populationTotal=9942000,
+               currency="Hungarian_forint",
+               officialLanguage="Hungarian_language", links=["Budapest"]))
+    add(entity("Hungarian_forint", "Currency", label="Hungarian forint"))
+    add(entity("Hungarian_language", "Language", label="Hungarian"))
+
+    # ------------------------------------------------------------------
+    # Philosophers and scientists (influencedBy / doctoralAdvisor shapes)
+    # ------------------------------------------------------------------
+    add(entity(
+        "Immanuel_Kant", "Philosopher",
+        label="Immanuel Kant",
+        aliases=["Kant"],
+        birthPlace="Konigsberg",
+        birthDate=_date(1724, 4, 22),
+        deathPlace="Konigsberg",
+        deathDate=_date(1804, 2, 12),
+        links=["Konigsberg"],
+    ))
+    add(entity(
+        "Friedrich_Nietzsche", "Philosopher",
+        label="Friedrich Nietzsche",
+        aliases=["Nietzsche"],
+        birthPlace="Rocken",
+        birthDate=_date(1844, 10, 15),
+        deathPlace="Weimar",
+        deathDate=_date(1900, 8, 25),
+        influencedBy="Immanuel_Kant",
+        links=["Immanuel_Kant"],
+    ))
+    add(entity("Konigsberg", "City", label="Konigsberg"))
+    add(entity("Rocken", "Town", label="Rocken", country="Germany"))
+    add(entity("Weimar", "Town", label="Weimar", country="Germany"))
+    add(entity(
+        "Marie_Curie", "Scientist",
+        label="Marie Curie",
+        birthPlace="Warsaw",
+        birthDate=_date(1867, 11, 7),
+        deathDate=_date(1934, 7, 4),
+        award="Nobel_Prize_in_Physics",
+        nationality="Poland",
+        links=["Warsaw", "Nobel_Prize_in_Physics", "Poland"],
+    ))
+    add(entity("Warsaw", "City", label="Warsaw", country="Poland",
+               populationTotal=1711466, links=["Poland"]))
+    add(entity("Poland", "Country", label="Poland", capital="Warsaw",
+               largestCity="Warsaw", populationTotal=38538447,
+               currency="Polish_zloty", officialLanguage="Polish_language",
+               links=["Warsaw"]))
+    add(entity("Polish_zloty", "Currency", label="Polish zloty"))
+    add(entity("Polish_language", "Language", label="Polish"))
+
+    return records
+
+
+def load_curated_kb() -> KnowledgeBase:
+    """Build the curated knowledge base (ontology + all records).
+
+    >>> kb = load_curated_kb()
+    >>> kb.engine.ask("ASK { res:Orhan_Pamuk dbont:birthPlace res:Istanbul }")
+    True
+    """
+    return KnowledgeBase.from_records(build_dbpedia_ontology(), curated_records())

@@ -1,0 +1,116 @@
+"""Deterministic synthetic KB generator for scale benchmarks.
+
+The curated dataset is a few thousand triples; the SPARQL-engine benchmarks
+(P1 in DESIGN.md) need graphs in the 10k-500k triple range.  This generator
+produces DBpedia-shaped data — writers, books, cities, countries, companies
+— with the same ontology, deterministically from a seed so benchmark runs
+are reproducible without ``random`` state leaking between them.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.kb.builder import KnowledgeBase
+from repro.kb.records import EntityRecord, entity
+from repro.kb.schema import build_dbpedia_ontology
+
+_GIVEN = (
+    "Alan", "Beth", "Carl", "Dina", "Egon", "Faye", "Glen", "Hana",
+    "Ivan", "Jade", "Karl", "Lena", "Milo", "Nora", "Omar", "Pia",
+)
+_FAMILY = (
+    "Adler", "Baker", "Chen", "Demir", "Ekman", "Fischer", "Garcia",
+    "Haas", "Ito", "Jansen", "Kaya", "Lang", "Meyer", "Novak", "Oz",
+    "Petit",
+)
+_NOUNS = (
+    "Shadow", "River", "Garden", "Tower", "Harbor", "Winter", "Summer",
+    "Mirror", "Island", "Forest", "Desert", "Mountain", "Ocean", "Valley",
+)
+
+
+def generate_records(
+    num_writers: int = 100,
+    books_per_writer: int = 3,
+    num_cities: int = 50,
+    num_countries: int = 10,
+    num_companies: int = 20,
+    seed: int = 13,
+) -> list[EntityRecord]:
+    """Produce a deterministic synthetic record set.
+
+    The output is fully valid against the mini-DBpedia ontology and safe to
+    mix with the curated records (names are namespaced with ``Syn``).
+    """
+    rng = random.Random(seed)
+    records: list[EntityRecord] = []
+
+    countries = [f"SynCountry_{i}" for i in range(num_countries)]
+    cities = [f"SynCity_{i}" for i in range(num_cities)]
+
+    for i, name in enumerate(countries):
+        records.append(entity(
+            name, "Country",
+            label=f"Synland {i}",
+            populationTotal=rng.randint(1_000_000, 90_000_000),
+            capital=cities[i % num_cities],
+        ))
+    for i, name in enumerate(cities):
+        records.append(entity(
+            name, "City",
+            label=f"Synville {i}",
+            country=countries[i % num_countries],
+            populationTotal=rng.randint(10_000, 9_000_000),
+        ))
+
+    for i in range(num_writers):
+        writer = f"SynWriter_{i}"
+        given = _GIVEN[i % len(_GIVEN)]
+        family = _FAMILY[(i // len(_GIVEN)) % len(_FAMILY)]
+        records.append(entity(
+            writer, "Writer",
+            label=f"{given} {family} {i}",
+            birthPlace=cities[rng.randrange(num_cities)],
+            birthDate=dt.date(1900 + rng.randrange(99), 1 + rng.randrange(12),
+                              1 + rng.randrange(28)),
+            height=round(rng.uniform(1.5, 2.1), 2),
+        ))
+        for j in range(books_per_writer):
+            noun_a = _NOUNS[rng.randrange(len(_NOUNS))]
+            noun_b = _NOUNS[rng.randrange(len(_NOUNS))]
+            records.append(entity(
+                f"SynBook_{i}_{j}", "Novel",
+                label=f"The {noun_a} of the {noun_b} {i}-{j}",
+                author=writer,
+                numberOfPages=rng.randint(90, 1200),
+                publicationDate=dt.date(1950 + rng.randrange(70), 1, 1),
+            ))
+
+    for i in range(num_companies):
+        records.append(entity(
+            f"SynCompany_{i}", "Company",
+            label=f"Syncorp {i}",
+            headquarter=cities[rng.randrange(num_cities)],
+            numberOfEmployees=rng.randint(10, 400_000),
+            foundingDate=dt.date(1850 + rng.randrange(160), 1, 1),
+        ))
+
+    return records
+
+
+def load_synthetic_kb(scale: int = 1, seed: int = 13) -> KnowledgeBase:
+    """Build a synthetic KB; ``scale`` multiplies entity counts linearly.
+
+    scale=1 yields roughly 5k triples; scale=20 roughly 100k.
+    """
+    records = generate_records(
+        num_writers=100 * scale,
+        books_per_writer=3,
+        num_cities=50 * scale,
+        num_countries=max(10, 2 * scale),
+        num_companies=20 * scale,
+        seed=seed,
+    )
+    return KnowledgeBase.from_records(build_dbpedia_ontology(), records)

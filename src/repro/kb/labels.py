@@ -1,0 +1,98 @@
+"""Surface-form index: from text mentions to candidate entities.
+
+DBpedia exposes entity labels (``rdfs:label``) plus redirect/alias surface
+forms.  The entity-spotting step of the disambiguator (section 2.2.5) looks
+mentions up in this index; several entities can share a surface form
+("Michael Jordan" the basketball player vs. the scientist), which is exactly
+what disambiguation resolves.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import IRI
+
+_WHITESPACE = re.compile(r"\s+")
+_PUNCT = re.compile(r"[^\w\s]")
+
+
+def normalize_surface(text: str) -> str:
+    """Canonical form for surface matching: casefold, strip punctuation,
+    collapse whitespace.
+
+    >>> normalize_surface("  Orhan   PAMUK! ")
+    'orhan pamuk'
+    """
+    text = text.replace("_", " ")
+    text = _PUNCT.sub(" ", text)
+    text = _WHITESPACE.sub(" ", text)
+    return text.strip().casefold()
+
+
+class SurfaceFormIndex:
+    """Maps normalised surface forms to candidate entity IRIs."""
+
+    def __init__(self) -> None:
+        self._forms: dict[str, list[IRI]] = defaultdict(list)
+        self._primary_label: dict[IRI, str] = {}
+        self._max_words = 1
+
+    def add(self, entity: IRI, surface: str, primary: bool = False) -> None:
+        """Register a surface form for an entity.
+
+        ``primary`` marks the canonical label (used for display and for the
+        string-similarity component of disambiguation).
+        """
+        normalized = normalize_surface(surface)
+        if not normalized:
+            return
+        candidates = self._forms[normalized]
+        if entity not in candidates:
+            candidates.append(entity)
+        self._max_words = max(self._max_words, normalized.count(" ") + 1)
+        if primary or entity not in self._primary_label:
+            self._primary_label[entity] = surface
+
+    def candidates(self, surface: str) -> list[IRI]:
+        """Entities registered under a surface form (possibly several)."""
+        return list(self._forms.get(normalize_surface(surface), ()))
+
+    def label(self, entity: IRI) -> str | None:
+        """The primary label of an entity, if known."""
+        return self._primary_label.get(entity)
+
+    def __contains__(self, surface: str) -> bool:
+        return normalize_surface(surface) in self._forms
+
+    def __len__(self) -> int:
+        return len(self._forms)
+
+    @property
+    def max_words(self) -> int:
+        """Longest registered surface form, in words (spotting window)."""
+        return self._max_words
+
+    def spot(self, tokens: Iterable[str]) -> Iterator[tuple[int, int, list[IRI]]]:
+        """Find all longest, non-overlapping surface matches in a token list.
+
+        Yields ``(start, end, candidates)`` with ``end`` exclusive.  Greedy
+        longest-match-first scan, the standard gazetteer-spotting strategy.
+        """
+        tokens = list(tokens)
+        index = 0
+        while index < len(tokens):
+            matched = False
+            longest = min(self._max_words, len(tokens) - index)
+            for width in range(longest, 0, -1):
+                window = " ".join(tokens[index:index + width])
+                candidates = self.candidates(window)
+                if candidates:
+                    yield (index, index + width, candidates)
+                    index += width
+                    matched = True
+                    break
+            if not matched:
+                index += 1

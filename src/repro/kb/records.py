@@ -1,0 +1,75 @@
+"""Declarative entity records from which the KB graph is materialised.
+
+A record describes one resource: its ontology classes (most specific
+first), display label, alias surface forms, facts (property local name ->
+value(s)) and extra page links.  Conventions:
+
+* object-property values are resource *local names* (strings) — they are
+  resolved to ``dbr:`` IRIs at build time;
+* data-property values are Python natives (int, float, ``datetime.date``
+  or str), converted with :func:`repro.rdf.make_literal`.
+
+Keeping the dataset in this shape (rather than raw triples) lets the
+builder materialise the full type closure, the label index and the
+page-link graph consistently from one source of truth.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Union
+
+FactValue = Union[str, int, float, dt.date, tuple]
+
+
+@dataclass(frozen=True)
+class EntityRecord:
+    """One resource of the knowledge base."""
+
+    name: str
+    classes: tuple[str, ...]
+    label: str | None = None
+    aliases: tuple[str, ...] = ()
+    facts: dict[str, FactValue] = field(default_factory=dict)
+    links: tuple[str, ...] = ()
+
+    def display_label(self) -> str:
+        if self.label is not None:
+            return self.label
+        return self.name.replace("_", " ")
+
+    def fact_values(self, prop: str) -> tuple[FactValue, ...]:
+        """The values of one property, always as a tuple."""
+        value = self.facts.get(prop)
+        if value is None:
+            return ()
+        if isinstance(value, tuple):
+            return value
+        return (value,)
+
+
+def entity(
+    name: str,
+    *classes: str,
+    label: str | None = None,
+    aliases: tuple[str, ...] | list[str] = (),
+    links: tuple[str, ...] | list[str] = (),
+    **facts: FactValue,
+) -> EntityRecord:
+    """Concise record constructor used by the curated dataset.
+
+    >>> record = entity("Orhan_Pamuk", "Writer", birthPlace="Istanbul")
+    >>> record.fact_values("birthPlace")
+    ('Istanbul',)
+    """
+    if not classes:
+        raise ValueError(f"entity {name!r} needs at least one class")
+    return EntityRecord(
+        name=name,
+        classes=tuple(classes),
+        label=label,
+        aliases=tuple(aliases),
+        facts=facts,
+        links=tuple(links),
+    )

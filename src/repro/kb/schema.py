@@ -1,0 +1,238 @@
+"""The mini-DBpedia ontology: class taxonomy and property catalogue.
+
+Shapes follow the DBpedia 3.8 ontology (the version the paper evaluated
+against): class names like ``dbo:Book``, camelCase property names like
+``dbo:birthPlace``, object vs data property split, and domains/ranges that
+the type checker can exploit.
+"""
+
+from __future__ import annotations
+
+from repro.kb.ontology import (
+    Ontology,
+    OntologyClass,
+    PropertyDef,
+    PropertyKind,
+    ValueType,
+)
+
+_OBJECT = PropertyKind.OBJECT
+_DATA = PropertyKind.DATA
+_ENTITY = ValueType.ENTITY
+_NUMERIC = ValueType.NUMERIC
+_DATE = ValueType.DATE
+_STRING = ValueType.STRING
+
+#: (name, parent) pairs, parent-first order.
+CLASSES: tuple[tuple[str, str | None], ...] = (
+    ("Thing", None),
+    # Agents.
+    ("Agent", "Thing"),
+    ("Person", "Agent"),
+    ("Artist", "Person"),
+    ("Writer", "Artist"),
+    ("MusicalArtist", "Artist"),
+    ("Actor", "Artist"),
+    ("ComicsCreator", "Artist"),
+    ("Athlete", "Person"),
+    ("BasketballPlayer", "Athlete"),
+    ("SoccerPlayer", "Athlete"),
+    ("TennisPlayer", "Athlete"),
+    ("Politician", "Person"),
+    ("President", "Politician"),
+    ("PrimeMinister", "Politician"),
+    ("Governor", "Politician"),
+    ("Mayor", "Politician"),
+    ("Chancellor", "Politician"),
+    ("Model", "Person"),
+    ("Astronaut", "Person"),
+    ("Scientist", "Person"),
+    ("Philosopher", "Person"),
+    ("Journalist", "Person"),
+    ("FilmDirector", "Person"),
+    ("Monarch", "Person"),
+    ("Organisation", "Agent"),
+    ("Company", "Organisation"),
+    ("Airline", "Company"),
+    ("RecordLabel", "Company"),
+    ("University", "Organisation"),
+    ("Band", "Organisation"),
+    ("SoccerClub", "Organisation"),
+    ("PoliticalParty", "Organisation"),
+    ("GovernmentAgency", "Organisation"),
+    # Places.
+    ("Place", "Thing"),
+    ("PopulatedPlace", "Place"),
+    ("Country", "PopulatedPlace"),
+    ("City", "PopulatedPlace"),
+    ("Town", "PopulatedPlace"),
+    ("Region", "PopulatedPlace"),
+    ("State", "PopulatedPlace"),
+    ("Island", "Place"),
+    ("Mountain", "Place"),
+    ("Volcano", "Mountain"),
+    ("River", "Place"),
+    ("Lake", "Place"),
+    ("Sea", "Place"),
+    ("Desert", "Place"),
+    ("Building", "Place"),
+    ("Skyscraper", "Building"),
+    ("Bridge", "Place"),
+    ("Airport", "Place"),
+    ("Monument", "Place"),
+    # Works.
+    ("Work", "Thing"),
+    ("WrittenWork", "Work"),
+    ("Book", "WrittenWork"),
+    ("Novel", "Book"),
+    ("Comic", "WrittenWork"),
+    ("Film", "Work"),
+    ("TelevisionShow", "Work"),
+    ("MusicalWork", "Work"),
+    ("Album", "MusicalWork"),
+    ("Song", "MusicalWork"),
+    ("Software", "Work"),
+    ("VideoGame", "Software"),
+    ("Website", "Work"),
+    # Other things.
+    ("Species", "Thing"),
+    ("Animal", "Species"),
+    ("Bird", "Animal"),
+    ("Currency", "Thing"),
+    ("Language", "Thing"),
+    ("EthnicGroup", "Thing"),
+    ("Award", "Thing"),
+    ("SpaceMission", "Thing"),
+    ("Automobile", "Thing"),
+    ("Ship", "Thing"),
+    ("MilitaryConflict", "Thing"),
+)
+
+#: (name, kind, value_type, domain, range) tuples.
+PROPERTIES: tuple[tuple[str, PropertyKind, ValueType, str | None, str | None], ...] = (
+    # People.
+    ("birthPlace", _OBJECT, _ENTITY, "Person", "Place"),
+    ("deathPlace", _OBJECT, _ENTITY, "Person", "Place"),
+    ("residence", _OBJECT, _ENTITY, "Person", "Place"),
+    ("nationality", _OBJECT, _ENTITY, "Person", "Country"),
+    ("spouse", _OBJECT, _ENTITY, "Person", "Person"),
+    ("child", _OBJECT, _ENTITY, "Person", "Person"),
+    ("parent", _OBJECT, _ENTITY, "Person", "Person"),
+    ("relative", _OBJECT, _ENTITY, "Person", "Person"),
+    ("almaMater", _OBJECT, _ENTITY, "Person", "University"),
+    ("occupation", _OBJECT, _ENTITY, "Person", "Thing"),
+    ("employer", _OBJECT, _ENTITY, "Person", "Organisation"),
+    ("influencedBy", _OBJECT, _ENTITY, "Person", "Person"),
+    ("award", _OBJECT, _ENTITY, "Person", "Award"),
+    ("team", _OBJECT, _ENTITY, "Athlete", "Organisation"),
+    ("party", _OBJECT, _ENTITY, "Politician", "PoliticalParty"),
+    ("successor", _OBJECT, _ENTITY, "Person", "Person"),
+    ("predecessor", _OBJECT, _ENTITY, "Person", "Person"),
+    # Works and creators.
+    ("author", _OBJECT, _ENTITY, "WrittenWork", "Person"),
+    ("writer", _OBJECT, _ENTITY, "Work", "Person"),
+    ("director", _OBJECT, _ENTITY, "Film", "Person"),
+    ("starring", _OBJECT, _ENTITY, "Film", "Actor"),
+    ("producer", _OBJECT, _ENTITY, "Work", "Person"),
+    ("musicComposer", _OBJECT, _ENTITY, "Work", "Person"),
+    ("creator", _OBJECT, _ENTITY, "Work", "Person"),
+    ("illustrator", _OBJECT, _ENTITY, "WrittenWork", "Person"),
+    ("publisher", _OBJECT, _ENTITY, "Work", "Company"),
+    ("developer", _OBJECT, _ENTITY, "Software", "Company"),
+    ("artist", _OBJECT, _ENTITY, "MusicalWork", "MusicalArtist"),
+    ("album", _OBJECT, _ENTITY, "Song", "Album"),
+    ("recordLabel", _OBJECT, _ENTITY, "MusicalWork", "RecordLabel"),
+    ("basedOn", _OBJECT, _ENTITY, "Film", "WrittenWork"),
+    ("subsequentWork", _OBJECT, _ENTITY, "Work", "Work"),
+    ("previousWork", _OBJECT, _ENTITY, "Work", "Work"),
+    ("language", _OBJECT, _ENTITY, "Work", "Language"),
+    # Places.
+    ("country", _OBJECT, _ENTITY, "Thing", "Country"),
+    ("capital", _OBJECT, _ENTITY, "Country", "City"),
+    ("largestCity", _OBJECT, _ENTITY, "PopulatedPlace", "City"),
+    ("location", _OBJECT, _ENTITY, "Thing", "Place"),
+    ("locatedInArea", _OBJECT, _ENTITY, "Place", "Place"),
+    ("isPartOf", _OBJECT, _ENTITY, "Place", "Place"),
+    ("leaderName", _OBJECT, _ENTITY, "PopulatedPlace", "Person"),
+    ("mayor", _OBJECT, _ENTITY, "City", "Person"),
+    ("governor", _OBJECT, _ENTITY, "State", "Person"),
+    ("currency", _OBJECT, _ENTITY, "Country", "Currency"),
+    ("officialLanguage", _OBJECT, _ENTITY, "Country", "Language"),
+    ("timeZone", _OBJECT, _ENTITY, "Place", "Thing"),
+    ("mouth", _OBJECT, _ENTITY, "River", "Place"),
+    ("sourceCountry", _OBJECT, _ENTITY, "River", "Country"),
+    ("sourceMountain", _OBJECT, _ENTITY, "River", "Mountain"),
+    ("crosses", _OBJECT, _ENTITY, "Bridge", "River"),
+    ("highestPlace", _OBJECT, _ENTITY, "Place", "Mountain"),
+    # Organisations.
+    ("foundedBy", _OBJECT, _ENTITY, "Organisation", "Person"),
+    ("keyPerson", _OBJECT, _ENTITY, "Company", "Person"),
+    ("headquarter", _OBJECT, _ENTITY, "Organisation", "PopulatedPlace"),
+    ("owner", _OBJECT, _ENTITY, "Thing", "Agent"),
+    ("parentCompany", _OBJECT, _ENTITY, "Company", "Company"),
+    ("hubAirport", _OBJECT, _ENTITY, "Airline", "Airport"),
+    ("bandMember", _OBJECT, _ENTITY, "Band", "Person"),
+    ("formerBandMember", _OBJECT, _ENTITY, "Band", "Person"),
+    ("genre", _OBJECT, _ENTITY, "Thing", "Thing"),
+    # Misc.
+    ("manufacturer", _OBJECT, _ENTITY, "Automobile", "Company"),
+    ("designer", _OBJECT, _ENTITY, "Thing", "Person"),
+    ("operator", _OBJECT, _ENTITY, "Thing", "Organisation"),
+    ("launchSite", _OBJECT, _ENTITY, "SpaceMission", "Place"),
+    ("crewMember", _OBJECT, _ENTITY, "SpaceMission", "Astronaut"),
+    ("architect", _OBJECT, _ENTITY, "Place", "Person"),
+    ("doctoralAdvisor", _OBJECT, _ENTITY, "Scientist", "Scientist"),
+    ("classis", _OBJECT, _ENTITY, "Species", "Species"),
+    # Data properties: numbers.
+    ("height", _DATA, _NUMERIC, "Thing", None),
+    ("weight", _DATA, _NUMERIC, "Person", None),
+    ("populationTotal", _DATA, _NUMERIC, "PopulatedPlace", None),
+    ("areaTotal", _DATA, _NUMERIC, "Place", None),
+    ("elevation", _DATA, _NUMERIC, "Place", None),
+    ("length", _DATA, _NUMERIC, "Thing", None),
+    ("depth", _DATA, _NUMERIC, "Lake", None),
+    ("numberOfEmployees", _DATA, _NUMERIC, "Organisation", None),
+    ("numberOfStudents", _DATA, _NUMERIC, "University", None),
+    ("numberOfPages", _DATA, _NUMERIC, "Book", None),
+    ("numberOfEpisodes", _DATA, _NUMERIC, "TelevisionShow", None),
+    ("floorCount", _DATA, _NUMERIC, "Building", None),
+    ("runtime", _DATA, _NUMERIC, "Film", None),
+    ("budget", _DATA, _NUMERIC, "Film", None),
+    ("gross", _DATA, _NUMERIC, "Film", None),
+    ("revenue", _DATA, _NUMERIC, "Company", None),
+    ("speed", _DATA, _NUMERIC, "Thing", None),
+    ("wingspan", _DATA, _NUMERIC, "Bird", None),
+    # Data properties: dates.
+    ("birthDate", _DATA, _DATE, "Person", None),
+    ("deathDate", _DATA, _DATE, "Person", None),
+    ("foundingDate", _DATA, _DATE, "Organisation", None),
+    ("releaseDate", _DATA, _DATE, "Work", None),
+    ("publicationDate", _DATA, _DATE, "WrittenWork", None),
+    ("launchDate", _DATA, _DATE, "SpaceMission", None),
+    ("openingDate", _DATA, _DATE, "Building", None),
+    ("completionDate", _DATA, _DATE, "Thing", None),
+    # Data properties: strings.
+    ("abbreviation", _DATA, _STRING, "Organisation", None),
+    ("motto", _DATA, _STRING, "Organisation", None),
+    ("isbn", _DATA, _STRING, "Book", None),
+    ("postalCode", _DATA, _STRING, "PopulatedPlace", None),
+)
+
+
+def build_dbpedia_ontology() -> Ontology:
+    """Construct the mini-DBpedia ontology.
+
+    >>> ontology = build_dbpedia_ontology()
+    >>> ontology.is_subclass_of("Writer", "Person")
+    True
+    >>> ontology.get_property("birthPlace").kind.value
+    'object'
+    """
+    ontology = Ontology()
+    for name, parent in CLASSES:
+        ontology.add_class(OntologyClass(name, parent))
+    for name, kind, value_type, domain, range_ in PROPERTIES:
+        ontology.add_property(
+            PropertyDef(name, kind, value_type, domain=domain, range=range_)
+        )
+    return ontology

@@ -1,0 +1,177 @@
+"""Knowledge-base consistency checking.
+
+A production triple store ships an integrity checker; this one validates a
+:class:`KnowledgeBase` against its ontology the way DBpedia's extraction
+framework validates mappings:
+
+* **domain violations** — a property asserted on a subject whose types do
+  not include the property's declared domain;
+* **range violations** — an object-property value outside the declared
+  range class, or a data-property value of the wrong literal family;
+* **labelling gaps** — resources without an ``rdfs:label``;
+* **orphans** — entities with no facts besides type/label;
+* **dangling page links** — links to pages with no triples at all.
+
+The curated dataset test suite runs the checker as a regression gate, and
+``examples/build_your_own_kb.py``-style user data gets the same guarantees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kb.builder import KnowledgeBase
+from repro.kb.ontology import PropertyKind, ValueType
+from repro.kb.pagelinks import WIKI_PAGE_LINK
+from repro.rdf.datatypes import (
+    is_date_literal,
+    is_numeric_literal,
+)
+from repro.rdf.namespaces import DBO, RDF, RDFS
+from repro.rdf.terms import IRI, Literal, Triple
+
+
+class IssueKind(enum.Enum):
+    DOMAIN_VIOLATION = "domain-violation"
+    RANGE_VIOLATION = "range-violation"
+    MISSING_LABEL = "missing-label"
+    ORPHAN_ENTITY = "orphan-entity"
+    DANGLING_LINK = "dangling-link"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One consistency finding."""
+
+    kind: IssueKind
+    subject: IRI
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.subject.local_name}: {self.detail}"
+
+
+_STRUCTURAL = {RDF.type, RDFS.label, WIKI_PAGE_LINK}
+
+
+def validate_kb(kb: KnowledgeBase) -> list[Issue]:
+    """Run every check; returns all findings (empty = consistent)."""
+    issues: list[Issue] = []
+    issues.extend(_check_property_usage(kb))
+    issues.extend(_check_labels(kb))
+    issues.extend(_check_orphans(kb))
+    issues.extend(_check_dangling_links(kb))
+    return issues
+
+
+def _check_property_usage(kb: KnowledgeBase) -> list[Issue]:
+    issues: list[Issue] = []
+    for prop in kb.ontology.properties():
+        for triple in kb.graph.match(None, prop.iri, None):
+            subject = triple.subject
+            if not isinstance(subject, IRI):
+                continue
+            if prop.domain is not None and not kb.is_instance_of(subject, prop.domain):
+                issues.append(Issue(
+                    IssueKind.DOMAIN_VIOLATION, subject,
+                    f"{prop.name} requires domain {prop.domain}, "
+                    f"types are {sorted(kb.entity_types(subject))}",
+                ))
+            issues.extend(_check_range(kb, prop, triple))
+    return issues
+
+
+def _check_range(kb: KnowledgeBase, prop, triple: Triple) -> list[Issue]:
+    obj = triple.object
+    subject = triple.subject
+    if prop.kind is PropertyKind.OBJECT:
+        if not isinstance(obj, IRI):
+            return [Issue(
+                IssueKind.RANGE_VIOLATION, subject,
+                f"{prop.name} is an object property but has literal value "
+                f"{obj}",
+            )]
+        if prop.range is not None and not kb.is_instance_of(obj, prop.range):
+            return [Issue(
+                IssueKind.RANGE_VIOLATION, subject,
+                f"{prop.name} requires range {prop.range}, "
+                f"{obj.local_name} has {sorted(kb.entity_types(obj))}",
+            )]
+        return []
+    # Data property: literal family must match the declared value type.
+    if not isinstance(obj, Literal):
+        return [Issue(
+            IssueKind.RANGE_VIOLATION, subject,
+            f"{prop.name} is a data property but has resource value",
+        )]
+    if prop.value_type is ValueType.NUMERIC and not is_numeric_literal(obj):
+        return [Issue(
+            IssueKind.RANGE_VIOLATION, subject,
+            f"{prop.name} expects a numeric literal, got {obj.n3()}",
+        )]
+    if prop.value_type is ValueType.DATE and not is_date_literal(obj):
+        return [Issue(
+            IssueKind.RANGE_VIOLATION, subject,
+            f"{prop.name} expects a date literal, got {obj.n3()}",
+        )]
+    return []
+
+
+def _check_labels(kb: KnowledgeBase) -> list[Issue]:
+    issues = []
+    for entity in kb.entities():
+        if kb.graph.value(entity, RDFS.label) is None:
+            issues.append(Issue(
+                IssueKind.MISSING_LABEL, entity, "no rdfs:label",
+            ))
+    return issues
+
+
+def _check_orphans(kb: KnowledgeBase) -> list[Issue]:
+    issues = []
+    for entity in kb.entities():
+        has_facts = any(
+            predicate not in _STRUCTURAL
+            for __, predicate, __o in kb.graph.match(entity, None, None)
+        ) or any(
+            predicate not in _STRUCTURAL
+            for __s, predicate, __o in kb.graph.match(None, None, entity)
+        )
+        if not has_facts:
+            issues.append(Issue(
+                IssueKind.ORPHAN_ENTITY, entity,
+                "no facts beyond type/label/links",
+            ))
+    return issues
+
+
+def _check_dangling_links(kb: KnowledgeBase) -> list[Issue]:
+    issues = []
+    known = set(kb.entities())
+    for page in kb.page_links.pages():
+        if page not in known:
+            for source in kb.page_links.in_links(page):
+                issues.append(Issue(
+                    IssueKind.DANGLING_LINK, source,
+                    f"links to unknown page {page.local_name}",
+                ))
+    return issues
+
+
+def format_issues(issues: list[Issue], limit: int = 50) -> str:
+    """Human-readable report, grouped by kind."""
+    if not issues:
+        return "knowledge base is consistent: no issues found"
+    lines = [f"{len(issues)} issue(s) found"]
+    by_kind: dict[IssueKind, int] = {}
+    for issue in issues:
+        by_kind[issue.kind] = by_kind.get(issue.kind, 0) + 1
+    for kind, count in sorted(by_kind.items(), key=lambda kv: kv[0].value):
+        lines.append(f"  {kind.value}: {count}")
+    lines.append("")
+    for issue in issues[:limit]:
+        lines.append(f"  {issue}")
+    if len(issues) > limit:
+        lines.append(f"  ... and {len(issues) - limit} more")
+    return "\n".join(lines)

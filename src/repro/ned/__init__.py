@@ -1,0 +1,26 @@
+"""Named-entity disambiguation (substitute for the paper's reference [15]).
+
+Hakimov, Oto & Dogdu 2012 disambiguate spotted entities with a graph-based
+centrality score over the Wikipedia page-link graph, combined with string
+similarity between the mention and the candidate's label — exactly what
+section 2.2.5 of the QA paper plugs in.  This package implements that
+method over the knowledge base's page-link graph:
+
+* :mod:`repro.ned.centrality` — candidate-graph centrality scoring
+* :mod:`repro.ned.disambiguator` — centrality + string-similarity fusion
+"""
+
+from repro.ned.centrality import (
+    candidate_centrality,
+    degree_prior,
+    pagerank_centrality,
+)
+from repro.ned.disambiguator import Disambiguator, DisambiguationResult
+
+__all__ = [
+    "candidate_centrality",
+    "degree_prior",
+    "pagerank_centrality",
+    "Disambiguator",
+    "DisambiguationResult",
+]

@@ -1,0 +1,121 @@
+"""Centrality scoring over the page-link candidate graph.
+
+The method of the paper's reference [15]: build the subgraph induced by all
+candidate entities of all spotted mentions, and score each candidate by how
+strongly it is connected to the candidates of the *other* mentions — the
+correct readings of co-occurring mentions reinforce each other through
+page links (the basketball player Michael Jordan links to Chicago Bulls,
+the machine-learning researcher does not).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.kb.pagelinks import PageLinkGraph
+from repro.rdf.terms import IRI
+
+
+def candidate_centrality(
+    page_links: PageLinkGraph,
+    candidate_sets: Sequence[list[IRI]],
+) -> dict[IRI, float]:
+    """Score every candidate by its connectivity to other mentions' candidates.
+
+    For candidate ``c`` of mention ``i``:
+
+    * +1.0 for each direct page link to a candidate of another mention;
+    * +0.5 scaled Jaccard overlap of link neighbourhoods (shared-context
+      signal even without a direct link).
+
+    Returns a score for every candidate in every set.
+    """
+    scores: dict[IRI, float] = {}
+    for i, candidates in enumerate(candidate_sets):
+        others = [
+            other
+            for j, other_set in enumerate(candidate_sets)
+            if j != i
+            for other in other_set
+        ]
+        for candidate in candidates:
+            score = 0.0
+            neighbourhood = page_links.neighbours(candidate)
+            for other in others:
+                if page_links.connected(candidate, other):
+                    score += 1.0
+                other_neighbourhood = page_links.neighbours(other)
+                union = neighbourhood | other_neighbourhood
+                if union:
+                    overlap = len(neighbourhood & other_neighbourhood) / len(union)
+                    score += 0.5 * overlap
+            scores[candidate] = max(scores.get(candidate, 0.0), score)
+    return scores
+
+
+def degree_prior(page_links: PageLinkGraph, candidate: IRI) -> float:
+    """Log-scaled global degree — the 'prominence' prior used when a
+    question mentions a single entity and no co-occurrence signal exists
+    (the page-link analogue of Wikipedia article popularity)."""
+    return math.log1p(page_links.degree(candidate))
+
+
+def pagerank_centrality(
+    page_links: PageLinkGraph,
+    candidate_sets: Sequence[list[IRI]],
+    damping: float = 0.85,
+    iterations: int = 30,
+) -> dict[IRI, float]:
+    """Personalised PageRank over the candidate neighbourhood subgraph.
+
+    The alternative centrality of the reference-[15] family: build the
+    subgraph induced by all candidates plus their direct neighbours and
+    run power iteration with the teleport vector concentrated on the
+    mention candidates (personalised PageRank).  Rank then measures how
+    reachable a candidate is *from the other mentions' candidates* —
+    context agreement, not global prominence — while still rewarding
+    indirect connectivity through hub pages, which the direct-link scorer
+    cannot see.
+
+    Pure power iteration (no dependencies); deterministic.
+    """
+    candidates = {c for candidate_set in candidate_sets for c in candidate_set}
+    if not candidates:
+        return {}
+    # Induced subgraph: candidates + one-hop neighbourhood.
+    nodes: set[IRI] = set(candidates)
+    for candidate in candidates:
+        nodes |= page_links.neighbours(candidate)
+    node_list = sorted(nodes, key=lambda n: n.value)
+    index = {node: i for i, node in enumerate(node_list)}
+    out_edges: list[list[int]] = [[] for __ in node_list]
+    for node in node_list:
+        for neighbour in page_links.neighbours(node):
+            if neighbour in index:
+                out_edges[index[node]].append(index[neighbour])
+
+    count = len(node_list)
+    # Teleport mass concentrated on the candidates (personalisation).
+    teleport = [0.0] * count
+    for candidate in candidates:
+        teleport[index[candidate]] = 1.0 / len(candidates)
+
+    rank = list(teleport)
+    for __ in range(iterations):
+        incoming = [0.0] * count
+        dangling = 0.0
+        for source, targets in enumerate(out_edges):
+            if not targets:
+                dangling += rank[source]
+                continue
+            share = rank[source] / len(targets)
+            for target in targets:
+                incoming[target] += share
+        rank = [
+            (1.0 - damping) * teleport[i]
+            + damping * (incoming[i] + dangling * teleport[i])
+            for i in range(count)
+        ]
+
+    return {candidate: rank[index[candidate]] for candidate in candidates}

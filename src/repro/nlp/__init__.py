@@ -1,0 +1,40 @@
+"""Question-oriented NLP pipeline (Stanford CoreNLP substitute).
+
+The paper's triple-pattern extraction consumes POS tags and typed
+dependencies produced by Stanford CoreNLP for *questions* — a narrow
+grammatical register.  This package reimplements exactly that surface:
+
+* :mod:`repro.nlp.tokenizer` — tokenisation
+* :mod:`repro.nlp.postagger` — lexicon + suffix + contextual POS tagging
+  (Penn Treebank tags)
+* :mod:`repro.nlp.morphology` — rule-based English lemmatiser
+* :mod:`repro.nlp.depparser` — rule-based typed-dependency parser emitting
+  Stanford dependency labels (nsubj, nsubjpass, dobj, pobj, prep, det, cop,
+  auxpass, amod, nn, advmod, attr, ...)
+* :mod:`repro.nlp.pipeline` — the annotator chain, including gazetteer-based
+  multi-word entity chunking (the CoreNLP NER/MWE counterpart)
+
+The parser deliberately covers "basic and intermediate grammar structures"
+(section 2.1 of the paper) and produces a degenerate flat parse otherwise;
+the resulting coverage limits are part of what Table 2 measures.
+"""
+
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.morphology import lemmatize
+from repro.nlp.postagger import PosTagger, tag
+from repro.nlp.dependencies import Dependency, DependencyGraph, Token
+from repro.nlp.depparser import DependencyParser
+from repro.nlp.pipeline import Pipeline, Sentence
+
+__all__ = [
+    "tokenize",
+    "lemmatize",
+    "tag",
+    "PosTagger",
+    "Token",
+    "Dependency",
+    "DependencyGraph",
+    "DependencyParser",
+    "Pipeline",
+    "Sentence",
+]

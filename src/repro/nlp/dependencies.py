@@ -1,0 +1,179 @@
+"""Typed dependency graph structures (Stanford dependency style).
+
+A :class:`DependencyGraph` holds the tokens of one sentence plus labelled
+head->dependent arcs, with one designated root token, exactly the shape the
+paper's Figure 1 shows for "Which book is written by Orhan Pamuk".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One token with its annotations.
+
+    ``index`` is the 0-based sentence position.  For gazetteer-merged
+    multi-word entities, ``text`` holds the full surface ("Orhan Pamuk") and
+    ``entity`` flags the merge.
+    """
+
+    index: int
+    text: str
+    lemma: str
+    pos: str
+    entity: bool = False
+
+    def is_verb(self) -> bool:
+        return self.pos.startswith("VB")
+
+    def is_noun(self) -> bool:
+        return self.pos.startswith("NN")
+
+    def is_proper_noun(self) -> bool:
+        return self.pos.startswith("NNP")
+
+    def is_wh_word(self) -> bool:
+        return self.pos in ("WDT", "WP", "WRB")
+
+    def is_adjective(self) -> bool:
+        return self.pos.startswith("JJ")
+
+
+@dataclass(frozen=True, slots=True)
+class Dependency:
+    """One labelled arc: ``relation(head, dependent)``."""
+
+    relation: str
+    head: int  # token index
+    dependent: int  # token index
+
+
+class DependencyGraph:
+    """Tokens + typed arcs + root.
+
+    >>> tokens = [Token(0, "it", "it", "PRP"), Token(1, "works", "work", "VBZ")]
+    >>> g = DependencyGraph(tokens, root=1)
+    >>> g.add("nsubj", head=1, dependent=0)
+    >>> [t.text for t in g.children(g.token(1), "nsubj")]
+    ['it']
+    """
+
+    def __init__(self, tokens: list[Token], root: int | None = None) -> None:
+        self._tokens = list(tokens)
+        self._arcs: list[Dependency] = []
+        self._root = root
+        #: Name of the grammar template that produced this parse
+        #: ("fallback" when none matched) — set by the parser; used by the
+        #: coverage diagnostics.
+        self.template: str | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, relation: str, head: int, dependent: int) -> None:
+        for position in (head, dependent):
+            if not 0 <= position < len(self._tokens):
+                raise IndexError(f"token index {position} out of range")
+        if head == dependent:
+            raise ValueError("a token cannot govern itself")
+        self._arcs.append(Dependency(relation, head, dependent))
+
+    def set_root(self, index: int) -> None:
+        if not 0 <= index < len(self._tokens):
+            raise IndexError(f"token index {index} out of range")
+        self._root = index
+
+    def mark(self) -> tuple[int, int | None]:
+        """Checkpoint for speculative construction (template matching)."""
+        return (len(self._arcs), self._root)
+
+    def rollback(self, mark: tuple[int, int | None]) -> None:
+        """Undo all arcs and root changes made since ``mark``."""
+        arc_count, root = mark
+        del self._arcs[arc_count:]
+        self._root = root
+
+    # -- access ------------------------------------------------------
+
+    @property
+    def tokens(self) -> list[Token]:
+        return list(self._tokens)
+
+    @property
+    def arcs(self) -> list[Dependency]:
+        return list(self._arcs)
+
+    def token(self, index: int) -> Token:
+        return self._tokens[index]
+
+    @property
+    def root(self) -> Token | None:
+        if self._root is None:
+            return None
+        return self._tokens[self._root]
+
+    def children(self, head: Token, relation: str | None = None) -> list[Token]:
+        """Dependents of ``head``, optionally restricted to one relation."""
+        return [
+            self._tokens[arc.dependent]
+            for arc in self._arcs
+            if arc.head == head.index
+            and (relation is None or arc.relation == relation)
+        ]
+
+    def child(self, head: Token, relation: str) -> Token | None:
+        """The first dependent under ``relation``, or None."""
+        matches = self.children(head, relation)
+        return matches[0] if matches else None
+
+    def parent(self, dependent: Token) -> tuple[str, Token] | None:
+        """The (relation, head) governing a token, or None for the root."""
+        for arc in self._arcs:
+            if arc.dependent == dependent.index:
+                return (arc.relation, self._tokens[arc.head])
+        return None
+
+    def relation_between(self, head: Token, dependent: Token) -> str | None:
+        for arc in self._arcs:
+            if arc.head == head.index and arc.dependent == dependent.index:
+                return arc.relation
+        return None
+
+    def find(self, **criteria) -> list[Token]:
+        """Tokens matching attribute equalities, e.g. ``find(pos="WDT")``."""
+        out = []
+        for token in self._tokens:
+            if all(getattr(token, key) == value for key, value in criteria.items()):
+                out.append(token)
+        return out
+
+    def phrase(self, head: Token) -> str:
+        """The yield of ``head`` with its noun-compound/det/amod children,
+        in sentence order — used to reconstruct multi-word names."""
+        parts = {head.index: head.text}
+        for arc in self._arcs:
+            if arc.head == head.index and arc.relation in ("nn", "amod"):
+                parts[arc.dependent] = self._tokens[arc.dependent].text
+        return " ".join(text for __, text in sorted(parts.items()))
+
+    def to_figure(self) -> str:
+        """Render the arcs in the paper's Figure 1 style."""
+        lines = []
+        if self.root is not None:
+            lines.append(f"root(ROOT-0, {self.root.text}-{self.root.index + 1})")
+        for arc in sorted(self._arcs, key=lambda a: (a.head, a.dependent)):
+            head = self._tokens[arc.head]
+            dependent = self._tokens[arc.dependent]
+            lines.append(
+                f"{arc.relation}({head.text}-{head.index + 1}, "
+                f"{dependent.text}-{dependent.index + 1})"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens)

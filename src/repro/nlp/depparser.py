@@ -1,0 +1,505 @@
+"""Rule-based typed-dependency parser for English questions.
+
+The parser chunks the tagged sentence into items (noun phrases, verbs,
+auxiliaries, prepositions, wh-words) and matches the item sequence against
+an ordered cascade of question templates, each of which emits the full
+Stanford-style dependency analysis.  The cascade covers the "basic and
+intermediate grammar structures" of section 2.1:
+
+* passive wh-questions         "Which book is written by Orhan Pamuk?"
+* active wh-questions          "Who wrote The Pillars of the Earth?"
+* copular definition/role      "Who is the mayor of Berlin?"
+* measurement questions        "How tall is Michael Jordan?"
+* counting questions           "How many pages does War and Peace have?"
+* where/when with do-support   "Where did Abraham Lincoln die?"
+* where/when passives          "Where was Michael Jackson born?"
+* fronted-object questions     "Which river does the Brooklyn Bridge cross?"
+* boolean copulars             "Is Frank Herbert still alive?"
+* fronted-preposition copulars "In which country is the Limerick Lake?"
+
+Anything else — superlatives, relative clauses, conjunctions, imperative
+"Give me all ..." requests — receives a flat fallback parse from which no
+triple pattern can be extracted.  That deliberate incompleteness mirrors
+the coverage limits the paper reports (recall in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.nlp.dependencies import DependencyGraph, Token
+
+_NP_TAGS = {"DT", "JJ", "JJS", "CD", "NN", "NNS", "NNP", "NNPS", "PRP$"}
+_NOUN_TAGS = {"NN", "NNS", "NNP", "NNPS"}
+
+
+@dataclass
+class _Item:
+    """One chunk of the item sequence."""
+
+    kind: str  # NP, V, BE, DO, HAVE_AUX, P, WP, WRB, ADV, ADJ, HOWADJ, OTHER
+    tokens: list[Token] = field(default_factory=list)
+    head: Token | None = None
+    wh: Token | None = None        # wh-determiner inside an NP ("which book")
+    how: Token | None = None       # 'how' of a how-many NP
+    many: Token | None = None      # 'many' of a how-many NP
+    adjective: Token | None = None  # the JJ of a HOWADJ item
+
+    @property
+    def first(self) -> Token:
+        return self.tokens[0]
+
+
+class DependencyParser:
+    """Parses tagged/lemmatised token lists into dependency graphs."""
+
+    def parse(self, tokens: list[Token]) -> DependencyGraph:
+        graph = DependencyGraph(tokens)
+        content = [t for t in tokens if t.pos not in (".", ",", ":")]
+        items = self._chunk(content)
+        matched = self._match_templates(graph, items)
+        if not matched:
+            self._fallback(graph, content)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Chunking
+    # ------------------------------------------------------------------
+
+    def _chunk(self, tokens: list[Token]) -> list[_Item]:
+        items: list[_Item] = []
+        i = 0
+        while i < len(tokens):
+            token = tokens[i]
+            lower = token.text.lower()
+
+            # "how many pages" / "how much" -> one counting-NP item.
+            if (
+                token.pos == "WRB"
+                and lower == "how"
+                and i + 1 < len(tokens)
+                and tokens[i + 1].text.lower() in ("many", "much")
+            ):
+                j = i + 2
+                nouns: list[Token] = []
+                while j < len(tokens) and tokens[j].pos in _NOUN_TAGS:
+                    nouns.append(tokens[j])
+                    j += 1
+                if nouns:
+                    item = _Item(
+                        "NP",
+                        tokens=[token, tokens[i + 1], *nouns],
+                        head=nouns[-1],
+                        how=token,
+                        many=tokens[i + 1],
+                    )
+                    items.append(item)
+                    i = j
+                    continue
+
+            # "how tall" -> HOWADJ.
+            if (
+                token.pos == "WRB"
+                and lower == "how"
+                and i + 1 < len(tokens)
+                and tokens[i + 1].pos.startswith("JJ")
+            ):
+                items.append(_Item(
+                    "HOWADJ", tokens=[token, tokens[i + 1]],
+                    how=token, adjective=tokens[i + 1],
+                ))
+                i += 2
+                continue
+
+            # "which book" / "what city" -> NP with wh-determiner.
+            if token.pos == "WDT" and i + 1 < len(tokens) and (
+                tokens[i + 1].pos in _NP_TAGS
+            ):
+                j = i + 1
+                np_tokens = [token]
+                while j < len(tokens) and tokens[j].pos in _NP_TAGS:
+                    np_tokens.append(tokens[j])
+                    j += 1
+                head = self._np_head(np_tokens)
+                if head is not None:
+                    items.append(_Item("NP", tokens=np_tokens, head=head, wh=token))
+                    i = j
+                    continue
+                # 'which' with no nominal material: treat as WP below.
+
+            # Plain NP chunk.  A determiner after nominal material starts a
+            # fresh NP ("Berlin | the capital"), as does any token following
+            # a merged entity — entity mentions are complete nominals.
+            if token.pos in _NP_TAGS:
+                j = i
+                np_tokens = []
+                while j < len(tokens) and tokens[j].pos in _NP_TAGS:
+                    if np_tokens and tokens[j].pos == "DT":
+                        break
+                    if np_tokens and np_tokens[-1].entity:
+                        break
+                    if np_tokens and tokens[j].entity and np_tokens[-1].pos in _NOUN_TAGS:
+                        break
+                    np_tokens.append(tokens[j])
+                    j += 1
+                head = self._np_head(np_tokens)
+                if head is not None:
+                    items.append(_Item("NP", tokens=np_tokens, head=head))
+                    i = j
+                    continue
+                # Adjective-only run (e.g. predicative "alive").
+                items.append(_Item("ADJ", tokens=np_tokens, head=np_tokens[-1]))
+                i = j
+                continue
+
+            if token.pos.startswith("VB"):
+                if token.lemma == "be":
+                    items.append(_Item("BE", tokens=[token], head=token))
+                elif token.lemma == "do":
+                    items.append(_Item("DO", tokens=[token], head=token))
+                else:
+                    items.append(_Item("V", tokens=[token], head=token))
+            elif token.pos in ("IN", "TO"):
+                items.append(_Item("P", tokens=[token], head=token))
+            elif token.pos in ("WP", "WDT"):
+                items.append(_Item("WP", tokens=[token], head=token))
+            elif token.pos == "WRB":
+                items.append(_Item("WRB", tokens=[token], head=token))
+            elif token.pos == "RB":
+                items.append(_Item("ADV", tokens=[token], head=token))
+            else:
+                items.append(_Item("OTHER", tokens=[token], head=token))
+            i += 1
+        return items
+
+    @staticmethod
+    def _np_head(np_tokens: list[Token]) -> Token | None:
+        nouns = [t for t in np_tokens if t.pos in _NOUN_TAGS]
+        return nouns[-1] if nouns else None
+
+    # ------------------------------------------------------------------
+    # NP-internal dependencies
+    # ------------------------------------------------------------------
+
+    def _emit_np(self, graph: DependencyGraph, np: _Item) -> Token:
+        head = np.head
+        assert head is not None
+        for token in np.tokens:
+            if token is head:
+                continue
+            if token is np.wh or token.pos == "DT" or token.pos == "PRP$":
+                graph.add("det", head.index, token.index)
+            elif token is np.many:
+                graph.add("amod", head.index, token.index)
+            elif token is np.how:
+                assert np.many is not None
+                graph.add("advmod", np.many.index, token.index)
+            elif token.pos.startswith("JJ"):
+                graph.add("amod", head.index, token.index)
+            elif token.pos == "CD":
+                graph.add("num", head.index, token.index)
+            elif token.pos in _NOUN_TAGS:
+                graph.add("nn", head.index, token.index)
+        return head
+
+    # ------------------------------------------------------------------
+    # Template cascade
+    # ------------------------------------------------------------------
+
+    def _match_templates(self, graph: DependencyGraph, items: list[_Item]) -> bool:
+        kinds = [item.kind for item in items]
+        templates = (
+            self._t_passive_wh,
+            self._t_who_passive,
+            self._t_wh_copula_np,
+            self._t_howadj,
+            self._t_howmany_do_have,
+            self._t_wrb_do_verb,
+            self._t_wrb_be_passive,
+            self._t_fronted_object,
+            self._t_wh_active,
+            self._t_who_active,
+            self._t_boolean_copula,
+            self._t_boolean_passive,
+            self._t_fronted_prep_copula,
+            self._t_wrb_be_np,
+            self._t_np_verb_prep,
+        )
+        for template in templates:
+            mark = graph.mark()
+            if template(graph, items, kinds):
+                graph.template = template.__name__.lstrip("_")
+                return True
+            graph.rollback(mark)  # discard partial emissions of failed matches
+        return False
+
+    # T1: [NP-wh] [BE] [VBN] ([P] [NP])?   "Which book is written by X?"
+    def _t_passive_wh(self, graph, items, kinds) -> bool:
+        if kinds[:3] != ["NP", "BE", "V"]:
+            return False
+        if items[0].wh is None or items[2].head.pos != "VBN":
+            return False
+        verb = items[2].head
+        graph.set_root(verb.index)
+        subject = self._emit_np(graph, items[0])
+        graph.add("nsubjpass", verb.index, subject.index)
+        graph.add("auxpass", verb.index, items[1].head.index)
+        rest = items[3:]
+        if len(rest) >= 2 and rest[0].kind == "P" and rest[1].kind == "NP":
+            prep = rest[0].head
+            graph.add("prep", verb.index, prep.index)
+            pobj = self._emit_np(graph, rest[1])
+            graph.add("pobj", prep.index, pobj.index)
+            rest = rest[2:]
+        return not rest
+
+    # T2: [WP] [BE] [NP] [VBN] ([P])?   "Who was Dune written by?"
+    def _t_who_passive(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["WP", "BE", "NP", "V"]:
+            return False
+        if items[3].head.pos != "VBN":
+            return False
+        verb = items[3].head
+        graph.set_root(verb.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubjpass", verb.index, subject.index)
+        graph.add("auxpass", verb.index, items[1].head.index)
+        rest = items[4:]
+        if rest and rest[0].kind == "P":
+            prep = rest[0].head
+            graph.add("prep", verb.index, prep.index)
+            graph.add("pobj", prep.index, items[0].head.index)
+            rest = rest[1:]
+        else:
+            graph.add("dobj", verb.index, items[0].head.index)
+        return not rest
+
+    # T4/T5: [WH] [BE] [NP] ([P] [NP])*   "Who is the mayor of Berlin?"
+    def _t_wh_copula_np(self, graph, items, kinds) -> bool:
+        if len(kinds) < 3 or kinds[0] != "WP" or kinds[1] != "BE" or kinds[2] != "NP":
+            return False
+        if items[2].wh is not None:
+            return False
+        head = self._emit_np(graph, items[2])
+        graph.set_root(head.index)
+        graph.add("nsubj", head.index, items[0].head.index)
+        graph.add("cop", head.index, items[1].head.index)
+        return self._attach_prep_chain(graph, head, items[3:])
+
+    # T6: [HOWADJ] [BE] [NP]   "How tall is Michael Jordan?"
+    def _t_howadj(self, graph, items, kinds) -> bool:
+        if kinds[:3] != ["HOWADJ", "BE", "NP"] or len(items) != 3:
+            return False
+        adjective = items[0].adjective
+        graph.set_root(adjective.index)
+        graph.add("advmod", adjective.index, items[0].how.index)
+        graph.add("cop", adjective.index, items[1].head.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubj", adjective.index, subject.index)
+        return True
+
+    # T7: [NP-howmany] [DO] [NP] [V]   "How many pages does X have?"
+    def _t_howmany_do_have(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["NP", "DO", "NP", "V"] or len(items) != 4:
+            return False
+        if items[0].many is None:
+            return False
+        verb = items[3].head
+        graph.set_root(verb.index)
+        counted = self._emit_np(graph, items[0])
+        graph.add("dobj", verb.index, counted.index)
+        graph.add("aux", verb.index, items[1].head.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubj", verb.index, subject.index)
+        return True
+
+    # T9: [WRB] [DO] [NP] [V] ([P])?   "Where did Abraham Lincoln die?"
+    def _t_wrb_do_verb(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["WRB", "DO", "NP", "V"]:
+            return False
+        verb = items[3].head
+        graph.set_root(verb.index)
+        graph.add("advmod", verb.index, items[0].head.index)
+        graph.add("aux", verb.index, items[1].head.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubj", verb.index, subject.index)
+        rest = items[4:]
+        if rest and rest[0].kind == "P":
+            graph.add("prep", verb.index, rest[0].head.index)
+            rest = rest[1:]
+        return not rest
+
+    # T10: [WRB] [BE] [NP] [VBN] ([P])?   "Where was Michael Jackson born?"
+    def _t_wrb_be_passive(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["WRB", "BE", "NP", "V"]:
+            return False
+        if items[3].head.pos != "VBN":
+            return False
+        verb = items[3].head
+        graph.set_root(verb.index)
+        graph.add("advmod", verb.index, items[0].head.index)
+        graph.add("auxpass", verb.index, items[1].head.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubjpass", verb.index, subject.index)
+        rest = items[4:]
+        if rest and rest[0].kind == "P":
+            graph.add("prep", verb.index, rest[0].head.index)
+            rest = rest[1:]
+        return not rest
+
+    # T15: [NP-wh] [DO] [NP] [V] ([P] [NP])?  "Which river does the Brooklyn Bridge cross?"
+    def _t_fronted_object(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["NP", "DO", "NP", "V"]:
+            return False
+        if items[0].wh is None:
+            return False
+        verb = items[3].head
+        graph.set_root(verb.index)
+        fronted = self._emit_np(graph, items[0])
+        graph.add("dobj", verb.index, fronted.index)
+        graph.add("aux", verb.index, items[1].head.index)
+        subject = self._emit_np(graph, items[2])
+        graph.add("nsubj", verb.index, subject.index)
+        return self._attach_prep_chain(graph, verb, items[4:])
+
+    # T16/T17: [NP-wh] [V] ...   "Which company makes the iPhone?"
+    def _t_wh_active(self, graph, items, kinds) -> bool:
+        if len(kinds) < 2 or kinds[0] != "NP" or kinds[1] != "V":
+            return False
+        if items[0].wh is None or items[1].head.pos == "VBN":
+            return False
+        verb = items[1].head
+        graph.set_root(verb.index)
+        subject = self._emit_np(graph, items[0])
+        graph.add("nsubj", verb.index, subject.index)
+        rest = items[2:]
+        if rest and rest[0].kind == "NP":
+            obj = self._emit_np(graph, rest[0])
+            graph.add("dobj", verb.index, obj.index)
+            rest = rest[1:]
+        return self._attach_prep_chain(graph, verb, rest)
+
+    # T3: [WP] [V] [NP] ([P] [NP])?   "Who wrote The Pillars of the Earth?"
+    def _t_who_active(self, graph, items, kinds) -> bool:
+        if len(kinds) < 3 or kinds[0] != "WP" or kinds[1] != "V" or kinds[2] != "NP":
+            return False
+        if items[1].head.pos == "VBN":
+            return False
+        verb = items[1].head
+        graph.set_root(verb.index)
+        graph.add("nsubj", verb.index, items[0].head.index)
+        obj = self._emit_np(graph, items[2])
+        graph.add("dobj", verb.index, obj.index)
+        return self._attach_prep_chain(graph, verb, items[3:])
+
+    # T12: [BE] [NP] [ADV]? [ADJ|NP]   "Is Frank Herbert still alive?"
+    def _t_boolean_copula(self, graph, items, kinds) -> bool:
+        if len(kinds) < 3 or kinds[0] != "BE" or kinds[1] != "NP":
+            return False
+        rest = items[2:]
+        adverb = None
+        if rest and rest[0].kind == "ADV":
+            adverb = rest[0].head
+            rest = rest[1:]
+        if not rest or rest[0].kind not in ("ADJ", "NP"):
+            return False
+        predicate_item = rest[0]
+        if predicate_item.kind == "NP":
+            predicate = self._emit_np(graph, predicate_item)
+        else:
+            predicate = predicate_item.head
+        graph.set_root(predicate.index)
+        graph.add("cop", predicate.index, items[0].head.index)
+        subject = self._emit_np(graph, items[1])
+        graph.add("nsubj", predicate.index, subject.index)
+        if adverb is not None:
+            graph.add("advmod", predicate.index, adverb.index)
+        return self._attach_prep_chain(graph, predicate, rest[1:])
+
+    # T12b: [BE] [NP] [VBN] ([P] [NP])?   "Was Abraham Lincoln born in Washington?"
+    def _t_boolean_passive(self, graph, items, kinds) -> bool:
+        if kinds[:3] != ["BE", "NP", "V"]:
+            return False
+        if items[2].head.pos != "VBN":
+            return False
+        verb = items[2].head
+        graph.set_root(verb.index)
+        graph.add("auxpass", verb.index, items[0].head.index)
+        subject = self._emit_np(graph, items[1])
+        graph.add("nsubjpass", verb.index, subject.index)
+        return self._attach_prep_chain(graph, verb, items[3:])
+
+    # T14: [P] [NP-wh] [BE] [NP]   "In which country is the Limerick Lake?"
+    def _t_fronted_prep_copula(self, graph, items, kinds) -> bool:
+        if kinds[:4] != ["P", "NP", "BE", "NP"] or len(items) != 4:
+            return False
+        if items[1].wh is None:
+            return False
+        head = self._emit_np(graph, items[1])
+        graph.set_root(head.index)
+        graph.add("prep", head.index, items[0].head.index)
+        graph.add("cop", head.index, items[2].head.index)
+        subject = self._emit_np(graph, items[3])
+        graph.add("nsubj", head.index, subject.index)
+        return True
+
+    # T11: [WRB] [BE] [NP] ([P] [NP])*   "Where is the Eiffel Tower?"
+    def _t_wrb_be_np(self, graph, items, kinds) -> bool:
+        if len(kinds) < 3 or kinds[0] != "WRB" or kinds[1] != "BE" or kinds[2] != "NP":
+            return False
+        head = self._emit_np(graph, items[2])
+        graph.set_root(head.index)
+        graph.add("advmod", head.index, items[0].head.index)
+        graph.add("cop", head.index, items[1].head.index)
+        return self._attach_prep_chain(graph, head, items[3:])
+
+    # T8: [NP] [V] [P] [NP]   "How many people live in Istanbul?" (non-wh NP V)
+    def _t_np_verb_prep(self, graph, items, kinds) -> bool:
+        if kinds[:2] != ["NP", "V"]:
+            return False
+        verb = items[1].head
+        graph.set_root(verb.index)
+        subject = self._emit_np(graph, items[0])
+        graph.add("nsubj", verb.index, subject.index)
+        rest = items[2:]
+        if rest and rest[0].kind == "NP":
+            obj = self._emit_np(graph, rest[0])
+            graph.add("dobj", verb.index, obj.index)
+            rest = rest[1:]
+        return self._attach_prep_chain(graph, verb, rest)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _attach_prep_chain(self, graph, head: Token, rest: list[_Item]) -> bool:
+        """Attach trailing ([P] [NP])* pairs; fail on anything else."""
+        index = 0
+        attach_to = head
+        while index < len(rest):
+            if rest[index].kind != "P":
+                return False
+            prep = rest[index].head
+            graph.add("prep", attach_to.index, prep.index)
+            index += 1
+            if index < len(rest) and rest[index].kind == "NP":
+                pobj = self._emit_np(graph, rest[index])
+                graph.add("pobj", prep.index, pobj.index)
+                attach_to = pobj
+                index += 1
+            elif index < len(rest):
+                return False
+        return True
+
+    def _fallback(self, graph: DependencyGraph, content: list[Token]) -> None:
+        """Flat parse: root = first verb (else first noun, else first token),
+        everything else attached as the untyped 'dep' relation."""
+        graph.template = "fallback"
+        if not content:
+            return
+        root = next(
+            (t for t in content if t.is_verb()),
+            next((t for t in content if t.is_noun()), content[0]),
+        )
+        graph.set_root(root.index)
+        for token in content:
+            if token is not root:
+                graph.add("dep", root.index, token.index)

@@ -1,0 +1,187 @@
+"""POS lexicon for the question register.
+
+Closed-class words are enumerated exhaustively; open-class entries cover the
+vocabulary that question answering over DBpedia actually meets (verbs of
+creation/location/biography, measurement nouns and adjectives).  Words not
+listed here fall to the suffix guesser in :mod:`repro.nlp.postagger`.
+
+Tags are Penn Treebank: DT, IN, WDT, WP, WRB, VB, VBD, VBZ, VBP, VBN, VBG,
+NN, NNS, NNP, JJ, RB, CD, PRP, TO, CC, MD, EX.
+"""
+
+from __future__ import annotations
+
+#: word (lower-case) -> preferred tag sequence (first = default).
+LEXICON: dict[str, tuple[str, ...]] = {}
+
+
+def _add(tag: str, *words: str) -> None:
+    for word in words:
+        existing = LEXICON.get(word, ())
+        if tag not in existing:
+            LEXICON[word] = existing + (tag,)
+
+
+# -- closed classes ----------------------------------------------------------
+
+_add("WDT", "which", "what")
+_add("WP", "who", "whom", "whose")
+_add("WRB", "where", "when", "why", "how")
+_add("DT", "the", "a", "an", "all", "every", "some", "any", "this", "that",
+     "these", "those", "each", "no", "both")
+_add("IN", "of", "in", "on", "at", "by", "from", "with", "about", "for",
+     "into", "through", "during", "before", "after", "between", "against",
+     "near", "since", "as", "than")
+_add("TO", "to")
+_add("CC", "and", "or", "but", "nor")
+_add("PRP", "i", "you", "he", "she", "it", "we", "they", "me", "him", "her",
+     "us", "them")
+_add("PRP$", "my", "your", "his", "its", "our", "their")
+_add("EX", "there")
+_add("MD", "can", "could", "will", "would", "shall", "should", "may",
+     "might", "must")
+_add("RB", "not", "still", "also", "currently", "often", "never", "most",
+     "more", "first", "last", "now", "here", "alive")  # 'alive' see below
+
+# 'alive' is predicative-only: Penn tags it JJ; list JJ first.
+LEXICON["alive"] = ("JJ",)
+
+# Auxiliaries and copulas, tagged by form.
+_add("VBZ", "is", "does", "has")
+_add("VBP", "are", "do", "have", "am")
+_add("VBD", "was", "were", "did", "had")
+_add("VB", "be")
+_add("VBN", "been")
+_add("VBG", "being")
+
+# -- interrogative quantifier ----------------------------------------------
+
+_add("JJ", "many", "much")
+
+# -- open classes: verbs -----------------------------------------------------
+# (base, past, past-participle, 3rd-sg, gerund); regular forms included so
+# the tagger does not depend on the guesser for common question verbs.
+
+_VERBS: tuple[tuple[str, str, str, str, str], ...] = (
+    ("write", "wrote", "written", "writes", "writing"),
+    ("bear", "bore", "born", "bears", "bearing"),
+    ("die", "died", "died", "dies", "dying"),
+    ("live", "lived", "lived", "lives", "living"),
+    ("create", "created", "created", "creates", "creating"),
+    ("make", "made", "made", "makes", "making"),
+    ("found", "founded", "founded", "founds", "founding"),
+    ("establish", "established", "established", "establishes", "establishing"),
+    ("develop", "developed", "developed", "develops", "developing"),
+    ("design", "designed", "designed", "designs", "designing"),
+    ("direct", "directed", "directed", "directs", "directing"),
+    ("produce", "produced", "produced", "produces", "producing"),
+    ("publish", "published", "published", "publishes", "publishing"),
+    ("release", "released", "released", "releases", "releasing"),
+    ("star", "starred", "starred", "stars", "starring"),
+    ("play", "played", "played", "plays", "playing"),
+    ("act", "acted", "acted", "acts", "acting"),
+    ("compose", "composed", "composed", "composes", "composing"),
+    ("paint", "painted", "painted", "paints", "painting"),
+    ("invent", "invented", "invented", "invents", "inventing"),
+    ("discover", "discovered", "discovered", "discovers", "discovering"),
+    ("build", "built", "built", "builds", "building"),
+    ("construct", "constructed", "constructed", "constructs", "constructing"),
+    ("launch", "launched", "launched", "launches", "launching"),
+    ("cross", "crossed", "crossed", "crosses", "crossing"),
+    ("flow", "flowed", "flowed", "flows", "flowing"),
+    ("start", "started", "started", "starts", "starting"),
+    ("begin", "began", "begun", "begins", "beginning"),
+    ("end", "ended", "ended", "ends", "ending"),
+    ("lead", "led", "led", "leads", "leading"),
+    ("govern", "governed", "governed", "governs", "governing"),
+    ("rule", "ruled", "ruled", "rules", "ruling"),
+    ("own", "owned", "owned", "owns", "owning"),
+    ("marry", "married", "married", "marries", "marrying"),
+    ("kill", "killed", "killed", "kills", "killing"),
+    ("win", "won", "won", "wins", "winning"),
+    ("locate", "located", "located", "locates", "locating"),
+    ("situate", "situated", "situated", "situates", "situating"),
+    ("border", "bordered", "bordered", "borders", "bordering"),
+    ("contain", "contained", "contained", "contains", "containing"),
+    ("include", "included", "included", "includes", "including"),
+    ("give", "gave", "given", "gives", "giving"),
+    ("show", "showed", "shown", "shows", "showing"),
+    ("list", "listed", "listed", "lists", "listing"),
+    ("name", "named", "named", "names", "naming"),
+    ("call", "called", "called", "calls", "calling"),
+    ("know", "knew", "known", "knows", "knowing"),
+    ("come", "came", "come", "comes", "coming"),
+    ("go", "went", "gone", "goes", "going"),
+    ("take", "took", "taken", "takes", "taking"),
+    ("serve", "served", "served", "serves", "serving"),
+    ("belong", "belonged", "belonged", "belongs", "belonging"),
+    ("speak", "spoke", "spoken", "speaks", "speaking"),
+    ("sing", "sang", "sung", "sings", "singing"),
+    ("record", "recorded", "recorded", "records", "recording"),
+)
+
+for base, past, participle, third, gerund in _VERBS:
+    _add("VB", base)
+    _add("VBP", base)
+    _add("VBD", past)
+    _add("VBN", participle)
+    _add("VBZ", third)
+    _add("VBG", gerund)
+
+# -- open classes: nouns ------------------------------------------------------
+
+_NOUNS = (
+    "book", "novel", "author", "writer", "poet", "film", "movie", "actor",
+    "actress", "director", "producer", "song", "album", "band", "member",
+    "game", "show", "series", "episode", "character", "creator", "painting",
+    "city", "town", "capital", "country", "state", "place", "region",
+    "river", "lake", "mountain", "bridge", "building", "tower", "island",
+    "sea", "desert", "airport", "university", "college", "school", "company",
+    "organization", "organisation", "studio", "club", "team", "party",
+    "person", "people", "man", "woman", "president", "mayor", "governor",
+    "chancellor", "minister", "leader", "king", "queen", "monarch", "wife",
+    "husband", "spouse", "child", "children", "daughter", "son", "parent",
+    "father", "mother", "brother", "sister", "founder", "owner", "designer",
+    "architect", "scientist", "astronaut", "player", "athlete", "model",
+    "singer", "musician", "artist", "politician", "journalist",
+    "height", "weight", "population", "area", "elevation", "length",
+    "depth", "size", "number", "amount", "total", "age", "date", "year",
+    "time", "birthday", "birthplace", "name", "label", "currency",
+    "language", "inhabitant", "employee", "student", "page", "floor",
+    "runtime", "budget", "revenue", "award", "prize", "mission", "bird",
+    "animal", "wingspan", "car", "automobile", "website", "abbreviation",
+)
+for noun in _NOUNS:
+    _add("NN", noun)
+
+_PLURAL_NOUNS = (
+    "books", "novels", "authors", "writers", "films", "movies", "actors",
+    "directors", "songs", "albums", "bands", "members", "games", "shows",
+    "cities", "towns", "capitals", "countries", "states", "places",
+    "rivers", "lakes", "mountains", "bridges", "companies", "clubs",
+    "teams", "presidents", "mayors", "leaders", "kings", "queens",
+    "children", "daughters", "sons", "founders", "owners", "players",
+    "models", "singers", "artists", "awards", "prizes", "missions",
+    "birds", "animals", "cars", "universities", "organizations",
+    "languages", "inhabitants", "employees", "students", "pages", "floors",
+)
+for noun in _PLURAL_NOUNS:
+    _add("NNS", noun)
+
+# -- open classes: adjectives -------------------------------------------------
+
+_ADJECTIVES = (
+    "tall", "high", "big", "large", "small", "long", "short", "deep",
+    "heavy", "old", "young", "new", "rich", "famous", "populous", "wide",
+    "official", "national", "american", "german", "turkish", "english",
+    "french", "italian", "spanish", "dead", "alive", "married", "single",
+    "highest", "largest", "longest", "deepest", "oldest", "biggest",
+    "tallest", "smallest", "richest", "most",
+)
+for adjective in _ADJECTIVES:
+    _add("JJ", adjective)
+
+# Superlatives are JJS.
+for superlative in ("highest", "largest", "longest", "deepest", "oldest",
+                    "biggest", "tallest", "smallest", "richest"):
+    LEXICON[superlative] = ("JJS",)

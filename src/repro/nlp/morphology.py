@@ -1,0 +1,117 @@
+"""Rule-based English lemmatiser.
+
+Maps inflected forms to lemmas using an irregular-form table plus standard
+suffix stripping, with the POS tag steering noun vs verb rules.  The triple
+extraction and property mapping steps match lemmas ("written" -> "write"
+feeds PATTY lookup and string similarity on DBpedia property names).
+"""
+
+from __future__ import annotations
+
+#: Irregular verb forms -> lemma.
+IRREGULAR_VERBS: dict[str, str] = {
+    "was": "be", "were": "be", "is": "be", "are": "be", "am": "be",
+    "been": "be", "being": "be",
+    "did": "do", "does": "do", "done": "do",
+    "had": "have", "has": "have",
+    "wrote": "write", "written": "write",
+    "bore": "bear", "born": "bear", "borne": "bear",
+    "made": "make", "gave": "give", "given": "give",
+    "took": "take", "taken": "take",
+    "went": "go", "gone": "go",
+    "came": "come", "knew": "know", "known": "know",
+    "led": "lead", "won": "win", "built": "build",
+    "spoke": "speak", "spoken": "speak",
+    "sang": "sing", "sung": "sing",
+    "began": "begin", "begun": "begin",
+    "showed": "show", "shown": "show",
+    "died": "die", "dies": "die", "dying": "die",
+    "writing": "write", "writes": "write",
+    "lived": "live", "lives": "live",
+    "starred": "star", "starring": "star",
+    "founded": "found", "founds": "found", "founding": "found",
+}
+
+#: Irregular noun plurals -> singular.
+IRREGULAR_NOUNS: dict[str, str] = {
+    "children": "child", "people": "person", "men": "man", "women": "woman",
+    "wives": "wife", "lives": "life", "countries": "country",
+    "cities": "city", "companies": "company", "universities": "university",
+    "parties": "party", "movies": "movie", "series": "series",
+    "feet": "foot", "teeth": "tooth",
+}
+
+_VOWELS = set("aeiou")
+
+
+def _lemmatize_verb(word: str) -> str:
+    if word in IRREGULAR_VERBS:
+        return IRREGULAR_VERBS[word]
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("sses") or word.endswith("shes") or word.endswith("ches") or word.endswith("xes"):
+        return word[:-2]
+    if word.endswith("es") and len(word) > 3 and word[-3] not in _VOWELS:
+        # crosses -> cross handled above; releases -> release needs the e.
+        return word[:-1]
+    if word.endswith("s") and not word.endswith("ss") and len(word) > 3:
+        return word[:-1]
+    if word.endswith("ied") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("ed") and len(word) > 3:
+        stem = word[:-2]
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+            return stem[:-1]  # starred -> star
+        if len(stem) > 2 and stem[-1] not in _VOWELS and stem[-2] in _VOWELS:
+            # created -> create? No: 'creat' + e.  Restore 'e' when the stem
+            # ends consonant-after-vowel and the e-form is more plausible.
+            return stem + "e" if word.endswith(("ated", "ised", "ized", "osed", "uced", "aced", "ired")) else stem
+        if stem.endswith(("at", "is", "iz", "os", "uc", "ac", "ir", "as", "eas")):
+            return stem + "e"
+        return stem
+    if word.endswith("ing") and len(word) > 4:
+        stem = word[:-3]
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+            return stem[:-1]
+        if stem.endswith(("at", "is", "iz", "os", "uc", "ac", "ir", "iv")):
+            return stem + "e"
+        return stem
+    return word
+
+
+def _lemmatize_noun(word: str) -> str:
+    if word in IRREGULAR_NOUNS:
+        return IRREGULAR_NOUNS[word]
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith(("sses", "shes", "ches", "xes")):
+        return word[:-2]
+    if word.endswith("es") and len(word) > 3 and word.endswith(("oes",)):
+        return word[:-2]
+    if word.endswith("s") and not word.endswith(("ss", "us", "is")) and len(word) > 3:
+        return word[:-1]
+    return word
+
+
+def lemmatize(word: str, pos: str = "NN") -> str:
+    """Lemmatise ``word`` given its Penn tag.
+
+    >>> lemmatize("written", "VBN")
+    'write'
+    >>> lemmatize("cities", "NNS")
+    'city'
+    >>> lemmatize("born", "VBN")
+    'bear'
+    >>> lemmatize("Istanbul", "NNP")
+    'Istanbul'
+    """
+    if pos.startswith("NNP"):
+        return word  # proper nouns keep their form (and case)
+    lower = word.lower()
+    if pos.startswith("VB"):
+        return _lemmatize_verb(lower)
+    if pos in ("NNS",):
+        return _lemmatize_noun(lower)
+    if pos in ("NN",):
+        return lower
+    return lower

@@ -1,0 +1,134 @@
+"""The annotation pipeline: tokenise, chunk entities, tag, lemmatise, parse.
+
+This is the CoreNLP-equivalent annotator chain.  Entity chunking plays the
+role of CoreNLP's NER + multi-word-expression handling: maximal gazetteer
+mentions ("Orhan Pamuk", "The Pillars of the Earth") are merged into single
+NNP tokens *before* parsing, so the dependency templates see them as one
+nominal unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kb.labels import SurfaceFormIndex
+from repro.nlp.dependencies import DependencyGraph, Token
+from repro.nlp.depparser import DependencyParser
+from repro.nlp.morphology import lemmatize
+from repro.nlp.postagger import PosTagger
+from repro.nlp.tokenizer import tokenize
+from repro.rdf.terms import IRI
+
+
+@dataclass
+class Mention:
+    """A gazetteer match merged into one token."""
+
+    token_index: int
+    surface: str
+    candidates: list[IRI] = field(default_factory=list)
+
+
+@dataclass
+class Sentence:
+    """A fully annotated question."""
+
+    text: str
+    tokens: list[Token]
+    graph: DependencyGraph
+    mentions: list[Mention] = field(default_factory=list)
+
+    def mention_at(self, token_index: int) -> Mention | None:
+        for mention in self.mentions:
+            if mention.token_index == token_index:
+                return mention
+        return None
+
+
+class Pipeline:
+    """Tokeniser + entity chunker + tagger + lemmatiser + parser.
+
+    ``gazetteer`` is optional; without it the pipeline still works but
+    multi-word names parse word-by-word (as raw CoreNLP would without NER),
+    which degrades template coverage exactly like the paper's tool degrades
+    on unrecognised names.
+    """
+
+    def __init__(self, gazetteer: SurfaceFormIndex | None = None) -> None:
+        self._gazetteer = gazetteer
+        self._tagger = PosTagger()
+        self._parser = DependencyParser()
+
+    def annotate(self, text: str) -> Sentence:
+        """Run the full chain on one question."""
+        raw_tokens = tokenize(text)
+        merged, mention_spans = self._merge_entities(raw_tokens)
+        tags = self._tagger.tag([surface for surface, __ in merged])
+
+        tokens: list[Token] = []
+        mentions: list[Mention] = []
+        for index, ((surface, candidates), pos) in enumerate(zip(merged, tags)):
+            if candidates is not None:
+                pos = "NNP"
+                tokens.append(Token(index, surface, surface, pos, entity=True))
+                mentions.append(Mention(index, surface, candidates))
+            else:
+                tokens.append(Token(index, surface, lemmatize(surface, pos), pos))
+
+        graph = self._parser.parse(tokens)
+        return Sentence(text=text, tokens=tokens, graph=graph, mentions=mentions)
+
+    # ------------------------------------------------------------------
+
+    def _merge_entities(
+        self, raw_tokens: list[str]
+    ) -> tuple[list[tuple[str, list[IRI] | None]], list[tuple[int, int]]]:
+        """Merge maximal gazetteer mentions into single pseudo-tokens.
+
+        Only spans containing a capitalised word are merged, so generic
+        lower-case words that happen to be entity labels ("bad", "snow")
+        never hijack the parse.
+        """
+        if self._gazetteer is None:
+            return [(token, None) for token in raw_tokens], []
+        merged: list[tuple[str, list[IRI] | None]] = []
+        spans: list[tuple[int, int]] = []
+        index = 0
+        while index < len(raw_tokens):
+            match = self._longest_mention(raw_tokens, index)
+            if match is not None:
+                end, candidates = match
+                surface = " ".join(raw_tokens[index:end])
+                merged.append((surface, candidates))
+                spans.append((index, end))
+                index = end
+            else:
+                merged.append((raw_tokens[index], None))
+                index += 1
+        return merged, spans
+
+    def _longest_mention(
+        self, tokens: list[str], start: int
+    ) -> tuple[int, list[IRI]] | None:
+        assert self._gazetteer is not None
+        longest = min(self._gazetteer.max_words, len(tokens) - start)
+        for width in range(longest, 0, -1):
+            span = tokens[start:start + width]
+            if any(not token or not (token[0].isalnum()) for token in span):
+                continue  # punctuation can never be part of a mention
+            if not any(token[0].isupper() for token in span):
+                continue
+            # Skip spans that are pure question machinery even if an entity
+            # label collides with them (e.g. a band called "Who").
+            if width == 1 and span[0].lower() in _STOP_MENTIONS:
+                continue
+            candidates = self._gazetteer.candidates(" ".join(span))
+            if candidates:
+                return (start + width, candidates)
+        return None
+
+
+_STOP_MENTIONS = {
+    "who", "what", "which", "where", "when", "how", "is", "are", "was",
+    "were", "the", "a", "an", "of", "in", "by", "give", "me",
+}

@@ -1,0 +1,156 @@
+"""Penn-Treebank POS tagging: lexicon + suffix guesser + contextual rules.
+
+The design follows the classic rule-based pipeline (Brill-style): an initial
+lexical assignment followed by a small set of contextual repair rules.  The
+question register makes this reliable: auxiliaries, wh-words and determiners
+are closed-class anchors around which the open-class tags disambiguate.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.nlp.lexicon import LEXICON
+
+_BE_FORMS = {"is", "are", "was", "were", "be", "been", "being", "am"}
+_DO_FORMS = {"do", "does", "did"}
+_HAVE_FORMS = {"have", "has", "had"}
+_NUMBER_RE = re.compile(r"^\d+(?:[.,]\d+)*$")
+_PUNCT_RE = re.compile(r"^[^\w\s]+$")
+
+
+class PosTagger:
+    """Tags token lists; see :func:`tag` for the convenience entry point."""
+
+    def __init__(self, lexicon: dict[str, tuple[str, ...]] | None = None) -> None:
+        self._lexicon = lexicon if lexicon is not None else LEXICON
+
+    def tag(self, tokens: list[str]) -> list[str]:
+        tags = [self._initial_tag(token, index) for index, token in enumerate(tokens)]
+        self._apply_context_rules(tokens, tags)
+        return tags
+
+    # -- initial assignment ---------------------------------------------
+
+    def _initial_tag(self, token: str, index: int) -> str:
+        if _PUNCT_RE.match(token):
+            return "." if token in ".?!" else token
+        if _NUMBER_RE.match(token):
+            return "CD"
+        lower = token.lower()
+        known = self._lexicon.get(lower)
+        if known:
+            # Mid-sentence capitalisation of an open-class word signals a
+            # proper noun ("Snow" the novel vs "snow" the weather), but
+            # closed-class tags and verbs keep their lexicon reading.
+            if (
+                token[0].isupper()
+                and index > 0
+                and known[0] in ("NN", "NNS", "JJ")
+            ):
+                return "NNP"
+            return known[0]
+        return self._guess(token, index)
+
+    def _guess(self, token: str, index: int) -> str:
+        if token[0].isupper():
+            return "NNP"
+        if token.endswith("ing") and len(token) > 4:
+            return "VBG"
+        if token.endswith("ed") and len(token) > 3:
+            return "VBN"
+        if token.endswith("ly") and len(token) > 3:
+            return "RB"
+        if token.endswith("est") and len(token) > 4:
+            return "JJS"
+        if token.endswith("s") and not token.endswith("ss") and len(token) > 3:
+            return "NNS"
+        return "NN"
+
+    # -- contextual repair -------------------------------------------------
+
+    def _apply_context_rules(self, tokens: list[str], tags: list[str]) -> None:
+        for i, token in enumerate(tokens):
+            lower = token.lower()
+            previous_lower = tokens[i - 1].lower() if i > 0 else ""
+            previous_tag = tags[i - 1] if i > 0 else ""
+            alternatives = self._lexicon.get(lower, ())
+
+            # Rule 1: past/participle split.  After a form of *be* or
+            # *have* an ambiguous -ed/-en verb is a participle; after a
+            # form of *do*, a modal or *to* it is the base form.
+            if tags[i] in ("VBD", "VBN") or "VBN" in alternatives:
+                if self._preceded_by(tokens, tags, i, _BE_FORMS | _HAVE_FORMS):
+                    if "VBN" in alternatives or tags[i] in ("VBD", "VBN"):
+                        tags[i] = "VBN"
+                elif previous_lower in _DO_FORMS or previous_tag in ("MD", "TO"):
+                    if "VB" in alternatives:
+                        tags[i] = "VB"
+
+            # Rule 2: base-form verbs after do-support, modals and 'to'.
+            if tags[i] in ("VBP", "NN", "VB") and (
+                previous_lower in _DO_FORMS or previous_tag in ("MD", "TO")
+            ):
+                if "VB" in alternatives:
+                    tags[i] = "VB"
+
+            # Rule 2b: clause-final base verb with earlier do-support
+            # ("Which river does the Brooklyn Bridge cross?").
+            if (
+                tags[i] in ("NN", "VBP")
+                and "VB" in alternatives
+                and self._has_earlier_do(tokens, i)
+                and self._is_clause_final(tokens, tags, i)
+            ):
+                tags[i] = "VB"
+
+            # Rule 3: noun readings win right after determiners.
+            if previous_tag == "DT" and ("NN" in alternatives or "NNS" in alternatives):
+                if tags[i].startswith("VB"):
+                    tags[i] = "NNS" if "NNS" in alternatives else "NN"
+
+            # Rule 4: 'born' after be-form is always the passive participle.
+            if lower == "born":
+                tags[i] = "VBN"
+
+            # Rule 5: VBZ/NNS ambiguity ("shows", "stars"): before an
+            # auxiliary or after nominal material it is the plural noun.
+            if tags[i] == "VBZ" and "NNS" in alternatives:
+                next_lower = tokens[i + 1].lower() if i + 1 < len(tokens) else ""
+                if (
+                    next_lower in _BE_FORMS | _DO_FORMS | _HAVE_FORMS
+                    or previous_tag in ("NN", "JJ", "WDT", "DT")
+                ):
+                    tags[i] = "NNS"
+
+    @staticmethod
+    def _preceded_by(tokens: list[str], tags: list[str], i: int, lemmas: set[str]) -> bool:
+        """An auxiliary from ``lemmas`` occurs before position ``i`` with
+        only nominal material (a subject) in between."""
+        for j in range(i - 1, -1, -1):
+            if tokens[j].lower() in lemmas:
+                return True
+            if tags[j].startswith("VB") or tags[j] in (".", ","):
+                return False
+        return False
+
+    @staticmethod
+    def _has_earlier_do(tokens: list[str], i: int) -> bool:
+        return any(tokens[j].lower() in _DO_FORMS for j in range(i))
+
+    @staticmethod
+    def _is_clause_final(tokens: list[str], tags: list[str], i: int) -> bool:
+        rest = tags[i + 1:]
+        return all(t in (".", "IN", "TO") for t in rest)
+
+
+_DEFAULT = PosTagger()
+
+
+def tag(tokens: list[str]) -> list[str]:
+    """Tag a token list with the default tagger.
+
+    >>> tag(["Which", "book", "is", "written", "by", "Orhan", "Pamuk", "?"])
+    ['WDT', 'NN', 'VBZ', 'VBN', 'IN', 'NNP', 'NNP', '.']
+    """
+    return _DEFAULT.tag(tokens)

@@ -1,0 +1,52 @@
+"""Tokenisation for English questions.
+
+Splits on whitespace and punctuation, keeps contractions together in the
+Penn style (``'s``, ``n't`` split off), and preserves original casing —
+capitalisation is a feature the tagger and the entity spotter both use.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(
+    r"""
+      n't                     # negation clitic
+    | '(?:s|re|ve|ll|d|m)\b   # other clitics
+    | \d+(?:[.,]\d+)*         # numbers, incl. 1.98 and 1,000,000
+    | \w+(?:[-.]\w+)*\.?      # words, hyphenated words, abbreviations (U.S.)
+    | [^\w\s]                 # any punctuation mark
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenise a question.
+
+    >>> tokenize("Which book is written by Orhan Pamuk?")
+    ['Which', 'book', 'is', 'written', 'by', 'Orhan', 'Pamuk', '?']
+    >>> tokenize("How tall is Michael Jordan?")
+    ['How', 'tall', 'is', 'Michael', 'Jordan', '?']
+    >>> tokenize("Is Frank Herbert still alive?")
+    ['Is', 'Frank', 'Herbert', 'still', 'alive', '?']
+    """
+    # Detach the negation clitic before scanning — "Isn't" -> "Is n't" —
+    # because the leftmost-match scan cannot split it otherwise.
+    text = re.sub(r"(\w)n't\b", r"\1 n't", text)
+    tokens = _TOKEN_RE.findall(text)
+    # A trailing '.' glued to a normal word is sentence punctuation, not an
+    # abbreviation ("die." -> "die", "."); keep genuine abbreviations (U.S.).
+    out: list[str] = []
+    for token in tokens:
+        if (
+            token.endswith(".")
+            and len(token) > 2
+            and "." not in token[:-1]
+            and token[:-1].isalpha()
+        ):
+            out.append(token[:-1])
+            out.append(".")
+        else:
+            out.append(token)
+    return out

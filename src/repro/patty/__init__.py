@@ -1,0 +1,41 @@
+"""PATTY substitute: mining relational patterns from a corpus.
+
+The paper uses the PATTY resource (Nakashole et al. 2012) to map textual
+phrases ("born in", "born at", "died at") onto DBpedia object properties,
+ranked by pattern frequency (section 2.2.3).  PATTY itself was mined from
+the New York Times archive and Wikipedia; offline we rebuild the *mechanism*
+end to end:
+
+* :mod:`repro.patty.corpus` — a synthetic corpus generator that verbalises
+  knowledge-base facts through paraphrase templates, including the noisy
+  verbalisations the paper complains about (a "born in" sentence attributed
+  to ``deathPlace``);
+* :mod:`repro.patty.extraction` — distant-supervision pattern extraction:
+  spot the entity pair, take the connecting phrase, normalise it, attribute
+  it to every KB relation holding between the pair;
+* :mod:`repro.patty.prefixtree` — the frequent-pattern prefix tree with
+  support sets, used to decide inclusion / mutual inclusion / independence;
+* :mod:`repro.patty.taxonomy` — the subsumption taxonomy over patterns;
+* :mod:`repro.patty.store` — the word -> (property, frequency) index the QA
+  pipeline queries ("die" -> deathPlace≫birthPlace, residence).
+"""
+
+from repro.patty.patterns import PatternOccurrence, RelationalPattern
+from repro.patty.corpus import CorpusSentence, generate_corpus
+from repro.patty.extraction import PatternExtractor
+from repro.patty.prefixtree import PrefixTree
+from repro.patty.taxonomy import PatternTaxonomy, SubsumptionKind
+from repro.patty.store import PatternStore, build_pattern_store
+
+__all__ = [
+    "RelationalPattern",
+    "PatternOccurrence",
+    "CorpusSentence",
+    "generate_corpus",
+    "PatternExtractor",
+    "PrefixTree",
+    "PatternTaxonomy",
+    "SubsumptionKind",
+    "PatternStore",
+    "build_pattern_store",
+]

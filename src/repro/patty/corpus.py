@@ -1,0 +1,231 @@
+"""Synthetic corpus generation: verbalising KB facts as text.
+
+PATTY mined the New York Times and Wikipedia; we have neither offline, so
+the corpus is produced by verbalising knowledge-base facts through
+paraphrase templates.  Two properties of real corpora are reproduced
+deliberately:
+
+* **paraphrase diversity** — each relation is expressed by several
+  competing phrasings with different frequencies ("died in" common,
+  "passed away at" rare), so pattern frequencies are informative;
+* **noise** — a small fraction of sentences verbalise a relation with a
+  *wrong* phrase (a ``deathPlace`` fact rendered as "was born in"),
+  reproducing the PATTY defect the paper discusses in sections 2.2.3/5:
+  the "deathPlace" relation containing a "born in" pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.kb.builder import KnowledgeBase
+from repro.rdf.namespaces import DBO
+from repro.rdf.terms import IRI
+
+#: property -> list of (template, weight).  ``{s}``/``{o}`` are replaced by
+#: entity labels.  Weights drive a deterministic weighted choice.
+TEMPLATES: dict[str, list[tuple[str, int]]] = {
+    "birthPlace": [
+        ("{s} was born in {o}", 10),
+        ("{s} was born at {o}", 4),
+        ("{s} , born in {o} ,", 3),
+        ("{s} grew up in {o}", 2),
+        # Biography noise: people are often described as living in their
+        # birth town; with far more birthPlace facts than residence facts,
+        # this inverts the frequency ranking for "live" — the PATTY noise
+        # defect of sections 2.2.3/5, reproduced on purpose.
+        ("{s} lived in {o}", 2),
+    ],
+    "deathPlace": [
+        ("{s} died in {o}", 10),
+        ("{s} died at {o}", 5),
+        ("{s} passed away in {o}", 3),
+        # PATTY-style corpus noise: obituaries mentioning the birth city.
+        ("{s} was born in {o}", 1),
+    ],
+    "residence": [
+        ("{s} lives in {o}", 6),
+        ("{s} resides in {o}", 3),
+        ("{s} died in {o}", 1),  # noise
+    ],
+    "author": [
+        ("{s} was written by {o}", 8),
+        ("{s} is a novel by {o}", 4),
+        ("{s} , the book {o} wrote ,", 2),
+    ],
+    "writer": [
+        ("{s} was written by {o}", 6),
+        ("{s} script by {o}", 2),
+    ],
+    "director": [
+        ("{s} was directed by {o}", 8),
+        ("{s} , a film by {o} ,", 3),
+    ],
+    "starring": [
+        ("{s} starring {o}", 6),
+        ("{s} stars {o}", 4),
+    ],
+    "producer": [
+        ("{s} was produced by {o}", 6),
+    ],
+    "creator": [
+        ("{s} was created by {o}", 8),
+        ("{s} , invented by {o} ,", 2),
+    ],
+    "developer": [
+        ("{s} was developed by {o}", 8),
+        ("{s} was made by {o}", 3),
+    ],
+    "foundedBy": [
+        ("{s} was founded by {o}", 8),
+        ("{s} was established by {o}", 4),
+        ("{s} was started by {o}", 2),
+    ],
+    "spouse": [
+        ("{s} is married to {o}", 8),
+        ("{s} married {o}", 5),
+        ("{s} wed {o}", 2),
+    ],
+    "child": [
+        ("{o} is the child of {s}", 5),
+        ("{o} , the daughter of {s} ,", 3),
+        ("{o} , the son of {s} ,", 3),
+    ],
+    "capital": [
+        ("{o} is the capital of {s}", 8),
+    ],
+    "country": [
+        ("{s} is located in {o}", 8),
+        ("{s} lies in {o}", 4),
+        ("{s} is a city in {o}", 4),
+    ],
+    "leaderName": [
+        ("{s} is led by {o}", 5),
+        ("{o} leads {s}", 3),
+        ("{o} governs {s}", 3),
+    ],
+    "mayor": [
+        ("{o} is the mayor of {s}", 6),
+        ("{o} governs {s}", 2),
+    ],
+    "governor": [
+        ("{o} is the governor of {s}", 6),
+        ("{o} governs {s}", 2),
+    ],
+    "crosses": [
+        ("{s} crosses {o}", 8),
+        ("{s} spans {o}", 4),
+    ],
+    "mouth": [
+        ("{s} flows into {o}", 6),
+        ("{s} empties into {o}", 3),
+    ],
+    "sourceCountry": [
+        ("{s} starts in {o}", 5),
+        ("{s} originates in {o}", 4),
+        ("{s} begins in {o}", 3),
+    ],
+    "owner": [
+        ("{s} is owned by {o}", 8),
+        ("{o} owns {s}", 4),
+    ],
+    "team": [
+        ("{s} plays for {o}", 8),
+    ],
+    "artist": [
+        ("{s} was recorded by {o}", 5),
+        ("{s} , a song by {o} ,", 3),
+        ("{o} sang {s}", 2),
+    ],
+    "bandMember": [
+        ("{o} is a member of {s}", 6),
+        ("{o} plays in {s}", 3),
+    ],
+    "architect": [
+        ("{s} was designed by {o}", 6),
+        ("{s} was built by {o}", 3),
+    ],
+    "location": [
+        ("{s} is located in {o}", 8),
+        ("{s} stands in {o}", 3),
+    ],
+    "headquarter": [
+        ("{s} is headquartered in {o}", 6),
+        ("{s} is based in {o}", 4),
+    ],
+    "crewMember": [
+        ("{o} flew on {s}", 5),
+        ("{o} was a crew member of {s}", 3),
+    ],
+    "launchSite": [
+        ("{s} was launched from {o}", 6),
+    ],
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusSentence:
+    """One generated sentence with its provenance fact."""
+
+    text: str
+    subject: str   # entity local name
+    object: str    # entity local name
+    relation: str  # the fact's property (ground truth, NOT given to mining)
+
+
+def _weighted_choice(rng: random.Random, options: list[tuple[str, int]]) -> str:
+    total = sum(weight for __, weight in options)
+    pick = rng.randrange(total)
+    for template, weight in options:
+        if pick < weight:
+            return template
+        pick -= weight
+    raise AssertionError("unreachable")
+
+
+def generate_corpus(
+    kb: KnowledgeBase,
+    sentences_per_fact: int = 3,
+    seed: int = 29,
+    properties: Iterable[str] | None = None,
+) -> list[CorpusSentence]:
+    """Verbalize every templated fact of ``kb`` into sentences.
+
+    Deterministic for a given seed.  ``properties`` restricts which
+    relations are verbalised (default: all templated ones).
+    """
+    rng = random.Random(seed)
+    wanted = set(properties) if properties is not None else set(TEMPLATES)
+    sentences: list[CorpusSentence] = []
+    for prop_name in sorted(wanted):
+        templates = TEMPLATES.get(prop_name)
+        if not templates:
+            continue
+        predicate = DBO[prop_name]
+        for triple in kb.graph.match(None, predicate, None):
+            subject = triple.subject
+            obj = triple.object
+            if not isinstance(obj, IRI):
+                continue
+            subject_label = kb.label_of(subject)
+            object_label = kb.label_of(obj)
+            for __ in range(sentences_per_fact):
+                template = _weighted_choice(rng, templates)
+                text = template.format(s=subject_label, o=object_label)
+                sentences.append(CorpusSentence(
+                    text=text,
+                    subject=subject.local_name,
+                    object=obj.local_name,
+                    relation=prop_name,
+                ))
+    return sentences
+
+
+def corpus_statistics(sentences: list[CorpusSentence]) -> dict[str, int]:
+    """Sentence counts per relation (diagnostics and tests)."""
+    counts: dict[str, int] = {}
+    for sentence in sentences:
+        counts[sentence.relation] = counts.get(sentence.relation, 0) + 1
+    return counts

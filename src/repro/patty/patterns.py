@@ -1,0 +1,53 @@
+"""Pattern data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class PatternOccurrence:
+    """One sighting of a pattern in the corpus."""
+
+    pattern: str          # normalised connecting phrase, e.g. "be bear in"
+    subject: str          # entity local name
+    object: str           # entity local name
+    relation: str         # property local name (distant supervision)
+    sentence: str = ""    # original sentence text (diagnostics)
+
+
+@dataclass
+class RelationalPattern:
+    """An aggregated pattern with its support under one relation.
+
+    ``support`` is the set of (subject, object) entity pairs the pattern was
+    seen connecting; ``frequency`` the raw occurrence count.  PATTY's
+    semantic typing corresponds to the relation's domain/range, which the
+    ontology supplies downstream.
+    """
+
+    text: str
+    relation: str
+    frequency: int = 0
+    support: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        return tuple(self.text.split())
+
+    @property
+    def content_words(self) -> tuple[str, ...]:
+        """Pattern words carrying lexical content (what the QA pipeline
+        looks up): everything except closed-class glue."""
+        return tuple(w for w in self.tokens if w not in _GLUE and w != "*")
+
+    def record(self, subject: str, obj: str) -> None:
+        self.frequency += 1
+        self.support.add((subject, obj))
+
+
+_GLUE = {
+    "a", "an", "the", "of", "in", "at", "on", "by", "to", "from", "with",
+    "be", "is", "was", "are", "were", "been", "'s", "into", "as", "and",
+    "for",
+}

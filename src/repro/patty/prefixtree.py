@@ -1,0 +1,103 @@
+"""Prefix tree over pattern token sequences with support sets.
+
+PATTY stores the support sets of frequent patterns in a prefix tree and
+answers subsumption queries ("is support(A) contained in support(B)?") via
+set intersections computed on the tree.  This implementation keeps each
+node's aggregate support (union over the subtree), so prefix
+generalisations ("be bear" generalises "be bear in" and "be bear at") have
+their support available directly at the interior node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+Pair = tuple[str, str]
+
+
+@dataclass
+class _Node:
+    children: dict[str, "_Node"] = field(default_factory=dict)
+    #: support of patterns ending exactly here.
+    terminal_support: set[Pair] = field(default_factory=set)
+    #: union of supports in the whole subtree (incl. terminal_support).
+    subtree_support: set[Pair] = field(default_factory=set)
+    is_terminal: bool = False
+
+
+class PrefixTree:
+    """Token-sequence prefix tree with support-set aggregation."""
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._size = 0
+
+    def insert(self, tokens: tuple[str, ...], support: set[Pair]) -> None:
+        """Insert a pattern with its support set (merges on re-insert)."""
+        if not tokens:
+            raise ValueError("cannot insert an empty pattern")
+        node = self._root
+        node.subtree_support |= support
+        for token in tokens:
+            node = node.children.setdefault(token, _Node())
+            node.subtree_support |= support
+        if not node.is_terminal:
+            self._size += 1
+        node.is_terminal = True
+        node.terminal_support |= support
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, tokens: tuple[str, ...]) -> bool:
+        node = self._find(tokens)
+        return node is not None and node.is_terminal
+
+    def support(self, tokens: tuple[str, ...]) -> set[Pair]:
+        """Exact support of a terminal pattern (empty if absent)."""
+        node = self._find(tokens)
+        if node is None or not node.is_terminal:
+            return set()
+        return set(node.terminal_support)
+
+    def prefix_support(self, tokens: tuple[str, ...]) -> set[Pair]:
+        """Aggregated support of every pattern extending this prefix."""
+        node = self._find(tokens)
+        if node is None:
+            return set()
+        return set(node.subtree_support)
+
+    def patterns(self) -> Iterator[tuple[tuple[str, ...], set[Pair]]]:
+        """All terminal patterns with their supports."""
+        stack: list[tuple[_Node, tuple[str, ...]]] = [(self._root, ())]
+        while stack:
+            node, prefix = stack.pop()
+            if node.is_terminal:
+                yield (prefix, set(node.terminal_support))
+            for token, child in node.children.items():
+                stack.append((child, prefix + (token,)))
+
+    def _find(self, tokens: tuple[str, ...]) -> _Node | None:
+        node = self._root
+        for token in tokens:
+            node = node.children.get(token)
+            if node is None:
+                return None
+        return node
+
+    # ------------------------------------------------------------------
+    # Set-intersection queries (the PATTY subsumption primitives)
+    # ------------------------------------------------------------------
+
+    def intersection(self, a: tuple[str, ...], b: tuple[str, ...]) -> set[Pair]:
+        """Support intersection of two terminal patterns."""
+        return self.support(a) & self.support(b)
+
+    def inclusion(self, a: tuple[str, ...], b: tuple[str, ...]) -> float:
+        """|support(a) ∩ support(b)| / |support(a)| — how much of a's
+        support b covers.  0.0 when a has no support."""
+        support_a = self.support(a)
+        if not support_a:
+            return 0.0
+        return len(support_a & self.support(b)) / len(support_a)

@@ -1,0 +1,90 @@
+"""The pattern store: word -> (property, frequency) used by section 2.2.3.
+
+    "The word 'die' may occur in many forms in pattern texts.  We count all
+    occurrences of the word and assign it as a frequency value to the
+    relative property. ... Frequency of a pattern determines the ranking
+    score of the predicate."
+
+Lookups are by lemma ("die", "bear", "write"), matching how the QA pipeline
+normalises question predicates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.kb.builder import KnowledgeBase
+from repro.patty.corpus import generate_corpus
+from repro.patty.extraction import PatternExtractor
+from repro.patty.patterns import RelationalPattern
+
+
+class PatternStore:
+    """Frequency-ranked word -> property index over mined patterns."""
+
+    def __init__(self, patterns: Iterable[RelationalPattern] = ()) -> None:
+        self._frequency: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._patterns: list[RelationalPattern] = []
+        for pattern in patterns:
+            self.add_pattern(pattern)
+
+    def add_pattern(self, pattern: RelationalPattern) -> None:
+        self._patterns.append(pattern)
+        for word in pattern.content_words:
+            self._frequency[word][pattern.relation] += pattern.frequency
+
+    # ------------------------------------------------------------------
+
+    def properties_for(self, word: str) -> list[tuple[str, int]]:
+        """Properties whose patterns contain ``word``, most frequent first.
+
+        >>> store = PatternStore([
+        ...     RelationalPattern("die in", "deathPlace", 40, {("a", "b")}),
+        ...     RelationalPattern("die in", "birthPlace", 3, {("a", "b")}),
+        ... ])
+        >>> store.properties_for("die")
+        [('deathPlace', 40), ('birthPlace', 3)]
+        """
+        ranked = self._frequency.get(word.lower())
+        if not ranked:
+            return []
+        return sorted(ranked.items(), key=lambda item: (-item[1], item[0]))
+
+    def frequency(self, word: str, property_name: str) -> int:
+        """Occurrence count of ``word`` under one property's patterns."""
+        return self._frequency.get(word.lower(), {}).get(property_name, 0)
+
+    def words(self) -> list[str]:
+        return sorted(self._frequency)
+
+    def patterns(self) -> list[RelationalPattern]:
+        return list(self._patterns)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._frequency
+
+    def __len__(self) -> int:
+        return len(self._frequency)
+
+
+def build_pattern_store(
+    kb: KnowledgeBase,
+    sentences_per_fact: int = 3,
+    seed: int = 29,
+    min_support: int = 1,
+) -> PatternStore:
+    """Run the full mining pipeline: corpus -> extraction -> aggregation.
+
+    ``min_support`` drops patterns seen with fewer distinct entity pairs
+    (PATTY's frequent-pattern threshold).
+    """
+    sentences = generate_corpus(kb, sentences_per_fact=sentences_per_fact, seed=seed)
+    extractor = PatternExtractor(kb)
+    occurrences = extractor.extract(sentences)
+    aggregates = extractor.aggregate(occurrences)
+    store = PatternStore()
+    for aggregate in aggregates.values():
+        if len(aggregate.support) >= min_support:
+            store.add_pattern(aggregate)
+    return store

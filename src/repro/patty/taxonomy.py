@@ -1,0 +1,109 @@
+"""Subsumption taxonomy over mined patterns.
+
+PATTY organises patterns into a taxonomy by comparing support sets:
+pattern A *subsumes* B when B's support is (almost) contained in A's;
+mutual inclusion makes them synonymous; otherwise they are independent.
+The inclusion tests run on the prefix tree's support sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Iterable
+
+from repro.patty.patterns import RelationalPattern
+from repro.patty.prefixtree import PrefixTree
+
+
+class SubsumptionKind(enum.Enum):
+    EQUIVALENT = "equivalent"
+    SUBSUMES = "subsumes"          # A ⊐ B (A more general)
+    SUBSUMED_BY = "subsumed_by"    # A ⊏ B
+    INDEPENDENT = "independent"
+
+
+class PatternTaxonomy:
+    """Pairwise subsumption relations plus synonym clusters.
+
+    ``tolerance`` relaxes strict set inclusion the way PATTY does for noisy
+    support sets: inclusion holds when at least that fraction of the
+    smaller support is covered.
+    """
+
+    def __init__(
+        self,
+        patterns: Iterable[RelationalPattern],
+        tolerance: float = 0.95,
+        min_support: int = 2,
+    ) -> None:
+        self._tolerance = tolerance
+        self._tree = PrefixTree()
+        self._patterns: dict[tuple[str, ...], RelationalPattern] = {}
+        for pattern in patterns:
+            if len(pattern.support) < min_support:
+                continue  # infrequent patterns never enter the taxonomy
+            key = pattern.tokens
+            existing = self._patterns.get(key)
+            if existing is None:
+                merged = RelationalPattern(pattern.text, pattern.relation,
+                                           pattern.frequency, set(pattern.support))
+                self._patterns[key] = merged
+            else:
+                existing.frequency += pattern.frequency
+                existing.support |= pattern.support
+            self._tree.insert(key, set(pattern.support))
+
+    @property
+    def tree(self) -> PrefixTree:
+        return self._tree
+
+    def patterns(self) -> list[RelationalPattern]:
+        return list(self._patterns.values())
+
+    def classify(self, a: tuple[str, ...], b: tuple[str, ...]) -> SubsumptionKind:
+        """Inclusion / mutual inclusion / independence of two patterns."""
+        a_in_b = self._tree.inclusion(a, b) >= self._tolerance
+        b_in_a = self._tree.inclusion(b, a) >= self._tolerance
+        if a_in_b and b_in_a:
+            return SubsumptionKind.EQUIVALENT
+        if b_in_a:
+            return SubsumptionKind.SUBSUMES
+        if a_in_b:
+            return SubsumptionKind.SUBSUMED_BY
+        return SubsumptionKind.INDEPENDENT
+
+    def synonym_sets(self) -> list[set[str]]:
+        """Clusters of mutually-including patterns (PATTY's SOL sets),
+        computed per relation so 'die in'~'die at' cluster under
+        deathPlace without dragging in other relations."""
+        by_relation: dict[str, list[RelationalPattern]] = defaultdict(list)
+        for pattern in self._patterns.values():
+            by_relation[pattern.relation].append(pattern)
+
+        clusters: list[set[str]] = []
+        for relation_patterns in by_relation.values():
+            remaining = list(relation_patterns)
+            while remaining:
+                seed = remaining.pop()
+                cluster = {seed.text}
+                rest: list[RelationalPattern] = []
+                for other in remaining:
+                    kind = self.classify(seed.tokens, other.tokens)
+                    if kind is SubsumptionKind.EQUIVALENT:
+                        cluster.add(other.text)
+                    else:
+                        rest.append(other)
+                remaining = rest
+                clusters.append(cluster)
+        return clusters
+
+    def generalisations(self, tokens: tuple[str, ...]) -> list[tuple[str, ...]]:
+        """Proper prefixes of a pattern that subsume it in the tree
+        (PATTY's prefix-generalisation step)."""
+        out = []
+        for cut in range(1, len(tokens)):
+            prefix = tokens[:cut]
+            if self._tree.prefix_support(prefix) >= self._tree.support(tokens):
+                out.append(prefix)
+        return out

@@ -1,0 +1,38 @@
+"""QALD-2-style evaluation benchmark.
+
+The paper evaluates on the QALD-2 open-challenge test set: 100 questions,
+filtered to the 55 that rely on the DBpedia ontology alone (no YAGO
+classes/entities, no raw infobox properties), then scored as
+
+* precision = correctly answered / answered,
+* recall    = answered / 55 (the paper's "can process" rate),
+* F1        = their harmonic mean (Table 2: 83% / 32% / 46%).
+
+This package rebuilds that protocol offline: a 100-question benchmark in
+the QALD-2 style over the curated mini-DBpedia (:mod:`repro.qald.dataset`),
+with machine-checkable gold SPARQL for every in-scope question, the
+evaluator (:mod:`repro.qald.evaluate`) and a Table-2-style report
+(:mod:`repro.qald.report`).  The difficulty mix — simple factoids through
+superlatives, comparatives, booleans, aggregates, imperative list requests
+and multi-hop chains — mirrors QALD-2's, which is what makes the coverage
+limits of the pipeline bite the way Table 2 shows.
+"""
+
+from repro.qald.questions import QaldQuestion, QuestionCategory
+from repro.qald.dataset import load_questions, in_scope_questions
+from repro.qald.devset import load_dev_questions
+from repro.qald.evaluate import EvaluationResult, QaldEvaluator, QuestionOutcome
+from repro.qald.report import format_table2, format_outcomes
+
+__all__ = [
+    "QaldQuestion",
+    "QuestionCategory",
+    "load_questions",
+    "in_scope_questions",
+    "load_dev_questions",
+    "QaldEvaluator",
+    "EvaluationResult",
+    "QuestionOutcome",
+    "format_table2",
+    "format_outcomes",
+]

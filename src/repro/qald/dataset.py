@@ -1,0 +1,274 @@
+"""The 100-question QALD-2-style benchmark.
+
+Composition mirrors the QALD-2 open-challenge test set the paper used:
+
+* **55 in-scope questions** — answerable from the DBpedia ontology alone;
+  every one carries gold SPARQL executable on the curated mini-DBpedia.
+  The difficulty mix follows QALD-2: a band of simple single-relation
+  factoids, then superlatives, comparatives, aggregates, booleans,
+  temporal questions, imperative "Give me all ..." requests, relative
+  clauses and multi-hop chains — the shapes whose coverage gaps produce
+  the paper's low recall.
+* **45 out-of-scope questions** — in QALD-2 style, excluded for the same
+  reasons the paper excluded theirs: YAGO classes/entities, raw infobox
+  (``dbp:``) properties, FOAF/external vocabularies, or facts outside
+  DBpedia.  They carry the exclusion reason instead of gold.
+
+Question texts are either QALD-2 questions verbatim (where the curated KB
+holds the relevant real-world facts) or faithful same-template analogues.
+"""
+
+from __future__ import annotations
+
+from repro.qald.questions import QaldQuestion, QuestionCategory as C
+
+_Q = QaldQuestion
+
+
+def load_questions() -> list[QaldQuestion]:
+    """All 100 benchmark questions, qid order."""
+    questions: list[QaldQuestion] = []
+    add = questions.append
+
+    # ==================================================================
+    # In-scope (55): gold SPARQL over the mini-DBpedia.
+    # ==================================================================
+
+    # -- simple factoids and lists (the band the pipeline can reach) ----
+    add(_Q(1, "Which book is written by Orhan Pamuk?", C.LIST,
+           "SELECT ?x WHERE { ?x a dbont:Book . ?x dbont:author res:Orhan_Pamuk }"))
+    add(_Q(2, "Which books were written by Danielle Steel?", C.LIST,
+           "SELECT ?x WHERE { ?x a dbont:Book . ?x dbont:author res:Danielle_Steel }"))
+    add(_Q(3, "How tall is Claudia Schiffer?", C.FACTOID,
+           "SELECT ?x WHERE { res:Claudia_Schiffer dbont:height ?x }"))
+    add(_Q(4, "Who is the mayor of Berlin?", C.FACTOID,
+           "SELECT ?x WHERE { res:Berlin dbont:mayor ?x }"))
+    add(_Q(5, "Where did Abraham Lincoln die?", C.FACTOID,
+           "SELECT ?x WHERE { res:Abraham_Lincoln dbont:deathPlace ?x }"))
+    add(_Q(6, "How many pages does War and Peace have?", C.FACTOID,
+           "SELECT ?x WHERE { res:War_and_Peace dbont:numberOfPages ?x }"))
+    add(_Q(7, "Which river does the Brooklyn Bridge cross?", C.FACTOID,
+           "SELECT ?x WHERE { res:Brooklyn_Bridge dbont:crosses ?x }"))
+    add(_Q(8, "Where was Michael Jackson born?", C.FACTOID,
+           "SELECT ?x WHERE { res:Michael_Jackson dbont:birthPlace ?x }"))
+    add(_Q(9, "In which country is the Limerick Lake?", C.FACTOID,
+           "SELECT ?x WHERE { res:Limerick_Lake dbont:country ?x }"))
+    add(_Q(10, "Who wrote The Pillars of the Earth?", C.FACTOID,
+           "SELECT ?x WHERE { res:The_Pillars_of_the_Earth dbont:author ?x }"))
+    add(_Q(11, "What is the capital of Canada?", C.FACTOID,
+           "SELECT ?x WHERE { res:Canada dbont:capital ?x }"))
+    add(_Q(12, "Who created Goofy?", C.FACTOID,
+           "SELECT ?x WHERE { res:Goofy dbont:creator ?x }"))
+    add(_Q(13, "Who founded Intel?", C.LIST,
+           "SELECT ?x WHERE { res:Intel dbont:foundedBy ?x }"))
+    add(_Q(14, "Who developed World of Warcraft?", C.FACTOID,
+           "SELECT ?x WHERE { res:World_of_Warcraft dbont:developer ?x }"))
+    add(_Q(15, "What is the highest place of Karakoram?", C.FACTOID,
+           "SELECT ?x WHERE { res:Karakoram dbont:highestPlace ?x }"))
+
+    # -- residence questions: gold is dbo:residence; corpus noise makes the
+    #    pipeline prefer birthPlace ("lived in" under biography sentences),
+    #    the PATTY-noise failure mode of sections 2.2.3/5.
+    add(_Q(16, "Where does Bill Gates live?", C.FACTOID,
+           "SELECT ?x WHERE { res:Bill_Gates dbont:residence ?x }"))
+    add(_Q(17, "Where did Albert Einstein live?", C.FACTOID,
+           "SELECT ?x WHERE { res:Albert_Einstein dbont:residence ?x }"))
+    add(_Q(18, "Where did Agatha Christie live?", C.FACTOID,
+           "SELECT ?x WHERE { res:Agatha_Christie dbont:residence ?x }"))
+
+    # -- superlatives (need ORDER BY the pipeline never generates) -------
+    add(_Q(19, "What is the highest mountain?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Mountain . ?x dbont:elevation ?e } "
+           "ORDER BY DESC(?e) LIMIT 1"))
+    add(_Q(20, "Which bird has the largest wingspan?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Bird . ?x dbont:wingspan ?w } "
+           "ORDER BY DESC(?w) LIMIT 1"))
+    add(_Q(21, "What is the tallest building?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Building . ?x dbont:height ?h } "
+           "ORDER BY DESC(?h) LIMIT 1"))
+    add(_Q(22, "Which country has the largest population?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Country . ?x dbont:populationTotal ?p } "
+           "ORDER BY DESC(?p) LIMIT 1"))
+    add(_Q(23, "What is the longest river?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:River . ?x dbont:length ?l } "
+           "ORDER BY DESC(?l) LIMIT 1"))
+    add(_Q(24, "Which city has the most inhabitants?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:City . ?x dbont:populationTotal ?p } "
+           "ORDER BY DESC(?p) LIMIT 1"))
+    add(_Q(25, "What is the deepest lake?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Lake . ?x dbont:depth ?d } "
+           "ORDER BY DESC(?d) LIMIT 1"))
+    add(_Q(26, "Which skyscraper has the most floors?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Skyscraper . ?x dbont:floorCount ?f } "
+           "ORDER BY DESC(?f) LIMIT 1"))
+    add(_Q(27, "Who is the tallest basketball player?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:BasketballPlayer . ?x dbont:height ?h } "
+           "ORDER BY DESC(?h) LIMIT 1"))
+
+    # -- comparatives (need FILTER) --------------------------------------
+    add(_Q(28, "Which cities have more than ten million inhabitants?", C.COMPARATIVE,
+           "SELECT ?x WHERE { ?x a dbont:City . ?x dbont:populationTotal ?p "
+           "FILTER (?p > 10000000) }"))
+    add(_Q(29, "Which buildings are taller than 400 meters?", C.COMPARATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Building . ?x dbont:height ?h "
+           "FILTER (?h > 400) }"))
+    add(_Q(30, "Which books have more than one thousand pages?", C.COMPARATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Book . ?x dbont:numberOfPages ?p "
+           "FILTER (?p > 1000) }"))
+    add(_Q(31, "Which presidents were born after 1950?", C.COMPARATIVE,
+           'SELECT ?x WHERE { ?x a dbont:President . ?x dbont:birthDate ?d '
+           'FILTER (?d > "1950-12-31"^^xsd:date) }'))
+    add(_Q(32, "Which organizations were founded before 1900?", C.COMPARATIVE,
+           'SELECT ?x WHERE { ?x a dbont:Organisation . ?x dbont:foundingDate ?d '
+           'FILTER (?d < "1900-01-01"^^xsd:date) }'))
+
+    # -- aggregates (need COUNT) ------------------------------------------
+    add(_Q(33, "How many children does Bill Clinton have?", C.AGGREGATE,
+           "SELECT COUNT(?x) WHERE { res:Bill_Clinton dbont:child ?x }"))
+    add(_Q(34, "How many official languages does Switzerland have?", C.AGGREGATE,
+           "SELECT COUNT(?x) WHERE { res:Switzerland dbont:officialLanguage ?x }"))
+    add(_Q(35, "How many members does the Beatles have?", C.AGGREGATE,
+           "SELECT COUNT(?x) WHERE { res:The_Beatles dbont:bandMember ?x }"))
+
+    # -- booleans (need ASK) -----------------------------------------------
+    add(_Q(36, "Is Frank Herbert still alive?", C.BOOLEAN,
+           "ASK { res:Frank_Herbert a dbont:Person "
+           "OPTIONAL { res:Frank_Herbert dbont:deathDate ?d } FILTER (!BOUND(?d)) }",
+           ask=True))
+    add(_Q(37, "Is Berlin the capital of Germany?", C.BOOLEAN,
+           "ASK { res:Germany dbont:capital res:Berlin }", ask=True))
+    add(_Q(38, "Was Abraham Lincoln born in Washington?", C.BOOLEAN,
+           "ASK { res:Abraham_Lincoln dbont:birthPlace res:Washington_D_C }",
+           ask=True))
+    add(_Q(39, "Did Orhan Pamuk win the Nobel Prize in Literature?", C.BOOLEAN,
+           "ASK { res:Orhan_Pamuk dbont:award res:Nobel_Prize_in_Literature }",
+           ask=True))
+    add(_Q(40, "Is the Amazon longer than the Nile?", C.BOOLEAN,
+           "ASK { res:Amazon_River dbont:length ?a . res:Nile dbont:length ?n "
+           "FILTER (?a > ?n) }", ask=True))
+
+    # -- temporal (the object-property-only pattern gap, section 5) --------
+    add(_Q(41, "When did Frank Herbert die?", C.TEMPORAL,
+           "SELECT ?x WHERE { res:Frank_Herbert dbont:deathDate ?x }"))
+    add(_Q(42, "When was Albert Einstein born?", C.TEMPORAL,
+           "SELECT ?x WHERE { res:Albert_Einstein dbont:birthDate ?x }"))
+    add(_Q(43, "When was Apollo 11 launched?", C.TEMPORAL,
+           "SELECT ?x WHERE { res:Apollo_11 dbont:launchDate ?x }"))
+    add(_Q(44, "When was The Godfather released?", C.TEMPORAL,
+           "SELECT ?x WHERE { res:The_Godfather dbont:releaseDate ?x }"))
+
+    # -- multi-hop chains ---------------------------------------------------
+    add(_Q(45, "Who is the daughter of Bill Clinton married to?", C.MULTI_HOP,
+           "SELECT ?x WHERE { res:Bill_Clinton dbont:child ?c . "
+           "?c dbont:spouse ?x }"))
+    add(_Q(46, "Which country does the creator of Miffy come from?", C.MULTI_HOP,
+           "SELECT ?x WHERE { res:Miffy dbont:creator ?c . "
+           "?c dbont:nationality ?x }"))
+    add(_Q(47, "In which city was the wife of Bill Clinton born?", C.MULTI_HOP,
+           "SELECT ?x WHERE { res:Bill_Clinton dbont:spouse ?w . "
+           "?w dbont:birthPlace ?x }"))
+    add(_Q(48, "Where was the author of Dune born?", C.MULTI_HOP,
+           "SELECT ?x WHERE { res:Dune_novel dbont:author ?a . "
+           "?a dbont:birthPlace ?x }"))
+
+    # -- imperative list requests -------------------------------------------
+    add(_Q(49, "Give me all films directed by Alfred Hitchcock.", C.IMPERATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Film . ?x dbont:director res:Alfred_Hitchcock }"))
+    add(_Q(50, "Give me all soccer clubs in Spain.", C.IMPERATIVE,
+           "SELECT ?x WHERE { ?x a dbont:SoccerClub . ?x dbont:country res:Spain }"))
+    add(_Q(51, "Give me all cities in Germany.", C.IMPERATIVE,
+           "SELECT ?x WHERE { ?x a dbont:City . ?x dbont:country res:Germany }"))
+    add(_Q(52, "Give me all albums of Michael Jackson.", C.IMPERATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Album . ?x dbont:artist res:Michael_Jackson }"))
+
+    # -- relative clauses and conjunctions ------------------------------------
+    add(_Q(53, "Which books by Orhan Pamuk were published before 2000?", C.LIST,
+           'SELECT ?x WHERE { ?x a dbont:Book . ?x dbont:author res:Orhan_Pamuk . '
+           '?x dbont:publicationDate ?d FILTER (?d < "2000-01-01"^^xsd:date) }'))
+    add(_Q(54, "Who wrote books that have more than 500 pages?", C.LIST,
+           "SELECT DISTINCT ?x WHERE { ?b a dbont:Book . "
+           "?b dbont:numberOfPages ?p FILTER (?p > 500) . ?b dbont:author ?x }"))
+    add(_Q(55, "Which mountains are located in Nepal and have an elevation "
+               "above 8000 meters?", C.LIST,
+           "SELECT ?x WHERE { ?x a dbont:Mountain . ?x dbont:country res:Nepal . "
+           "?x dbont:elevation ?e FILTER (?e > 8000) }"))
+
+    # ==================================================================
+    # Out-of-scope (45): excluded exactly like the paper's 45.
+    # ==================================================================
+
+    yago = "requires a YAGO class"
+    dbp = "requires raw infobox (dbp:) properties"
+    external = "requires knowledge outside DBpedia"
+    foaf = "requires FOAF/external vocabulary"
+    nary = "requires n-ary or qualified facts"
+
+    out_of_scope = [
+        ("Which caves have more than three entrances?", C.COMPARATIVE, yago),
+        ("Give me all world heritage sites designated within the past five years.",
+         C.IMPERATIVE, yago),
+        ("Which states border Illinois?", C.LIST, dbp),
+        ("What is the official website of Tom Cruise?", C.FACTOID, foaf),
+        ("Give me all female Russian astronauts.", C.IMPERATIVE, yago),
+        ("Which U.S. states are in the same time zone as Utah?", C.LIST, dbp),
+        ("Is proinsulin a protein?", C.BOOLEAN, external),
+        ("Which airports does Air China serve?", C.LIST, dbp),
+        ("Who killed Caesar?", C.FACTOID, external),
+        ("What did Bruce Carver die from?", C.FACTOID, dbp),
+        ("Give me all school types.", C.IMPERATIVE, yago),
+        ("Which telecommunications organizations are located in Belgium?",
+         C.LIST, yago),
+        ("What is the wavelength of indigo?", C.FACTOID, external),
+        ("Who designed the Brooklyn Bridge?", C.FACTOID, dbp),
+        ("Which monarchs of the United Kingdom were married to a German?",
+         C.LIST, yago),
+        ("Give me all Argentine films.", C.IMPERATIVE, yago),
+        ("How did Michael Jackson die?", C.FACTOID, dbp),
+        ("Which professional surfers were born in Australia?", C.LIST, yago),
+        ("Give me a list of all trumpet players that were bandleaders.",
+         C.IMPERATIVE, yago),
+        ("What is the average temperature in Istanbul?", C.FACTOID, external),
+        ("Which countries adopted the Euro before 2002?", C.COMPARATIVE, nary),
+        ("Who was the 16th president of the United States?", C.FACTOID, nary),
+        ("Give me all movies with Tom Cruise released between 1990 and 1995.",
+         C.IMPERATIVE, nary),
+        ("Which daughters of British earls died in the same place they were "
+         "born in?", C.LIST, yago),
+        ("What is the second highest mountain on Earth?", C.SUPERLATIVE, nary),
+        ("Give me all people that were born in Vienna and died in Berlin.",
+         C.IMPERATIVE, external),
+        ("Which books by Kerouac were published by Viking Press?", C.LIST, dbp),
+        ("What is the melting point of copper?", C.FACTOID, external),
+        ("Which instruments did John Lennon play?", C.LIST, dbp),
+        ("Give me all companies in the advertising industry.", C.IMPERATIVE, yago),
+        ("Who invented the zipper?", C.FACTOID, external),
+        ("Which European countries have a constitutional monarchy?", C.LIST, yago),
+        ("What are the nicknames of San Francisco?", C.LIST, dbp),
+        ("Give me all B-sides of the Ramones.", C.IMPERATIVE, dbp),
+        ("Which awards did Douglas Hofstadter win?", C.LIST, external),
+        ("Was the Cuban Missile Crisis earlier than the Bay of Pigs Invasion?",
+         C.BOOLEAN, external),
+        ("Which mountain is the highest after Annapurna?", C.SUPERLATIVE, nary),
+        ("In which military conflicts did Lawrence of Arabia participate?",
+         C.LIST, external),
+        ("Which software has been developed by organizations founded in "
+         "California?", C.MULTI_HOP, yago),
+        ("Give me the capitals of all countries in Africa.", C.IMPERATIVE, yago),
+        ("Who is the youngest player in the Premier League?", C.SUPERLATIVE, nary),
+        ("How often was Michael Jordan divorced?", C.AGGREGATE, nary),
+        ("What is the founding year of the brewery that produces Pilsner "
+         "Urquell?", C.MULTI_HOP, dbp),
+        ("Which organizations are endowed with more than 10 billion dollars?",
+         C.COMPARATIVE, dbp),
+        ("Who composed the music for Harold and Maude?", C.FACTOID, external),
+    ]
+    for offset, (text, category, reason) in enumerate(out_of_scope):
+        add(_Q(56 + offset, text, category, out_of_scope_reason=reason))
+
+    assert len(questions) == 100
+    return questions
+
+
+def in_scope_questions() -> list[QaldQuestion]:
+    """The 55 questions the paper's protocol keeps."""
+    return [q for q in load_questions() if q.in_scope]

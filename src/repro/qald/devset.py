@@ -1,0 +1,67 @@
+"""Development question set (QALD-style train split).
+
+QALD-2 shipped a training set alongside the test set; the paper tuned on
+nothing explicitly, but the reproduction needs a held-out set for
+threshold studies (`benchmarks/bench_threshold_sweep.py`) that does not
+touch the 100-question benchmark.  Twenty questions, disjoint from the
+test set, same difficulty philosophy: an answerable factoid band plus the
+hard shapes.
+"""
+
+from __future__ import annotations
+
+from repro.qald.questions import QaldQuestion, QuestionCategory as C
+
+_Q = QaldQuestion
+
+
+def load_dev_questions() -> list[QaldQuestion]:
+    """The 20-question development split (qids 101-120)."""
+    return [
+        _Q(101, "How tall is Tom Cruise?", C.FACTOID,
+           "SELECT ?x WHERE { res:Tom_Cruise dbont:height ?x }"),
+        _Q(102, "Where was Steven Spielberg born?", C.FACTOID,
+           "SELECT ?x WHERE { res:Steven_Spielberg dbont:birthPlace ?x }"),
+        _Q(103, "Who directed Jaws?", C.FACTOID,
+           "SELECT ?x WHERE { res:Jaws_film dbont:director ?x }"),
+        _Q(104, "Which films were directed by Tim Burton?", C.LIST,
+           "SELECT ?x WHERE { ?x a dbont:Film . ?x dbont:director res:Tim_Burton }"),
+        _Q(105, "Who is the leader of the United Kingdom?", C.FACTOID,
+           "SELECT ?x WHERE { res:United_Kingdom dbont:leaderName ?x }"),
+        _Q(106, "What is the population of Turkey?", C.FACTOID,
+           "SELECT ?x WHERE { res:Turkey dbont:populationTotal ?x }"),
+        _Q(107, "Where did Freddie Mercury die?", C.FACTOID,
+           "SELECT ?x WHERE { res:Freddie_Mercury dbont:deathPlace ?x }"),
+        _Q(108, "How many students does Purdue University have?", C.FACTOID,
+           "SELECT ?x WHERE { res:Purdue_University dbont:numberOfStudents ?x }"),
+        _Q(109, "Which books were written by Agatha Christie?", C.LIST,
+           "SELECT ?x WHERE { ?x a dbont:Book . "
+           "?x dbont:author res:Agatha_Christie }"),
+        _Q(110, "What is the currency of Sweden?", C.FACTOID,
+           "SELECT ?x WHERE { res:Sweden dbont:currency ?x }"),
+        _Q(111, "Who founded Mojang?", C.FACTOID,
+           "SELECT ?x WHERE { res:Mojang dbont:foundedBy ?x }"),
+        _Q(112, "Where does the Mississippi start?", C.FACTOID,
+           "SELECT ?x WHERE { res:Mississippi_River dbont:sourceCountry ?x }"),
+        # Hard shapes (unanswerable by the faithful pipeline).
+        _Q(113, "Which country has the most inhabitants?", C.SUPERLATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Country . ?x dbont:populationTotal ?p } "
+           "ORDER BY DESC(?p) LIMIT 1"),
+        _Q(114, "When was IBM founded?", C.TEMPORAL,
+           "SELECT ?x WHERE { res:IBM dbont:foundingDate ?x }"),
+        _Q(115, "Is Istanbul the capital of Turkey?", C.BOOLEAN,
+           "ASK { res:Turkey dbont:capital res:Istanbul }", ask=True),
+        _Q(116, "Give me all films starring Harrison Ford.", C.IMPERATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Film . ?x dbont:starring res:Harrison_Ford }"),
+        _Q(117, "Which lakes are deeper than 500 meters?", C.COMPARATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Lake . ?x dbont:depth ?d "
+           "FILTER (?d > 500) }"),
+        _Q(118, "How many films did Steven Spielberg direct?", C.AGGREGATE,
+           "SELECT COUNT(?x) WHERE { ?x dbont:director res:Steven_Spielberg }"),
+        _Q(119, "Where was the director of Psycho born?", C.MULTI_HOP,
+           "SELECT ?x WHERE { res:Psycho_film dbont:director ?d . "
+           "?d dbont:birthPlace ?x }"),
+        _Q(120, "Which mountains have an elevation above 8500 meters?", C.COMPARATIVE,
+           "SELECT ?x WHERE { ?x a dbont:Mountain . ?x dbont:elevation ?e "
+           "FILTER (?e > 8500) }"),
+    ]

@@ -1,0 +1,166 @@
+"""QALD evaluation: run the system, compare to gold, compute Table 2.
+
+Two metric families are reported:
+
+* **paper metrics** — the computation behind Table 2: precision =
+  correct/answered, recall = answered/total ("can process" rate), F1 =
+  harmonic mean.  A question is *answered* when the system returns a
+  non-empty answer set, and *correct* when that set equals the gold set.
+* **macro metrics** — the standard QALD per-question precision/recall
+  averaged over all questions (empty answer -> 0 unless gold is empty),
+  included because later QALD campaigns report these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import Answer, QuestionAnsweringSystem
+from repro.kb.builder import KnowledgeBase
+from repro.qald.questions import QaldQuestion
+from repro.rdf.terms import Term
+from repro.sparql.results import AskResult, SelectResult
+
+
+@dataclass
+class QuestionOutcome:
+    """One question's gold vs system comparison."""
+
+    question: QaldQuestion
+    gold: frozenset[Term] | bool
+    predicted: frozenset[Term]
+    answered: bool
+    correct: bool
+    system_answer: Answer | None = None
+
+    @property
+    def precision(self) -> float:
+        if isinstance(self.gold, bool):
+            return 1.0 if self.correct else 0.0
+        if not self.predicted:
+            return 1.0 if not self.gold else 0.0
+        return len(self.predicted & self.gold) / len(self.predicted)
+
+    @property
+    def recall(self) -> float:
+        if isinstance(self.gold, bool):
+            return 1.0 if self.correct else 0.0
+        if not self.gold:
+            return 1.0 if not self.predicted else 0.0
+        return len(self.predicted & self.gold) / len(self.gold)
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregate metrics over the in-scope questions."""
+
+    outcomes: list[QuestionOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def answered(self) -> int:
+        return sum(1 for o in self.outcomes if o.answered)
+
+    @property
+    def correct(self) -> int:
+        return sum(1 for o in self.outcomes if o.answered and o.correct)
+
+    # -- the paper's Table 2 computation ---------------------------------
+
+    @property
+    def paper_precision(self) -> float:
+        return self.correct / self.answered if self.answered else 0.0
+
+    @property
+    def paper_recall(self) -> float:
+        return self.answered / self.total if self.total else 0.0
+
+    @property
+    def paper_f1(self) -> float:
+        p, r = self.paper_precision, self.paper_recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    # -- standard macro metrics --------------------------------------------
+
+    @property
+    def macro_precision(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.precision for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def macro_recall(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.recall for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def macro_f1(self) -> float:
+        p, r = self.macro_precision, self.macro_recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def by_category(self) -> dict[str, tuple[int, int, int]]:
+        """category -> (total, answered, correct)."""
+        stats: dict[str, list[int]] = {}
+        for outcome in self.outcomes:
+            bucket = stats.setdefault(outcome.question.category.value, [0, 0, 0])
+            bucket[0] += 1
+            if outcome.answered:
+                bucket[1] += 1
+                if outcome.correct:
+                    bucket[2] += 1
+        return {key: tuple(value) for key, value in sorted(stats.items())}
+
+
+class QaldEvaluator:
+    """Runs the benchmark protocol against a QA system."""
+
+    def __init__(self, kb: KnowledgeBase, system: QuestionAnsweringSystem) -> None:
+        self._kb = kb
+        self._system = system
+
+    def gold_answers(self, question: QaldQuestion) -> frozenset[Term] | bool:
+        """Execute the gold SPARQL; returns the answer set (or bool)."""
+        if question.gold_query is None:
+            raise ValueError(f"question {question.qid} is out of scope")
+        result = self._kb.engine.query(question.gold_query)
+        if isinstance(result, AskResult):
+            return result.value
+        assert isinstance(result, SelectResult)
+        [variable] = result.variables
+        return frozenset(
+            term for term in result.column(variable) if term is not None
+        )
+
+    def evaluate_question(self, question: QaldQuestion) -> QuestionOutcome:
+        gold = self.gold_answers(question)
+        system_answer = self._system.answer(question.text)
+        predicted = frozenset(system_answer.answers)
+        answered = system_answer.answered
+        if isinstance(gold, bool):
+            # The faithful pipeline never produces booleans; the
+            # boolean-questions extension sets Answer.boolean when enabled.
+            correct = (
+                system_answer.boolean is not None
+                and system_answer.boolean == gold
+            )
+        else:
+            correct = bool(predicted) and predicted == gold
+        return QuestionOutcome(
+            question=question,
+            gold=gold,
+            predicted=predicted,
+            answered=answered,
+            correct=correct,
+            system_answer=system_answer,
+        )
+
+    def evaluate(self, questions: list[QaldQuestion]) -> EvaluationResult:
+        result = EvaluationResult()
+        for question in questions:
+            if question.in_scope:
+                result.outcomes.append(self.evaluate_question(question))
+        return result

@@ -1,0 +1,50 @@
+"""Benchmark question model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class QuestionCategory(enum.Enum):
+    """Question shape, following the QALD-2 taxonomy."""
+
+    FACTOID = "factoid"            # single-relation lookup
+    LIST = "list"                  # multiple answers expected
+    SUPERLATIVE = "superlative"    # needs ORDER BY / argmax
+    COMPARATIVE = "comparative"    # needs FILTER on values
+    AGGREGATE = "aggregate"        # needs COUNT
+    BOOLEAN = "boolean"            # yes/no (ASK)
+    TEMPORAL = "temporal"          # date-valued answer
+    MULTI_HOP = "multi-hop"        # chained relations
+    IMPERATIVE = "imperative"      # "Give me all ..."
+
+
+@dataclass(frozen=True)
+class QaldQuestion:
+    """One benchmark question.
+
+    ``gold_query`` is SPARQL over the mini-DBpedia producing the gold
+    answer set (or the gold boolean for ``ask`` questions).  Out-of-scope
+    questions (YAGO classes, raw infobox properties, external data — the 45
+    the paper excluded) carry ``gold_query=None`` plus the exclusion reason.
+    """
+
+    qid: int
+    text: str
+    category: QuestionCategory
+    gold_query: str | None = None
+    ask: bool = False
+    out_of_scope_reason: str | None = None
+
+    @property
+    def in_scope(self) -> bool:
+        return self.gold_query is not None
+
+    def __post_init__(self) -> None:
+        if self.gold_query is None and self.out_of_scope_reason is None:
+            raise ValueError(
+                f"question {self.qid} needs a gold query or an exclusion reason"
+            )
+        if self.gold_query is not None and self.out_of_scope_reason is not None:
+            raise ValueError(f"question {self.qid} cannot be both in and out of scope")

@@ -1,0 +1,110 @@
+"""Human-readable reports: Table 2 and per-question outcome listings."""
+
+from __future__ import annotations
+
+from repro.qald.evaluate import EvaluationResult, QuestionOutcome
+
+#: The numbers the paper reports in Table 2, for side-by-side display.
+PAPER_TABLE2 = {"precision": 0.83, "recall": 0.32, "f1": 0.46}
+
+
+def format_table2(result: EvaluationResult) -> str:
+    """Render the reproduction of Table 2 next to the paper's numbers."""
+    lines = [
+        "Table 2 — Precision, Recall and F1 (paper protocol)",
+        "",
+        f"{'':24s}{'Precision':>12s}{'Recall':>10s}{'F1':>8s}",
+        (
+            f"{'Paper (QALD-2 subset)':24s}"
+            f"{PAPER_TABLE2['precision']:>11.0%} {PAPER_TABLE2['recall']:>9.0%}"
+            f"{PAPER_TABLE2['f1']:>8.0%}"
+        ),
+        (
+            f"{'This reproduction':24s}"
+            f"{result.paper_precision:>11.0%} {result.paper_recall:>9.0%}"
+            f"{result.paper_f1:>8.0%}"
+        ),
+        "",
+        (
+            f"questions: {result.total}  answered: {result.answered}  "
+            f"correct: {result.correct}"
+        ),
+        (
+            f"macro (standard QALD): P={result.macro_precision:.2f} "
+            f"R={result.macro_recall:.2f} F1={result.macro_f1:.2f}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def format_outcomes(result: EvaluationResult, verbose: bool = False) -> str:
+    """One line per question: status, id, text (and answers when verbose)."""
+    lines = []
+    for outcome in result.outcomes:
+        if not outcome.answered:
+            status = "UNANSWERED"
+        elif outcome.correct:
+            status = "CORRECT   "
+        else:
+            status = "WRONG     "
+        line = f"{status} Q{outcome.question.qid:<3d} {outcome.question.text}"
+        if verbose and outcome.answered:
+            predicted = sorted(_short(t) for t in outcome.predicted)
+            line += f"\n            system: {predicted}"
+            if not isinstance(outcome.gold, bool):
+                line += f"\n            gold:   {sorted(_short(t) for t in outcome.gold)}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_category_breakdown(result: EvaluationResult) -> str:
+    """Per-category totals: where the coverage limits bite."""
+    lines = [f"{'category':14s}{'total':>7s}{'answered':>10s}{'correct':>9s}"]
+    for category, (total, answered, correct) in result.by_category().items():
+        lines.append(f"{category:14s}{total:>7d}{answered:>10d}{correct:>9d}")
+    return "\n".join(lines)
+
+
+def _short(term) -> str:
+    local = getattr(term, "local_name", None)
+    return local if local is not None else str(term)
+
+
+def to_json_dict(result: EvaluationResult) -> dict:
+    """Machine-readable evaluation record (for EXPERIMENTS.md regeneration
+    and external analysis)."""
+    return {
+        "protocol": "paper-table2",
+        "paper": dict(PAPER_TABLE2),
+        "measured": {
+            "total": result.total,
+            "answered": result.answered,
+            "correct": result.correct,
+            "precision": round(result.paper_precision, 4),
+            "recall": round(result.paper_recall, 4),
+            "f1": round(result.paper_f1, 4),
+            "macro_precision": round(result.macro_precision, 4),
+            "macro_recall": round(result.macro_recall, 4),
+            "macro_f1": round(result.macro_f1, 4),
+        },
+        "by_category": {
+            category: {"total": t, "answered": a, "correct": c}
+            for category, (t, a, c) in result.by_category().items()
+        },
+        "questions": [
+            {
+                "qid": outcome.question.qid,
+                "text": outcome.question.text,
+                "category": outcome.question.category.value,
+                "answered": outcome.answered,
+                "correct": outcome.correct,
+                "predicted": sorted(_short(t) for t in outcome.predicted),
+                "gold": (
+                    outcome.gold
+                    if isinstance(outcome.gold, bool)
+                    else sorted(_short(t) for t in outcome.gold)
+                ),
+            }
+            for outcome in result.outcomes
+        ],
+    }

@@ -1,0 +1,72 @@
+"""In-memory RDF substrate.
+
+This package replaces the live DBpedia endpoint of the paper with a local
+triple store.  It provides the RDF data model (:mod:`repro.rdf.terms`), a
+dictionary-encoded, triple-indexed graph (:mod:`repro.rdf.graph`), common
+namespaces (:mod:`repro.rdf.namespaces`), typed-literal handling
+(:mod:`repro.rdf.datatypes`) and N-Triples serialisation
+(:mod:`repro.rdf.ntriples`).
+"""
+
+from repro.rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    Term,
+    Triple,
+    Variable,
+)
+from repro.rdf.namespaces import (
+    DBO,
+    DBP,
+    DBR,
+    FOAF,
+    Namespace,
+    PREFIXES,
+    RDF,
+    RDFS,
+    XSD,
+    expand_curie,
+    shrink_iri,
+)
+from repro.rdf.graph import Graph
+from repro.rdf.datatypes import literal_value, make_literal
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    read_ntriples,
+    serialize_ntriples,
+    write_ntriples,
+)
+from repro.rdf.turtle import parse_turtle, serialize_turtle, write_turtle
+from repro.rdf.inference import materialize_rdfs
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BNode",
+    "Variable",
+    "Triple",
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "FOAF",
+    "DBO",
+    "DBP",
+    "DBR",
+    "PREFIXES",
+    "expand_curie",
+    "shrink_iri",
+    "Graph",
+    "make_literal",
+    "literal_value",
+    "parse_ntriples",
+    "read_ntriples",
+    "serialize_ntriples",
+    "write_ntriples",
+    "parse_turtle",
+    "serialize_turtle",
+    "write_turtle",
+    "materialize_rdfs",
+]

@@ -1,0 +1,99 @@
+"""Typed-literal construction and native-value conversion.
+
+DBpedia data properties carry ``xsd`` datatypes (heights as doubles,
+population counts as integers, death dates as dates).  The expected-type
+checker of the paper (section 2.3.2) needs to recognise numeric and date
+answers, so literal/value conversion lives here in one place.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.rdf.namespaces import XSD
+from repro.rdf.terms import Literal
+
+XSD_STRING = XSD.string.value
+XSD_INTEGER = XSD.integer.value
+XSD_INT = XSD.int.value
+XSD_NON_NEG_INTEGER = XSD.nonNegativeInteger.value
+XSD_DOUBLE = XSD.double.value
+XSD_DECIMAL = XSD.decimal.value
+XSD_FLOAT = XSD.float.value
+XSD_BOOLEAN = XSD.boolean.value
+XSD_DATE = XSD.date.value
+XSD_DATETIME = XSD.dateTime.value
+XSD_GYEAR = XSD.gYear.value
+
+_INTEGER_TYPES = {XSD_INTEGER, XSD_INT, XSD_NON_NEG_INTEGER}
+_DECIMAL_TYPES = {XSD_DOUBLE, XSD_DECIMAL, XSD_FLOAT}
+NUMERIC_DATATYPES = _INTEGER_TYPES | _DECIMAL_TYPES
+DATE_DATATYPES = {XSD_DATE, XSD_DATETIME, XSD_GYEAR}
+
+
+def make_literal(value: Any, language: str | None = None) -> Literal:
+    """Build a :class:`Literal` from a native Python value.
+
+    Chooses the xsd datatype from the Python type; plain strings become
+    untyped (optionally language-tagged) literals.
+
+    >>> make_literal(198).n3()
+    '"198"^^<http://www.w3.org/2001/XMLSchema#integer>'
+    >>> make_literal("Orhan Pamuk", language="en").n3()
+    '"Orhan Pamuk"@en'
+    """
+    if isinstance(value, Literal):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    if isinstance(value, _dt.datetime):
+        return Literal(value.isoformat(), datatype=XSD_DATETIME)
+    if isinstance(value, _dt.date):
+        return Literal(value.isoformat(), datatype=XSD_DATE)
+    if isinstance(value, str):
+        return Literal(value, language=language)
+    raise TypeError(f"cannot build a literal from {type(value).__name__}")
+
+
+def literal_value(literal: Literal) -> Any:
+    """Convert a literal to its native Python value.
+
+    Falls back to the lexical string when the datatype is unknown or the
+    lexical form does not parse — the store never hard-fails on dirty data,
+    matching how the original system tolerated noisy DBpedia literals.
+    """
+    datatype = literal.datatype
+    lexical = literal.lexical
+    if datatype is None or datatype == XSD_STRING:
+        return lexical
+    try:
+        if datatype in _INTEGER_TYPES:
+            return int(lexical)
+        if datatype in _DECIMAL_TYPES:
+            return float(lexical)
+        if datatype == XSD_BOOLEAN:
+            return lexical.strip().lower() in ("true", "1")
+        if datatype == XSD_DATE:
+            return _dt.date.fromisoformat(lexical)
+        if datatype == XSD_DATETIME:
+            return _dt.datetime.fromisoformat(lexical)
+        if datatype == XSD_GYEAR:
+            return int(lexical)
+    except ValueError:
+        return lexical
+    return lexical
+
+
+def is_numeric_literal(literal: Literal) -> bool:
+    """True for literals whose datatype is an xsd numeric type."""
+    return literal.datatype in NUMERIC_DATATYPES
+
+
+def is_date_literal(literal: Literal) -> bool:
+    """True for literals whose datatype is an xsd date/time type."""
+    return literal.datatype in DATE_DATATYPES

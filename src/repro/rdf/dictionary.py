@@ -1,0 +1,51 @@
+"""Dictionary encoding of RDF terms.
+
+Each distinct term gets a dense integer id; the triple indexes store only
+ids.  This mirrors how disk-based stores (and DBpedia's own Virtuoso
+backend) keep their indexes small, and it makes triple equality in the join
+executor an integer comparison.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import Term
+
+
+class TermDictionary:
+    """A bidirectional term <-> id mapping with dense, append-only ids."""
+
+    def __init__(self) -> None:
+        self._term_to_id: dict[Term, int] = {}
+        self._id_to_term: list[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def encode(self, term: Term) -> int:
+        """Return the id for ``term``, minting a new one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def lookup(self, term: Term) -> int | None:
+        """Return the id for ``term`` or None when it was never interned.
+
+        Unlike :meth:`encode` this never mutates the dictionary, so it is
+        safe to use on the query path: an unseen constant in a query simply
+        matches nothing.
+        """
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """Return the term for a previously minted id."""
+        try:
+            return self._id_to_term[term_id]
+        except IndexError:
+            raise KeyError(f"no term with id {term_id}") from None

@@ -1,0 +1,125 @@
+"""RDFS forward-chaining materialisation.
+
+The KB builder materialises the type closure for declarative records; data
+loaded from N-Triples/Turtle files arrives raw.  This module applies the
+two RDFS entailment rules DBpedia itself materialises, directly on a
+graph:
+
+* **rdfs9**  — ``(x rdf:type C), (C rdfs:subClassOf D) -> (x rdf:type D)``
+* **rdfs7**  — ``(x P y), (P rdfs:subPropertyOf Q) -> (x Q y)``
+
+plus the domain/range typing rules (rdfs2/rdfs3) as an opt-in, since noisy
+data can propagate wrong types through them.  Rules run to fixpoint; the
+subclass/subproperty axioms are read from the same graph (the T-Box lives
+beside the A-Box, as in DBpedia dumps).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespaces import RDF, RDFS
+from repro.rdf.terms import IRI, Triple
+
+
+def _transitive_closure(parents: dict[IRI, set[IRI]]) -> dict[IRI, set[IRI]]:
+    closure: dict[IRI, set[IRI]] = {}
+
+    def ancestors(node: IRI, seen: frozenset[IRI]) -> set[IRI]:
+        if node in closure:
+            return closure[node]
+        out: set[IRI] = set()
+        for parent in parents.get(node, ()):
+            if parent in seen:
+                continue  # tolerate cycles in dirty data
+            out.add(parent)
+            out |= ancestors(parent, seen | {parent})
+        closure[node] = out
+        return out
+
+    for node in list(parents):
+        ancestors(node, frozenset({node}))
+    return closure
+
+
+def materialize_subclass_closure(graph: Graph) -> int:
+    """Apply rdfs9 to fixpoint; returns the number of triples added.
+
+    >>> from repro.rdf import DBO, DBR
+    >>> g = Graph([
+    ...     Triple(DBO.Writer, RDFS.subClassOf, DBO.Person),
+    ...     Triple(DBR.Orhan_Pamuk, RDF.type, DBO.Writer),
+    ... ])
+    >>> materialize_subclass_closure(g)
+    1
+    >>> Triple(DBR.Orhan_Pamuk, RDF.type, DBO.Person) in g
+    True
+    """
+    parents: dict[IRI, set[IRI]] = defaultdict(set)
+    for triple in graph.match(None, RDFS.subClassOf, None):
+        if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+            parents[triple.subject].add(triple.object)
+    closure = _transitive_closure(parents)
+
+    added = 0
+    for triple in list(graph.match(None, RDF.type, None)):
+        for ancestor in closure.get(triple.object, ()):
+            if graph.add(Triple(triple.subject, RDF.type, ancestor)):
+                added += 1
+    return added
+
+
+def materialize_subproperty_closure(graph: Graph) -> int:
+    """Apply rdfs7 to fixpoint; returns the number of triples added."""
+    parents: dict[IRI, set[IRI]] = defaultdict(set)
+    for triple in graph.match(None, RDFS.subPropertyOf, None):
+        if isinstance(triple.subject, IRI) and isinstance(triple.object, IRI):
+            parents[triple.subject].add(triple.object)
+    closure = _transitive_closure(parents)
+
+    added = 0
+    for property_iri, ancestors in closure.items():
+        for triple in list(graph.match(None, property_iri, None)):
+            for ancestor in ancestors:
+                if graph.add(Triple(triple.subject, ancestor, triple.object)):
+                    added += 1
+    return added
+
+
+def materialize_domain_range_types(graph: Graph) -> int:
+    """Apply rdfs2/rdfs3: type subjects by property domains and IRI
+    objects by property ranges.  Opt-in — call only on trusted data."""
+    domains: dict[IRI, set[IRI]] = defaultdict(set)
+    ranges: dict[IRI, set[IRI]] = defaultdict(set)
+    for triple in graph.match(None, RDFS.domain, None):
+        if isinstance(triple.object, IRI):
+            domains[triple.subject].add(triple.object)
+    for triple in graph.match(None, RDFS.range, None):
+        if isinstance(triple.object, IRI):
+            ranges[triple.subject].add(triple.object)
+
+    added = 0
+    for property_iri in set(domains) | set(ranges):
+        for triple in list(graph.match(None, property_iri, None)):
+            for cls in domains.get(property_iri, ()):
+                if graph.add(Triple(triple.subject, RDF.type, cls)):
+                    added += 1
+            if isinstance(triple.object, IRI):
+                for cls in ranges.get(property_iri, ()):
+                    if graph.add(Triple(triple.object, RDF.type, cls)):
+                        added += 1
+    return added
+
+
+def materialize_rdfs(graph: Graph, include_domain_range: bool = False) -> int:
+    """Run the rule set to fixpoint; returns total triples added."""
+    total = 0
+    while True:
+        added = materialize_subproperty_closure(graph)
+        added += materialize_subclass_closure(graph)
+        if include_domain_range:
+            added += materialize_domain_range_types(graph)
+        total += added
+        if added == 0:
+            return total

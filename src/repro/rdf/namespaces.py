@@ -1,0 +1,114 @@
+"""Namespace helpers and the vocabularies used throughout the reproduction.
+
+Mirrors the prefixes of the paper: ``dbont:`` (which modern DBpedia writes
+``dbo:``) for the ontology, ``res:``/``dbr:`` for resources, plus the RDF,
+RDFS, XSD and FOAF standards.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """A base IRI that mints terms by attribute or item access.
+
+    >>> DBO = Namespace("http://dbpedia.org/ontology/")
+    >>> DBO.writer
+    IRI(value='http://dbpedia.org/ontology/writer')
+    >>> DBO["birthPlace"].local_name
+    'birthPlace'
+    """
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, local_name: str) -> IRI:
+        return IRI(self._base + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return self.term(local_name)
+
+    def __getattr__(self, local_name: str) -> IRI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __contains__(self, iri: IRI | str) -> bool:
+        value = iri.value if isinstance(iri, IRI) else iri
+        return value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+#: DBpedia ontology — the paper's ``dbont:`` prefix.
+DBO = Namespace("http://dbpedia.org/ontology/")
+#: DBpedia raw infobox properties.
+DBP = Namespace("http://dbpedia.org/property/")
+#: DBpedia resources — the paper's ``res:`` prefix.
+DBR = Namespace("http://dbpedia.org/resource/")
+
+#: Prefix table used by the SPARQL parser and the serialisers.
+PREFIXES: dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "foaf": FOAF,
+    "dbo": DBO,
+    "dbont": DBO,  # the paper's spelling
+    "dbp": DBP,
+    "dbr": DBR,
+    "res": DBR,  # the paper's spelling
+}
+
+
+def expand_curie(curie: str, prefixes: dict[str, Namespace] | None = None) -> IRI:
+    """Expand ``prefix:local`` into a full IRI.
+
+    >>> expand_curie("dbo:writer").value
+    'http://dbpedia.org/ontology/writer'
+    """
+    table = prefixes if prefixes is not None else PREFIXES
+    prefix, sep, local = curie.partition(":")
+    if not sep:
+        raise ValueError(f"not a CURIE (missing colon): {curie!r}")
+    try:
+        namespace = table[prefix]
+    except KeyError:
+        raise ValueError(f"unknown prefix {prefix!r} in {curie!r}") from None
+    return namespace.term(local)
+
+
+def shrink_iri(iri: IRI | str, prefixes: dict[str, Namespace] | None = None) -> str:
+    """Render an IRI as a CURIE when a known prefix matches, else ``<iri>``.
+
+    Prefers the canonical prefix names (longest matching base, first entry in
+    the table order for ties), so DBO IRIs render as ``dbo:`` not ``dbont:``.
+    """
+    table = prefixes if prefixes is not None else PREFIXES
+    value = iri.value if isinstance(iri, IRI) else iri
+    best: tuple[int, str, str] | None = None
+    seen_bases: set[str] = set()
+    for prefix, namespace in table.items():
+        if namespace.base in seen_bases:
+            continue
+        seen_bases.add(namespace.base)
+        if value.startswith(namespace.base):
+            candidate = (len(namespace.base), prefix, value[len(namespace.base):])
+            if best is None or candidate[0] > best[0]:
+                best = candidate
+    if best is None:
+        return f"<{value}>"
+    _, prefix, local = best
+    return f"{prefix}:{local}"

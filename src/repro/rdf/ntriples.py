@@ -1,0 +1,141 @@
+"""N-Triples reading and writing.
+
+The curated knowledge base can be exported/imported as ``.nt`` so users can
+swap in their own data (see ``examples/build_your_own_kb.py``).  The parser
+accepts the N-Triples core grammar: IRIs, blank nodes, and literals with
+optional language tag or datatype, plus ``#`` comments and blank lines.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
+
+_IRI_RE = r"<(?P<{0}_iri>[^<>\s]*)>"
+_BNODE_RE = r"_:(?P<{0}_bnode>[A-Za-z][A-Za-z0-9]*)"
+_LITERAL_RE = (
+    r'"(?P<obj_lex>(?:[^"\\]|\\.)*)"'
+    r"(?:\^\^<(?P<obj_dt>[^<>\s]*)>|@(?P<obj_lang>[A-Za-z]+(?:-[A-Za-z0-9]+)*))?"
+)
+
+_LINE_RE = re.compile(
+    r"^\s*"
+    + r"(?:" + _IRI_RE.format("subj") + r"|" + _BNODE_RE.format("subj") + r")"
+    + r"\s+"
+    + _IRI_RE.format("pred")
+    + r"\s+"
+    + r"(?:"
+    + _IRI_RE.format("obj")
+    + r"|"
+    + _BNODE_RE.format("obj")
+    + r"|"
+    + _LITERAL_RE
+    + r")"
+    + r"\s*\.\s*$"
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+class NTriplesError(ValueError):
+    """Raised when a line cannot be parsed, with its line number."""
+
+    def __init__(self, line_number: int, line: str) -> None:
+        super().__init__(f"malformed N-Triples at line {line_number}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def _unescape(lexical: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(lexical):
+        pair = lexical[i:i + 2]
+        if pair in _ESCAPES:
+            out.append(_ESCAPES[pair])
+            i += 2
+        elif pair == "\\u":
+            out.append(chr(int(lexical[i + 2:i + 6], 16)))
+            i += 6
+        elif pair == "\\U":
+            out.append(chr(int(lexical[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            out.append(lexical[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples source text, yielding triples.
+
+    >>> list(parse_ntriples('<http://e/a> <http://e/p> "v" .'))[0].object.lexical
+    'v'
+    """
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise NTriplesError(line_number, raw_line)
+        groups = match.groupdict()
+
+        subject: Term
+        if groups["subj_iri"] is not None:
+            subject = IRI(groups["subj_iri"])
+        else:
+            subject = BNode(groups["subj_bnode"])
+
+        predicate = IRI(groups["pred_iri"])
+
+        obj: Term
+        if groups["obj_iri"] is not None:
+            obj = IRI(groups["obj_iri"])
+        elif groups["obj_bnode"] is not None:
+            obj = BNode(groups["obj_bnode"])
+        else:
+            obj = Literal(
+                _unescape(groups["obj_lex"]),
+                datatype=groups["obj_dt"],
+                language=groups["obj_lang"],
+            )
+        yield Triple(subject, predicate, obj)
+
+
+def read_ntriples(source: str | Path | TextIO) -> Iterator[Triple]:
+    """Read triples from a path or an open text handle."""
+    if isinstance(source, (str, Path)):
+        with open(source, encoding="utf-8") as handle:
+            yield from parse_ntriples(handle.read())
+    else:
+        yield from parse_ntriples(source.read())
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Render triples as N-Triples text (one statement per line)."""
+    return "".join(f"{triple.n3()}\n" for triple in triples)
+
+
+def write_ntriples(triples: Iterable[Triple], destination: str | Path | TextIO) -> int:
+    """Write triples to a path or handle; returns the number written."""
+    count = 0
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            for triple in triples:
+                handle.write(f"{triple.n3()}\n")
+                count += 1
+    else:
+        for triple in triples:
+            destination.write(f"{triple.n3()}\n")
+            count += 1
+    return count

@@ -1,0 +1,183 @@
+"""RDF term model: IRIs, literals, blank nodes, variables and triples.
+
+Terms are immutable, hashable dataclasses so they can live in the store's
+dictionary encoding and in set-based query bindings.  ``Variable`` is not an
+RDF term proper but is part of the SPARQL data model; keeping it here lets
+triple *patterns* and concrete triples share one ``Triple`` type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class Term:
+    """Marker base class for everything that can fill a triple slot."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IRI(Term):
+    """An IRI reference, e.g. ``http://dbpedia.org/ontology/writer``.
+
+    >>> IRI("http://example.org/a").n3()
+    '<http://example.org/a>'
+    """
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    def n3(self) -> str:
+        """N-Triples / SPARQL surface form."""
+        return f"<{self.value}>"
+
+    @property
+    def local_name(self) -> str:
+        """The fragment after the last ``/`` or ``#`` — e.g. ``writer``."""
+        value = self.value
+        for sep in ("#", "/"):
+            if sep in value:
+                return value.rsplit(sep, 1)[1]
+        return value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """A literal with optional datatype IRI or language tag.
+
+    ``datatype`` and ``language`` are mutually exclusive, matching RDF 1.0
+    semantics (the paper's DBpedia vintage).
+
+    >>> Literal("1.98", datatype="http://www.w3.org/2001/XMLSchema#double").n3()
+    '"1.98"^^<http://www.w3.org/2001/XMLSchema#double>'
+    """
+
+    lexical: str
+    datatype: str | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.datatype and self.language:
+            raise ValueError("a literal cannot carry both datatype and language")
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.datatype:
+            return f'"{escaped}"^^<{self.datatype}>'
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+_BNODE_COUNTER = 0
+
+
+def _next_bnode_id() -> str:
+    global _BNODE_COUNTER
+    _BNODE_COUNTER += 1
+    return f"b{_BNODE_COUNTER}"
+
+
+@dataclass(frozen=True, slots=True)
+class BNode(Term):
+    """A blank node.  Fresh labels are generated when none is supplied."""
+
+    label: str = field(default_factory=_next_bnode_id)
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A SPARQL variable such as ``?x`` (stored without the ``?``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name.startswith(("?", "$")):
+            raise ValueError(f"variable name must be bare (got {self.name!r})")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return self.n3()
+
+
+#: A slot of a concrete triple (no variables allowed).
+GroundTerm = Union[IRI, Literal, BNode]
+#: A slot of a triple pattern (variables allowed).
+PatternTerm = Union[IRI, Literal, BNode, Variable]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """An (s, p, o) statement or pattern.
+
+    Used both for asserted triples (all slots ground) and for SPARQL basic
+    graph pattern entries (slots may be :class:`Variable`).
+    """
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def __post_init__(self) -> None:
+        for slot_name, slot in (
+            ("subject", self.subject),
+            ("predicate", self.predicate),
+            ("object", self.object),
+        ):
+            if not isinstance(slot, Term):
+                raise TypeError(
+                    f"triple {slot_name} must be a Term, got {type(slot).__name__}"
+                )
+        if isinstance(self.subject, Literal):
+            raise ValueError("a literal cannot be the subject of a triple")
+        if isinstance(self.predicate, (Literal, BNode)):
+            raise ValueError("a triple predicate must be an IRI or variable")
+
+    def is_ground(self) -> bool:
+        """True when no slot is a variable (i.e. this is an asserted fact)."""
+        return not any(
+            isinstance(slot, Variable)
+            for slot in (self.subject, self.predicate, self.object)
+        )
+
+    def variables(self) -> set[Variable]:
+        """The set of variables appearing in this pattern."""
+        return {
+            slot
+            for slot in (self.subject, self.predicate, self.object)
+            if isinstance(slot, Variable)
+        }
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __str__(self) -> str:
+        return self.n3()

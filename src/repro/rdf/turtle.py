@@ -1,0 +1,239 @@
+"""Turtle-subset serialisation: prefixed, grouped, human-readable exports.
+
+N-Triples (:mod:`repro.rdf.ntriples`) is the interchange format; Turtle is
+the *inspection* format — prefixes, one subject block per resource,
+``a`` for ``rdf:type``, ``;``/``,`` grouping.  The writer emits exactly the
+subset the reader parses, so exports round-trip.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.rdf.namespaces import Namespace, PREFIXES, RDF
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple
+
+_CANONICAL_ORDER = ("rdf", "rdfs", "xsd", "foaf", "dbo", "dbp", "dbr")
+
+#: Characters allowed in a prefixed local name without escaping.
+_SAFE_LOCAL = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-."
+)
+
+
+def _used_prefixes(triples: list[Triple]) -> dict[str, Namespace]:
+    used: dict[str, Namespace] = {}
+    seen_bases: set[str] = set()
+    ordered = [
+        (name, PREFIXES[name]) for name in _CANONICAL_ORDER if name in PREFIXES
+    ]
+    for name, namespace in ordered:
+        if namespace.base in seen_bases:
+            continue
+        for triple in triples:
+            if any(
+                isinstance(term, IRI) and term in namespace
+                for term in triple
+            ) or any(
+                isinstance(term, Literal) and term.datatype
+                and term.datatype.startswith(namespace.base)
+                for term in triple
+            ):
+                used[name] = namespace
+                seen_bases.add(namespace.base)
+                break
+    return used
+
+
+def _render_term(term: Term, prefixes: dict[str, Namespace]) -> str:
+    if isinstance(term, IRI):
+        for name, namespace in prefixes.items():
+            if term in namespace:
+                local = term.value[len(namespace.base):]
+                if local and all(ch in _SAFE_LOCAL for ch in local) and not local.endswith("."):
+                    return f"{name}:{local}"
+        return term.n3()
+    if isinstance(term, Literal) and term.datatype:
+        for name, namespace in prefixes.items():
+            if term.datatype.startswith(namespace.base):
+                local = term.datatype[len(namespace.base):]
+                lexical = Literal(term.lexical).n3()
+                return f"{lexical}^^{name}:{local}"
+        return term.n3()
+    return term.n3()
+
+
+def serialize_turtle(triples: Iterable[Triple]) -> str:
+    """Render triples as Turtle with prefixes and subject grouping.
+
+    >>> from repro.rdf import DBO, DBR
+    >>> print(serialize_turtle([Triple(DBR.Snow, RDF.type, DBO.Book)]))
+    @prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+    @prefix dbo: <http://dbpedia.org/ontology/> .
+    @prefix dbr: <http://dbpedia.org/resource/> .
+    <BLANKLINE>
+    dbr:Snow a dbo:Book .
+    """
+    triples = list(triples)
+    prefixes = _used_prefixes(triples)
+
+    lines = [f"@prefix {name}: <{ns.base}> ." for name, ns in prefixes.items()]
+    if lines:
+        lines.append("")
+
+    by_subject: dict[Term, dict[Term, list[Term]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    subject_order: list[Term] = []
+    for triple in triples:
+        if triple.subject not in by_subject:
+            subject_order.append(triple.subject)
+        bucket = by_subject[triple.subject][triple.predicate]
+        if triple.object not in bucket:
+            bucket.append(triple.object)
+
+    for subject in subject_order:
+        subject_text = _render_term(subject, prefixes)
+        predicate_lines = []
+        for predicate, objects in by_subject[subject].items():
+            predicate_text = (
+                "a" if predicate == RDF.type
+                else _render_term(predicate, prefixes)
+            )
+            object_text = ", ".join(
+                _render_term(obj, prefixes) for obj in objects
+            )
+            predicate_lines.append(f"{predicate_text} {object_text}")
+        if len(predicate_lines) == 1:
+            lines.append(f"{subject_text} {predicate_lines[0]} .")
+        else:
+            lines.append(f"{subject_text} {predicate_lines[0]} ;")
+            for middle in predicate_lines[1:-1]:
+                indent = " " * (len(subject_text) + 1)
+                lines.append(f"{indent}{middle} ;")
+            indent = " " * (len(subject_text) + 1)
+            lines.append(f"{indent}{predicate_lines[-1]} .")
+    return "\n".join(lines)
+
+
+def write_turtle(triples: Iterable[Triple], destination: str | Path | TextIO) -> None:
+    """Write Turtle to a path or open handle."""
+    text = serialize_turtle(triples)
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        destination.write(text + "\n")
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Parse the Turtle subset the writer emits.
+
+    Supports ``@prefix`` declarations, subject blocks with ``;``/``,``
+    grouping, the ``a`` shorthand, prefixed names, IRIs and literals with
+    language tags or (prefixed) datatypes.  This is deliberately *not* a
+    full Turtle parser — it guarantees round-tripping of this module's own
+    output and of similarly simple hand-written files.
+    """
+    from repro.sparql.lexer import tokenize
+    from repro.sparql.errors import SparqlParseError
+
+    prefixes: dict[str, Namespace] = {}
+    # Reuse the SPARQL tokeniser: Turtle's term syntax is the same subset.
+    statements = _split_statements(text)
+    for statement in statements:
+        stripped = statement.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("@prefix"):
+            __, name_part, iri_part = stripped.split(None, 2)
+            prefixes[name_part.rstrip(":")] = Namespace(iri_part.strip().strip("<>"))
+            continue
+        try:
+            tokens = [t for t in tokenize(stripped) if t.kind != "EOF"]
+        except SparqlParseError as exc:
+            raise ValueError(f"cannot parse turtle statement {stripped!r}: {exc}")
+        yield from _parse_subject_block(tokens, prefixes)
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split on '.' statement terminators.
+
+    A '.' terminates a statement only outside strings/IRIs and when
+    followed by whitespace or end of input — decimal points ("1.98") and
+    dotted local names ("J.K._Rowling") are never followed by whitespace
+    in the emitted subset.
+    """
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    in_iri = False
+    previous = ""
+    for index, ch in enumerate(text):
+        if ch == '"' and previous != "\\":
+            in_string = not in_string
+        elif ch == "<" and not in_string:
+            in_iri = True
+        elif ch == ">" and not in_string:
+            in_iri = False
+        at_boundary = index + 1 == len(text) or text[index + 1].isspace()
+        if ch == "." and not in_string and not in_iri and at_boundary:
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+        previous = ch
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def _parse_subject_block(tokens, prefixes: dict[str, Namespace]) -> Iterator[Triple]:
+    position = 0
+
+    def term_at(i: int) -> tuple[Term, int]:
+        token = tokens[i]
+        if token.kind == "IRIREF":
+            return IRI(token.value[1:-1]), i + 1
+        if token.kind == "PNAME":
+            prefix, __, local = token.value.partition(":")
+            namespace = prefixes.get(prefix) or PREFIXES.get(prefix)
+            if namespace is None:
+                raise ValueError(f"unknown turtle prefix {prefix!r}")
+            return namespace.term(local), i + 1
+        if token.kind == "STRING":
+            lexical = token.value
+            if i + 1 < len(tokens) and tokens[i + 1].kind == "LANGTAG":
+                return Literal(lexical, language=tokens[i + 1].value), i + 2
+            if i + 1 < len(tokens) and tokens[i + 1].kind == "DOUBLE_CARET":
+                datatype, next_i = term_at(i + 2)
+                return Literal(lexical, datatype=datatype.value), next_i
+            return Literal(lexical), i + 1
+        if token.kind == "NUMBER":
+            from repro.rdf.datatypes import XSD_DOUBLE, XSD_INTEGER
+
+            datatype = XSD_DOUBLE if any(c in token.value for c in ".eE") else XSD_INTEGER
+            return Literal(token.value, datatype=datatype), i + 1
+        if token.kind == "KEYWORD" and token.value == "A":
+            return RDF.type, i + 1
+        raise ValueError(f"unexpected turtle token {token.value!r}")
+
+    subject, position = term_at(position)
+    while position < len(tokens):
+        predicate, position = term_at(position)
+        while True:
+            obj, position = term_at(position)
+            yield Triple(subject, predicate, obj)
+            if position < len(tokens) and tokens[position].value == ",":
+                position += 1
+                continue
+            break
+        if position < len(tokens) and tokens[position].value == ";":
+            position += 1
+            if position >= len(tokens):
+                break
+            continue
+        break

@@ -1,0 +1,40 @@
+"""String similarity measures used by the property/entity mapping steps.
+
+The paper (section 2.2.1) scores a candidate DBpedia property against a
+predicate word by the length of their *greatest common subsequence* divided
+by the word length, so that e.g. ``taxiDriver`` does not match ``river``
+merely by substring containment.  :mod:`repro.similarity.lcs` implements that
+score; :mod:`repro.similarity.metrics` provides alternative measures used by
+the ablation benchmarks (A4 in DESIGN.md).
+"""
+
+from repro.similarity.lcs import (
+    lcs_length,
+    lcs_score,
+    lcs_string,
+    subsequence_similarity,
+)
+from repro.similarity.metrics import (
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalized_overlap,
+)
+from repro.similarity.registry import SIMILARITY_FUNCTIONS, get_similarity
+
+__all__ = [
+    "lcs_length",
+    "lcs_score",
+    "lcs_string",
+    "subsequence_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaccard_similarity",
+    "dice_coefficient",
+    "jaro_winkler",
+    "normalized_overlap",
+    "SIMILARITY_FUNCTIONS",
+    "get_similarity",
+]

@@ -1,0 +1,122 @@
+"""Greatest (longest) common subsequence scoring.
+
+Section 2.2.1 of the paper:
+
+    "The score is calculated by the length of greatest common subsequence
+    over the length of the word.  For instance, the property 'taxiDriver'
+    encapsulates the word 'river'.  With this scoring scheme, we eliminate
+    these kinds of miscalculations."
+
+A plain substring test would let ``river`` match ``taxiDriver`` perfectly.
+The subsequence score still gives some credit (``river`` *is* a subsequence
+of ``taxiDriver``), so the paper's guard comes from normalising by *both*
+sides: we expose :func:`lcs_score` (the paper's one-sided score) and
+:func:`subsequence_similarity`, the symmetric variant used by the pipeline,
+which divides by the length of the longer string so that a short word buried
+inside a long property name is penalised.
+"""
+
+from __future__ import annotations
+
+
+def _normalize(text: str) -> str:
+    """Lower-case and strip camelCase boundaries for fair comparison."""
+    return text.strip().lower()
+
+
+def lcs_length(a: str, b: str) -> int:
+    """Return the length of the longest common subsequence of ``a`` and ``b``.
+
+    Classic dynamic programme over a rolling row, O(len(a) * len(b)) time and
+    O(min(len(a), len(b))) space.
+
+    >>> lcs_length("river", "taxidriver")
+    5
+    >>> lcs_length("written", "writer")
+    5
+    """
+    if not a or not b:
+        return 0
+    if len(b) < len(a):
+        a, b = b, a
+    previous = [0] * (len(a) + 1)
+    for ch_b in b:
+        current = [0]
+        for i, ch_a in enumerate(a, start=1):
+            if ch_a == ch_b:
+                current.append(previous[i - 1] + 1)
+            else:
+                current.append(max(previous[i], current[i - 1]))
+        previous = current
+    return previous[-1]
+
+
+def lcs_string(a: str, b: str) -> str:
+    """Return one longest common subsequence of ``a`` and ``b``.
+
+    Used by diagnostics and by tests that want to inspect *which* characters
+    matched, not only how many.
+
+    >>> lcs_string("written", "writer")
+    'write'
+    """
+    if not a or not b:
+        return ""
+    rows = len(a) + 1
+    cols = len(b) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        for j in range(1, cols):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    # Walk back from the bottom-right corner collecting matched characters.
+    chars: list[str] = []
+    i, j = len(a), len(b)
+    while i > 0 and j > 0:
+        if a[i - 1] == b[j - 1]:
+            chars.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return "".join(reversed(chars))
+
+
+def lcs_score(word: str, candidate: str) -> float:
+    """The paper's one-sided score: ``|LCS(word, candidate)| / |word|``.
+
+    Measures how much of ``word`` is explained by ``candidate``.  Note this
+    is 1.0 whenever ``word`` is a subsequence of ``candidate`` — including
+    the ``river``/``taxiDriver`` trap — which is why the pipeline uses
+    :func:`subsequence_similarity` instead.
+    """
+    word = _normalize(word)
+    candidate = _normalize(candidate)
+    if not word:
+        return 0.0
+    return lcs_length(word, candidate) / len(word)
+
+
+def subsequence_similarity(word: str, candidate: str) -> float:
+    """Symmetric LCS similarity: ``|LCS| / max(|word|, |candidate|)``.
+
+    This is the operational form of the paper's "greatest common subsequence
+    over the length of the word" guard: dividing by the longer string means
+    ``river`` vs ``taxiDriver`` scores 5/10 = 0.5 rather than 1.0, while
+    ``written`` vs ``writer`` scores 5/7 ≈ 0.714.
+
+    >>> round(subsequence_similarity("river", "taxiDriver"), 2)
+    0.5
+    >>> round(subsequence_similarity("written", "writer"), 3)
+    0.714
+    """
+    word = _normalize(word)
+    candidate = _normalize(candidate)
+    longest = max(len(word), len(candidate))
+    if longest == 0:
+        return 0.0
+    return lcs_length(word, candidate) / longest

@@ -1,0 +1,140 @@
+"""Alternative string-similarity metrics.
+
+These are not used by the faithful pipeline configuration; they exist for the
+A4 ablation (DESIGN.md), which swaps the paper's LCS score for each of these
+and re-runs the Table 2 evaluation to show how sensitive property mapping is
+to the choice of metric.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance (insert / delete / substitute, unit costs).
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(b) < len(a):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(
+                    previous[i] + 1,       # deletion
+                    current[i - 1] + 1,    # insertion
+                    previous[i - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalised edit similarity in [0, 1]: ``1 - dist / max_len``."""
+    a, b = a.lower(), b.lower()
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 0.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def _char_bigrams(text: str) -> set[str]:
+    return {text[i:i + 2] for i in range(len(text) - 1)}
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard coefficient over character bigrams."""
+    bigrams_a = _char_bigrams(a.lower())
+    bigrams_b = _char_bigrams(b.lower())
+    if not bigrams_a and not bigrams_b:
+        return 0.0
+    union = bigrams_a | bigrams_b
+    return len(bigrams_a & bigrams_b) / len(union)
+
+
+def dice_coefficient(a: str, b: str) -> float:
+    """Sørensen-Dice coefficient over character bigrams."""
+    bigrams_a = _char_bigrams(a.lower())
+    bigrams_b = _char_bigrams(b.lower())
+    total = len(bigrams_a) + len(bigrams_b)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(bigrams_a & bigrams_b) / total
+
+
+def normalized_overlap(a: str, b: str) -> float:
+    """Overlap coefficient over character bigrams: |A∩B| / min(|A|, |B|)."""
+    bigrams_a = _char_bigrams(a.lower())
+    bigrams_b = _char_bigrams(b.lower())
+    smallest = min(len(bigrams_a), len(bigrams_b))
+    if smallest == 0:
+        return 0.0
+    return len(bigrams_a & bigrams_b) / smallest
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity in [0, 1].
+
+    Standard definition: Jaro similarity boosted by up to four characters of
+    shared prefix, with ``prefix_scale`` capped at 0.25 so the result stays
+    in range.
+    """
+    a, b = a.lower(), b.lower()
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    prefix_scale = min(prefix_scale, 0.25)
+
+    match_window = max(len(a), len(b)) // 2 - 1
+    match_window = max(match_window, 0)
+    a_matched = [False] * len(a)
+    b_matched = [False] * len(b)
+    matches = 0
+    for i, ch in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(b))
+        for j in range(start, end):
+            if not b_matched[j] and b[j] == ch:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions among matched characters.
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(a_matched):
+        if not matched:
+            continue
+        while not b_matched[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    jaro = (
+        matches / len(a)
+        + matches / len(b)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

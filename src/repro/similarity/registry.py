@@ -1,0 +1,41 @@
+"""Named registry of similarity functions for configuration and ablations."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.similarity.lcs import lcs_score, subsequence_similarity
+from repro.similarity.metrics import (
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_winkler,
+    levenshtein_similarity,
+    normalized_overlap,
+)
+
+SimilarityFunction = Callable[[str, str], float]
+
+#: All similarity measures selectable by name.  ``"lcs"`` is the paper's
+#: configuration; the rest back the A4 ablation in DESIGN.md.
+SIMILARITY_FUNCTIONS: dict[str, SimilarityFunction] = {
+    "lcs": subsequence_similarity,
+    "lcs-one-sided": lcs_score,
+    "levenshtein": levenshtein_similarity,
+    "jaccard": jaccard_similarity,
+    "dice": dice_coefficient,
+    "overlap": normalized_overlap,
+    "jaro-winkler": jaro_winkler,
+}
+
+
+def get_similarity(name: str) -> SimilarityFunction:
+    """Look up a similarity function by registry name.
+
+    Raises ``KeyError`` with the list of valid names when unknown, so a typo
+    in a benchmark configuration fails loudly.
+    """
+    try:
+        return SIMILARITY_FUNCTIONS[name]
+    except KeyError:
+        valid = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+        raise KeyError(f"unknown similarity {name!r}; expected one of: {valid}") from None

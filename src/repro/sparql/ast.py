@@ -1,0 +1,177 @@
+"""Abstract syntax tree for the SPARQL subset.
+
+The parser produces these nodes; the planner consumes them.  Expression
+nodes form their own small hierarchy evaluated by
+:mod:`repro.sparql.functions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.rdf.terms import Term, Triple, Variable
+
+# ---------------------------------------------------------------------------
+# Expressions (FILTER / ORDER BY operands)
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Marker base class for filter expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class TermExpr(Expression):
+    """A constant term or variable used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Expression):
+    """A binary comparison: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class BooleanOp(Expression):
+    """``&&`` or ``||`` over two sub-expressions."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expression):
+    """Logical negation ``!expr``."""
+
+    operand: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall(Expression):
+    """A builtin call such as ``REGEX(?x, "pattern", "i")``."""
+
+    name: str  # upper-cased builtin name
+    arguments: tuple[Expression, ...]
+
+
+# ---------------------------------------------------------------------------
+# Graph patterns
+# ---------------------------------------------------------------------------
+
+
+class GraphPattern:
+    """Marker base class for WHERE-clause pattern nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class BGP(GraphPattern):
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    triples: tuple[Triple, ...]
+
+    def variables(self) -> set[Variable]:
+        out: set[Variable] = set()
+        for triple in self.triples:
+            out |= triple.variables()
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class Filter(GraphPattern):
+    """A FILTER constraint scoped to its group."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class OptionalPattern(GraphPattern):
+    """An OPTIONAL group (left join)."""
+
+    pattern: "Group"
+
+
+@dataclass(frozen=True, slots=True)
+class UnionPattern(GraphPattern):
+    """A UNION of two groups."""
+
+    left: "Group"
+    right: "Group"
+
+
+@dataclass(frozen=True, slots=True)
+class Group(GraphPattern):
+    """A ``{ ... }`` group: ordered child patterns."""
+
+    patterns: tuple[GraphPattern, ...]
+
+    def triples(self) -> tuple[Triple, ...]:
+        """All top-level BGP triples in this group (not descending into
+        OPTIONAL/UNION)."""
+        collected: list[Triple] = []
+        for child in self.patterns:
+            if isinstance(child, BGP):
+                collected.extend(child.triples)
+        return tuple(collected)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class OrderCondition:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class CountAggregate:
+    """``COUNT(?v)``, ``COUNT(DISTINCT ?v)`` or ``COUNT(*)`` projection."""
+
+    variable: Variable | None  # None means COUNT(*)
+    distinct: bool = False
+    alias: Variable | None = None
+
+
+Projection = Union[Variable, CountAggregate]
+
+
+@dataclass(frozen=True, slots=True)
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    projection: tuple[Projection, ...]  # empty tuple means SELECT *
+    where: Group
+    distinct: bool = False
+    order_by: tuple[OrderCondition, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(isinstance(p, CountAggregate) for p in self.projection)
+
+    @property
+    def select_all(self) -> bool:
+        return not self.projection
+
+
+@dataclass(frozen=True, slots=True)
+class AskQuery:
+    """A parsed ASK query."""
+
+    where: Group

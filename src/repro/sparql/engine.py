@@ -1,0 +1,176 @@
+"""The query engine facade: parse, plan, execute, shape results."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rdf.datatypes import XSD_INTEGER
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Literal, Term, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    CountAggregate,
+    SelectQuery,
+)
+from repro.sparql.errors import SparqlError, SparqlTypeError
+from repro.sparql.executor import Solution, evaluate_group
+from repro.sparql.functions import evaluate as evaluate_expression
+from repro.sparql.functions import order_key
+from repro.sparql.parser import parse_query
+from repro.sparql.results import AskResult, SelectResult
+
+
+class SparqlEngine:
+    """Executes SPARQL-subset queries against a :class:`repro.rdf.Graph`.
+
+    >>> from repro.rdf import DBO, DBR, Graph, RDF, Triple
+    >>> g = Graph([Triple(DBR.Snow, RDF.type, DBO.Book)])
+    >>> engine = SparqlEngine(g)
+    >>> result = engine.query("SELECT ?b WHERE { ?b a dbo:Book }")
+    >>> [term.local_name for term in result.column("b")]
+    ['Snow']
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    def query(self, query: str | SelectQuery | AskQuery) -> SelectResult | AskResult:
+        """Run a query given as text or pre-parsed AST."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._run_select(query)
+        if isinstance(query, AskQuery):
+            return self._run_ask(query)
+        raise SparqlError(f"unsupported query type {type(query).__name__}")
+
+    def select(self, query: str | SelectQuery) -> SelectResult:
+        """Run a SELECT query; raises on ASK input."""
+        result = self.query(query)
+        if not isinstance(result, SelectResult):
+            raise SparqlError("expected a SELECT query")
+        return result
+
+    def ask(self, query: str | AskQuery) -> bool:
+        """Run an ASK query, returning a plain bool."""
+        result = self.query(query)
+        if not isinstance(result, AskResult):
+            raise SparqlError("expected an ASK query")
+        return result.value
+
+    # ------------------------------------------------------------------
+
+    def _run_ask(self, query: AskQuery) -> AskResult:
+        solutions = evaluate_group(self._graph, query.where)
+        return AskResult(next(iter(solutions), None) is not None)
+
+    def _run_select(self, query: SelectQuery) -> SelectResult:
+        solutions = list(evaluate_group(self._graph, query.where))
+
+        if query.is_aggregate:
+            return self._aggregate(query, solutions)
+
+        if query.select_all:
+            seen: list[Variable] = []
+            for solution in solutions:
+                for variable in solution:
+                    if variable not in seen:
+                        seen.append(variable)
+            variables = tuple(sorted(seen, key=lambda v: v.name))
+        else:
+            variables = tuple(
+                p for p in query.projection if isinstance(p, Variable)
+            )
+
+        if query.order_by:
+            def sort_key(solution: Solution):
+                keys = []
+                for condition in query.order_by:
+                    try:
+                        value = evaluate_expression(condition.expression, solution)
+                    except SparqlTypeError:
+                        value = None
+                    kind, within = order_key(value)
+                    if condition.descending:
+                        keys.append((-kind, _invert(within)))
+                    else:
+                        keys.append((kind, within))
+                return tuple(keys)
+
+            solutions.sort(key=sort_key)
+
+        rows: list[tuple[Term | None, ...]] = [
+            tuple(solution.get(variable) for variable in variables)
+            for solution in solutions
+        ]
+
+        if query.distinct:
+            rows = list(dict.fromkeys(rows))
+
+        rows = self._slice(rows, query.offset, query.limit)
+        return SelectResult(variables=variables, rows=tuple(rows))
+
+    def _aggregate(self, query: SelectQuery, solutions: list[Solution]) -> SelectResult:
+        if len(query.projection) != 1:
+            raise SparqlError("COUNT cannot be mixed with other projections")
+        aggregate = query.projection[0]
+        assert isinstance(aggregate, CountAggregate)
+        if aggregate.variable is None:
+            count = len(solutions)
+            if aggregate.distinct:
+                count = len({tuple(sorted(s.items(), key=lambda kv: kv[0].name)) for s in solutions})
+        else:
+            values = [
+                solution[aggregate.variable]
+                for solution in solutions
+                if aggregate.variable in solution
+            ]
+            count = len(set(values)) if aggregate.distinct else len(values)
+        out_variable = aggregate.alias or Variable("count")
+        row = (Literal(str(count), datatype=XSD_INTEGER),)
+        return SelectResult(variables=(out_variable,), rows=(row,))
+
+    @staticmethod
+    def _slice(
+        rows: list[tuple[Term | None, ...]], offset: int, limit: int | None
+    ) -> list[tuple[Term | None, ...]]:
+        if offset:
+            rows = rows[offset:]
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+
+class _Inverted:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Inverted) and other.value == self.value
+
+
+def _invert(value):
+    if isinstance(value, (int, float)):
+        return -value
+    return _Inverted(value)
+
+
+def select(graph: Graph, query: str) -> SelectResult:
+    """One-shot SELECT over a graph."""
+    return SparqlEngine(graph).select(query)
+
+
+def ask(graph: Graph, query: str) -> bool:
+    """One-shot ASK over a graph."""
+    return SparqlEngine(graph).ask(query)

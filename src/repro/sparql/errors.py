@@ -1,0 +1,30 @@
+"""Exception hierarchy for the SPARQL engine."""
+
+from __future__ import annotations
+
+
+class SparqlError(Exception):
+    """Base class for all engine errors."""
+
+
+class SparqlParseError(SparqlError):
+    """Raised when query text cannot be tokenised or parsed.
+
+    Carries the character position so callers (and tests) can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class SparqlTypeError(SparqlError):
+    """Raised by filter evaluation on type errors (SPARQL 'error' value).
+
+    Per the SPARQL semantics a type error in a FILTER makes the solution
+    fail the filter rather than aborting the query; the executor catches
+    this internally.
+    """

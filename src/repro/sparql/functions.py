@@ -1,0 +1,301 @@
+"""FILTER expression evaluation.
+
+Implements the SPARQL operator semantics the engine supports: effective
+boolean value, value comparisons with numeric/date promotion, and the
+builtin function library.  Type errors raise :class:`SparqlTypeError`, which
+the executor converts into "the solution fails the filter" per the spec.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+from typing import Any, Mapping
+
+from repro.rdf.datatypes import (
+    XSD_BOOLEAN,
+    is_date_literal,
+    is_numeric_literal,
+    literal_value,
+)
+from repro.rdf.terms import BNode, IRI, Literal, Term, Variable
+from repro.sparql.ast import (
+    BooleanOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Not,
+    TermExpr,
+)
+from repro.sparql.errors import SparqlTypeError
+
+Bindings = Mapping[Variable, Term]
+
+
+def evaluate(expression: Expression, bindings: Bindings) -> Any:
+    """Evaluate an expression to a Term or Python value.
+
+    Unbound variables raise :class:`SparqlTypeError` (except inside
+    ``BOUND``, which the function evaluator handles itself).
+    """
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            try:
+                return bindings[term]
+            except KeyError:
+                raise SparqlTypeError(f"unbound variable ?{term.name}") from None
+        return term
+    if isinstance(expression, Comparison):
+        return _compare(expression.operator, expression.left, expression.right, bindings)
+    if isinstance(expression, BooleanOp):
+        return _boolean_op(expression, bindings)
+    if isinstance(expression, Not):
+        return not effective_boolean(evaluate(expression.operand, bindings))
+    if isinstance(expression, FunctionCall):
+        return _call(expression, bindings)
+    raise SparqlTypeError(f"cannot evaluate {type(expression).__name__}")
+
+
+def effective_boolean(value: Any) -> bool:
+    """SPARQL effective boolean value (EBV)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, Literal):
+        native = literal_value(value)
+        if isinstance(native, bool):
+            return native
+        if isinstance(native, (int, float)):
+            return native != 0
+        if isinstance(native, str):
+            return len(native) > 0
+        raise SparqlTypeError(f"no boolean value for literal {value.n3()}")
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    raise SparqlTypeError(f"no effective boolean value for {value!r}")
+
+
+def _boolean_op(expression: BooleanOp, bindings: Bindings) -> bool:
+    # SPARQL || and && have three-valued logic: an error on one side can be
+    # absorbed when the other side decides the result.
+    def side(expr: Expression) -> bool | None:
+        try:
+            return effective_boolean(evaluate(expr, bindings))
+        except SparqlTypeError:
+            return None
+
+    left = side(expression.left)
+    right = side(expression.right)
+    if expression.operator == "&&":
+        if left is False or right is False:
+            return False
+        if left is True and right is True:
+            return True
+        raise SparqlTypeError("type error in &&")
+    if left is True or right is True:
+        return True
+    if left is False and right is False:
+        return False
+    raise SparqlTypeError("type error in ||")
+
+
+def _comparable(term: Any) -> Any:
+    """Map a term to a Python value usable with comparison operators."""
+    if isinstance(term, Literal):
+        if is_numeric_literal(term):
+            value = literal_value(term)
+            if isinstance(value, str):
+                raise SparqlTypeError(f"malformed numeric literal {term.n3()}")
+            return value
+        if is_date_literal(term):
+            value = literal_value(term)
+            if isinstance(value, dt.datetime):
+                return value.date()
+            if isinstance(value, int):  # gYear
+                return dt.date(value, 1, 1)
+            if isinstance(value, dt.date):
+                return value
+            raise SparqlTypeError(f"malformed date literal {term.n3()}")
+        if term.datatype == XSD_BOOLEAN:
+            return bool(literal_value(term))
+        return term.lexical
+    if isinstance(term, (int, float, str, bool, dt.date)):
+        return term
+    raise SparqlTypeError(f"{term!r} is not comparable")
+
+
+def _compare(operator: str, left: Expression, right: Expression, bindings: Bindings) -> bool:
+    lhs = evaluate(left, bindings)
+    rhs = evaluate(right, bindings)
+    # Term equality for IRIs and blank nodes.
+    if isinstance(lhs, (IRI, BNode)) or isinstance(rhs, (IRI, BNode)):
+        if operator == "=":
+            return lhs == rhs
+        if operator == "!=":
+            return lhs != rhs
+        raise SparqlTypeError("IRIs only support = and !=")
+    lhs_value = _comparable(lhs)
+    rhs_value = _comparable(rhs)
+    if isinstance(lhs_value, str) != isinstance(rhs_value, str) or (
+        isinstance(lhs_value, dt.date) != isinstance(rhs_value, dt.date)
+    ):
+        if operator == "=":
+            return False
+        if operator == "!=":
+            return True
+        raise SparqlTypeError(
+            f"cannot order {type(lhs_value).__name__} against {type(rhs_value).__name__}"
+        )
+    if operator == "=":
+        return lhs_value == rhs_value
+    if operator == "!=":
+        return lhs_value != rhs_value
+    if operator == "<":
+        return lhs_value < rhs_value
+    if operator == "<=":
+        return lhs_value <= rhs_value
+    if operator == ">":
+        return lhs_value > rhs_value
+    if operator == ">=":
+        return lhs_value >= rhs_value
+    raise SparqlTypeError(f"unknown operator {operator!r}")
+
+
+def _string_of(value: Any) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, str):
+        return value
+    raise SparqlTypeError(f"expected a string-valued argument, got {value!r}")
+
+
+def _call(expression: FunctionCall, bindings: Bindings) -> Any:
+    name = expression.name
+    args = expression.arguments
+
+    def arity(n: int) -> None:
+        if len(args) != n:
+            raise SparqlTypeError(f"{name} expects {n} argument(s), got {len(args)}")
+
+    if name == "BOUND":
+        arity(1)
+        operand = args[0]
+        if not (isinstance(operand, TermExpr) and isinstance(operand.term, Variable)):
+            raise SparqlTypeError("BOUND expects a variable")
+        return operand.term in bindings
+
+    if name == "REGEX":
+        if len(args) not in (2, 3):
+            raise SparqlTypeError("REGEX expects 2 or 3 arguments")
+        text = _string_of(evaluate(args[0], bindings))
+        pattern = _string_of(evaluate(args[1], bindings))
+        flags = 0
+        if len(args) == 3:
+            flag_text = _string_of(evaluate(args[2], bindings))
+            if "i" in flag_text:
+                flags |= re.IGNORECASE
+        try:
+            return re.search(pattern, text, flags) is not None
+        except re.error as exc:
+            raise SparqlTypeError(f"bad REGEX pattern: {exc}") from exc
+
+    if name == "STR":
+        arity(1)
+        return Literal(_string_of(evaluate(args[0], bindings)))
+
+    if name == "LANG":
+        arity(1)
+        value = evaluate(args[0], bindings)
+        if not isinstance(value, Literal):
+            raise SparqlTypeError("LANG expects a literal")
+        return Literal(value.language or "")
+
+    if name == "LANGMATCHES":
+        arity(2)
+        tag = _string_of(evaluate(args[0], bindings)).lower()
+        pattern = _string_of(evaluate(args[1], bindings)).lower()
+        if pattern == "*":
+            return bool(tag)
+        return tag == pattern or tag.startswith(pattern + "-")
+
+    if name == "DATATYPE":
+        arity(1)
+        value = evaluate(args[0], bindings)
+        if not isinstance(value, Literal):
+            raise SparqlTypeError("DATATYPE expects a literal")
+        if value.datatype:
+            return IRI(value.datatype)
+        return IRI("http://www.w3.org/2001/XMLSchema#string")
+
+    if name == "CONTAINS":
+        arity(2)
+        haystack = _string_of(evaluate(args[0], bindings))
+        needle = _string_of(evaluate(args[1], bindings))
+        return needle in haystack
+
+    if name == "STRSTARTS":
+        arity(2)
+        return _string_of(evaluate(args[0], bindings)).startswith(
+            _string_of(evaluate(args[1], bindings))
+        )
+
+    if name == "STRENDS":
+        arity(2)
+        return _string_of(evaluate(args[0], bindings)).endswith(
+            _string_of(evaluate(args[1], bindings))
+        )
+
+    if name == "LCASE":
+        arity(1)
+        return Literal(_string_of(evaluate(args[0], bindings)).lower())
+
+    if name == "UCASE":
+        arity(1)
+        return Literal(_string_of(evaluate(args[0], bindings)).upper())
+
+    if name in ("ISIRI", "ISURI"):
+        arity(1)
+        return isinstance(evaluate(args[0], bindings), IRI)
+
+    if name == "ISLITERAL":
+        arity(1)
+        return isinstance(evaluate(args[0], bindings), Literal)
+
+    if name == "ISBLANK":
+        arity(1)
+        return isinstance(evaluate(args[0], bindings), BNode)
+
+    raise SparqlTypeError(f"unknown function {name}")
+
+
+def order_key(value: Any) -> tuple[int, Any]:
+    """Sort key for ORDER BY: groups by kind then compares within the kind.
+
+    SPARQL defines an ordering across term kinds (unbound < blank < IRI <
+    literal); within literals we compare native values where possible.
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, BNode):
+        return (1, value.label)
+    if isinstance(value, IRI):
+        return (2, value.value)
+    if isinstance(value, Literal):
+        if is_numeric_literal(value):
+            native = literal_value(value)
+            if not isinstance(native, str):
+                return (3, native)
+        if is_date_literal(value):
+            native = literal_value(value)
+            if isinstance(native, dt.datetime):
+                return (4, native.date().toordinal())
+            if isinstance(native, dt.date):
+                return (4, native.toordinal())
+            if isinstance(native, int):
+                return (4, dt.date(native, 1, 1).toordinal())
+        return (5, value.lexical)
+    return (6, str(value))

@@ -1,0 +1,152 @@
+"""Tokeniser for the SPARQL subset.
+
+A single compiled regex with named alternatives scans the query text; the
+parser consumes the resulting token stream.  Keywords are recognised
+case-insensitively, as the grammar requires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sparql.errors import SparqlParseError
+
+KEYWORDS = {
+    "SELECT",
+    "ASK",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "DISTINCT",
+    "REDUCED",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "PREFIX",
+    "BASE",
+    "COUNT",
+    "AS",
+    "A",  # the rdf:type shorthand; handled specially
+    "TRUE",
+    "FALSE",
+}
+
+#: Builtin filter functions also lex as keywords so the parser can
+#: distinguish them from (disallowed) bare names.
+BUILTINS = {
+    "REGEX",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "BOUND",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "LCASE",
+    "UCASE",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISBLANK",
+    "LANGMATCHES",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z_0-9]*)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<LANGTAG>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<DOUBLE_CARET>\^\^)
+  | (?P<NUMBER>[+-]?(?:\d+\.\d+|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<PNAME>[A-Za-z_][A-Za-z_0-9-]*)?:(?P<PNLOCAL>[A-Za-z_0-9](?:[A-Za-z_0-9.-]*[A-Za-z_0-9-])?)?
+  | (?P<NAME>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<OP>&&|\|\||<=|>=|!=|[=<>!*/+\-(){},.;])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+    '\\"': '"',
+    "\\'": "'",
+    "\\\\": "\\",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexical token with its source offset (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def _unescape_string(raw: str) -> str:
+    body = raw[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        pair = body[i:i + 2]
+        if pair in _ESCAPES:
+            out.append(_ESCAPES[pair])
+            i += 2
+        elif pair == "\\u":
+            out.append(chr(int(body[i + 2:i + 6], 16)))
+            i += 6
+        else:
+            out.append(body[i])
+            i += 1
+    return "".join(out)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Tokenise SPARQL text, yielding :class:`Token` objects.
+
+    Raises :class:`SparqlParseError` on unrecognised input.
+    """
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise SparqlParseError(
+                f"unexpected character {text[position]!r}", position
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind in ("WS", "COMMENT"):
+            position = match.end()
+            continue
+        if kind == "PNLOCAL" or (kind == "PNAME" and ":" in value) or (
+            kind is None and ":" in value
+        ):
+            # The PNAME alternative matched (prefix ':' local); normalise.
+            kind = "PNAME"
+        elif kind == "NAME":
+            upper = value.upper()
+            if upper in KEYWORDS or upper in BUILTINS:
+                kind = "KEYWORD"
+                value = upper
+            else:
+                raise SparqlParseError(f"unexpected bare name {value!r}", position)
+        elif kind == "STRING":
+            value = _unescape_string(value)
+        elif kind == "LANGTAG":
+            value = value[1:]
+        elif kind == "VAR":
+            value = value[1:]
+        yield Token(kind, value, position)
+        position = match.end()
+    yield Token("EOF", "", length)

@@ -1,0 +1,439 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (informal)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := (PREFIX PNAME IRIREF)*
+    SelectQuery  := SELECT [DISTINCT] (Var+ | CountAgg | '*')
+                    [WHERE] Group Modifiers
+    AskQuery     := ASK [WHERE] Group
+    Group        := '{' (TriplesBlock | Filter | Optional | GroupOrUnion)* '}'
+    TriplesBlock := Triple ('.' Triple?)*
+    Triple       := Term Term Term (';' Term Term)* (',' Term)*
+    Modifiers    := [ORDER BY OrderCond+] [LIMIT n] [OFFSET n]
+
+Property paths, subqueries, GRAPH, VALUES and BIND are out of scope — the
+question-answering pipeline never generates them.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespaces import PREFIXES, Namespace, RDF
+from repro.rdf.terms import IRI, Literal, Term, Triple, Variable
+from repro.rdf.datatypes import XSD_BOOLEAN, XSD_DOUBLE, XSD_INTEGER
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    Expression,
+    Filter,
+    FunctionCall,
+    Group,
+    GraphPattern,
+    Not,
+    OptionalPattern,
+    OrderCondition,
+    Projection,
+    SelectQuery,
+    TermExpr,
+    UnionPattern,
+)
+from repro.sparql.errors import SparqlParseError
+from repro.sparql.lexer import Token, tokenize
+
+_BUILTIN_FUNCTIONS = {
+    "REGEX",
+    "STR",
+    "LANG",
+    "DATATYPE",
+    "BOUND",
+    "CONTAINS",
+    "STRSTARTS",
+    "STRENDS",
+    "LCASE",
+    "UCASE",
+    "ISIRI",
+    "ISURI",
+    "ISLITERAL",
+    "ISBLANK",
+    "LANGMATCHES",
+}
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._index = 0
+        self._prefixes: dict[str, Namespace] = dict(PREFIXES)
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, value: str | None = None) -> bool:
+        token = self._current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            wanted = value or kind
+            got = self._current.value or self._current.kind
+            raise SparqlParseError(
+                f"expected {wanted!r}, got {got!r}", self._current.position
+            )
+        return token
+
+    # -- entry point -----------------------------------------------------
+
+    def parse(self) -> SelectQuery | AskQuery:
+        self._parse_prologue()
+        if self._accept("KEYWORD", "SELECT"):
+            query = self._parse_select()
+        elif self._accept("KEYWORD", "ASK"):
+            query = self._parse_ask()
+        else:
+            raise SparqlParseError(
+                "query must start with SELECT or ASK", self._current.position
+            )
+        self._expect("EOF")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._accept("KEYWORD", "PREFIX"):
+            pname = self._expect("PNAME")
+            prefix = pname.value.split(":", 1)[0]
+            iriref = self._expect("IRIREF")
+            self._prefixes[prefix] = Namespace(iriref.value[1:-1])
+
+    # -- SELECT ----------------------------------------------------------
+
+    def _parse_select(self) -> SelectQuery:
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        if not distinct:
+            self._accept("KEYWORD", "REDUCED")  # treated as plain SELECT
+        projection = self._parse_projection()
+        self._accept("KEYWORD", "WHERE")
+        where = self._parse_group()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        return SelectQuery(
+            projection=projection,
+            where=where,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_projection(self) -> tuple[Projection, ...]:
+        if self._accept("OP", "*"):
+            return ()
+        items: list[Projection] = []
+        while True:
+            if self._check("VAR"):
+                items.append(Variable(self._advance().value))
+            elif self._check("KEYWORD", "COUNT"):
+                items.append(self._parse_count())
+            elif self._check("OP", "("):
+                # (COUNT(?x) AS ?alias)
+                self._advance()
+                self._expect("KEYWORD", "COUNT")
+                aggregate = self._finish_count()
+                self._expect("KEYWORD", "AS")
+                alias = Variable(self._expect("VAR").value)
+                self._expect("OP", ")")
+                items.append(
+                    CountAggregate(aggregate.variable, aggregate.distinct, alias)
+                )
+            else:
+                break
+        if not items:
+            raise SparqlParseError(
+                "SELECT needs at least one variable, COUNT or '*'",
+                self._current.position,
+            )
+        return tuple(items)
+
+    def _parse_count(self) -> CountAggregate:
+        self._expect("KEYWORD", "COUNT")
+        return self._finish_count()
+
+    def _finish_count(self) -> CountAggregate:
+        self._expect("OP", "(")
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        if self._accept("OP", "*"):
+            variable = None
+        else:
+            variable = Variable(self._expect("VAR").value)
+        self._expect("OP", ")")
+        return CountAggregate(variable, distinct)
+
+    def _parse_order_by(self) -> tuple[OrderCondition, ...]:
+        if not self._accept("KEYWORD", "ORDER"):
+            return ()
+        self._expect("KEYWORD", "BY")
+        conditions: list[OrderCondition] = []
+        while True:
+            if self._accept("KEYWORD", "ASC"):
+                self._expect("OP", "(")
+                expr = self._parse_expression()
+                self._expect("OP", ")")
+                conditions.append(OrderCondition(expr, descending=False))
+            elif self._accept("KEYWORD", "DESC"):
+                self._expect("OP", "(")
+                expr = self._parse_expression()
+                self._expect("OP", ")")
+                conditions.append(OrderCondition(expr, descending=True))
+            elif self._check("VAR"):
+                conditions.append(
+                    OrderCondition(TermExpr(Variable(self._advance().value)))
+                )
+            else:
+                break
+        if not conditions:
+            raise SparqlParseError("ORDER BY needs a condition", self._current.position)
+        return tuple(conditions)
+
+    def _parse_limit_offset(self) -> tuple[int | None, int]:
+        limit: int | None = None
+        offset = 0
+        # LIMIT and OFFSET may come in either order.
+        for __ in range(2):
+            if self._accept("KEYWORD", "LIMIT"):
+                limit = int(self._expect("NUMBER").value)
+            elif self._accept("KEYWORD", "OFFSET"):
+                offset = int(self._expect("NUMBER").value)
+        return limit, offset
+
+    # -- ASK ---------------------------------------------------------------
+
+    def _parse_ask(self) -> AskQuery:
+        self._accept("KEYWORD", "WHERE")
+        return AskQuery(where=self._parse_group())
+
+    # -- groups and patterns ------------------------------------------------
+
+    def _parse_group(self) -> Group:
+        self._expect("OP", "{")
+        patterns: list[GraphPattern] = []
+        triples: list[Triple] = []
+
+        def flush_triples() -> None:
+            if triples:
+                patterns.append(BGP(tuple(triples)))
+                triples.clear()
+
+        while not self._check("OP", "}"):
+            if self._accept("OP", "."):
+                continue  # stray separators after FILTER/OPTIONAL are legal
+            if self._accept("KEYWORD", "FILTER"):
+                flush_triples()
+                patterns.append(Filter(self._parse_filter_expression()))
+            elif self._accept("KEYWORD", "OPTIONAL"):
+                flush_triples()
+                patterns.append(OptionalPattern(self._parse_group()))
+            elif self._check("OP", "{"):
+                flush_triples()
+                left = self._parse_group()
+                node: GraphPattern = left
+                while self._accept("KEYWORD", "UNION"):
+                    right = self._parse_group()
+                    node = UnionPattern(
+                        node if isinstance(node, Group) else Group((node,)),
+                        right,
+                    )
+                patterns.append(node)
+            elif self._check("EOF"):
+                raise SparqlParseError("unterminated group", self._current.position)
+            else:
+                triples.extend(self._parse_triples_same_subject())
+                # Triple separator; trailing '.' before '}' is allowed.
+                if not self._accept("OP", "."):
+                    follower_ok = (
+                        self._check("OP", "}")
+                        or self._check("OP", "{")
+                        or self._check("KEYWORD", "FILTER")
+                        or self._check("KEYWORD", "OPTIONAL")
+                    )
+                    if not follower_ok:
+                        raise SparqlParseError(
+                            "expected '.' between triples", self._current.position
+                        )
+        self._expect("OP", "}")
+        flush_triples()
+        return Group(tuple(patterns))
+
+    def _parse_triples_same_subject(self) -> list[Triple]:
+        subject = self._parse_term()
+        triples: list[Triple] = []
+        while True:
+            predicate = self._parse_verb()
+            obj = self._parse_term()
+            triples.append(Triple(subject, predicate, obj))
+            while self._accept("OP", ","):
+                obj = self._parse_term()
+                triples.append(Triple(subject, predicate, obj))
+            if not self._accept("OP", ";"):
+                break
+            if self._check("OP", ".") or self._check("OP", "}"):
+                break  # dangling ';'
+        return triples
+
+    def _parse_verb(self) -> Term:
+        if self._accept("KEYWORD", "A"):
+            return RDF.type
+        return self._parse_term()
+
+    def _parse_term(self) -> Term:
+        token = self._current
+        if token.kind == "VAR":
+            self._advance()
+            return Variable(token.value)
+        if token.kind == "IRIREF":
+            self._advance()
+            return IRI(token.value[1:-1])
+        if token.kind == "PNAME":
+            self._advance()
+            return self._expand_pname(token)
+        if token.kind == "STRING":
+            self._advance()
+            if self._check("LANGTAG"):
+                return Literal(token.value, language=self._advance().value)
+            if self._accept("DOUBLE_CARET"):
+                datatype_token = self._current
+                if datatype_token.kind == "IRIREF":
+                    self._advance()
+                    return Literal(token.value, datatype=datatype_token.value[1:-1])
+                if datatype_token.kind == "PNAME":
+                    self._advance()
+                    return Literal(
+                        token.value, datatype=self._expand_pname(datatype_token).value
+                    )
+                raise SparqlParseError(
+                    "expected datatype IRI after '^^'", datatype_token.position
+                )
+            return Literal(token.value)
+        if token.kind == "NUMBER":
+            self._advance()
+            if any(ch in token.value for ch in ".eE"):
+                return Literal(token.value, datatype=XSD_DOUBLE)
+            return Literal(token.value, datatype=XSD_INTEGER)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self._advance()
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        raise SparqlParseError(
+            f"expected an RDF term, got {token.value or token.kind!r}", token.position
+        )
+
+    def _expand_pname(self, token: Token) -> IRI:
+        prefix, __, local = token.value.partition(":")
+        try:
+            namespace = self._prefixes[prefix]
+        except KeyError:
+            raise SparqlParseError(
+                f"undeclared prefix {prefix!r}", token.position
+            ) from None
+        return namespace.term(local)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_filter_expression(self) -> Expression:
+        # FILTER takes either a parenthesised expression or a builtin call.
+        if self._check("OP", "("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("OP", ")")
+            return expr
+        return self._parse_expression()
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept("OP", "||"):
+            right = self._parse_and()
+            left = BooleanOp("||", left, right)
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_unary()
+        while self._accept("OP", "&&"):
+            right = self._parse_unary()
+            left = BooleanOp("&&", left, right)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept("OP", "!"):
+            return Not(self._parse_unary())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_primary()
+        token = self._current
+        if token.kind == "OP" and token.value in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_primary()
+            return Comparison(token.value, left, right)
+        return left
+
+    def _parse_primary(self) -> Expression:
+        token = self._current
+        if token.kind == "OP" and token.value == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("OP", ")")
+            return expr
+        if token.kind == "KEYWORD" and token.value in _BUILTIN_FUNCTIONS:
+            self._advance()
+            return self._parse_call(token.value)
+        if token.kind == "VAR" or token.kind in (
+            "IRIREF",
+            "PNAME",
+            "STRING",
+            "NUMBER",
+        ) or (token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE")):
+            return TermExpr(self._parse_term())
+        raise SparqlParseError(
+            f"expected expression, got {token.value or token.kind!r}", token.position
+        )
+
+    def _parse_call(self, name: str) -> FunctionCall:
+        self._expect("OP", "(")
+        arguments: list[Expression] = []
+        if not self._check("OP", ")"):
+            arguments.append(self._parse_expression())
+            while self._accept("OP", ","):
+                arguments.append(self._parse_expression())
+        self._expect("OP", ")")
+        return FunctionCall(name, tuple(arguments))
+
+
+def parse_query(text: str) -> SelectQuery | AskQuery:
+    """Parse SPARQL text into an AST.
+
+    >>> query = parse_query("SELECT ?x WHERE { ?x a dbo:Book }")
+    >>> len(query.where.triples())
+    1
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,115 @@
+"""Query result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.rdf.datatypes import literal_value
+from repro.rdf.terms import Literal, Term, Variable
+
+
+@dataclass(frozen=True)
+class SelectResult:
+    """Result of a SELECT query: ordered variables and binding rows.
+
+    Rows are tuples aligned with :attr:`variables`; a missing binding (from
+    OPTIONAL) is ``None``.
+    """
+
+    variables: tuple[Variable, ...]
+    rows: tuple[tuple[Term | None, ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[dict[Variable, Term]]:
+        return iter(self.bindings())
+
+    def bindings(self) -> list[dict[Variable, Term]]:
+        """Rows as variable->term dicts (missing bindings omitted)."""
+        return [
+            {
+                variable: value
+                for variable, value in zip(self.variables, row)
+                if value is not None
+            }
+            for row in self.rows
+        ]
+
+    def column(self, variable: Variable | str) -> list[Term | None]:
+        """All values of one projected variable, in row order."""
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        try:
+            index = self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"?{variable.name} is not projected") from None
+        return [row[index] for row in self.rows]
+
+    def values(self, variable: Variable | str) -> list[Any]:
+        """Like :meth:`column` but converts literals to native values."""
+        return [
+            literal_value(value) if isinstance(value, Literal) else value
+            for value in self.column(variable)
+            if value is not None
+        ]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result (e.g. COUNT)."""
+        if len(self.rows) != 1 or len(self.variables) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)} row(s) x "
+                f"{len(self.variables)} column(s)"
+            )
+        value = self.rows[0][0]
+        return literal_value(value) if isinstance(value, Literal) else value
+
+    def to_dict(self) -> dict[str, Any]:
+        """SPARQL-results-JSON-shaped dict (useful for debugging dumps)."""
+        return {
+            "head": {"vars": [v.name for v in self.variables]},
+            "results": {
+                "bindings": [
+                    {
+                        variable.name: _term_json(value)
+                        for variable, value in zip(self.variables, row)
+                        if value is not None
+                    }
+                    for row in self.rows
+                ]
+            },
+        }
+
+
+@dataclass(frozen=True)
+class AskResult:
+    """Result of an ASK query."""
+
+    value: bool
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"head": {}, "boolean": self.value}
+
+
+def _term_json(term: Term) -> dict[str, str]:
+    from repro.rdf.terms import BNode, IRI
+
+    if isinstance(term, IRI):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        out: dict[str, str] = {"type": "literal", "value": term.lexical}
+        if term.datatype:
+            out["datatype"] = term.datatype
+        if term.language:
+            out["xml:lang"] = term.language
+        return out
+    raise TypeError(f"cannot serialise {type(term).__name__}")

@@ -1,0 +1,158 @@
+"""SPARQL AST -> query text serialisation.
+
+The inverse of :mod:`repro.sparql.parser` for the supported subset.  Used
+by diagnostics (showing generated queries), by the query log of the QA
+pipeline, and by the round-trip property tests that pin the parser and the
+serialiser against each other.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.namespaces import RDF, shrink_iri
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    Expression,
+    Filter,
+    FunctionCall,
+    GraphPattern,
+    Group,
+    Not,
+    OptionalPattern,
+    SelectQuery,
+    TermExpr,
+    UnionPattern,
+)
+
+
+def serialize_term(term: Term) -> str:
+    """One term in query syntax (prefixed where possible)."""
+    if isinstance(term, Variable):
+        return term.n3()
+    if isinstance(term, IRI):
+        return shrink_iri(term)
+    if isinstance(term, (Literal, BNode)):
+        return term.n3()
+    raise TypeError(f"cannot serialise {type(term).__name__}")
+
+
+def serialize_expression(expression: Expression) -> str:
+    if isinstance(expression, TermExpr):
+        return serialize_term(expression.term)
+    if isinstance(expression, Comparison):
+        left = serialize_expression(expression.left)
+        right = serialize_expression(expression.right)
+        return f"({left} {expression.operator} {right})"
+    if isinstance(expression, BooleanOp):
+        left = serialize_expression(expression.left)
+        right = serialize_expression(expression.right)
+        return f"({left} {expression.operator} {right})"
+    if isinstance(expression, Not):
+        return f"(!{serialize_expression(expression.operand)})"
+    if isinstance(expression, FunctionCall):
+        arguments = ", ".join(serialize_expression(a) for a in expression.arguments)
+        return f"{expression.name}({arguments})"
+    raise TypeError(f"cannot serialise {type(expression).__name__}")
+
+
+def _serialize_triple(triple: Triple) -> str:
+    predicate = (
+        "a" if triple.predicate == RDF.type else serialize_term(triple.predicate)
+    )
+    return (
+        f"{serialize_term(triple.subject)} {predicate} "
+        f"{serialize_term(triple.object)} ."
+    )
+
+
+def _serialize_pattern(pattern: GraphPattern, indent: str) -> list[str]:
+    if isinstance(pattern, BGP):
+        return [f"{indent}{_serialize_triple(t)}" for t in pattern.triples]
+    if isinstance(pattern, Filter):
+        return [f"{indent}FILTER {serialize_expression(pattern.expression)}"]
+    if isinstance(pattern, OptionalPattern):
+        lines = [f"{indent}OPTIONAL {{"]
+        lines.extend(_serialize_group_body(pattern.pattern, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(pattern, UnionPattern):
+        lines = [f"{indent}{{"]
+        lines.extend(_serialize_group_body(pattern.left, indent + "  "))
+        lines.append(f"{indent}}} UNION {{")
+        lines.extend(_serialize_group_body(pattern.right, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(pattern, Group):
+        lines = [f"{indent}{{"]
+        lines.extend(_serialize_group_body(pattern, indent + "  "))
+        lines.append(f"{indent}}}")
+        return lines
+    raise TypeError(f"cannot serialise {type(pattern).__name__}")
+
+
+def _serialize_group_body(group: Group, indent: str) -> list[str]:
+    lines: list[str] = []
+    for child in group.patterns:
+        lines.extend(_serialize_pattern(child, indent))
+    return lines
+
+
+def serialize_query(query: SelectQuery | AskQuery) -> str:
+    """Render a query AST back to SPARQL text.
+
+    >>> from repro.sparql.parser import parse_query
+    >>> print(serialize_query(parse_query(
+    ...     "SELECT ?x WHERE { ?x a dbo:Book } LIMIT 2")))
+    SELECT ?x WHERE {
+      ?x a dbo:Book .
+    } LIMIT 2
+    """
+    if isinstance(query, AskQuery):
+        lines = ["ASK {"]
+        lines.extend(_serialize_group_body(query.where, "  "))
+        lines.append("}")
+        return "\n".join(lines)
+
+    head = "SELECT "
+    if query.distinct:
+        head += "DISTINCT "
+    if query.select_all:
+        head += "*"
+    else:
+        parts = []
+        for item in query.projection:
+            if isinstance(item, Variable):
+                parts.append(item.n3())
+            else:
+                assert isinstance(item, CountAggregate)
+                inner = "*" if item.variable is None else item.variable.n3()
+                if item.distinct:
+                    inner = f"DISTINCT {inner}"
+                if item.alias is not None:
+                    parts.append(f"(COUNT({inner}) AS {item.alias.n3()})")
+                else:
+                    parts.append(f"COUNT({inner})")
+        head += " ".join(parts)
+
+    lines = [head + " WHERE {"]
+    lines.extend(_serialize_group_body(query.where, "  "))
+    closing = "}"
+    if query.order_by:
+        conditions = []
+        for condition in query.order_by:
+            rendered = serialize_expression(condition.expression)
+            if condition.descending:
+                conditions.append(f"DESC({rendered})")
+            else:
+                conditions.append(f"ASC({rendered})")
+        closing += " ORDER BY " + " ".join(conditions)
+    if query.limit is not None:
+        closing += f" LIMIT {query.limit}"
+    if query.offset:
+        closing += f" OFFSET {query.offset}"
+    lines.append(closing)
+    return "\n".join(lines)

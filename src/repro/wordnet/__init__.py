@@ -1,0 +1,46 @@
+"""Mini-WordNet and WordNet::Similarity substitute.
+
+The paper uses WordNet three ways:
+
+1. **Similar object properties** (section 2.2.1): DBpedia property pairs
+   scoring above thresholds under the Lin (0.75) and Wu & Palmer (0.85)
+   metrics of WordNet::Similarity are treated as synonyms
+   (``dbont:writer`` ~ ``dbont:author``).
+2. **Adjective -> data property** (section 2.2.2): adjectives are mapped to
+   the data properties they measure ("tall" -> ``dbont:height``) via
+   WordNet attribute relations (the JAWS API in the paper).
+3. Implicitly, the lexical knowledge that makes both of the above work.
+
+This package provides a hand-built WordNet fragment covering the DBpedia
+property vocabulary (:mod:`repro.wordnet.database`), the similarity metrics
+with information content (:mod:`repro.wordnet.similarity`), the
+similar-property-pair builder (:mod:`repro.wordnet.pairs`) and the
+adjective map (:mod:`repro.wordnet.adjectives`).
+"""
+
+from repro.wordnet.synsets import Synset, WordNetDatabase
+from repro.wordnet.database import build_wordnet
+from repro.wordnet.similarity import (
+    lin_similarity,
+    path_similarity,
+    word_lin,
+    word_wup,
+    wup_similarity,
+)
+from repro.wordnet.pairs import SimilarPropertyIndex, build_similar_property_pairs
+from repro.wordnet.adjectives import AdjectivePropertyMap, build_adjective_map
+
+__all__ = [
+    "Synset",
+    "WordNetDatabase",
+    "build_wordnet",
+    "lin_similarity",
+    "wup_similarity",
+    "path_similarity",
+    "word_lin",
+    "word_wup",
+    "build_similar_property_pairs",
+    "SimilarPropertyIndex",
+    "build_adjective_map",
+    "AdjectivePropertyMap",
+]

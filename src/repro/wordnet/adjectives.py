@@ -1,0 +1,77 @@
+"""Adjective -> data-property map via WordNet attribute relations.
+
+Section 2.2.2 of the paper:
+
+    "We constructed a list of adjectives for all data properties defined by
+    DBpedia ontology using API WordNet Searching (JAWS). ... Using
+    adjective list the predicate 'tall' is mapped to dbont:height."
+
+The construction here is the same, driven by the mini-WordNet: for every
+adjective synset, follow its *attribute* links to noun synsets; a data
+property matches when any word of its decamelised label (or its full name)
+is a lemma of that noun synset.  ``tall -> height.n.01 -> dbo:height``,
+``populous -> population.n.01 -> dbo:populationTotal``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.kb.ontology import Ontology, PropertyKind
+from repro.wordnet.synsets import WordNetDatabase
+
+
+class AdjectivePropertyMap:
+    """adjective lemma -> data property local names."""
+
+    def __init__(self) -> None:
+        self._properties: dict[str, list[str]] = defaultdict(list)
+
+    def add(self, adjective: str, property_name: str) -> None:
+        bucket = self._properties[adjective.lower()]
+        if property_name not in bucket:
+            bucket.append(property_name)
+
+    def properties_for(self, adjective: str) -> list[str]:
+        """Data properties measured by this adjective (may be empty)."""
+        return list(self._properties.get(adjective.lower(), ()))
+
+    def adjectives(self) -> list[str]:
+        return sorted(self._properties)
+
+    def __contains__(self, adjective: str) -> bool:
+        return adjective.lower() in self._properties
+
+    def __len__(self) -> int:
+        return len(self._properties)
+
+
+def build_adjective_map(ontology: Ontology, wn: WordNetDatabase) -> AdjectivePropertyMap:
+    """Build the adjective map from attribute links.
+
+    >>> from repro.kb.schema import build_dbpedia_ontology
+    >>> from repro.wordnet.database import build_wordnet
+    >>> amap = build_adjective_map(build_dbpedia_ontology(), build_wordnet())
+    >>> amap.properties_for("tall")
+    ['height']
+    """
+    # Index data properties by the words of their labels and names.
+    by_word: dict[str, list[str]] = defaultdict(list)
+    for prop in ontology.properties():
+        if prop.kind is not PropertyKind.DATA:
+            continue
+        words = set(prop.display_label().split())
+        words.add(prop.name.lower())
+        for word in words:
+            if prop.name not in by_word[word]:
+                by_word[word].append(prop.name)
+
+    amap = AdjectivePropertyMap()
+    for synset in wn.all_synsets("a"):
+        for noun_id in synset.attributes:
+            noun = wn.get(noun_id)
+            for noun_lemma in noun.lemmas:
+                for property_name in by_word.get(noun_lemma.lower(), ()):
+                    for adjective in synset.lemmas:
+                        amap.add(adjective, property_name)
+    return amap

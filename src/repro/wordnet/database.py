@@ -1,0 +1,242 @@
+"""The hand-built WordNet fragment.
+
+Covers the vocabulary that DBpedia property mapping needs: roles and kinship
+nouns, measurement attributes, creation/biography verbs, and the adjectives
+that measure data properties.  The taxonomy shape and lemma groupings follow
+real WordNet 3.0 (simplified); counts approximate SemCor frequency mass so
+the Lin metric behaves like WordNet::Similarity's.
+
+Deliberate omission, mirroring the paper's section 5 failure case: the
+adjective ``alive`` has **no attribute link** — neither WordNet nor the
+relational patterns can map "Is Frank Herbert still alive?" to
+``dbo:deathDate``, so the pipeline must fail that question exactly like the
+original system did.
+"""
+
+from __future__ import annotations
+
+from repro.wordnet.synsets import Synset, WordNetDatabase
+
+
+def _n(identifier, lemmas, hypernym=None, count=5, gloss=""):
+    hypernyms = (hypernym,) if hypernym else ()
+    return Synset(identifier, "n", tuple(lemmas), hypernyms, (), gloss, count)
+
+
+def _v(identifier, lemmas, hypernym=None, count=5, gloss=""):
+    hypernyms = (hypernym,) if hypernym else ()
+    return Synset(identifier, "v", tuple(lemmas), hypernyms, (), gloss, count)
+
+
+def _a(identifier, lemmas, attributes=(), count=5, gloss=""):
+    return Synset(identifier, "a", tuple(lemmas), (), tuple(attributes), gloss, count)
+
+
+def build_wordnet() -> WordNetDatabase:
+    """Construct the mini-WordNet.
+
+    >>> wn = build_wordnet()
+    >>> sorted(wn.synsets("author", "n")[0].lemmas)[:2]
+    ['author', 'writer']
+    """
+    synsets = [
+        # ------------------------------------------------------------------
+        # Noun taxonomy
+        # ------------------------------------------------------------------
+        _n("entity.n.01", ["entity"], count=1),
+        _n("physical_entity.n.01", ["physical entity"], "entity.n.01", count=1),
+        _n("abstraction.n.01", ["abstraction"], "entity.n.01", count=1),
+        _n("object.n.01", ["object"], "physical_entity.n.01", count=10),
+
+        # Locations.
+        _n("location.n.01", ["location", "place"], "object.n.01", count=40),
+        _n("region.n.01", ["region", "area"], "location.n.01", count=25),
+        _n("city.n.01", ["city", "metropolis", "town"], "region.n.01", count=30),
+        _n("country.n.01", ["country", "nation", "land", "state"], "region.n.01", count=30),
+        _n("capital.n.01", ["capital"], "city.n.01", count=12),
+        _n("birthplace.n.01", ["birthplace"], "location.n.01", count=6),
+        _n("residence.n.01", ["residence", "home"], "location.n.01", count=10),
+        _n("mountain.n.01", ["mountain", "peak", "mount"], "object.n.01", count=12),
+        _n("river.n.01", ["river", "stream"], "object.n.01", count=12),
+        _n("lake.n.01", ["lake"], "object.n.01", count=8),
+        _n("mouth.n.01", ["mouth", "outlet"], "location.n.01", count=3),
+
+        # Artifacts and works.
+        _n("artifact.n.01", ["artifact"], "object.n.01", count=10),
+        _n("building.n.01", ["building", "edifice"], "artifact.n.01", count=15),
+        _n("bridge.n.01", ["bridge", "span"], "artifact.n.01", count=8),
+        _n("creation.n.01", ["creation", "work"], "artifact.n.01", count=15),
+        _n("book.n.01", ["book", "volume"], "creation.n.01", count=25),
+        _n("film.n.01", ["film", "movie", "picture"], "creation.n.01", count=20),
+        _n("album.n.01", ["album", "record"], "creation.n.01", count=10),
+        _n("song.n.01", ["song"], "creation.n.01", count=10),
+
+        # People and roles.
+        _n("person.n.01", ["person", "individual", "human"], "physical_entity.n.01", count=50),
+        _n("communicator.n.01", ["communicator"], "person.n.01", count=5),
+        _n("writer.n.01", ["writer", "author"], "communicator.n.01", count=20,
+           gloss="writes books or stories or articles"),
+        _n("journalist.n.01", ["journalist", "reporter"], "communicator.n.01", count=8),
+        _n("creator.n.01", ["creator", "maker"], "person.n.01", count=10),
+        _n("artist.n.01", ["artist"], "creator.n.01", count=15),
+        _n("musician.n.01", ["musician", "player"], "artist.n.01", count=10),
+        _n("singer.n.01", ["singer", "vocalist"], "musician.n.01", count=8),
+        _n("painter.n.01", ["painter"], "artist.n.01", count=8),
+        _n("designer.n.01", ["designer"], "creator.n.01", count=6),
+        _n("architect.n.01", ["architect"], "creator.n.01", count=6),
+        _n("producer.n.01", ["producer"], "creator.n.01", count=8),
+        _n("director.n.01", ["director", "filmmaker"], "creator.n.01", count=10),
+        _n("founder.n.01", ["founder", "establisher"], "creator.n.01", count=8),
+        _n("developer.n.01", ["developer"], "creator.n.01", count=8),
+        _n("leader.n.01", ["leader", "head"], "person.n.01", count=20),
+        _n("ruler.n.01", ["ruler", "sovereign"], "leader.n.01", count=10),
+        _n("monarch.n.01", ["monarch", "king", "queen"], "ruler.n.01", count=10),
+        _n("politician.n.01", ["politician"], "leader.n.01", count=12),
+        _n("president.n.01", ["president"], "leader.n.01", count=15),
+        _n("mayor.n.01", ["mayor"], "leader.n.01", count=8),
+        _n("governor.n.01", ["governor"], "leader.n.01", count=8),
+        _n("chancellor.n.01", ["chancellor", "premier"], "leader.n.01", count=6),
+        _n("minister.n.01", ["minister"], "leader.n.01", count=8),
+        _n("owner.n.01", ["owner", "proprietor", "possessor"], "person.n.01", count=10),
+        _n("employer.n.01", ["employer"], "person.n.01", count=6),
+        _n("employee.n.01", ["employee", "worker"], "person.n.01", count=12),
+        _n("student.n.01", ["student", "pupil"], "person.n.01", count=15),
+        _n("scientist.n.01", ["scientist"], "person.n.01", count=10),
+        _n("athlete.n.01", ["athlete", "sportsman"], "person.n.01", count=10),
+        _n("actor.n.01", ["actor", "performer"], "artist.n.01", count=12),
+        _n("astronaut.n.01", ["astronaut", "cosmonaut", "spaceman"], "person.n.01", count=5),
+        _n("relative.n.01", ["relative", "relation"], "person.n.01", count=10),
+        _n("spouse.n.01", ["spouse", "partner", "better half"], "relative.n.01", count=12),
+        _n("wife.n.01", ["wife", "married woman"], "spouse.n.01", count=12),
+        _n("husband.n.01", ["husband", "married man"], "spouse.n.01", count=10),
+        _n("child.n.01", ["child", "kid", "offspring"], "relative.n.01", count=20),
+        _n("daughter.n.01", ["daughter", "girl"], "child.n.01", count=10),
+        _n("son.n.01", ["son", "boy"], "child.n.01", count=10),
+        _n("parent.n.01", ["parent"], "relative.n.01", count=12),
+        _n("father.n.01", ["father", "dad"], "parent.n.01", count=12),
+        _n("mother.n.01", ["mother", "mom"], "parent.n.01", count=12),
+
+        # Groups.
+        _n("group.n.01", ["group"], "abstraction.n.01", count=10),
+        _n("organization.n.01", ["organization", "organisation"], "group.n.01", count=20),
+        _n("company.n.01", ["company", "firm", "corporation"], "organization.n.01", count=20),
+        _n("university.n.01", ["university", "college"], "organization.n.01", count=12),
+        _n("band.n.01", ["band", "ensemble"], "organization.n.01", count=8),
+        _n("team.n.01", ["team", "squad", "club"], "organization.n.01", count=12),
+        _n("party.n.01", ["party"], "organization.n.01", count=10),
+
+        # Attributes and measures.
+        _n("attribute.n.01", ["attribute"], "abstraction.n.01", count=5),
+        _n("property.n.02", ["property", "dimension"], "attribute.n.01", count=5),
+        _n("size.n.01", ["size"], "property.n.02", count=12),
+        _n("height.n.01", ["height", "stature", "tallness"], "property.n.02", count=12),
+        _n("length.n.01", ["length"], "property.n.02", count=12),
+        _n("width.n.01", ["width", "breadth", "wingspan"], "property.n.02", count=8),
+        _n("depth.n.01", ["depth", "deepness"], "property.n.02", count=8),
+        _n("weight.n.01", ["weight", "mass"], "property.n.02", count=10),
+        _n("elevation.n.01", ["elevation", "altitude", "height"], "property.n.02", count=8),
+        _n("area.n.02", ["area", "expanse", "surface area"], "property.n.02", count=10),
+        _n("speed.n.01", ["speed", "velocity"], "property.n.02", count=8),
+        _n("age.n.01", ["age"], "property.n.02", count=12),
+        _n("measure.n.01", ["measure", "quantity", "amount"], "abstraction.n.01", count=8),
+        _n("number.n.01", ["number", "count"], "measure.n.01", count=15),
+        _n("population.n.01", ["population"], "measure.n.01", count=12),
+        _n("budget.n.01", ["budget"], "measure.n.01", count=6),
+        _n("revenue.n.01", ["revenue", "gross", "income"], "measure.n.01", count=6),
+
+        # Time.
+        _n("time.n.01", ["time"], "abstraction.n.01", count=10),
+        _n("date.n.01", ["date", "day"], "time.n.01", count=15),
+        _n("year.n.01", ["year"], "time.n.01", count=15),
+        _n("birthday.n.01", ["birthday", "birthdate"], "date.n.01", count=6),
+
+        # Communication.
+        _n("communication.n.01", ["communication"], "abstraction.n.01", count=5),
+        _n("language.n.01", ["language", "tongue", "speech"], "communication.n.01", count=15),
+        _n("name.n.01", ["name"], "communication.n.01", count=15),
+        _n("genre.n.01", ["genre", "style"], "communication.n.01", count=6),
+
+        # Possession.
+        _n("possession.n.01", ["possession"], "abstraction.n.01", count=5),
+        _n("money.n.01", ["money"], "possession.n.01", count=12),
+        _n("currency.n.01", ["currency"], "money.n.01", count=8),
+
+        # ------------------------------------------------------------------
+        # Verb taxonomy
+        # ------------------------------------------------------------------
+        _v("make.v.01", ["make", "create"], count=40),
+        _v("produce.v.01", ["produce", "bring forth"], "make.v.01", count=15),
+        _v("write.v.01", ["write", "compose", "pen", "author"], "make.v.01", count=25,
+           gloss="produce a literary work"),
+        _v("publish.v.01", ["publish", "issue", "release"], "produce.v.01", count=10),
+        _v("direct.v.01", ["direct"], "make.v.01", count=10,
+           gloss="be the director of"),
+        _v("design.v.01", ["design", "plan"], "make.v.01", count=8),
+        _v("invent.v.01", ["invent", "devise"], "make.v.01", count=8),
+        _v("develop.v.01", ["develop"], "make.v.01", count=10),
+        _v("build.v.01", ["build", "construct"], "make.v.01", count=12),
+        _v("found.v.01", ["found", "establish", "launch", "set up"], "make.v.01", count=12),
+        _v("bear.v.01", ["bear", "give birth", "deliver", "birth"], "produce.v.01", count=15),
+        _v("record.v.01", ["record", "tape"], "make.v.01", count=8),
+        _v("paint.v.01", ["paint"], "make.v.01", count=6),
+
+        _v("change.v.01", ["change"], count=20),
+        _v("die.v.01", ["die", "decease", "perish", "expire", "pass away"],
+           "change.v.01", count=18, gloss="lose one's life"),
+
+        _v("be.v.01", ["be", "exist"], count=50),
+        _v("live.v.01", ["live", "dwell", "reside", "inhabit"], "be.v.01", count=15),
+        _v("locate.v.01", ["locate", "situate", "place"], "be.v.01", count=8),
+
+        _v("have.v.01", ["have", "hold"], count=30),
+        _v("own.v.01", ["own", "possess"], "have.v.01", count=10),
+
+        _v("control.v.01", ["control", "command"], count=10),
+        _v("lead.v.01", ["lead", "head"], "control.v.01", count=12),
+        _v("govern.v.01", ["govern", "rule"], "control.v.01", count=8),
+
+        _v("join.v.01", ["join", "unite"], count=10),
+        _v("marry.v.01", ["marry", "wed", "espouse"], "join.v.01", count=10),
+
+        _v("move.v.01", ["move", "go", "travel"], count=20),
+        _v("cross.v.01", ["cross", "traverse", "span"], "move.v.01", count=8),
+        _v("flow.v.01", ["flow", "run"], "move.v.01", count=8),
+        _v("start.v.01", ["start", "begin", "originate"], "move.v.01", count=10),
+
+        _v("act.v.01", ["act", "perform"], count=10),
+        _v("star.v.01", ["star", "feature", "appear"], "act.v.01", count=8),
+        _v("play.v.01", ["play"], "act.v.01", count=12),
+        _v("sing.v.01", ["sing"], "act.v.01", count=6),
+
+        _v("communicate.v.01", ["communicate"], count=10),
+        _v("speak.v.01", ["speak", "talk"], "communicate.v.01", count=12),
+        _v("name.v.01", ["name", "call"], "communicate.v.01", count=10),
+        _v("win.v.01", ["win", "gain"], count=10),
+
+        # ------------------------------------------------------------------
+        # Adjectives (attribute links drive the section 2.2.2 map)
+        # ------------------------------------------------------------------
+        _a("tall.a.01", ["tall"], ["height.n.01"], count=10,
+           gloss="great in vertical dimension"),
+        _a("high.a.01", ["high"], ["height.n.01", "elevation.n.01"], count=12),
+        _a("long.a.01", ["long"], ["length.n.01"], count=12),
+        _a("short.a.01", ["short"], ["height.n.01", "length.n.01"], count=8),
+        _a("wide.a.01", ["wide", "broad"], ["width.n.01"], count=8),
+        _a("deep.a.01", ["deep"], ["depth.n.01"], count=8),
+        _a("heavy.a.01", ["heavy"], ["weight.n.01"], count=8),
+        _a("big.a.01", ["big", "large"], ["size.n.01", "area.n.02"], count=15),
+        _a("small.a.01", ["small", "little"], ["size.n.01"], count=12),
+        _a("old.a.01", ["old"], ["age.n.01"], count=12),
+        _a("young.a.01", ["young"], ["age.n.01"], count=8),
+        _a("fast.a.01", ["fast", "quick"], ["speed.n.01"], count=8),
+        _a("populous.a.01", ["populous"], ["population.n.01"], count=4),
+        _a("rich.a.01", ["rich", "wealthy"], ["revenue.n.01"], count=6),
+        # 'alive' intentionally carries no attribute link (see module docstring).
+        _a("alive.a.01", ["alive", "living"], [], count=10,
+           gloss="possessing life; not mapped to any measurable attribute"),
+        _a("dead.a.01", ["dead"], [], count=10),
+        _a("famous.a.01", ["famous", "celebrated"], [], count=6),
+        _a("married.a.01", ["married"], [], count=6),
+        _a("official.a.01", ["official"], [], count=6),
+    ]
+    return WordNetDatabase(synsets)

@@ -1,0 +1,85 @@
+"""Similar-object-property pairs via WordNet metrics (section 2.2.1).
+
+    "We constructed a list of all possible pairs of object properties from
+    DBpedia with similar meanings.  For each item we have calculated the
+    similarity score by using Lin and Wu & Palmer metrics in
+    WordNet::Similarity.  If the metrics are higher than the assigned
+    threshold (0.75 for Lin, 0.85 for Wu & Palmer) then both properties are
+    regarded as properties with similar meanings."
+
+Only single-word property names can be looked up in WordNet (as in the
+original: WordNet has no entry for camelCase compounds like
+``birthPlace``), so multi-word properties simply do not participate —
+their synonymy comes from the PATTY patterns instead.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from repro.kb.ontology import Ontology
+from repro.wordnet.similarity import word_lin, word_wup
+from repro.wordnet.synsets import WordNetDatabase
+
+LIN_THRESHOLD = 0.75
+WUP_THRESHOLD = 0.85
+
+_SINGLE_WORD = re.compile(r"^[a-z]+$")
+
+
+class SimilarPropertyIndex:
+    """Symmetric property-name -> similar-property-names lookup."""
+
+    def __init__(self) -> None:
+        self._similar: dict[str, set[str]] = defaultdict(set)
+        self._scores: dict[tuple[str, str], tuple[float, float]] = {}
+
+    def add_pair(self, a: str, b: str, lin: float, wup: float) -> None:
+        self._similar[a].add(b)
+        self._similar[b].add(a)
+        key = (min(a, b), max(a, b))
+        self._scores[key] = (lin, wup)
+
+    def similar_to(self, name: str) -> set[str]:
+        """Property local names judged similar to ``name`` (excluding it)."""
+        return set(self._similar.get(name, ()))
+
+    def scores(self, a: str, b: str) -> tuple[float, float] | None:
+        """(lin, wup) for a recorded pair, else None."""
+        return self._scores.get((min(a, b), max(a, b)))
+
+    def pairs(self) -> list[tuple[str, str]]:
+        return sorted(self._scores)
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+
+def build_similar_property_pairs(
+    ontology: Ontology,
+    wn: WordNetDatabase,
+    lin_threshold: float = LIN_THRESHOLD,
+    wup_threshold: float = WUP_THRESHOLD,
+) -> SimilarPropertyIndex:
+    """Score all object-property pairs; keep those above both thresholds.
+
+    >>> from repro.kb.schema import build_dbpedia_ontology
+    >>> from repro.wordnet.database import build_wordnet
+    >>> index = build_similar_property_pairs(build_dbpedia_ontology(), build_wordnet())
+    >>> "author" in index.similar_to("writer")
+    True
+    """
+    index = SimilarPropertyIndex()
+    names = [
+        prop.name
+        for prop in ontology.object_properties()
+        if _SINGLE_WORD.match(prop.name)
+    ]
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            lin = word_lin(wn, name_a, name_b, pos="n")
+            wup = word_wup(wn, name_a, name_b, pos="n")
+            if lin >= lin_threshold and wup >= wup_threshold:
+                index.add_pair(name_a, name_b, lin, wup)
+    return index

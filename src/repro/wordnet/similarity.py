@@ -1,0 +1,69 @@
+"""WordNet similarity metrics: Lin, Wu & Palmer, path.
+
+Implements the measures of Pedersen et al.'s WordNet::Similarity (the
+paper's reference [14]).  Word-level scores take the maximum over all sense
+pairs with matching part of speech, WordNet::Similarity's default.
+"""
+
+from __future__ import annotations
+
+from repro.wordnet.synsets import WordNetDatabase
+
+
+def wup_similarity(wn: WordNetDatabase, a: str, b: str) -> float:
+    """Wu & Palmer: ``2*depth(lcs) / (depth(a) + depth(b))`` in (0, 1]."""
+    if a == b:
+        return 1.0
+    lcs = wn.lowest_common_subsumer(a, b)
+    if lcs is None:
+        return 0.0
+    lcs_depth = wn.depth(lcs)
+    return 2.0 * lcs_depth / (wn.depth(a) + wn.depth(b))
+
+
+def lin_similarity(wn: WordNetDatabase, a: str, b: str) -> float:
+    """Lin: ``2*IC(lcs) / (IC(a) + IC(b))`` in [0, 1]."""
+    if a == b:
+        return 1.0
+    lcs = wn.lowest_common_subsumer(a, b)
+    if lcs is None:
+        return 0.0
+    denominator = wn.information_content(a) + wn.information_content(b)
+    if denominator == 0.0:
+        return 0.0
+    return 2.0 * wn.information_content(lcs) / denominator
+
+
+def path_similarity(wn: WordNetDatabase, a: str, b: str) -> float:
+    """Inverse shortest-path length through the LCS: ``1 / (1 + distance)``."""
+    if a == b:
+        return 1.0
+    lcs = wn.lowest_common_subsumer(a, b)
+    if lcs is None:
+        return 0.0
+    distance = (wn.depth(a) - wn.depth(lcs)) + (wn.depth(b) - wn.depth(lcs))
+    return 1.0 / (1.0 + distance)
+
+
+def _word_score(metric, wn: WordNetDatabase, word_a: str, word_b: str,
+                pos: str | None) -> float:
+    best = 0.0
+    for synset_a in wn.synsets(word_a, pos):
+        for synset_b in wn.synsets(word_b, pos):
+            if synset_a.pos != synset_b.pos or synset_a.pos == "a":
+                continue  # adjectives have no taxonomy
+            score = metric(wn, synset_a.identifier, synset_b.identifier)
+            best = max(best, score)
+    return best
+
+
+def word_lin(wn: WordNetDatabase, word_a: str, word_b: str,
+             pos: str | None = None) -> float:
+    """Max Lin similarity over all sense pairs of two words."""
+    return _word_score(lin_similarity, wn, word_a, word_b, pos)
+
+
+def word_wup(wn: WordNetDatabase, word_a: str, word_b: str,
+             pos: str | None = None) -> float:
+    """Max Wu-Palmer similarity over all sense pairs of two words."""
+    return _word_score(wup_similarity, wn, word_a, word_b, pos)

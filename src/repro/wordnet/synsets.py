@@ -1,0 +1,152 @@
+"""Synset model and the WordNet database container.
+
+Synsets carry hypernym links (nouns and verbs), attribute links
+(adjective -> the noun it measures) and corpus counts from which the
+information content used by the Lin metric is computed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Synset:
+    """One WordNet synset.
+
+    ``identifier`` follows the NLTK convention ``lemma.pos.nn``
+    (e.g. ``write.v.01``).  ``count`` is the corpus frequency mass used for
+    information content; hand-assigned here the way SemCor counts back real
+    WordNet (common concepts get large counts, specific ones small counts).
+    """
+
+    identifier: str
+    pos: str  # 'n', 'v', 'a'
+    lemmas: tuple[str, ...]
+    hypernyms: tuple[str, ...] = ()
+    attributes: tuple[str, ...] = ()  # adjective -> noun synset ids
+    gloss: str = ""
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pos not in ("n", "v", "a"):
+            raise ValueError(f"synset pos must be n/v/a, got {self.pos!r}")
+        if not self.lemmas:
+            raise ValueError(f"synset {self.identifier} has no lemmas")
+
+
+class WordNetDatabase:
+    """Synset storage with lemma index, taxonomy walks and information content."""
+
+    def __init__(self, synsets: Iterable[Synset]) -> None:
+        self._synsets: dict[str, Synset] = {}
+        self._by_lemma: dict[tuple[str, str], list[str]] = defaultdict(list)
+        for synset in synsets:
+            if synset.identifier in self._synsets:
+                raise ValueError(f"duplicate synset {synset.identifier}")
+            self._synsets[synset.identifier] = synset
+            for lemma in synset.lemmas:
+                self._by_lemma[(lemma.lower(), synset.pos)].append(synset.identifier)
+        # Validate link targets.
+        for synset in self._synsets.values():
+            for target in synset.hypernyms + synset.attributes:
+                if target not in self._synsets:
+                    raise ValueError(
+                        f"{synset.identifier} links to unknown synset {target!r}"
+                    )
+        self._ic_cache: dict[str, float] | None = None
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._synsets)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._synsets
+
+    def get(self, identifier: str) -> Synset:
+        try:
+            return self._synsets[identifier]
+        except KeyError:
+            raise KeyError(f"no synset {identifier!r}") from None
+
+    def synsets(self, lemma: str, pos: str | None = None) -> list[Synset]:
+        """All synsets containing ``lemma`` (optionally restricted by pos)."""
+        out: list[Synset] = []
+        for p in ("n", "v", "a") if pos is None else (pos,):
+            for identifier in self._by_lemma.get((lemma.lower(), p), ()):
+                out.append(self._synsets[identifier])
+        return out
+
+    def all_synsets(self, pos: str | None = None) -> Iterator[Synset]:
+        for synset in self._synsets.values():
+            if pos is None or synset.pos == pos:
+                yield synset
+
+    # -- taxonomy ------------------------------------------------------------
+
+    def hypernym_paths(self, identifier: str) -> list[list[str]]:
+        """All root paths (synset first, root last)."""
+        synset = self.get(identifier)
+        if not synset.hypernyms:
+            return [[identifier]]
+        paths: list[list[str]] = []
+        for parent in synset.hypernyms:
+            for path in self.hypernym_paths(parent):
+                paths.append([identifier, *path])
+        return paths
+
+    def ancestors(self, identifier: str) -> set[str]:
+        """All hypernyms, transitively (excluding the synset itself)."""
+        out: set[str] = set()
+        frontier = list(self.get(identifier).hypernyms)
+        while frontier:
+            current = frontier.pop()
+            if current not in out:
+                out.add(current)
+                frontier.extend(self.get(current).hypernyms)
+        return out
+
+    def depth(self, identifier: str) -> int:
+        """1 + minimum hypernym distance to a root (roots have depth 1)."""
+        return min(len(path) for path in self.hypernym_paths(identifier))
+
+    def lowest_common_subsumer(self, a: str, b: str) -> str | None:
+        """The deepest shared ancestor (or one of ``a``/``b`` itself)."""
+        ancestors_a = self.ancestors(a) | {a}
+        ancestors_b = self.ancestors(b) | {b}
+        shared = ancestors_a & ancestors_b
+        if not shared:
+            return None
+        return max(shared, key=self.depth)
+
+    # -- information content -----------------------------------------------
+
+    def information_content(self, identifier: str) -> float:
+        """Resnik-style IC: ``-log p(synset)`` with descendant-mass counts."""
+        if self._ic_cache is None:
+            self._ic_cache = self._compute_ic()
+        return self._ic_cache[identifier]
+
+    def _compute_ic(self) -> dict[str, float]:
+        # Each synset's probability mass includes all its descendants, per
+        # the standard Resnik construction, computed per part of speech.
+        mass: dict[str, float] = {i: float(s.count) for i, s in self._synsets.items()}
+        # Propagate counts upward (children add to every ancestor).
+        for identifier, synset in self._synsets.items():
+            for ancestor in self.ancestors(identifier):
+                mass[ancestor] += synset.count
+        totals = {"n": 0.0, "v": 0.0, "a": 0.0}
+        for identifier, synset in self._synsets.items():
+            if not synset.hypernyms:  # root: carries the whole subtree mass
+                totals[synset.pos] += mass[identifier]
+        ic: dict[str, float] = {}
+        for identifier, synset in self._synsets.items():
+            total = totals[synset.pos] or 1.0
+            probability = mass[identifier] / total
+            probability = min(probability, 1.0)
+            ic[identifier] = -math.log(probability) if probability > 0 else 0.0
+        return ic

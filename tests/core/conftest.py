@@ -1,0 +1,50 @@
+"""Shared fixtures: the QA system is expensive to build, so build it once."""
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+from repro.nlp import Pipeline
+from repro.patty import build_pattern_store
+from repro.wordnet import (
+    build_adjective_map,
+    build_similar_property_pairs,
+    build_wordnet,
+)
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="session")
+def wordnet():
+    return build_wordnet()
+
+
+@pytest.fixture(scope="session")
+def pattern_store(kb):
+    return build_pattern_store(kb)
+
+
+@pytest.fixture(scope="session")
+def similar_pairs(kb, wordnet):
+    return build_similar_property_pairs(kb.ontology, wordnet)
+
+
+@pytest.fixture(scope="session")
+def adjective_map(kb, wordnet):
+    return build_adjective_map(kb.ontology, wordnet)
+
+
+@pytest.fixture(scope="session")
+def qa(kb, pattern_store, similar_pairs, adjective_map):
+    return QuestionAnsweringSystem(
+        kb, pattern_store, similar_pairs, adjective_map, PipelineConfig()
+    )
+
+
+@pytest.fixture(scope="session")
+def nlp(kb):
+    return Pipeline(kb.surface_index)

@@ -1,0 +1,49 @@
+"""Tests for Answer.explain() — the pipeline trace API."""
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+
+
+class TestExplainTrace:
+    def test_answered_question_trace(self, qa):
+        trace = qa.answer("Which book is written by Orhan Pamuk?").explain()
+        assert "question: Which book is written by Orhan Pamuk?" in trace
+        assert "[Subject: ?x] [Predicate: rdf:type] [Object: book]" in trace
+        assert "candidate queries (section 2.3):" in trace
+        assert "winning query:" in trace
+        assert "answers: 5" in trace
+
+    def test_expected_type_line_for_who(self, qa):
+        trace = qa.answer("Who is the mayor of Berlin?").explain()
+        assert "expected answer type (Table 1): person-or-organisation" in trace
+
+    def test_no_type_line_for_which(self, qa):
+        trace = qa.answer("Which book is written by Orhan Pamuk?").explain()
+        assert "expected answer type" not in trace
+
+    def test_unanswered_trace_carries_failure(self, qa):
+        trace = qa.answer("Is Frank Herbert still alive?").explain()
+        assert "unanswered:" in trace
+        assert "mapping failed" in trace
+
+    def test_no_patterns_trace(self, qa):
+        trace = qa.answer("What is the highest mountain?").explain()
+        assert "none extracted" in trace
+
+    def test_boolean_trace(self, kb):
+        system = QuestionAnsweringSystem.over(
+            kb, PipelineConfig(enable_boolean_questions=True)
+        )
+        trace = system.answer("Is Berlin the capital of Germany?").explain()
+        assert "verdict: yes (ASK extension)" in trace
+
+    def test_rewrite_trace(self, kb):
+        system = QuestionAnsweringSystem.over(
+            kb, PipelineConfig(enable_imperatives=True)
+        )
+        trace = system.answer(
+            "Give me all films directed by Alfred Hitchcock."
+        ).explain()
+        assert "rewritten (imperative extension):" in trace
+        assert "Which films were directed by Alfred Hitchcock?" in trace

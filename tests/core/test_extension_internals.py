@@ -1,0 +1,124 @@
+"""Unit tests for extension internals (below the system-level tests)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.extensions.booleans import BooleanQuestionHandler
+from repro.extensions.datapatterns import (
+    DataPatternExtractor,
+    _parse_date,
+    _render_date,
+    generate_data_corpus,
+)
+from repro.extensions.imperatives import normalize_imperative
+from repro.nlp import Pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(kb):
+    return Pipeline(kb.surface_index)
+
+
+class TestBooleanDetection:
+    @pytest.mark.parametrize("question,expected", [
+        ("Is Berlin the capital of Germany?", True),
+        ("Was Abraham Lincoln born in Washington?", True),
+        ("Did Orhan Pamuk win the Nobel Prize in Literature?", True),
+        ("Who is the mayor of Berlin?", False),       # wh-word
+        ("Which book is written by Orhan Pamuk?", False),
+        ("How tall is Michael Jordan?", False),
+        ("Where did Abraham Lincoln die?", False),
+        ("", False),
+    ])
+    def test_is_boolean_question(self, pipeline, kb, question, expected):
+        from repro.core import TripleMapper, PipelineConfig
+        from repro.patty import build_pattern_store
+        from repro.wordnet import (
+            build_adjective_map, build_similar_property_pairs, build_wordnet,
+        )
+
+        wn = build_wordnet()
+        mapper = TripleMapper(
+            kb, build_pattern_store(kb),
+            build_similar_property_pairs(kb.ontology, wn),
+            build_adjective_map(kb.ontology, wn),
+        )
+        handler = BooleanQuestionHandler(mapper)
+        sentence = pipeline.annotate(question)
+        assert handler.is_boolean_question(sentence) is expected
+
+
+class TestDateHelpers:
+    def test_render_parse_roundtrip(self):
+        for date in (dt.date(1986, 2, 11), dt.date(1791, 12, 5), dt.date(2004, 11, 23)):
+            text = _render_date(date)
+            day, month, year = text.split()
+            assert _parse_date(day, month, year) == date
+
+    def test_render_format(self):
+        assert _render_date(dt.date(1986, 2, 11)) == "11 February 1986"
+
+    def test_parse_invalid_day(self):
+        assert _parse_date("31", "February", "1986") is None
+
+
+class TestDataExtraction:
+    def test_corpus_deterministic(self, kb):
+        a = generate_data_corpus(kb, seed=9)
+        b = generate_data_corpus(kb, seed=9)
+        assert a == b
+
+    def test_extract_requires_entity_and_date(self, kb):
+        extractor = DataPatternExtractor(kb)
+        # No recognisable date -> nothing.
+        assert extractor.extract([
+            ("Frank Herbert died on some day", "x", dt.date(1986, 2, 11), "deathDate"),
+        ]) == {}
+        # Date but unknown entity -> nothing.
+        assert extractor.extract([
+            ("Zorblax died on 11 February 1986", "x", dt.date(1986, 2, 11), "deathDate"),
+        ]) == {}
+
+    def test_extract_attributes_via_kb_not_label(self, kb):
+        extractor = DataPatternExtractor(kb)
+        # The tuple claims 'birthDate' but the (entity, date) pair only
+        # matches the KB's deathDate fact; distant supervision must follow
+        # the KB.
+        aggregates = extractor.extract([
+            ("Frank Herbert died on 11 February 1986", "Frank_Herbert",
+             dt.date(1986, 2, 11), "WRONG_LABEL"),
+        ])
+        relations = {relation for __, relation in aggregates}
+        assert relations == {"deathDate"}
+
+    def test_mismatched_date_not_attributed(self, kb):
+        extractor = DataPatternExtractor(kb)
+        aggregates = extractor.extract([
+            ("Frank Herbert died on 12 February 1986", "Frank_Herbert",
+             dt.date(1986, 2, 12), "deathDate"),
+        ])
+        assert aggregates == {}
+
+
+class TestImperativeEdgeCases:
+    def test_show_me_variant(self):
+        assert normalize_imperative("Show me all books written by Orhan Pamuk.") \
+            == "Which books were written by Orhan Pamuk?"
+
+    def test_a_list_of_variant(self):
+        rewritten = normalize_imperative(
+            "Give me a list of all films directed by Tim Burton."
+        )
+        assert rewritten == "Which films were directed by Tim Burton?"
+
+    def test_trailing_punctuation_variants(self):
+        for tail in (".", "!", "", " "):
+            assert normalize_imperative(f"Give me all cities in Germany{tail}") \
+                == "Which cities are located in Germany?"
+
+    def test_empty_rest(self):
+        assert normalize_imperative("Give me all .") is None
+
+    def test_case_insensitive_frame(self):
+        assert normalize_imperative("GIVE ME ALL cities in Germany.") is not None

@@ -1,0 +1,168 @@
+"""Tests for the section-6 future-work extensions.
+
+All extensions default OFF; the first test class pins that invariant so
+the faithful configuration can never drift away from Table 2.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.extensions import build_data_pattern_store, generate_data_corpus
+from repro.extensions.imperatives import normalize_imperative
+from repro.rdf import DBR, literal_value
+
+
+@pytest.fixture(scope="module")
+def qa_extended(kb):
+    return QuestionAnsweringSystem.over(kb, PipelineConfig().with_extensions())
+
+
+class TestDefaultsOff:
+    def test_flags_default_false(self):
+        config = PipelineConfig()
+        assert not config.enable_boolean_questions
+        assert not config.enable_data_property_patterns
+        assert not config.enable_imperatives
+
+    def test_with_extensions_flips_all(self):
+        config = PipelineConfig().with_extensions()
+        assert config.enable_boolean_questions
+        assert config.enable_data_property_patterns
+        assert config.enable_imperatives
+
+    def test_faithful_system_ignores_extension_questions(self, qa):
+        assert not qa.answer("Is Berlin the capital of Germany?").answered
+        assert not qa.answer("When did Frank Herbert die?").answered
+        assert not qa.answer("Give me all cities in Germany.").answered
+
+
+class TestImperativeRewrite:
+    def test_participle_frame(self):
+        assert normalize_imperative(
+            "Give me all films directed by Alfred Hitchcock."
+        ) == "Which films were directed by Alfred Hitchcock?"
+
+    def test_locative_frame(self):
+        assert normalize_imperative(
+            "Give me all cities in Germany."
+        ) == "Which cities are located in Germany?"
+
+    def test_two_word_noun_locative(self):
+        assert normalize_imperative(
+            "Give me all soccer clubs in Spain."
+        ) == "Which soccer clubs are located in Spain?"
+
+    def test_list_all_variant(self):
+        assert normalize_imperative("List all books written by Orhan Pamuk.") == (
+            "Which books were written by Orhan Pamuk?"
+        )
+
+    def test_non_imperative_returns_none(self):
+        assert normalize_imperative("Who wrote Dune?") is None
+        assert normalize_imperative("How tall is Michael Jordan?") is None
+
+    def test_end_to_end_give_me(self, qa_extended):
+        result = qa_extended.answer("Give me all films directed by Alfred Hitchcock.")
+        assert result.answers == [DBR.Psycho_film]
+        assert result.rewritten_question is not None
+
+    def test_end_to_end_locative(self, qa_extended):
+        result = qa_extended.answer("Give me all soccer clubs in Spain.")
+        assert set(result.answers) == {
+            DBR.FC_Barcelona, DBR.Real_Madrid, DBR.Valencia_CF,
+        }
+
+    def test_unrewritable_frame_still_fails(self, qa_extended):
+        # "albums of X" has no safe rewrite; partial coverage by design.
+        result = qa_extended.answer("Give me all albums of Michael Jackson.")
+        assert not result.answered
+
+
+class TestBooleanQuestions:
+    def test_copular_true(self, qa_extended):
+        result = qa_extended.answer("Is Berlin the capital of Germany?")
+        assert result.boolean is True
+        assert result.answered
+
+    def test_passive_false(self, qa_extended):
+        # Lincoln DIED in Washington; the verdict must come from the
+        # top-ranked predicate (birthPlace), not from any matching one.
+        result = qa_extended.answer("Was Abraham Lincoln born in Washington?")
+        assert result.boolean is False
+
+    def test_passive_true(self, qa_extended):
+        result = qa_extended.answer("Was Michael Jackson born in Gary?")
+        assert result.boolean is True
+
+    def test_alive_still_fails(self, qa_extended):
+        # The extension widens query shapes, not lexical coverage; the
+        # paper's section 5 failure case must survive.
+        result = qa_extended.answer("Is Frank Herbert still alive?")
+        assert result.boolean is None
+        assert not result.answered
+
+    def test_non_boolean_unaffected(self, qa_extended):
+        result = qa_extended.answer("Who is the mayor of Berlin?")
+        assert result.boolean is None
+        assert result.answers == [DBR.Klaus_Wowereit]
+
+
+class TestDataPropertyPatterns:
+    def test_corpus_renders_dates(self, kb):
+        sentences = generate_data_corpus(kb)
+        herbert = [s for s in sentences
+                   if s[1] == "Frank_Herbert" and s[3] == "deathDate"]
+        assert herbert
+        assert any("11 February 1986" in s[0] for s in herbert)
+
+    def test_store_maps_die_to_deathdate(self, kb):
+        store = build_data_pattern_store(kb)
+        assert store.properties_for("die")[0][0] == "deathDate"
+
+    def test_store_maps_bear_to_birthdate(self, kb):
+        store = build_data_pattern_store(kb)
+        assert store.properties_for("bear")[0][0] == "birthDate"
+
+    def test_store_deterministic(self, kb):
+        a = build_data_pattern_store(kb, seed=5)
+        b = build_data_pattern_store(kb, seed=5)
+        assert a.properties_for("die") == b.properties_for("die")
+
+    def test_when_died_answered(self, qa_extended):
+        result = qa_extended.answer("When did Frank Herbert die?")
+        assert result.answered
+        assert literal_value(result.top) == dt.date(1986, 2, 11)
+
+    def test_when_born_answered(self, qa_extended):
+        result = qa_extended.answer("When was Albert Einstein born?")
+        assert literal_value(result.top) == dt.date(1879, 3, 14)
+
+    def test_when_launched_answered(self, qa_extended):
+        result = qa_extended.answer("When was Apollo 11 launched?")
+        assert literal_value(result.top) == dt.date(1969, 7, 16)
+
+    def test_where_questions_still_prefer_object_patterns(self, qa_extended):
+        # The Place expectation filters out date answers, and vice versa.
+        result = qa_extended.answer("Where did Abraham Lincoln die?")
+        assert result.answers == [DBR.Washington_D_C]
+
+
+class TestExtendedEvaluation:
+    def test_extensions_strictly_improve_f1(self, kb, qa):
+        from repro.qald import QaldEvaluator, load_questions
+
+        questions = load_questions()
+        faithful = QaldEvaluator(kb, qa).evaluate(questions)
+        extended_system = QuestionAnsweringSystem.over(
+            kb, PipelineConfig().with_extensions()
+        )
+        extended = QaldEvaluator(kb, extended_system).evaluate(questions)
+        assert extended.answered > faithful.answered
+        assert extended.correct > faithful.correct
+        assert extended.paper_f1 > faithful.paper_f1
+        # The noise-induced wrong answers are untouched by the extensions.
+        wrong = [o.question.qid for o in extended.outcomes
+                 if o.answered and not o.correct]
+        assert wrong == [16, 17, 18]

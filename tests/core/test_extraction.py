@@ -1,0 +1,117 @@
+"""Tests for triple-pattern extraction (section 2.1)."""
+
+import pytest
+
+from repro.core import SlotKind, TripleExtractor
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return TripleExtractor()
+
+
+def extract(nlp, extractor, question):
+    return extractor.extract(nlp.annotate(question))
+
+
+class TestFigure1Example:
+    def test_two_triples_extracted(self, nlp, extractor):
+        bucket = extract(nlp, extractor, "Which book is written by Orhan Pamuk?")
+        assert len(bucket) == 2
+
+    def test_type_triple(self, nlp, extractor):
+        bucket = extract(nlp, extractor, "Which book is written by Orhan Pamuk?")
+        type_triple = next(t for t in bucket if t.predicate.kind is SlotKind.RDF_TYPE)
+        assert type_triple.subject.is_variable
+        assert type_triple.object.text == "book"
+
+    def test_main_triple(self, nlp, extractor):
+        bucket = extract(nlp, extractor, "Which book is written by Orhan Pamuk?")
+        main = next(t for t in bucket if t.is_main)
+        assert main.subject.is_variable
+        assert main.predicate.text == "write"
+        assert main.object.kind is SlotKind.ENTITY
+        assert main.object.text == "Orhan Pamuk"
+
+    def test_paper_string_forms(self, nlp, extractor):
+        bucket = extract(nlp, extractor, "Which book is written by Orhan Pamuk?")
+        rendered = {str(t) for t in bucket}
+        assert "[Subject: ?x] [Predicate: rdf:type] [Object: book]" in rendered
+        assert "[Subject: ?x] [Predicate: write] [Object: Orhan Pamuk]" in rendered
+
+
+class TestWorkedExamples:
+    def test_height_of_michael_jordan(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "What is the height of Michael Jordan?")
+        assert triple.subject.text == "Michael Jordan"
+        assert triple.predicate.text == "height"
+        assert triple.object.is_variable
+
+    def test_how_tall(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "How tall is Michael Jordan?")
+        assert triple.predicate.text == "tall"
+        assert triple.subject.kind is SlotKind.ENTITY
+
+    def test_where_did_lincoln_die(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "Where did Abraham Lincoln die?")
+        assert triple.subject.text == "Abraham Lincoln"
+        assert triple.predicate.text == "die"
+        assert triple.object.is_variable
+
+    def test_frank_herbert_alive_section5(self, nlp, extractor):
+        # Section 5: the triple IS extracted; the later mapping fails.
+        [triple] = extract(nlp, extractor, "Is Frank Herbert still alive?")
+        assert triple.subject.text == "Frank Herbert"
+        assert triple.predicate.text == "alive"
+
+    def test_who_wrote_active(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "Who wrote The Pillars of the Earth?")
+        assert triple.subject.is_variable
+        assert triple.predicate.text == "write"
+        assert triple.object.text == "The Pillars of the Earth"
+
+    def test_mayor_of_berlin(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "Who is the mayor of Berlin?")
+        assert triple.subject.text == "Berlin"
+        assert triple.predicate.text == "mayor"
+        assert triple.object.is_variable
+
+    def test_how_many_pages(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "How many pages does War and Peace have?")
+        assert triple.subject.text == "War and Peace"
+        assert triple.predicate.text == "page"
+        assert triple.object.is_variable
+
+    def test_fronted_object_with_type(self, nlp, extractor):
+        bucket = extract(nlp, extractor, "Which river does the Brooklyn Bridge cross?")
+        assert len(bucket) == 2
+        main = next(t for t in bucket if t.is_main)
+        assert main.subject.text == "Brooklyn Bridge"
+        assert main.predicate.text == "cross"
+        type_triple = next(t for t in bucket if not t.is_main)
+        assert type_triple.object.text == "river"
+
+    def test_in_which_country(self, nlp, extractor):
+        [triple] = extract(nlp, extractor, "In which country is the Limerick Lake?")
+        assert triple.subject.text == "Limerick Lake"
+        assert triple.predicate.text == "country"
+
+
+class TestCoverageLimits:
+    """Questions outside section 2.1's grammar coverage yield empty buckets."""
+
+    @pytest.mark.parametrize("question", [
+        "Give me all books written by Danielle Steel.",
+        "What is the highest mountain?",
+        "Who produced the most films?",
+        "Give me all cities in Germany with more than one million inhabitants.",
+    ])
+    def test_unsupported_structures(self, nlp, extractor, question):
+        assert extract(nlp, extractor, question) == []
+
+    def test_empty_question(self, nlp, extractor):
+        assert extract(nlp, extractor, "?") == []
+
+    def test_statement_without_question_element(self, nlp, extractor):
+        # Declaratives have no questioned element -> nothing to extract.
+        assert extract(nlp, extractor, "Orhan Pamuk wrote Snow.") == []

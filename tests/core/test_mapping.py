@@ -1,0 +1,146 @@
+"""Tests for entity/property mapping (section 2.2)."""
+
+import pytest
+
+from repro.core import PipelineConfig, TripleExtractor, TripleMapper
+from repro.core.mapping import MappingFailure
+from repro.kb.ontology import PropertyKind
+from repro.rdf import DBO, DBR, RDF, Variable
+
+
+@pytest.fixture(scope="module")
+def mapper(kb, pattern_store, similar_pairs, adjective_map):
+    return TripleMapper(kb, pattern_store, similar_pairs, adjective_map)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return TripleExtractor()
+
+
+def map_question(nlp, extractor, mapper, question):
+    sentence = nlp.annotate(question)
+    bucket = extractor.extract(sentence)
+    return mapper.map(sentence, bucket)
+
+
+class TestPaperWorkedExample:
+    """Section 2.2's running example: 'Which book is written by Orhan Pamuk?'"""
+
+    @pytest.fixture(scope="class")
+    def mapped(self, nlp, extractor, mapper):
+        return map_question(
+            nlp, extractor, mapper, "Which book is written by Orhan Pamuk?"
+        )
+
+    def test_book_maps_to_class(self, mapped):
+        type_triple = next(
+            c for c in mapped if c.predicates[0].source == "rdf:type"
+        )
+        assert type_triple.objects == [DBO.Book]
+        assert type_triple.predicates[0].iri == RDF.type
+
+    def test_written_maps_to_writer_and_author(self, mapped):
+        # Pt1("written") = {dbont:writer, dbont:author} per the paper.
+        main = next(c for c in mapped if c.pattern.is_main)
+        iris = {candidate.iri for candidate in main.predicates}
+        assert DBO.author in iris
+        assert DBO.writer in iris
+
+    def test_orhan_pamuk_disambiguated(self, mapped):
+        main = next(c for c in mapped if c.pattern.is_main)
+        assert main.objects == [DBR.Orhan_Pamuk]
+
+    def test_variable_subject(self, mapped):
+        main = next(c for c in mapped if c.pattern.is_main)
+        assert main.subjects == [Variable("x")]
+
+
+class TestPredicateSources:
+    def test_die_uses_patterns(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper,
+                              "Where did Abraham Lincoln die?")
+        [main] = mapped
+        by_iri = {c.iri: c for c in main.predicates}
+        assert DBO.deathPlace in by_iri
+        assert by_iri[DBO.deathPlace].source == "pattern"
+        # deathPlace must outrank birthPlace on frequency.
+        assert by_iri[DBO.deathPlace].weight > by_iri.get(
+            DBO.birthPlace, by_iri[DBO.deathPlace]
+        ).weight or DBO.birthPlace not in by_iri
+
+    def test_tall_uses_adjective_map(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper, "How tall is Michael Jordan?")
+        [main] = mapped
+        best = main.predicates[0]
+        assert best.iri == DBO.height
+        assert best.source == "adjective"
+
+    def test_height_noun_uses_similarity(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper,
+                              "What is the height of Michael Jordan?")
+        [main] = mapped
+        assert main.predicates[0].iri == DBO.height
+
+    def test_data_property_kind_recorded(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper, "How tall is Michael Jordan?")
+        assert mapped[0].predicates[0].kind is PropertyKind.DATA
+
+    def test_candidates_capped(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper,
+                              "Where did Abraham Lincoln die?")
+        assert len(mapped[0].predicates) <= PipelineConfig().max_predicate_candidates
+
+    def test_candidates_sorted_by_weight(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper,
+                              "Where did Abraham Lincoln die?")
+        weights = [c.weight for c in mapped[0].predicates]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestDisambiguationInContext:
+    def test_michael_jordan_resolves_to_athlete(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper, "How tall is Michael Jordan?")
+        assert mapped[0].subjects == [DBR.Michael_Jordan]
+
+    def test_dune_with_author_context(self, nlp, extractor, mapper):
+        mapped = map_question(nlp, extractor, mapper, "Who wrote Dune?")
+        [main] = mapped
+        assert main.objects == [DBR.Dune_novel]
+
+
+class TestFailures:
+    def test_alive_has_no_predicate_mapping(self, nlp, extractor, mapper):
+        # Section 5 failure case.
+        with pytest.raises(MappingFailure, match="predicate"):
+            map_question(nlp, extractor, mapper, "Is Frank Herbert still alive?")
+
+    def test_unknown_entity_fails(self, nlp, extractor, mapper):
+        with pytest.raises(MappingFailure):
+            map_question(nlp, extractor, mapper, "Where did Zorblax Quux die?")
+
+    def test_unknown_class_fails(self, nlp, extractor, mapper):
+        with pytest.raises(MappingFailure):
+            map_question(nlp, extractor, mapper,
+                         "Which zeppelin is written by Orhan Pamuk?")
+
+
+class TestAblationConfigs:
+    def test_without_patterns_die_unmappable(self, kb, pattern_store,
+                                             similar_pairs, adjective_map,
+                                             nlp, extractor):
+        mapper = TripleMapper(kb, pattern_store, similar_pairs, adjective_map,
+                              PipelineConfig().without_patterns())
+        with pytest.raises(MappingFailure):
+            map_question(nlp, extractor, mapper, "Where did Abraham Lincoln die?")
+
+    def test_without_wordnet_written_loses_writer(self, kb, pattern_store,
+                                                  similar_pairs, adjective_map,
+                                                  nlp, extractor):
+        mapper = TripleMapper(kb, pattern_store, similar_pairs, adjective_map,
+                              PipelineConfig().without_wordnet())
+        mapped = map_question(nlp, extractor, mapper,
+                              "Which book is written by Orhan Pamuk?")
+        main = next(c for c in mapped if c.pattern.is_main)
+        sources = {c.source for c in main.predicates}
+        assert "wordnet" not in sources

@@ -1,0 +1,116 @@
+"""Tests for candidate-query generation and ranking (section 2.3)."""
+
+import pytest
+
+from repro.core import (
+    PipelineConfig,
+    QueryGenerator,
+    TripleExtractor,
+    TripleMapper,
+)
+from repro.rdf import DBO, DBR, RDF, Triple, Variable
+
+
+@pytest.fixture(scope="module")
+def mapper(kb, pattern_store, similar_pairs, adjective_map):
+    return TripleMapper(kb, pattern_store, similar_pairs, adjective_map)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return QueryGenerator()
+
+
+def queries_for(nlp, mapper, generator, question):
+    extractor = TripleExtractor()
+    sentence = nlp.annotate(question)
+    mapped = mapper.map(sentence, extractor.extract(sentence))
+    return generator.generate(mapped)
+
+
+class TestPaperQueries:
+    """Section 2.3: Query1/Query2 for the running example."""
+
+    @pytest.fixture(scope="class")
+    def queries(self, nlp, mapper, generator):
+        return queries_for(nlp, mapper, generator,
+                           "Which book is written by Orhan Pamuk?")
+
+    def test_both_paper_queries_generated(self, queries):
+        shapes = set()
+        for query in queries:
+            predicates = frozenset(
+                t.predicate for t in query.triples if t.predicate != RDF.type
+            )
+            shapes |= predicates
+        assert DBO.writer in shapes
+        assert DBO.author in shapes
+
+    def test_query_structure_matches_paper(self, queries):
+        # SELECT ?x WHERE { ?x rdf:type dbo:Book . ?x dbo:author res:Orhan_Pamuk }
+        target = next(
+            q for q in queries
+            if any(t.predicate == DBO.author for t in q.triples)
+        )
+        type_triples = [t for t in target.triples if t.predicate == RDF.type]
+        assert type_triples[0].object == DBO.Book
+        author_triple = next(t for t in target.triples if t.predicate == DBO.author)
+        assert author_triple.object == DBR.Orhan_Pamuk or (
+            author_triple.subject == DBR.Orhan_Pamuk
+        )
+
+    def test_sparql_rendering(self, queries):
+        text = queries[0].to_sparql()
+        assert text.startswith("SELECT DISTINCT ?x WHERE {")
+        assert "rdf:type" in text or "a " in text
+
+    def test_ast_executable(self, queries, kb):
+        result = kb.engine.query(queries[0].to_ast())
+        assert result is not None
+
+
+class TestRanking:
+    def test_scores_descending(self, nlp, mapper, generator):
+        queries = queries_for(nlp, mapper, generator,
+                              "Where did Abraham Lincoln die?")
+        scores = [q.score for q in queries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_is_product_of_weights(self, nlp, mapper, generator):
+        # Single-triple question: score equals the predicate weight, so the
+        # deathPlace pattern frequency must put it first.
+        queries = queries_for(nlp, mapper, generator,
+                              "Where did Abraham Lincoln die?")
+        top = queries[0]
+        assert any(t.predicate == DBO.deathPlace for t in top.triples)
+
+    def test_query_cap_respected(self, nlp, mapper, kb):
+        config = PipelineConfig(max_queries=3)
+        generator = QueryGenerator(config)
+        queries = queries_for(nlp, mapper, generator,
+                              "Which book is written by Orhan Pamuk?")
+        assert len(queries) <= 3
+
+
+class TestOrientation:
+    def test_object_property_both_orientations(self, nlp, mapper, generator):
+        queries = queries_for(nlp, mapper, generator,
+                              "Who wrote The Pillars of the Earth?")
+        orientations = set()
+        for query in queries:
+            for triple in query.triples:
+                if triple.predicate == DBO.author:
+                    orientations.add(isinstance(triple.subject, Variable))
+        assert orientations == {True, False}
+
+    def test_data_property_entity_subject_only(self, nlp, mapper, generator):
+        queries = queries_for(nlp, mapper, generator,
+                              "How tall is Michael Jordan?")
+        for query in queries:
+            for triple in query.triples:
+                if triple.predicate == DBO.height:
+                    assert triple.subject == DBR.Michael_Jordan
+                    assert isinstance(triple.object, Variable)
+
+    def test_empty_mapping_yields_no_queries(self, generator):
+        assert generator.generate([]) == []

@@ -1,0 +1,109 @@
+"""Robustness: adversarial and degenerate inputs must never crash.
+
+The system is allowed to refuse (unanswered with a failure reason); it is
+not allowed to raise, hang, or return malformed Answer objects.
+"""
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.kb.builder import KnowledgeBase
+from repro.kb.records import entity
+from repro.kb.schema import build_dbpedia_ontology
+
+
+ADVERSARIAL_QUESTIONS = [
+    "",
+    " ",
+    "?",
+    "???",
+    "which",
+    "Which",
+    "Who?",
+    "is is is is is?",
+    "Which book is written by?",
+    "Which book is written by Orhan Pamuk" * 10 + "?",
+    "Which книга is written by Орхан Памук?",
+    "Which book is written by Orhan Pamuk? Which film was directed by who?",
+    "WHICH BOOK IS WRITTEN BY ORHAN PAMUK?",
+    "which book is written by orhan pamuk?",
+    "Which 42 is written by 17?",
+    "\twhich\nbook\ris written by Orhan Pamuk ?",
+    "Who wrote " + "very " * 50 + "long books?",
+    "Is?",
+    "Give me.",
+    "How?",
+    "How many?",
+    ". . . .",
+    "'s 's 's",
+]
+
+
+class TestAdversarialQuestions:
+    @pytest.mark.parametrize("question", ADVERSARIAL_QUESTIONS)
+    def test_never_raises(self, qa, question):
+        result = qa.answer(question)
+        assert result.question == question
+        if not result.answered:
+            assert result.failure is not None
+
+    @pytest.mark.parametrize("question", ADVERSARIAL_QUESTIONS)
+    def test_never_raises_with_extensions(self, kb, question):
+        system = QuestionAnsweringSystem.over(kb, PipelineConfig().with_extensions())
+        system.answer(question)  # must not raise
+
+    def test_all_caps_still_works(self, qa):
+        # Case-insensitive gazetteer: the all-caps variant still finds the
+        # entity and answers.
+        result = qa.answer("WHICH BOOK IS WRITTEN BY ORHAN PAMUK?")
+        assert result.answered
+
+
+class TestAdversarialKb:
+    """Entity labels that collide with question machinery."""
+
+    def build(self):
+        ontology = build_dbpedia_ontology()
+        return KnowledgeBase.from_records(ontology, [
+            # A band actually called "Who" and a book called "Which".
+            entity("Who_band", "Band", label="Who",
+                   foundingDate=__import__("datetime").date(1964, 1, 1)),
+            entity("Which_novel", "Novel", label="Which", author="Q_Writer"),
+            entity("Q_Writer", "Writer", label="Q", birthPlace="Sometown"),
+            entity("Sometown", "Town", label="Sometown"),
+        ])
+
+    def test_question_words_not_hijacked(self):
+        kb = self.build()
+        system = QuestionAnsweringSystem.over(kb)
+        # The stop-mention guard keeps "Who"/"Which" as interrogatives even
+        # when entities carry those labels; such entities are reachable only
+        # through unambiguous aliases.  The question refuses rather than
+        # binding "Which" to the novel.
+        result = system.answer("Who wrote Which?")
+        assert not result.answered
+        assert result.failure is not None
+        # And the interrogative itself still functions normally.
+        mentions = system.answer("Who is the mayor of Berlin?")
+        assert mentions.question  # no crash; unanswered here (no Berlin in KB)
+
+    def test_single_letter_entity(self):
+        kb = self.build()
+        system = QuestionAnsweringSystem.over(kb)
+        result = system.answer("Where was Q born?")
+        assert result.answered
+        assert result.answers[0].local_name == "Sometown"
+
+
+class TestEmptyKb:
+    def test_system_over_empty_kb(self):
+        kb = KnowledgeBase.from_records(build_dbpedia_ontology(), [])
+        system = QuestionAnsweringSystem.over(kb)
+        result = system.answer("Which book is written by Orhan Pamuk?")
+        assert not result.answered
+        assert result.failure is not None
+
+    def test_empty_kb_sparql(self):
+        kb = KnowledgeBase.from_records(build_dbpedia_ontology(), [])
+        # Only schema triples exist.
+        assert kb.ask("ASK { dbont:Writer rdfs:subClassOf dbont:Artist }")

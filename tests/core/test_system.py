@@ -1,0 +1,142 @@
+"""End-to-end tests of the QA system on the paper's worked examples."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.rdf import DBR, literal_value
+
+
+def answers_of(result):
+    return {getattr(a, "local_name", None) or str(a) for a in result.answers}
+
+
+class TestPaperExamples:
+    def test_books_by_orhan_pamuk(self, qa):
+        result = qa.answer("Which book is written by Orhan Pamuk?")
+        assert result.answered
+        assert answers_of(result) == {
+            "Snow_novel", "My_Name_Is_Red", "The_White_Castle",
+            "The_Black_Book_novel", "The_Museum_of_Innocence",
+        }
+
+    def test_how_tall_michael_jordan(self, qa):
+        result = qa.answer("How tall is Michael Jordan?")
+        assert result.answered
+        assert literal_value(result.top) == pytest.approx(1.98)
+
+    def test_height_of_michael_jordan(self, qa):
+        result = qa.answer("What is the height of Michael Jordan?")
+        assert literal_value(result.top) == pytest.approx(1.98)
+
+    def test_where_did_lincoln_die(self, qa):
+        result = qa.answer("Where did Abraham Lincoln die?")
+        assert result.answers == [DBR.Washington_D_C]
+
+    def test_michael_jackson_birthplace_variants(self, qa):
+        # Section 2.2.3's motivating paraphrase pair.
+        for question in (
+            "Where was Michael Jackson born?",
+            "Where was Michael Jackson born in?",
+        ):
+            result = qa.answer(question)
+            assert result.answers == [DBR.Gary_Indiana], question
+
+
+class TestQaldStyleQuestions:
+    def test_mayor_of_berlin(self, qa):
+        result = qa.answer("Who is the mayor of Berlin?")
+        assert result.answers == [DBR.Klaus_Wowereit]
+
+    def test_wrote_pillars_of_the_earth(self, qa):
+        result = qa.answer("Who wrote The Pillars of the Earth?")
+        assert result.answers == [DBR.Ken_Follett]
+
+    def test_river_crossed_by_brooklyn_bridge(self, qa):
+        result = qa.answer("Which river does the Brooklyn Bridge cross?")
+        assert result.answers == [DBR.East_River]
+
+    def test_country_of_limerick_lake(self, qa):
+        result = qa.answer("In which country is the Limerick Lake?")
+        assert result.answers == [DBR.Canada]
+
+    def test_capital_of_canada(self, qa):
+        result = qa.answer("What is the capital of Canada?")
+        assert result.answers == [DBR.Ottawa]
+
+    def test_pages_of_war_and_peace(self, qa):
+        result = qa.answer("How many pages does War and Peace have?")
+        assert literal_value(result.top) == 1225
+
+    def test_developer_of_world_of_warcraft(self, qa):
+        result = qa.answer("Who developed World of Warcraft?")
+        assert result.answers == [DBR.Blizzard_Entertainment]
+
+    def test_founders_of_intel(self, qa):
+        result = qa.answer("Who founded Intel?")
+        assert answers_of(result) == {"Gordon_Moore", "Robert_Noyce"}
+
+    def test_creator_of_goofy(self, qa):
+        result = qa.answer("Who created Goofy?")
+        assert result.answers == [DBR.Walt_Disney]
+
+    def test_shows_created_by_walt_disney(self, qa):
+        result = qa.answer("Which television shows were created by Walt Disney?")
+        assert answers_of(result) == {"Zorro_TV_series", "The_Mickey_Mouse_Club"}
+
+
+class TestTypeChecking:
+    def test_who_filters_places(self, qa):
+        # 'Who' answers must be Person/Organisation/Company.
+        result = qa.answer("Who is the mayor of Berlin?")
+        assert result.expected_type.name == "PERSON_OR_ORGANISATION"
+        assert all(
+            qa.kb.is_instance_of(answer, "Person")
+            or qa.kb.is_instance_of(answer, "Organisation")
+            for answer in result.answers
+        )
+
+    def test_where_filters_to_places(self, qa):
+        result = qa.answer("Where did Abraham Lincoln die?")
+        assert all(qa.kb.is_instance_of(a, "Place") for a in result.answers)
+
+    def test_when_question_fails_on_object_only_patterns(self, qa):
+        # PATTY patterns cover only object properties (section 5 of the
+        # paper): 'When did X die?' maps to deathPlace, a Place, which the
+        # Date expectation rejects -> unanswered.
+        result = qa.answer("When did Frank Herbert die?")
+        assert not result.answered
+
+
+class TestDiagnostics:
+    def test_answer_object_fields(self, qa):
+        result = qa.answer("Which book is written by Orhan Pamuk?")
+        assert result.question.startswith("Which book")
+        assert result.query is not None
+        assert result.triples
+        assert result.candidate_queries
+        assert result.failure is None
+
+    def test_top_is_first_answer(self, qa):
+        result = qa.answer("Who is the mayor of Berlin?")
+        assert result.top == result.answers[0]
+
+    def test_unanswered_has_failure_reason(self, qa):
+        result = qa.answer("Is Frank Herbert still alive?")
+        assert not result.answered
+        assert result.failure is not None
+        assert result.top is None
+
+
+class TestOverConstructor:
+    def test_over_builds_working_system(self, kb):
+        system = QuestionAnsweringSystem.over(kb)
+        assert system.answer("How tall is Michael Jordan?").answered
+
+    def test_config_propagates(self, kb):
+        config = PipelineConfig(use_patterns=False)
+        system = QuestionAnsweringSystem.over(kb, config)
+        assert system.config.use_patterns is False
+        # Pattern-driven question now fails.
+        assert not system.answer("Where did Abraham Lincoln die?").answered

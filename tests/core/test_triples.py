@@ -1,0 +1,55 @@
+"""Tests for the triple-pattern model."""
+
+from repro.core import Slot, SlotKind, TriplePattern
+from repro.nlp import Token
+
+
+def token(text, pos="NN"):
+    return Token(0, text, text.lower(), pos)
+
+
+class TestSlot:
+    def test_variable(self):
+        slot = Slot.variable()
+        assert slot.is_variable
+        assert str(slot) == "?x"
+
+    def test_rdf_type(self):
+        slot = Slot.rdf_type()
+        assert slot.kind is SlotKind.RDF_TYPE
+        assert str(slot) == "rdf:type"
+
+    def test_entity_slot_keeps_surface(self):
+        slot = Slot.entity(Token(3, "Orhan Pamuk", "Orhan Pamuk", "NNP", entity=True))
+        assert slot.kind is SlotKind.ENTITY
+        assert slot.text == "Orhan Pamuk"
+
+    def test_text_slot_defaults_to_lemma(self):
+        slot = Slot.text_of(Token(1, "written", "write", "VBN"))
+        assert slot.text == "write"
+
+    def test_text_slot_override(self):
+        slot = Slot.text_of(token("books"), "book")
+        assert slot.text == "book"
+
+
+class TestTriplePattern:
+    def test_paper_rendering(self):
+        pattern = TriplePattern(
+            Slot.variable(), Slot.rdf_type(), Slot.text_of(token("book")),
+        )
+        assert str(pattern) == "[Subject: ?x] [Predicate: rdf:type] [Object: book]"
+
+    def test_variable_count(self):
+        pattern = TriplePattern(
+            Slot.variable(), Slot.text_of(token("written", "VBN")),
+            Slot.entity(Token(5, "Orhan Pamuk", "Orhan Pamuk", "NNP", entity=True)),
+        )
+        assert pattern.variables() == 1
+
+    def test_is_main_flag(self):
+        pattern = TriplePattern(
+            Slot.variable(), Slot.rdf_type(), Slot.text_of(token("book")),
+            is_main=True,
+        )
+        assert pattern.is_main

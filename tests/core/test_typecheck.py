@@ -1,0 +1,79 @@
+"""Tests for expected-answer-type checking (Table 1)."""
+
+import pytest
+
+from repro.core import ExpectedType, expected_answer_type
+from repro.core.typecheck import answer_matches_type
+from repro.rdf import DBR, Literal, XSD
+
+
+def classify(nlp, question):
+    return expected_answer_type(nlp.annotate(question))
+
+
+class TestTable1Routing:
+    def test_who_expects_person_or_organisation(self, nlp):
+        assert classify(nlp, "Who wrote Dune?") is ExpectedType.PERSON_OR_ORGANISATION
+
+    def test_where_expects_place(self, nlp):
+        assert classify(nlp, "Where did Abraham Lincoln die?") is ExpectedType.PLACE
+
+    def test_when_expects_date(self, nlp):
+        assert classify(nlp, "When did Frank Herbert die?") is ExpectedType.DATE
+
+    def test_how_many_expects_numeric(self, nlp):
+        assert classify(nlp, "How many pages does War and Peace have?") is ExpectedType.NUMERIC
+
+    def test_how_adjective_expects_numeric(self, nlp):
+        assert classify(nlp, "How tall is Michael Jordan?") is ExpectedType.NUMERIC
+
+    def test_which_unconstrained(self, nlp):
+        assert classify(nlp, "Which book is written by Orhan Pamuk?") is ExpectedType.ANY
+
+    def test_what_unconstrained(self, nlp):
+        assert classify(nlp, "What is the capital of Canada?") is ExpectedType.ANY
+
+    def test_boolean_unconstrained(self, nlp):
+        assert classify(nlp, "Is Frank Herbert still alive?") is ExpectedType.ANY
+
+
+class TestAnswerMatching:
+    def test_person_matches_who(self, kb):
+        assert answer_matches_type(
+            kb, DBR.Orhan_Pamuk, ExpectedType.PERSON_OR_ORGANISATION,
+        )
+
+    def test_company_matches_who(self, kb):
+        # Table 1 lists Company explicitly alongside Person/Organization.
+        assert answer_matches_type(
+            kb, DBR.Blizzard_Entertainment, ExpectedType.PERSON_OR_ORGANISATION,
+        )
+
+    def test_place_rejected_for_who(self, kb):
+        assert not answer_matches_type(
+            kb, DBR.Istanbul, ExpectedType.PERSON_OR_ORGANISATION,
+        )
+
+    def test_city_matches_where(self, kb):
+        assert answer_matches_type(kb, DBR.Istanbul, ExpectedType.PLACE)
+
+    def test_person_rejected_for_where(self, kb):
+        assert not answer_matches_type(kb, DBR.Orhan_Pamuk, ExpectedType.PLACE)
+
+    def test_date_literal_matches_when(self, kb):
+        answer = Literal("1986-02-11", datatype=XSD.date.value)
+        assert answer_matches_type(kb, answer, ExpectedType.DATE)
+
+    def test_place_rejected_for_when(self, kb):
+        assert not answer_matches_type(kb, DBR.Istanbul, ExpectedType.DATE)
+
+    def test_numeric_literal_matches_how_many(self, kb):
+        answer = Literal("1225", datatype=XSD.integer.value)
+        assert answer_matches_type(kb, answer, ExpectedType.NUMERIC)
+
+    def test_plain_string_rejected_for_numeric(self, kb):
+        assert not answer_matches_type(kb, Literal("many"), ExpectedType.NUMERIC)
+
+    def test_any_accepts_everything(self, kb):
+        assert answer_matches_type(kb, DBR.Istanbul, ExpectedType.ANY)
+        assert answer_matches_type(kb, Literal("x"), ExpectedType.ANY)

@@ -1,0 +1,155 @@
+"""Tests for KB assembly: validation, materialisation, lookups."""
+
+import datetime as dt
+
+import pytest
+
+from repro.kb.builder import DatasetError, KnowledgeBase
+from repro.kb.records import entity
+from repro.kb.schema import build_dbpedia_ontology
+from repro.rdf import DBO, DBR, RDF, RDFS, Triple
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_dbpedia_ontology()
+
+
+def small_kb(ontology):
+    return KnowledgeBase.from_records(ontology, [
+        entity("Istanbul", "City", populationTotal=13854740),
+        entity(
+            "Orhan_Pamuk", "Writer",
+            label="Orhan Pamuk",
+            aliases=["Pamuk"],
+            birthPlace="Istanbul",
+            birthDate=dt.date(1952, 6, 7),
+        ),
+        entity("Snow_novel", "Novel", label="Snow", author="Orhan_Pamuk",
+               links=["Istanbul"]),
+    ])
+
+
+class TestValidation:
+    def test_unknown_class(self, ontology):
+        with pytest.raises(DatasetError, match="unknown class"):
+            KnowledgeBase.from_records(ontology, [entity("X", "Dragon")])
+
+    def test_unknown_property(self, ontology):
+        with pytest.raises(DatasetError, match="unknown property"):
+            KnowledgeBase.from_records(ontology, [
+                entity("X", "Person", shoeSize=44),
+            ])
+
+    def test_dangling_object_reference(self, ontology):
+        with pytest.raises(DatasetError, match="unknown resource"):
+            KnowledgeBase.from_records(ontology, [
+                entity("X", "Person", birthPlace="Nowhere"),
+            ])
+
+    def test_dangling_page_link(self, ontology):
+        with pytest.raises(DatasetError, match="unknown page link"):
+            KnowledgeBase.from_records(ontology, [
+                entity("X", "Person", links=["Nowhere"]),
+            ])
+
+    def test_duplicate_records(self, ontology):
+        with pytest.raises(DatasetError, match="duplicate"):
+            KnowledgeBase.from_records(ontology, [
+                entity("X", "Person"), entity("X", "Person"),
+            ])
+
+    def test_object_value_must_be_name(self, ontology):
+        with pytest.raises(DatasetError, match="resource names"):
+            KnowledgeBase.from_records(ontology, [
+                entity("X", "Person", birthPlace=42),
+            ])
+
+    def test_forward_references_within_batch_allowed(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("Book_A", "Book", author="Writer_B"),
+            entity("Writer_B", "Writer"),
+        ])
+        assert kb.ask("ASK { res:Book_A dbont:author res:Writer_B }")
+
+
+class TestMaterialisation:
+    def test_type_closure(self, ontology):
+        kb = small_kb(ontology)
+        pamuk = kb.entity("Orhan_Pamuk")
+        assert kb.entity_types(pamuk) == {"Writer", "Artist", "Person", "Agent", "Thing"}
+        assert Triple(pamuk, RDF.type, DBO.Person) in kb.graph
+
+    def test_label_triple(self, ontology):
+        kb = small_kb(ontology)
+        labels = kb.select("SELECT ?l WHERE { res:Orhan_Pamuk rdfs:label ?l }")
+        assert labels.values("l") == ["Orhan Pamuk"]
+
+    def test_data_property_typed(self, ontology):
+        kb = small_kb(ontology)
+        result = kb.select("SELECT ?d WHERE { res:Orhan_Pamuk dbont:birthDate ?d }")
+        assert result.values("d") == [dt.date(1952, 6, 7)]
+
+    def test_object_facts_create_page_links(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.page_links.connected(kb.entity("Orhan_Pamuk"), kb.entity("Istanbul"))
+
+    def test_explicit_links_recorded(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.page_links.connected(kb.entity("Snow_novel"), kb.entity("Istanbul"))
+
+    def test_schema_triples_present(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.ask("ASK { dbont:Writer rdfs:subClassOf dbont:Artist }")
+
+    def test_surface_forms_registered(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.surface_index.candidates("Pamuk") == [DBR.Orhan_Pamuk]
+        assert kb.surface_index.candidates("orhan pamuk") == [DBR.Orhan_Pamuk]
+
+    def test_novel_queryable_as_book(self, ontology):
+        kb = small_kb(ontology)
+        result = kb.select("SELECT ?b WHERE { ?b a dbont:Book }")
+        assert result.column("b") == [DBR.Snow_novel]
+
+
+class TestLookups:
+    def test_entity_roundtrip(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.entity("Istanbul") == DBR.Istanbul
+
+    def test_entity_unknown(self, ontology):
+        kb = small_kb(ontology)
+        with pytest.raises(KeyError):
+            kb.entity("Atlantis")
+
+    def test_has_entity(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.has_entity("Istanbul")
+        assert not kb.has_entity("Atlantis")
+
+    def test_is_instance_of_superclass(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.is_instance_of(DBR.Snow_novel, "Work")
+        assert not kb.is_instance_of(DBR.Snow_novel, "Person")
+
+    def test_classes_for_label(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.classes_for_label("book") == [DBO.Book]
+
+    def test_classes_for_label_plural(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.classes_for_label("books") == [DBO.Book]
+        assert kb.classes_for_label("cities") == [DBO.City]
+
+    def test_classes_for_label_multiword(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.classes_for_label("basketball player") == [DBO.BasketballPlayer]
+
+    def test_classes_for_unknown_label(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.classes_for_label("spaceship") == []
+
+    def test_label_of(self, ontology):
+        kb = small_kb(ontology)
+        assert kb.label_of(DBR.Snow_novel) == "Snow"

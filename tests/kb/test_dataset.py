@@ -1,0 +1,176 @@
+"""Integrity and content tests for the curated mini-DBpedia."""
+
+import datetime as dt
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.kb.ontology import PropertyKind
+from repro.rdf import DBO, DBR
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+class TestScale:
+    def test_triple_count(self, kb):
+        assert len(kb) > 3000
+
+    def test_entity_count(self, kb):
+        assert len(kb.entities()) > 300
+
+    def test_every_entity_has_label(self, kb):
+        for entity in kb.entities():
+            assert kb.label_of(entity)
+
+    def test_every_entity_is_typed_thing(self, kb):
+        for entity in kb.entities():
+            assert kb.is_instance_of(entity, "Thing")
+
+
+class TestPaperFacts:
+    """The worked examples of the paper must hold in the curated KB."""
+
+    def test_books_written_by_orhan_pamuk(self, kb):
+        result = kb.select(
+            "SELECT ?x WHERE { ?x rdf:type dbont:Book . "
+            "?x dbont:author res:Orhan_Pamuk }"
+        )
+        assert len(result) == 5
+
+    def test_michael_jordan_height(self, kb):
+        result = kb.select("SELECT ?h WHERE { res:Michael_Jordan dbont:height ?h }")
+        assert result.values("h") == [pytest.approx(1.98)]
+
+    def test_abraham_lincoln_death_place(self, kb):
+        result = kb.select(
+            "SELECT ?p WHERE { res:Abraham_Lincoln dbont:deathPlace ?p }"
+        )
+        assert result.column("p") == [DBR.Washington_D_C]
+
+    def test_michael_jackson_birth_place(self, kb):
+        result = kb.select(
+            "SELECT ?p WHERE { res:Michael_Jackson dbont:birthPlace ?p }"
+        )
+        assert result.column("p") == [DBR.Gary_Indiana]
+
+    def test_frank_herbert_death_date_exists(self, kb):
+        # Section 5 failure case: the fact exists, the pipeline cannot map
+        # "alive" to it — but the KB side must hold the data.
+        assert kb.ask("ASK { res:Frank_Herbert dbont:deathDate ?d }")
+
+    def test_italy_population_from_intro(self, kb):
+        result = kb.select("SELECT ?p WHERE { res:Italy dbont:populationTotal ?p }")
+        assert result.values("p") == [59464644]
+
+    def test_us_leader_from_intro(self, kb):
+        result = kb.select("SELECT ?l WHERE { res:United_States dbont:leaderName ?l }")
+        assert result.column("l") == [DBR.Barack_Obama]
+
+
+class TestQaldSupportFacts:
+    def test_danielle_steel_books(self, kb):
+        result = kb.select(
+            "SELECT ?b WHERE { ?b a dbont:Book . ?b dbont:author res:Danielle_Steel }"
+        )
+        assert len(result) == 4
+
+    def test_berlin_mayor(self, kb):
+        result = kb.select("SELECT ?m WHERE { res:Berlin dbont:mayor ?m }")
+        assert result.column("m") == [DBR.Klaus_Wowereit]
+
+    def test_brooklyn_bridge_crosses(self, kb):
+        result = kb.select("SELECT ?r WHERE { res:Brooklyn_Bridge dbont:crosses ?r }")
+        assert result.column("r") == [DBR.East_River]
+
+    def test_lincoln_wife(self, kb):
+        result = kb.select("SELECT ?w WHERE { res:Abraham_Lincoln dbont:spouse ?w }")
+        assert result.column("w") == [DBR.Mary_Todd_Lincoln]
+
+    def test_world_of_warcraft_developer(self, kb):
+        result = kb.select(
+            "SELECT ?d WHERE { res:World_of_Warcraft dbont:developer ?d }"
+        )
+        assert result.column("d") == [DBR.Blizzard_Entertainment]
+
+    def test_ibm_employees(self, kb):
+        result = kb.select(
+            "SELECT ?n WHERE { res:IBM dbont:numberOfEmployees ?n }"
+        )
+        assert result.values("n") == [433362]
+
+    def test_intel_founders(self, kb):
+        result = kb.select("SELECT ?f WHERE { res:Intel dbont:foundedBy ?f }")
+        assert set(result.column("f")) == {DBR.Gordon_Moore, DBR.Robert_Noyce}
+
+    def test_switzerland_has_four_official_languages(self, kb):
+        result = kb.select(
+            "SELECT COUNT(?l) WHERE { res:Switzerland dbont:officialLanguage ?l }"
+        )
+        assert result.scalar() == 4
+
+    def test_karakoram_highest_place(self, kb):
+        result = kb.select("SELECT ?m WHERE { res:Karakoram dbont:highestPlace ?m }")
+        assert result.column("m") == [DBR.K2]
+
+    def test_limerick_lake_country(self, kb):
+        result = kb.select("SELECT ?c WHERE { res:Limerick_Lake dbont:country ?c }")
+        assert result.column("c") == [DBR.Canada]
+
+    def test_clinton_daughter_married_to(self, kb):
+        result = kb.select(
+            "SELECT ?h WHERE { res:Bill_Clinton dbont:child ?c . ?c dbont:spouse ?h }"
+        )
+        assert result.column("h") == [DBR.Marc_Mezvinsky]
+
+    def test_capital_of_canada(self, kb):
+        result = kb.select("SELECT ?c WHERE { res:Canada dbont:capital ?c }")
+        assert result.column("c") == [DBR.Ottawa]
+
+    def test_philippines_official_languages(self, kb):
+        result = kb.select(
+            "SELECT ?l WHERE { res:Philippines dbont:officialLanguage ?l }"
+        )
+        assert len(result) == 2
+
+
+class TestAmbiguity:
+    """Disambiguation targets: shared surface forms must be genuinely ambiguous."""
+
+    def test_michael_jordan_ambiguous(self, kb):
+        candidates = set(kb.surface_index.candidates("Michael Jordan"))
+        assert candidates == {DBR.Michael_Jordan, DBR.Michael_I_Jordan}
+
+    def test_berlin_ambiguous(self, kb):
+        candidates = set(kb.surface_index.candidates("Berlin"))
+        assert DBR.Berlin in candidates
+        assert DBR.Berlin_New_Hampshire in candidates
+
+    def test_paris_ambiguous(self, kb):
+        candidates = set(kb.surface_index.candidates("Paris"))
+        assert candidates == {DBR.Paris, DBR.Paris_Texas}
+
+    def test_dune_ambiguous(self, kb):
+        candidates = set(kb.surface_index.candidates("Dune"))
+        assert candidates == {DBR.Dune_novel, DBR.Dune_film}
+
+    def test_anne_hathaway_ambiguous(self, kb):
+        candidates = set(kb.surface_index.candidates("Anne Hathaway"))
+        assert candidates == {DBR.Anne_Hathaway_Shakespeare, DBR.Anne_Hathaway_actress}
+
+
+class TestGraphShape:
+    def test_object_properties_used_are_declared(self, kb):
+        declared = {p.iri for p in kb.ontology.properties()}
+        for predicate in kb.graph.predicates():
+            if predicate in DBO and predicate.local_name != "wikiPageWikiLink":
+                assert predicate in declared, predicate
+
+    def test_page_link_graph_nontrivial(self, kb):
+        assert len(kb.page_links) > 400
+
+    def test_dates_are_dates(self, kb):
+        result = kb.select("SELECT ?d WHERE { res:Frank_Herbert dbont:deathDate ?d }")
+        assert result.values("d") == [dt.date(1986, 2, 11)]

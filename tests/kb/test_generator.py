@@ -1,0 +1,60 @@
+"""Tests for the synthetic KB generator."""
+
+import pytest
+
+from repro.kb import generate_records, load_synthetic_kb
+from repro.kb.builder import KnowledgeBase
+from repro.kb.schema import build_dbpedia_ontology
+
+
+class TestGenerateRecords:
+    def test_deterministic(self):
+        a = generate_records(num_writers=10, seed=7)
+        b = generate_records(num_writers=10, seed=7)
+        assert [r.name for r in a] == [r.name for r in b]
+        assert [r.facts for r in a] == [r.facts for r in b]
+
+    def test_seed_changes_content(self):
+        a = generate_records(num_writers=10, seed=7)
+        b = generate_records(num_writers=10, seed=8)
+        assert [r.facts for r in a] != [r.facts for r in b]
+
+    def test_counts(self):
+        records = generate_records(
+            num_writers=5, books_per_writer=2, num_cities=4,
+            num_countries=2, num_companies=3,
+        )
+        names = [r.name for r in records]
+        assert sum(1 for n in names if n.startswith("SynWriter")) == 5
+        assert sum(1 for n in names if n.startswith("SynBook")) == 10
+        assert sum(1 for n in names if n.startswith("SynCity")) == 4
+
+    def test_validates_against_ontology(self):
+        records = generate_records(num_writers=5)
+        kb = KnowledgeBase.from_records(build_dbpedia_ontology(), records)
+        assert len(kb) > 0
+
+
+class TestLoadSyntheticKb:
+    def test_scale_one(self):
+        kb = load_synthetic_kb(scale=1)
+        assert len(kb) > 3000
+
+    def test_scale_grows_linearly(self):
+        small = load_synthetic_kb(scale=1)
+        large = load_synthetic_kb(scale=3)
+        assert len(large) > 2 * len(small)
+
+    def test_queryable(self):
+        kb = load_synthetic_kb(scale=1)
+        result = kb.select("SELECT COUNT(?b) WHERE { ?b a dbont:Book }")
+        assert result.scalar() == 300
+
+    def test_mixable_with_curated(self):
+        from repro.kb import curated_records
+        kb = KnowledgeBase.from_records(
+            build_dbpedia_ontology(),
+            curated_records() + generate_records(num_writers=5),
+        )
+        assert kb.ask("ASK { res:SynWriter_0 a dbont:Writer }")
+        assert kb.ask("ASK { res:Orhan_Pamuk a dbont:Writer }")

@@ -1,0 +1,121 @@
+"""Tests for surface-form normalisation, the index and spotting."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kb.labels import SurfaceFormIndex, normalize_surface
+from repro.rdf import DBR
+
+
+class TestNormalize:
+    def test_case_folding(self):
+        assert normalize_surface("Orhan PAMUK") == "orhan pamuk"
+
+    def test_punctuation_stripped(self):
+        assert normalize_surface("Washington, D.C.") == "washington d c"
+
+    def test_underscores_become_spaces(self):
+        assert normalize_surface("Orhan_Pamuk") == "orhan pamuk"
+
+    def test_whitespace_collapsed(self):
+        assert normalize_surface("  New   York  ") == "new york"
+
+    def test_empty(self):
+        assert normalize_surface("...") == ""
+
+    @given(st.text(max_size=30))
+    def test_idempotent(self, text):
+        once = normalize_surface(text)
+        assert normalize_surface(once) == once
+
+
+class TestIndex:
+    def build(self):
+        index = SurfaceFormIndex()
+        index.add(DBR.Michael_Jordan, "Michael Jordan", primary=True)
+        index.add(DBR.Michael_I_Jordan, "Michael I. Jordan", primary=True)
+        index.add(DBR.Michael_I_Jordan, "Michael Jordan")
+        index.add(DBR.Berlin, "Berlin", primary=True)
+        index.add(DBR.New_York_City, "New York City", primary=True)
+        index.add(DBR.New_York_City, "New York")
+        return index
+
+    def test_exact_lookup(self):
+        index = self.build()
+        assert index.candidates("Berlin") == [DBR.Berlin]
+
+    def test_ambiguous_surface(self):
+        index = self.build()
+        candidates = index.candidates("Michael Jordan")
+        assert set(candidates) == {DBR.Michael_Jordan, DBR.Michael_I_Jordan}
+
+    def test_normalised_lookup(self):
+        index = self.build()
+        assert index.candidates("  BERLIN ") == [DBR.Berlin]
+
+    def test_unknown_surface(self):
+        index = self.build()
+        assert index.candidates("Atlantis") == []
+
+    def test_primary_label(self):
+        index = self.build()
+        assert index.label(DBR.Michael_I_Jordan) == "Michael I. Jordan"
+
+    def test_contains(self):
+        index = self.build()
+        assert "new york" in index
+        assert "old york" not in index
+
+    def test_duplicate_add_is_idempotent(self):
+        index = self.build()
+        index.add(DBR.Berlin, "Berlin")
+        assert index.candidates("Berlin") == [DBR.Berlin]
+
+    def test_empty_surface_ignored(self):
+        index = SurfaceFormIndex()
+        index.add(DBR.Berlin, "!!!")
+        assert len(index) == 0
+
+    def test_max_words(self):
+        index = self.build()
+        assert index.max_words == 3
+
+
+class TestSpotting:
+    def build(self):
+        index = SurfaceFormIndex()
+        index.add(DBR.Orhan_Pamuk, "Orhan Pamuk", primary=True)
+        index.add(DBR.New_York_City, "New York City", primary=True)
+        index.add(DBR.New_York_City, "New York")
+        index.add(DBR.York, "York", primary=True)
+        return index
+
+    def test_single_mention(self):
+        index = self.build()
+        spots = list(index.spot("which book is written by orhan pamuk".split()))
+        assert spots == [(5, 7, [DBR.Orhan_Pamuk])]
+
+    def test_longest_match_wins(self):
+        index = self.build()
+        spots = list(index.spot("i visited new york city yesterday".split()))
+        assert spots == [(2, 5, [DBR.New_York_City])]
+
+    def test_shorter_fallback(self):
+        index = self.build()
+        spots = list(index.spot("the york minster".split()))
+        assert spots == [(1, 2, [DBR.York])]
+
+    def test_multiple_mentions(self):
+        index = self.build()
+        tokens = "orhan pamuk lives in new york".split()
+        spans = [(s, e) for s, e, __ in index.spot(tokens)]
+        assert spans == [(0, 2), (4, 6)]
+
+    def test_no_mentions(self):
+        index = self.build()
+        assert list(index.spot("nothing to see here".split())) == []
+
+    def test_case_insensitive_tokens(self):
+        index = self.build()
+        spots = list(index.spot(["Orhan", "Pamuk"]))
+        assert spots[0][2] == [DBR.Orhan_Pamuk]

@@ -1,0 +1,141 @@
+"""Tests for the ontology model and the mini-DBpedia schema."""
+
+import pytest
+
+from repro.kb.ontology import (
+    Ontology,
+    OntologyClass,
+    PropertyDef,
+    PropertyKind,
+    ValueType,
+    _decamel,
+)
+from repro.kb.schema import build_dbpedia_ontology
+from repro.rdf import DBO, RDFS
+
+
+@pytest.fixture(scope="module")
+def dbo():
+    return build_dbpedia_ontology()
+
+
+class TestOntologyModel:
+    def test_add_and_get_class(self):
+        o = Ontology()
+        o.add_class(OntologyClass("Thing"))
+        assert o.get_class("Thing").name == "Thing"
+
+    def test_duplicate_class_rejected(self):
+        o = Ontology()
+        o.add_class(OntologyClass("Thing"))
+        with pytest.raises(ValueError, match="duplicate"):
+            o.add_class(OntologyClass("Thing"))
+
+    def test_unknown_parent_rejected(self):
+        o = Ontology()
+        with pytest.raises(ValueError, match="unknown parent"):
+            o.add_class(OntologyClass("Book", parent="Work"))
+
+    def test_superclass_chain(self):
+        o = Ontology()
+        o.add_class(OntologyClass("A"))
+        o.add_class(OntologyClass("B", parent="A"))
+        o.add_class(OntologyClass("C", parent="B"))
+        assert o.superclasses("C") == ["C", "B", "A"]
+
+    def test_subclasses(self):
+        o = Ontology()
+        o.add_class(OntologyClass("A"))
+        o.add_class(OntologyClass("B", parent="A"))
+        o.add_class(OntologyClass("C", parent="B"))
+        assert o.subclasses("A") == {"B", "C"}
+        assert o.subclasses("C") == set()
+
+    def test_is_subclass_of_reflexive(self):
+        o = Ontology()
+        o.add_class(OntologyClass("A"))
+        assert o.is_subclass_of("A", "A")
+
+    def test_unknown_class_raises(self):
+        o = Ontology()
+        with pytest.raises(KeyError):
+            o.get_class("Nope")
+
+    def test_property_with_unknown_domain_rejected(self):
+        o = Ontology()
+        with pytest.raises(ValueError, match="unknown class"):
+            o.add_property(PropertyDef(
+                "author", PropertyKind.OBJECT, ValueType.ENTITY, domain="Book"
+            ))
+
+    def test_duplicate_property_rejected(self):
+        o = Ontology()
+        o.add_property(PropertyDef("height", PropertyKind.DATA, ValueType.NUMERIC))
+        with pytest.raises(ValueError, match="duplicate"):
+            o.add_property(PropertyDef("height", PropertyKind.DATA, ValueType.NUMERIC))
+
+    def test_decamel(self):
+        assert _decamel("birthPlace") == "birth place"
+        assert _decamel("populationTotal") == "population total"
+        assert _decamel("Book") == "book"
+
+
+class TestDBpediaSchema:
+    def test_writer_is_person(self, dbo):
+        assert dbo.is_subclass_of("Writer", "Person")
+
+    def test_novel_is_book_is_work(self, dbo):
+        assert dbo.superclasses("Novel") == [
+            "Novel", "Book", "WrittenWork", "Work", "Thing",
+        ]
+
+    def test_city_is_place_not_agent(self, dbo):
+        assert dbo.is_subclass_of("City", "Place")
+        assert not dbo.is_subclass_of("City", "Agent")
+
+    def test_all_roots_reach_thing(self, dbo):
+        for cls in dbo.classes():
+            assert dbo.superclasses(cls.name)[-1] == "Thing"
+
+    def test_object_and_data_properties_disjoint(self, dbo):
+        object_names = {p.name for p in dbo.object_properties()}
+        data_names = {p.name for p in dbo.data_properties()}
+        assert not object_names & data_names
+        assert "author" in object_names
+        assert "height" in data_names
+
+    def test_birthplace_shape(self, dbo):
+        prop = dbo.get_property("birthPlace")
+        assert prop.kind is PropertyKind.OBJECT
+        assert prop.domain == "Person"
+        assert prop.range == "Place"
+
+    def test_value_types_assigned(self, dbo):
+        assert dbo.get_property("height").value_type is ValueType.NUMERIC
+        assert dbo.get_property("deathDate").value_type is ValueType.DATE
+        assert dbo.get_property("capital").value_type is ValueType.ENTITY
+
+    def test_property_labels_decamelised(self, dbo):
+        assert dbo.get_property("populationTotal").display_label() == "population total"
+
+    def test_schema_triples_include_subclass_axioms(self, dbo):
+        triples = list(dbo.schema_triples())
+        assert any(
+            t.subject == DBO.Writer and t.predicate == RDFS.subClassOf
+            and t.object == DBO.Artist
+            for t in triples
+        )
+
+    def test_schema_triples_include_labels(self, dbo):
+        triples = list(dbo.schema_triples())
+        labels = {
+            t.object.lexical
+            for t in triples
+            if t.predicate == RDFS.label and t.subject == DBO.birthPlace
+        }
+        assert labels == {"birth place"}
+
+    def test_schema_size_is_substantial(self, dbo):
+        # The reproduction needs a realistic vocabulary, not a toy.
+        assert len(list(dbo.classes())) >= 60
+        assert len(list(dbo.properties())) >= 80

@@ -1,0 +1,60 @@
+"""Tests for the page-link graph."""
+
+from repro.kb.pagelinks import PageLinkGraph
+from repro.rdf import DBR
+
+
+def build():
+    g = PageLinkGraph()
+    g.add_link(DBR.A, DBR.B)
+    g.add_link(DBR.B, DBR.C)
+    g.add_links(DBR.D, [DBR.A, DBR.B])
+    return g
+
+
+class TestPageLinkGraph:
+    def test_out_links(self):
+        g = build()
+        assert g.out_links(DBR.D) == {DBR.A, DBR.B}
+
+    def test_in_links(self):
+        g = build()
+        assert g.in_links(DBR.B) == {DBR.A, DBR.D}
+
+    def test_neighbours_undirected(self):
+        g = build()
+        assert g.neighbours(DBR.B) == {DBR.A, DBR.C, DBR.D}
+
+    def test_degree(self):
+        g = build()
+        assert g.degree(DBR.B) == 3
+        assert g.degree(DBR.C) == 1
+
+    def test_connected_either_direction(self):
+        g = build()
+        assert g.connected(DBR.A, DBR.B)
+        assert g.connected(DBR.B, DBR.A)
+        assert not g.connected(DBR.A, DBR.C)
+
+    def test_shared_neighbours(self):
+        g = build()
+        # A's neighbours: {B, D}; C's neighbours: {B}.
+        assert g.shared_neighbours(DBR.A, DBR.C) == {DBR.B}
+
+    def test_self_link_ignored(self):
+        g = PageLinkGraph()
+        g.add_link(DBR.A, DBR.A)
+        assert len(g) == 0
+
+    def test_len_counts_directed_edges(self):
+        g = build()
+        assert len(g) == 4
+
+    def test_pages(self):
+        g = build()
+        assert g.pages() == {DBR.A, DBR.B, DBR.C, DBR.D}
+
+    def test_unknown_page_empty(self):
+        g = build()
+        assert g.neighbours(DBR.Z) == set()
+        assert g.degree(DBR.Z) == 0

@@ -1,0 +1,117 @@
+"""Tests for the KB consistency checker."""
+
+import pytest
+
+from repro.kb import load_curated_kb, load_synthetic_kb
+from repro.kb.builder import KnowledgeBase
+from repro.kb.records import entity
+from repro.kb.schema import build_dbpedia_ontology
+from repro.kb.validate import IssueKind, format_issues, validate_kb
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_dbpedia_ontology()
+
+
+def kinds(issues):
+    return {issue.kind for issue in issues}
+
+
+class TestCuratedKbIsConsistent:
+    def test_no_issues(self):
+        # Regression gate: the shipped dataset must stay clean.
+        assert validate_kb(load_curated_kb()) == []
+
+    def test_synthetic_kb_is_consistent(self):
+        assert validate_kb(load_synthetic_kb(scale=1)) == []
+
+
+class TestDomainViolations:
+    def test_property_on_wrong_subject_type(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("Some_City", "City", spouse="Some_Person"),
+            entity("Some_Person", "Person"),
+        ])
+        issues = validate_kb(kb)
+        assert IssueKind.DOMAIN_VIOLATION in kinds(issues)
+        assert any("spouse" in issue.detail for issue in issues)
+
+    def test_subclass_satisfies_domain(self, ontology):
+        # Writer is a Person; birthPlace(domain=Person) must not fire.
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("W", "Writer", birthPlace="C"),
+            entity("C", "City", country="K"),
+            entity("K", "Country"),
+        ])
+        assert IssueKind.DOMAIN_VIOLATION not in kinds(validate_kb(kb))
+
+
+class TestRangeViolations:
+    def test_object_range_violation(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            # capital must point at a City, not a Person.
+            entity("K", "Country", capital="P"),
+            entity("P", "Person", nationality="K"),
+        ])
+        issues = validate_kb(kb)
+        assert IssueKind.RANGE_VIOLATION in kinds(issues)
+
+    def test_numeric_data_property_with_string(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("P", "Person", height="very tall", nationality="K"),
+            entity("K", "Country"),
+        ])
+        issues = validate_kb(kb)
+        assert any(
+            issue.kind is IssueKind.RANGE_VIOLATION and "height" in issue.detail
+            for issue in issues
+        )
+
+    def test_date_property_with_number(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("P", "Person", birthDate=1950, nationality="K"),
+            entity("K", "Country"),
+        ])
+        issues = validate_kb(kb)
+        assert any(
+            issue.kind is IssueKind.RANGE_VIOLATION and "birthDate" in issue.detail
+            for issue in issues
+        )
+
+
+class TestStructuralChecks:
+    def test_orphan_entity_detected(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("Lonely", "Person"),
+        ])
+        issues = validate_kb(kb)
+        assert IssueKind.ORPHAN_ENTITY in kinds(issues)
+
+    def test_entity_with_incoming_fact_not_orphan(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("B", "Book", author="W"),
+            entity("W", "Writer"),
+        ])
+        orphans = [i for i in validate_kb(kb) if i.kind is IssueKind.ORPHAN_ENTITY]
+        assert [i.subject.local_name for i in orphans] == []
+
+
+class TestReport:
+    def test_clean_report(self):
+        assert "consistent" in format_issues([])
+
+    def test_report_groups_by_kind(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity("Lonely", "Person"),
+            entity("Alone", "Person"),
+        ])
+        text = format_issues(validate_kb(kb))
+        assert "orphan-entity: 2" in text
+
+    def test_report_limit(self, ontology):
+        kb = KnowledgeBase.from_records(ontology, [
+            entity(f"Solo_{i}", "Person") for i in range(10)
+        ])
+        text = format_issues(validate_kb(kb), limit=3)
+        assert "... and 7 more" in text

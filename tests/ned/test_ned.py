@@ -1,0 +1,112 @@
+"""Tests for centrality scoring and entity disambiguation."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.kb.pagelinks import PageLinkGraph
+from repro.ned import Disambiguator, candidate_centrality, degree_prior
+from repro.rdf import DBR
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="module")
+def ned(kb):
+    return Disambiguator(kb)
+
+
+class TestCentrality:
+    def test_direct_link_scores(self):
+        g = PageLinkGraph()
+        g.add_link(DBR.A, DBR.B)
+        scores = candidate_centrality(g, [[DBR.A], [DBR.B]])
+        assert scores[DBR.A] >= 1.0
+        assert scores[DBR.B] >= 1.0
+
+    def test_unconnected_scores_zero(self):
+        g = PageLinkGraph()
+        g.add_link(DBR.A, DBR.B)
+        g.add_link(DBR.C, DBR.D)
+        scores = candidate_centrality(g, [[DBR.A], [DBR.D]])
+        assert scores[DBR.A] == 0.0
+
+    def test_shared_neighbourhood_partial_credit(self):
+        g = PageLinkGraph()
+        g.add_link(DBR.A, DBR.Hub)
+        g.add_link(DBR.B, DBR.Hub)
+        scores = candidate_centrality(g, [[DBR.A], [DBR.B]])
+        assert 0.0 < scores[DBR.A] < 1.0
+
+    def test_single_mention_no_signal(self):
+        g = PageLinkGraph()
+        g.add_link(DBR.A, DBR.B)
+        scores = candidate_centrality(g, [[DBR.A]])
+        assert scores[DBR.A] == 0.0
+
+    def test_degree_prior_monotone(self):
+        g = PageLinkGraph()
+        for i in range(5):
+            g.add_link(DBR.Hub, DBR[f"n{i}"])
+        g.add_link(DBR.Leaf, DBR.n0)
+        assert degree_prior(g, DBR.Hub) > degree_prior(g, DBR.Leaf)
+        assert degree_prior(g, DBR.Unknown) == 0.0
+
+
+class TestDisambiguator:
+    def test_paper_example_orhan_pamuk(self, ned):
+        result = ned.resolve("Orhan Pamuk")
+        assert result.entity == DBR.Orhan_Pamuk
+
+    def test_michael_jordan_prefers_basketball_player(self, ned):
+        # Both Jordans share the surface form; the athlete has the denser
+        # page-link neighbourhood (Bulls, NBA, Brooklyn) and the closer label.
+        result = ned.resolve("Michael Jordan")
+        assert result.entity == DBR.Michael_Jordan
+
+    def test_context_flips_ambiguity(self, kb):
+        ned = Disambiguator(kb)
+        # Alone, "Berlin" resolves to the German capital ...
+        assert ned.resolve("Berlin").entity == DBR.Berlin
+        # ... and with New Hampshire in context, to the New England town.
+        mentions = [
+            ("Berlin", kb.surface_index.candidates("Berlin")),
+            ("New Hampshire", kb.surface_index.candidates("New Hampshire")),
+        ]
+        results = ned.disambiguate(mentions)
+        assert results[0].entity == DBR.Berlin_New_Hampshire
+
+    def test_dune_context_prefers_novel_with_author(self, kb):
+        ned = Disambiguator(kb)
+        mentions = [
+            ("Dune", kb.surface_index.candidates("Dune")),
+            ("Frank Herbert", kb.surface_index.candidates("Frank Herbert")),
+        ]
+        results = ned.disambiguate(mentions)
+        assert results[0].entity == DBR.Dune_novel
+
+    def test_dune_context_prefers_film_with_director(self, kb):
+        ned = Disambiguator(kb)
+        mentions = [
+            ("Dune", kb.surface_index.candidates("Dune")),
+            ("David Lynch", kb.surface_index.candidates("David Lynch")),
+        ]
+        results = ned.disambiguate(mentions)
+        assert results[0].entity == DBR.Dune_film
+
+    def test_string_similarity_component(self, ned):
+        result = ned.resolve("Orhan Pamuk")
+        assert result.string_similarity == pytest.approx(1.0)
+
+    def test_unknown_surface(self, ned):
+        assert ned.resolve("Atlantis the Lost City") is None
+
+    def test_result_fields_populated(self, ned):
+        result = ned.resolve("Istanbul")
+        assert result.surface == "Istanbul"
+        assert result.score >= result.string_similarity  # prior adds on top
+
+    def test_empty_mentions(self, ned):
+        assert ned.disambiguate([]) == []

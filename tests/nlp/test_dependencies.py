@@ -1,0 +1,123 @@
+"""Tests for the dependency-graph data structure."""
+
+import pytest
+
+from repro.nlp import DependencyGraph, Token
+
+
+def make_tokens(*specs):
+    return [Token(i, text, text.lower(), pos) for i, (text, pos) in enumerate(specs)]
+
+
+@pytest.fixture
+def figure1_graph():
+    # "Which book is written by Orhan Pamuk" (entity pre-merged).
+    tokens = make_tokens(
+        ("Which", "WDT"), ("book", "NN"), ("is", "VBZ"),
+        ("written", "VBN"), ("by", "IN"), ("Orhan Pamuk", "NNP"),
+    )
+    g = DependencyGraph(tokens, root=3)
+    g.add("det", 1, 0)
+    g.add("nsubjpass", 3, 1)
+    g.add("auxpass", 3, 2)
+    g.add("prep", 3, 4)
+    g.add("pobj", 4, 5)
+    return g
+
+
+class TestConstruction:
+    def test_root(self, figure1_graph):
+        assert figure1_graph.root.text == "written"
+
+    def test_out_of_range_arc(self):
+        g = DependencyGraph(make_tokens(("a", "DT")))
+        with pytest.raises(IndexError):
+            g.add("det", 0, 5)
+
+    def test_self_loop_rejected(self):
+        g = DependencyGraph(make_tokens(("a", "DT"), ("b", "NN")))
+        with pytest.raises(ValueError):
+            g.add("det", 1, 1)
+
+    def test_set_root_out_of_range(self):
+        g = DependencyGraph(make_tokens(("a", "DT")))
+        with pytest.raises(IndexError):
+            g.set_root(3)
+
+    def test_no_root_by_default(self):
+        g = DependencyGraph(make_tokens(("a", "DT")))
+        assert g.root is None
+
+
+class TestNavigation:
+    def test_children_by_relation(self, figure1_graph):
+        root = figure1_graph.root
+        [subject] = figure1_graph.children(root, "nsubjpass")
+        assert subject.text == "book"
+
+    def test_children_all(self, figure1_graph):
+        root = figure1_graph.root
+        assert len(figure1_graph.children(root)) == 3
+
+    def test_child_missing(self, figure1_graph):
+        assert figure1_graph.child(figure1_graph.root, "dobj") is None
+
+    def test_parent(self, figure1_graph):
+        book = figure1_graph.token(1)
+        relation, head = figure1_graph.parent(book)
+        assert relation == "nsubjpass"
+        assert head.text == "written"
+
+    def test_parent_of_root(self, figure1_graph):
+        assert figure1_graph.parent(figure1_graph.root) is None
+
+    def test_relation_between(self, figure1_graph):
+        by = figure1_graph.token(4)
+        pamuk = figure1_graph.token(5)
+        assert figure1_graph.relation_between(by, pamuk) == "pobj"
+        assert figure1_graph.relation_between(pamuk, by) is None
+
+    def test_find_by_pos(self, figure1_graph):
+        assert [t.text for t in figure1_graph.find(pos="WDT")] == ["Which"]
+
+    def test_iteration(self, figure1_graph):
+        assert len(list(figure1_graph)) == 6
+
+
+class TestPhrase:
+    def test_phrase_with_compound(self):
+        tokens = make_tokens(
+            ("the", "DT"), ("television", "NN"), ("shows", "NNS"),
+        )
+        g = DependencyGraph(tokens, root=2)
+        g.add("det", 2, 0)
+        g.add("nn", 2, 1)
+        assert g.phrase(g.token(2)) == "television shows"
+
+    def test_phrase_plain(self, figure1_graph):
+        assert figure1_graph.phrase(figure1_graph.token(5)) == "Orhan Pamuk"
+
+
+class TestTokenPredicates:
+    def test_is_verb(self):
+        assert Token(0, "written", "write", "VBN").is_verb()
+        assert not Token(0, "book", "book", "NN").is_verb()
+
+    def test_is_noun_and_proper(self):
+        assert Token(0, "book", "book", "NN").is_noun()
+        assert Token(0, "Pamuk", "Pamuk", "NNP").is_proper_noun()
+
+    def test_is_wh(self):
+        assert Token(0, "which", "which", "WDT").is_wh_word()
+        assert Token(0, "where", "where", "WRB").is_wh_word()
+
+    def test_is_adjective(self):
+        assert Token(0, "tall", "tall", "JJ").is_adjective()
+
+
+class TestRendering:
+    def test_figure_format(self, figure1_graph):
+        rendered = figure1_graph.to_figure()
+        assert "root(ROOT-0, written-4)" in rendered
+        assert "nsubjpass(written-4, book-2)" in rendered
+        assert "pobj(by-5, Orhan Pamuk-6)" in rendered

@@ -1,0 +1,78 @@
+"""Tests for the lemmatiser."""
+
+import pytest
+
+from repro.nlp import lemmatize
+
+
+class TestVerbs:
+    @pytest.mark.parametrize("form,lemma", [
+        ("written", "write"),
+        ("wrote", "write"),
+        ("writes", "write"),
+        ("writing", "write"),
+        ("born", "bear"),
+        ("died", "die"),
+        ("dies", "die"),
+        ("dying", "die"),
+        ("founded", "found"),
+        ("created", "create"),
+        ("starred", "star"),
+        ("crosses", "cross"),
+        ("was", "be"),
+        ("is", "be"),
+        ("did", "do"),
+        ("has", "have"),
+        ("made", "make"),
+        ("developed", "develop"),
+        ("directed", "direct"),
+        ("produced", "produce"),
+        ("launched", "launch"),
+        ("married", "marry"),
+        ("lives", "live"),
+        ("won", "win"),
+        ("led", "lead"),
+    ])
+    def test_verb_forms(self, form, lemma):
+        assert lemmatize(form, "VBD") == lemma
+
+    def test_base_form_unchanged(self):
+        assert lemmatize("die", "VB") == "die"
+
+    def test_case_folding(self):
+        assert lemmatize("Written", "VBN") == "write"
+
+
+class TestNouns:
+    @pytest.mark.parametrize("form,lemma", [
+        ("books", "book"),
+        ("cities", "city"),
+        ("countries", "country"),
+        ("children", "child"),
+        ("people", "person"),
+        ("wives", "wife"),
+        ("pages", "page"),
+        ("employees", "employee"),
+        ("languages", "language"),
+        ("classes", "class"),
+    ])
+    def test_plural_forms(self, form, lemma):
+        assert lemmatize(form, "NNS") == lemma
+
+    def test_singular_unchanged(self):
+        assert lemmatize("book", "NN") == "book"
+
+    def test_mass_noun_not_clipped(self):
+        assert lemmatize("bus", "NN") == "bus"
+
+
+class TestOtherClasses:
+    def test_proper_noun_untouched(self):
+        assert lemmatize("Istanbul", "NNP") == "Istanbul"
+        assert lemmatize("Orhan Pamuk", "NNP") == "Orhan Pamuk"
+
+    def test_adjective_lowercased(self):
+        assert lemmatize("Tall", "JJ") == "tall"
+
+    def test_wh_word(self):
+        assert lemmatize("Which", "WDT") == "which"

@@ -1,0 +1,92 @@
+"""Tests for the annotation pipeline (entity chunking, end-to-end)."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.nlp import Pipeline
+from repro.rdf import DBR
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="module")
+def pipeline(kb):
+    return Pipeline(kb.surface_index)
+
+
+class TestEntityChunking:
+    def test_two_word_name_merged(self, pipeline):
+        s = pipeline.annotate("Which book is written by Orhan Pamuk?")
+        assert any(t.text == "Orhan Pamuk" and t.entity for t in s.tokens)
+
+    def test_mention_candidates_recorded(self, pipeline):
+        s = pipeline.annotate("How tall is Michael Jordan?")
+        [mention] = s.mentions
+        assert set(mention.candidates) == {DBR.Michael_Jordan, DBR.Michael_I_Jordan}
+
+    def test_long_title_merged(self, pipeline):
+        s = pipeline.annotate("Who wrote The Pillars of the Earth?")
+        assert any(t.text == "The Pillars of the Earth" for t in s.tokens)
+
+    def test_punctuation_not_swallowed(self, pipeline):
+        s = pipeline.annotate("Which book is written by Orhan Pamuk?")
+        assert s.tokens[-1].text == "?"
+        assert s.tokens[-2].text == "Orhan Pamuk"
+
+    def test_lowercase_label_not_hijacked(self, pipeline):
+        # 'bad' is an album label, but lowercase usage must stay an adjective.
+        s = pipeline.annotate("Is it a bad book?")
+        assert not any(t.entity for t in s.tokens)
+
+    def test_capitalised_label_matches(self, pipeline):
+        s = pipeline.annotate("Who recorded Bad?")
+        assert any(t.entity and t.text == "Bad" for t in s.tokens)
+
+    def test_wh_words_never_mentions(self, pipeline):
+        s = pipeline.annotate("Who is Who?")
+        assert s.tokens[0].pos == "WP"
+
+    def test_mention_at(self, pipeline):
+        s = pipeline.annotate("How tall is Michael Jordan?")
+        index = next(t.index for t in s.tokens if t.entity)
+        assert s.mention_at(index) is not None
+        assert s.mention_at(0) is None
+
+    def test_entity_pos_is_nnp(self, pipeline):
+        s = pipeline.annotate("Where did Abraham Lincoln die?")
+        entity_token = next(t for t in s.tokens if t.entity)
+        assert entity_token.pos == "NNP"
+
+
+class TestWithoutGazetteer:
+    def test_pipeline_works_without_gazetteer(self):
+        bare = Pipeline()
+        s = bare.annotate("Which book is written by Orhan Pamuk?")
+        assert s.mentions == []
+        # Names stay word-by-word NNPs.
+        assert [t.pos for t in s.tokens if t.text in ("Orhan", "Pamuk")] == ["NNP", "NNP"]
+
+    def test_parse_still_possible_with_nn_compound(self):
+        bare = Pipeline()
+        g = bare.annotate("Which book is written by Orhan Pamuk?").graph
+        assert g.root is not None and g.root.text == "written"
+
+
+class TestSentenceShape:
+    def test_text_preserved(self, pipeline):
+        text = "How tall is Michael Jordan?"
+        assert pipeline.annotate(text).text == text
+
+    def test_token_indices_sequential(self, pipeline):
+        s = pipeline.annotate("Who is the mayor of Berlin?")
+        assert [t.index for t in s.tokens] == list(range(len(s.tokens)))
+
+    def test_lemmas_assigned(self, pipeline):
+        s = pipeline.annotate("Which books were written by Danielle Steel?")
+        lemma_by_text = {t.text: t.lemma for t in s.tokens}
+        assert lemma_by_text["books"] == "book"
+        assert lemma_by_text["written"] == "write"
+        assert lemma_by_text["were"] == "be"

@@ -1,0 +1,113 @@
+"""Tests for the POS tagger."""
+
+from repro.nlp import tag, tokenize
+
+
+def tags_of(text):
+    return tag(tokenize(text))
+
+
+class TestClosedClasses:
+    def test_wh_words(self):
+        assert tags_of("Which book")[0] == "WDT"
+        assert tags_of("Who wrote it")[0] == "WP"
+        assert tags_of("Where was he born")[0] == "WRB"
+        assert tags_of("When did he die")[0] == "WRB"
+
+    def test_determiners(self):
+        assert tags_of("the book")[0] == "DT"
+        assert tags_of("all books")[0] == "DT"
+
+    def test_prepositions(self):
+        tokens = tokenize("written by the author of the book")
+        result = tag(tokens)
+        assert result[tokens.index("by")] == "IN"
+        assert result[tokens.index("of")] == "IN"
+
+    def test_auxiliaries(self):
+        assert tags_of("is written")[0] == "VBZ"
+        assert tags_of("did he die")[0] == "VBD"
+        assert tags_of("does it have")[0] == "VBZ"
+
+
+class TestOpenClasses:
+    def test_figure1_tags(self):
+        assert tags_of("Which book is written by Orhan Pamuk?") == [
+            "WDT", "NN", "VBZ", "VBN", "IN", "NNP", "NNP", ".",
+        ]
+
+    def test_unknown_capitalised_is_nnp(self):
+        assert tags_of("written by Zweistein")[-1] == "NNP"
+
+    def test_known_noun(self):
+        assert tags_of("the mayor")[-1] == "NN"
+
+    def test_plural_noun(self):
+        result = tags_of("all the books")
+        assert result[-1] == "NNS"
+
+    def test_adjective(self):
+        assert tags_of("the tall man")[1] == "JJ"
+
+    def test_number_is_cd(self):
+        tokens = tokenize("more than 2 children")
+        assert tag(tokens)[tokens.index("2")] == "CD"
+
+    def test_capitalised_common_noun_mid_sentence_is_nnp(self):
+        # "Snow" the novel title, not the weather.
+        tokens = tokenize("Is Snow a book?")
+        assert tag(tokens)[1] == "NNP"
+
+    def test_suffix_guess_gerund(self):
+        assert tags_of("the zorbing man")[1] == "VBG"
+
+    def test_suffix_guess_adverb(self):
+        assert tags_of("he died quietly")[-1] == "RB"
+
+
+class TestContextRules:
+    def test_participle_after_be(self):
+        tokens = tokenize("Which film was directed by him")
+        result = tag(tokens)
+        assert result[tokens.index("directed")] == "VBN"
+
+    def test_past_without_auxiliary(self):
+        tokens = tokenize("Who directed Psycho")
+        result = tag(tokens)
+        assert result[tokens.index("directed")] == "VBD"
+
+    def test_base_after_do_support(self):
+        tokens = tokenize("Where did Abraham Lincoln die")
+        result = tag(tokens)
+        assert result[tokens.index("die")] == "VB"
+
+    def test_clause_final_base_verb_with_do_support(self):
+        tokens = tokenize("Which river does the Brooklyn Bridge cross?")
+        result = tag(tokens)
+        assert result[tokens.index("cross")] == "VB"
+
+    def test_born_is_always_vbn(self):
+        tokens = tokenize("Where was Michael Jackson born in?")
+        result = tag(tokens)
+        assert result[tokens.index("born")] == "VBN"
+
+    def test_be_subject_participle_long_distance(self):
+        # The subject intervenes between the auxiliary and the participle.
+        tokens = tokenize("Was the book written by him")
+        result = tag(tokens)
+        assert result[tokens.index("written")] == "VBN"
+
+    def test_noun_after_determiner_not_verb(self):
+        # 'name' is both NN and VB; after 'the' it must be NN.
+        tokens = tokenize("What is the name of it")
+        result = tag(tokens)
+        assert result[tokens.index("name")] == "NN"
+
+    def test_how_many(self):
+        assert tags_of("How many pages")[:2] == ["WRB", "JJ"]
+
+    def test_alive_is_adjective(self):
+        tokens = tokenize("Is Frank Herbert still alive?")
+        result = tag(tokens)
+        assert result[tokens.index("alive")] == "JJ"
+        assert result[tokens.index("still")] == "RB"

@@ -1,0 +1,45 @@
+"""Tests for the question tokeniser."""
+
+from repro.nlp import tokenize
+
+
+class TestTokenize:
+    def test_paper_figure1_question(self):
+        assert tokenize("Which book is written by Orhan Pamuk?") == [
+            "Which", "book", "is", "written", "by", "Orhan", "Pamuk", "?",
+        ]
+
+    def test_question_mark_detached(self):
+        assert tokenize("Who wrote Dune?")[-1] == "?"
+
+    def test_final_period_detached(self):
+        assert tokenize("Give me all books.")[-1] == "."
+
+    def test_numbers_kept_whole(self):
+        assert "1.98" in tokenize("His height is 1.98 meters")
+        assert "100,000" in tokenize("more than 100,000 inhabitants")
+
+    def test_contraction_split(self):
+        assert tokenize("Who's the mayor?") == ["Who", "'s", "the", "mayor", "?"]
+
+    def test_negation_clitic(self):
+        assert tokenize("Isn't it?") == ["Is", "n't", "it", "?"]
+
+    def test_hyphenated_word(self):
+        assert "Stratford-upon-Avon" in tokenize("born in Stratford-upon-Avon")
+
+    def test_abbreviation_with_dots_preserved(self):
+        tokens = tokenize("Is Washington D.C. a city?")
+        assert "D.C." in tokens
+
+    def test_comma_detached(self):
+        assert tokenize("Gary, Indiana") == ["Gary", ",", "Indiana"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t ") == []
+
+    def test_case_preserved(self):
+        assert tokenize("BERLIN and berlin") == ["BERLIN", "and", "berlin"]

@@ -1,0 +1,64 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.patty import generate_corpus
+from repro.patty.corpus import TEMPLATES, corpus_statistics
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+class TestGenerateCorpus:
+    def test_deterministic(self, kb):
+        a = generate_corpus(kb, seed=5)
+        b = generate_corpus(kb, seed=5)
+        assert [s.text for s in a] == [s.text for s in b]
+
+    def test_seed_varies_output(self, kb):
+        a = generate_corpus(kb, seed=5)
+        b = generate_corpus(kb, seed=6)
+        assert [s.text for s in a] != [s.text for s in b]
+
+    def test_sentences_per_fact(self, kb):
+        single = generate_corpus(kb, sentences_per_fact=1)
+        triple = generate_corpus(kb, sentences_per_fact=3)
+        assert len(triple) == 3 * len(single)
+
+    def test_labels_substituted(self, kb):
+        sentences = generate_corpus(kb, properties=["birthPlace"])
+        pamuk = [s for s in sentences if s.subject == "Orhan_Pamuk"]
+        assert pamuk
+        assert all("Orhan Pamuk" in s.text for s in pamuk)
+        assert all("{s}" not in s.text for s in sentences)
+
+    def test_property_restriction(self, kb):
+        sentences = generate_corpus(kb, properties=["deathPlace"])
+        assert {s.relation for s in sentences} == {"deathPlace"}
+
+    def test_noise_template_present(self, kb):
+        # The deathPlace templates include the noisy "was born in" phrasing.
+        sentences = generate_corpus(kb, sentences_per_fact=30,
+                                    properties=["deathPlace"])
+        noisy = [s for s in sentences if "born in" in s.text]
+        clean = [s for s in sentences if "died in" in s.text]
+        assert noisy, "noise template never sampled"
+        assert len(noisy) < len(clean), "noise must stay the minority"
+
+    def test_statistics(self, kb):
+        sentences = generate_corpus(kb)
+        stats = corpus_statistics(sentences)
+        assert stats["birthPlace"] > 0
+        assert sum(stats.values()) == len(sentences)
+
+    def test_every_templated_property_with_facts_is_covered(self, kb):
+        sentences = generate_corpus(kb)
+        covered = {s.relation for s in sentences}
+        from repro.rdf import DBO
+        for prop_name in TEMPLATES:
+            has_facts = kb.graph.count(predicate=DBO[prop_name]) > 0
+            if has_facts:
+                assert prop_name in covered, prop_name

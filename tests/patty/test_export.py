@@ -1,0 +1,75 @@
+"""Tests for the pattern-resource export/import."""
+
+import io
+import json
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.patty import PatternStore, RelationalPattern, build_pattern_store
+from repro.patty.export import (
+    export_patterns_tsv,
+    export_store_json,
+    import_patterns_tsv,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    return build_pattern_store(load_curated_kb())
+
+
+class TestTsvRoundtrip:
+    def test_export_counts_rows(self, store):
+        buffer = io.StringIO()
+        written = export_patterns_tsv(store, buffer)
+        assert written == len(store.patterns())
+
+    def test_header_and_shape(self, store):
+        buffer = io.StringIO()
+        export_patterns_tsv(store, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("#")
+        assert all(line.count("\t") == 3 for line in lines[1:])
+
+    def test_frequencies_roundtrip(self, store):
+        buffer = io.StringIO()
+        export_patterns_tsv(store, buffer)
+        buffer.seek(0)
+        reloaded = import_patterns_tsv(buffer)
+        for word in ("die", "bear", "write", "marry"):
+            assert reloaded.properties_for(word) == store.properties_for(word)
+
+    def test_file_roundtrip(self, store, tmp_path):
+        path = tmp_path / "patterns.tsv"
+        export_patterns_tsv(store, path)
+        reloaded = import_patterns_tsv(path)
+        assert reloaded.properties_for("die") == store.properties_for("die")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="line 2"):
+            import_patterns_tsv(io.StringIO("# header\nbroken line\n"))
+
+    def test_sorted_by_frequency(self, store):
+        buffer = io.StringIO()
+        export_patterns_tsv(store, buffer)
+        rows = [line.split("\t") for line in buffer.getvalue().splitlines()[1:]]
+        frequencies = [int(row[2]) for row in rows]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+
+class TestJsonExport:
+    def test_shape(self, store):
+        buffer = io.StringIO()
+        export_store_json(store, buffer)
+        payload = json.loads(buffer.getvalue())
+        assert payload["format"] == "repro-patty-store/1"
+        assert "die" in payload["words"]
+        top = payload["words"]["die"][0]
+        assert top["property"] == "deathPlace"
+
+    def test_file_export(self, store, tmp_path):
+        path = tmp_path / "store.json"
+        export_store_json(store, path)
+        payload = json.loads(path.read_text())
+        assert set(payload["words"]) == set(store.words())

@@ -1,0 +1,118 @@
+"""Tests for the support-set prefix tree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.patty import PrefixTree
+
+
+def pairs(*names):
+    return {(a, b) for a, b in names}
+
+
+class TestInsertLookup:
+    def test_insert_and_contains(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b")))
+        assert ("die", "in") in tree
+        assert ("die",) not in tree  # prefix, not terminal
+
+    def test_empty_pattern_rejected(self):
+        tree = PrefixTree()
+        with pytest.raises(ValueError):
+            tree.insert((), set())
+
+    def test_support_exact(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b"), ("c", "d")))
+        assert tree.support(("die", "in")) == pairs(("a", "b"), ("c", "d"))
+
+    def test_support_absent(self):
+        tree = PrefixTree()
+        assert tree.support(("nope",)) == set()
+
+    def test_reinsert_merges(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b")))
+        tree.insert(("die", "in"), pairs(("c", "d")))
+        assert len(tree) == 1
+        assert tree.support(("die", "in")) == pairs(("a", "b"), ("c", "d"))
+
+    def test_len_counts_terminals(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b")))
+        tree.insert(("die", "at"), pairs(("c", "d")))
+        tree.insert(("die",), pairs(("e", "f")))
+        assert len(tree) == 3
+
+    def test_patterns_enumeration(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b")))
+        tree.insert(("be", "bear", "in"), pairs(("c", "d")))
+        found = dict(tree.patterns())
+        assert set(found) == {("die", "in"), ("be", "bear", "in")}
+
+
+class TestPrefixAggregation:
+    def test_prefix_support_is_union(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b")))
+        tree.insert(("die", "at"), pairs(("c", "d")))
+        assert tree.prefix_support(("die",)) == pairs(("a", "b"), ("c", "d"))
+
+    def test_prefix_support_missing(self):
+        tree = PrefixTree()
+        assert tree.prefix_support(("x",)) == set()
+
+    def test_root_prefix_is_everything(self):
+        tree = PrefixTree()
+        tree.insert(("a",), pairs(("1", "2")))
+        tree.insert(("b",), pairs(("3", "4")))
+        assert tree.prefix_support(()) == pairs(("1", "2"), ("3", "4"))
+
+
+class TestSetQueries:
+    def test_intersection(self):
+        tree = PrefixTree()
+        tree.insert(("die", "in"), pairs(("a", "b"), ("c", "d")))
+        tree.insert(("die", "at"), pairs(("c", "d"), ("e", "f")))
+        assert tree.intersection(("die", "in"), ("die", "at")) == pairs(("c", "d"))
+
+    def test_inclusion_full(self):
+        tree = PrefixTree()
+        tree.insert(("pass", "away", "in"), pairs(("a", "b")))
+        tree.insert(("die", "in"), pairs(("a", "b"), ("c", "d")))
+        assert tree.inclusion(("pass", "away", "in"), ("die", "in")) == 1.0
+
+    def test_inclusion_partial(self):
+        tree = PrefixTree()
+        tree.insert(("x",), pairs(("a", "b"), ("c", "d")))
+        tree.insert(("y",), pairs(("a", "b")))
+        assert tree.inclusion(("x",), ("y",)) == 0.5
+
+    def test_inclusion_empty_support(self):
+        tree = PrefixTree()
+        tree.insert(("y",), pairs(("a", "b")))
+        assert tree.inclusion(("missing",), ("y",)) == 0.0
+
+
+@given(st.lists(
+    st.tuples(
+        st.lists(st.sampled_from(["die", "in", "at", "bear", "be"]),
+                 min_size=1, max_size=3).map(tuple),
+        st.sets(st.tuples(st.sampled_from("abc"), st.sampled_from("xyz")),
+                max_size=4),
+    ),
+    max_size=20,
+))
+def test_prefix_support_always_superset_of_terminal(entries):
+    tree = PrefixTree()
+    reference: dict[tuple, set] = {}
+    for tokens, support in entries:
+        tree.insert(tokens, support)
+        reference.setdefault(tokens, set()).update(support)
+    for tokens, support in reference.items():
+        assert tree.support(tokens) == support
+        for cut in range(len(tokens) + 1):
+            assert tree.prefix_support(tokens[:cut]) >= support

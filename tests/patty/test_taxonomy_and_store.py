@@ -1,0 +1,133 @@
+"""Tests for the pattern taxonomy and the word->property store."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.patty import (
+    PatternStore,
+    PatternTaxonomy,
+    RelationalPattern,
+    SubsumptionKind,
+    build_pattern_store,
+)
+
+
+def pat(text, relation, frequency, *support):
+    return RelationalPattern(text, relation, frequency, set(support))
+
+
+class TestTaxonomy:
+    def build(self):
+        return PatternTaxonomy([
+            pat("die in", "deathPlace", 10,
+                ("a", "x"), ("b", "y"), ("c", "z")),
+            pat("die at", "deathPlace", 4, ("a", "x"), ("b", "y"), ("c", "z")),
+            pat("pass away in", "deathPlace", 2, ("a", "x"), ("b", "y")),
+            pat("be bear in", "birthPlace", 9, ("d", "x"), ("e", "y")),
+        ])
+
+    def test_equivalent_same_support(self):
+        taxonomy = self.build()
+        kind = taxonomy.classify(("die", "in"), ("die", "at"))
+        assert kind is SubsumptionKind.EQUIVALENT
+
+    def test_subsumes_superset(self):
+        taxonomy = self.build()
+        kind = taxonomy.classify(("die", "in"), ("pass", "away", "in"))
+        assert kind is SubsumptionKind.SUBSUMES
+
+    def test_subsumed_by(self):
+        taxonomy = self.build()
+        kind = taxonomy.classify(("pass", "away", "in"), ("die", "in"))
+        assert kind is SubsumptionKind.SUBSUMED_BY
+
+    def test_independent(self):
+        taxonomy = self.build()
+        kind = taxonomy.classify(("die", "in"), ("be", "bear", "in"))
+        assert kind is SubsumptionKind.INDEPENDENT
+
+    def test_min_support_filters(self):
+        taxonomy = PatternTaxonomy(
+            [pat("rare phrase", "x", 1, ("a", "b"))], min_support=2,
+        )
+        assert taxonomy.patterns() == []
+
+    def test_synonym_sets_cluster_by_relation(self):
+        taxonomy = self.build()
+        clusters = taxonomy.synonym_sets()
+        die_cluster = next(c for c in clusters if "die in" in c)
+        assert "die at" in die_cluster
+        assert "be bear in" not in die_cluster
+
+    def test_generalisations(self):
+        taxonomy = self.build()
+        assert (("die",) in taxonomy.generalisations(("die", "in")))
+
+
+class TestPatternStore:
+    def test_ranked_lookup(self):
+        store = PatternStore([
+            pat("die in", "deathPlace", 40, ("a", "b")),
+            pat("die in", "birthPlace", 3, ("a", "b")),
+            pat("die at", "residence", 5, ("c", "d")),
+        ])
+        assert store.properties_for("die") == [
+            ("deathPlace", 40), ("residence", 5), ("birthPlace", 3),
+        ]
+
+    def test_glue_words_not_indexed(self):
+        store = PatternStore([pat("be bear in", "birthPlace", 7, ("a", "b"))])
+        assert store.properties_for("in") == []
+        assert store.properties_for("be") == []
+        assert store.properties_for("bear") == [("birthPlace", 7)]
+
+    def test_case_insensitive_lookup(self):
+        store = PatternStore([pat("die in", "deathPlace", 2, ("a", "b"))])
+        assert store.properties_for("Die") == [("deathPlace", 2)]
+
+    def test_unknown_word(self):
+        store = PatternStore()
+        assert store.properties_for("alive") == []
+        assert "alive" not in store
+
+    def test_frequency_accessor(self):
+        store = PatternStore([pat("die in", "deathPlace", 2, ("a", "b"))])
+        assert store.frequency("die", "deathPlace") == 2
+        assert store.frequency("die", "birthPlace") == 0
+
+
+class TestEndToEndMining:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return build_pattern_store(load_curated_kb())
+
+    def test_paper_example_die(self, store):
+        # Section 2.2.3: die -> {deathPlace, birthPlace, residence} with
+        # deathPlace ranked first by frequency.
+        ranked = store.properties_for("die")
+        names = [name for name, __ in ranked]
+        assert names[0] == "deathPlace"
+        assert "birthPlace" in names
+        assert "residence" in names
+
+    def test_bear_prefers_birthplace(self, store):
+        ranked = store.properties_for("bear")
+        assert ranked[0][0] == "birthPlace"
+
+    def test_write_maps_to_author(self, store):
+        assert any(name == "author" for name, __ in store.properties_for("write"))
+
+    def test_marry_maps_to_spouse(self, store):
+        assert store.properties_for("marry")[0][0] == "spouse"
+
+    def test_cross_maps_to_crosses(self, store):
+        assert store.properties_for("cross")[0][0] == "crosses"
+
+    def test_alive_unmapped_section5_failure(self, store):
+        assert store.properties_for("alive") == []
+
+    def test_deterministic(self):
+        kb = load_curated_kb()
+        a = build_pattern_store(kb, seed=3)
+        b = build_pattern_store(kb, seed=3)
+        assert a.properties_for("die") == b.properties_for("die")

@@ -1,0 +1,80 @@
+"""Property-based tests for taxonomy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patty import PatternTaxonomy, RelationalPattern, SubsumptionKind
+
+_tokens = st.lists(
+    st.sampled_from(["die", "in", "at", "bear", "be", "pass", "away"]),
+    min_size=1, max_size=3,
+).map(lambda ts: " ".join(ts))
+
+_supports = st.sets(
+    st.tuples(st.sampled_from("abcde"), st.sampled_from("vwxyz")),
+    min_size=2, max_size=6,
+)
+
+_patterns = st.lists(
+    st.builds(
+        lambda text, support: RelationalPattern(text, "rel", len(support), support),
+        _tokens, _supports,
+    ),
+    min_size=1, max_size=8,
+    unique_by=lambda p: p.text,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_classification_is_antisymmetric(patterns):
+    taxonomy = PatternTaxonomy(patterns)
+    inverse = {
+        SubsumptionKind.EQUIVALENT: SubsumptionKind.EQUIVALENT,
+        SubsumptionKind.SUBSUMES: SubsumptionKind.SUBSUMED_BY,
+        SubsumptionKind.SUBSUMED_BY: SubsumptionKind.SUBSUMES,
+        SubsumptionKind.INDEPENDENT: SubsumptionKind.INDEPENDENT,
+    }
+    kept = taxonomy.patterns()
+    for a in kept:
+        for b in kept:
+            forward = taxonomy.classify(a.tokens, b.tokens)
+            backward = taxonomy.classify(b.tokens, a.tokens)
+            assert backward is inverse[forward], (a.text, b.text)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_classification_is_reflexively_equivalent(patterns):
+    taxonomy = PatternTaxonomy(patterns)
+    for pattern in taxonomy.patterns():
+        assert taxonomy.classify(pattern.tokens, pattern.tokens) is (
+            SubsumptionKind.EQUIVALENT
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_patterns)
+def test_synonym_sets_partition_patterns(patterns):
+    taxonomy = PatternTaxonomy(patterns)
+    clusters = taxonomy.synonym_sets()
+    texts = [p.text for p in taxonomy.patterns()]
+    clustered = [text for cluster in clusters for text in cluster]
+    assert sorted(clustered) == sorted(texts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_patterns)
+def test_strict_subset_support_is_subsumed(patterns):
+    taxonomy = PatternTaxonomy(patterns)
+    tree = taxonomy.tree
+    kept = taxonomy.patterns()
+    for a in kept:
+        for b in kept:
+            support_a = tree.support(a.tokens)
+            support_b = tree.support(b.tokens)
+            if support_a < support_b:  # strict subset
+                kind = taxonomy.classify(a.tokens, b.tokens)
+                assert kind in (
+                    SubsumptionKind.SUBSUMED_BY, SubsumptionKind.EQUIVALENT,
+                )

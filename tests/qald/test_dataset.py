@@ -1,0 +1,111 @@
+"""Integrity tests for the benchmark question set."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.qald import load_questions, in_scope_questions
+from repro.qald.questions import QaldQuestion, QuestionCategory
+from repro.sparql.results import AskResult, SelectResult
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return load_questions()
+
+
+class TestComposition:
+    def test_exactly_100_questions(self, questions):
+        assert len(questions) == 100
+
+    def test_exactly_55_in_scope(self, questions):
+        assert len([q for q in questions if q.in_scope]) == 55
+
+    def test_in_scope_helper(self):
+        assert len(in_scope_questions()) == 55
+
+    def test_qids_unique_and_sequential(self, questions):
+        assert [q.qid for q in questions] == list(range(1, 101))
+
+    def test_texts_unique(self, questions):
+        texts = [q.text for q in questions]
+        assert len(set(texts)) == len(texts)
+
+    def test_out_of_scope_have_reasons(self, questions):
+        for q in questions:
+            if not q.in_scope:
+                assert q.out_of_scope_reason
+
+    def test_difficulty_mix_mirrors_qald2(self, questions):
+        # QALD-2 was dominated by non-trivial shapes; simple factoids and
+        # lists must not exceed half of the in-scope set.
+        in_scope = [q for q in questions if q.in_scope]
+        simple = [
+            q for q in in_scope
+            if q.category in (QuestionCategory.FACTOID, QuestionCategory.LIST)
+        ]
+        assert len(simple) < len(in_scope) * 0.6
+        # And every hard shape is represented.
+        categories = {q.category for q in in_scope}
+        for required in QuestionCategory:
+            assert required in categories, required
+
+
+class TestGoldQueries:
+    def test_every_gold_query_executes(self, kb, questions):
+        for q in questions:
+            if q.in_scope:
+                kb.engine.query(q.gold_query)  # must not raise
+
+    def test_non_boolean_gold_is_nonempty(self, kb, questions):
+        # A question whose gold set is empty would be unanswerable by
+        # definition and would corrupt the precision measurement.
+        for q in questions:
+            if q.in_scope and not q.ask:
+                result = kb.engine.query(q.gold_query)
+                assert isinstance(result, SelectResult)
+                assert len(result) > 0, f"Q{q.qid} has empty gold"
+
+    def test_boolean_gold_returns_ask(self, kb, questions):
+        for q in questions:
+            if q.in_scope and q.ask:
+                assert isinstance(kb.engine.query(q.gold_query), AskResult)
+
+    def test_known_gold_values(self, kb):
+        from repro.qald.evaluate import QaldEvaluator
+        # Spot-check a few golds against known facts.
+        by_id = {q.qid: q for q in load_questions()}
+
+        class _Stub:
+            pass
+
+        evaluator = QaldEvaluator(kb, _Stub())
+        gold_books = evaluator.gold_answers(by_id[1])
+        assert len(gold_books) == 5
+        assert evaluator.gold_answers(by_id[37]) is True    # Berlin capital
+        assert evaluator.gold_answers(by_id[36]) is False   # Herbert alive
+        assert evaluator.gold_answers(by_id[40]) is False   # Amazon vs Nile
+        [everest] = evaluator.gold_answers(by_id[19])
+        assert everest.local_name == "Mount_Everest"
+
+
+class TestQuestionModel:
+    def test_gold_or_reason_required(self):
+        with pytest.raises(ValueError):
+            QaldQuestion(1, "x?", QuestionCategory.FACTOID)
+
+    def test_not_both(self):
+        with pytest.raises(ValueError):
+            QaldQuestion(
+                1, "x?", QuestionCategory.FACTOID,
+                gold_query="SELECT ?x WHERE { ?x ?p ?o }",
+                out_of_scope_reason="nope",
+            )
+
+    def test_in_scope_property(self, questions):
+        assert questions[0].in_scope
+        assert not questions[99].in_scope

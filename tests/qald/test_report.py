@@ -1,0 +1,84 @@
+"""Tests for report formatting and the JSON export."""
+
+import json
+
+import pytest
+
+from repro.qald.evaluate import EvaluationResult, QuestionOutcome
+from repro.qald.questions import QaldQuestion, QuestionCategory
+from repro.qald.report import (
+    PAPER_TABLE2,
+    format_category_breakdown,
+    format_outcomes,
+    format_table2,
+    to_json_dict,
+)
+from repro.rdf import DBR
+
+
+def make_result():
+    def q(qid, category=QuestionCategory.FACTOID, ask=False):
+        return QaldQuestion(
+            qid, f"question {qid}?", category,
+            gold_query="ASK { ?x ?p ?o }" if ask else "SELECT ?x WHERE { ?x ?p ?o }",
+            ask=ask,
+        )
+
+    result = EvaluationResult()
+    result.outcomes = [
+        QuestionOutcome(q(1), frozenset({DBR.A}), frozenset({DBR.A}), True, True),
+        QuestionOutcome(q(2), frozenset({DBR.A}), frozenset({DBR.B}), True, False),
+        QuestionOutcome(q(3, QuestionCategory.BOOLEAN, ask=True), True,
+                        frozenset(), False, False),
+        QuestionOutcome(q(4, QuestionCategory.SUPERLATIVE),
+                        frozenset({DBR.C}), frozenset(), False, False),
+    ]
+    return result
+
+
+class TestFormatting:
+    def test_table2_contains_both_rows(self):
+        text = format_table2(make_result())
+        assert "Paper (QALD-2 subset)" in text
+        assert "This reproduction" in text
+        assert f"{PAPER_TABLE2['precision']:.0%}" in text
+
+    def test_outcome_listing_statuses(self):
+        text = format_outcomes(make_result())
+        assert text.count("CORRECT") == 1
+        assert text.count("WRONG") == 1
+        assert text.count("UNANSWERED") == 2
+
+    def test_category_breakdown_rows(self):
+        text = format_category_breakdown(make_result())
+        assert "factoid" in text and "boolean" in text and "superlative" in text
+
+
+class TestJsonExport:
+    def test_shape(self):
+        payload = to_json_dict(make_result())
+        assert payload["protocol"] == "paper-table2"
+        assert payload["measured"]["total"] == 4
+        assert payload["measured"]["answered"] == 2
+        assert payload["measured"]["correct"] == 1
+        assert len(payload["questions"]) == 4
+
+    def test_boolean_gold_serialised_as_bool(self):
+        payload = to_json_dict(make_result())
+        boolean_entry = next(q for q in payload["questions"] if q["qid"] == 3)
+        assert boolean_entry["gold"] is True
+
+    def test_entity_gold_serialised_as_names(self):
+        payload = to_json_dict(make_result())
+        first = next(q for q in payload["questions"] if q["qid"] == 1)
+        assert first["gold"] == ["A"]
+        assert first["predicted"] == ["A"]
+
+    def test_json_round_trips_through_dumps(self):
+        payload = to_json_dict(make_result())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_category_totals_consistent(self):
+        payload = to_json_dict(make_result())
+        total = sum(v["total"] for v in payload["by_category"].values())
+        assert total == payload["measured"]["total"]

@@ -1,0 +1,102 @@
+"""Tests for typed-literal construction and conversion."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf import Literal, XSD, literal_value, make_literal
+from repro.rdf.datatypes import is_date_literal, is_numeric_literal
+
+
+class TestMakeLiteral:
+    def test_int(self):
+        lit = make_literal(198)
+        assert lit.datatype == XSD.integer.value
+        assert lit.lexical == "198"
+
+    def test_bool_before_int(self):
+        # bool is a subclass of int; it must map to xsd:boolean, not integer.
+        assert make_literal(True).datatype == XSD.boolean.value
+        assert make_literal(False).lexical == "false"
+
+    def test_float(self):
+        lit = make_literal(1.98)
+        assert lit.datatype == XSD.double.value
+        assert literal_value(lit) == pytest.approx(1.98)
+
+    def test_date(self):
+        lit = make_literal(dt.date(1865, 4, 15))
+        assert lit.datatype == XSD.date.value
+        assert lit.lexical == "1865-04-15"
+
+    def test_datetime_before_date(self):
+        # datetime is a subclass of date; it must map to xsd:dateTime.
+        lit = make_literal(dt.datetime(2012, 3, 18, 9, 30))
+        assert lit.datatype == XSD.dateTime.value
+
+    def test_plain_string(self):
+        lit = make_literal("Orhan Pamuk")
+        assert lit.datatype is None and lit.language is None
+
+    def test_language_tagged(self):
+        assert make_literal("Berlin", language="de").language == "de"
+
+    def test_literal_passthrough(self):
+        lit = Literal("x")
+        assert make_literal(lit) is lit
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            make_literal(object())
+
+
+class TestLiteralValue:
+    def test_integer(self):
+        assert literal_value(Literal("42", datatype=XSD.integer.value)) == 42
+
+    def test_nonnegative_integer(self):
+        assert literal_value(Literal("9", datatype=XSD.nonNegativeInteger.value)) == 9
+
+    def test_double(self):
+        assert literal_value(Literal("1.98", datatype=XSD.double.value)) == pytest.approx(1.98)
+
+    def test_boolean_true_forms(self):
+        assert literal_value(Literal("true", datatype=XSD.boolean.value)) is True
+        assert literal_value(Literal("1", datatype=XSD.boolean.value)) is True
+        assert literal_value(Literal("false", datatype=XSD.boolean.value)) is False
+
+    def test_date(self):
+        assert literal_value(Literal("1865-04-15", datatype=XSD.date.value)) == dt.date(
+            1865, 4, 15
+        )
+
+    def test_gyear(self):
+        assert literal_value(Literal("1952", datatype=XSD.gYear.value)) == 1952
+
+    def test_plain_string(self):
+        assert literal_value(Literal("hello")) == "hello"
+
+    def test_xsd_string(self):
+        assert literal_value(Literal("hello", datatype=XSD.string.value)) == "hello"
+
+    def test_dirty_numeric_falls_back_to_lexical(self):
+        # DBpedia-style dirty data such as "59.464.644" must not crash.
+        assert literal_value(Literal("59.464.644", datatype=XSD.integer.value)) == "59.464.644"
+
+    def test_dirty_date_falls_back(self):
+        assert literal_value(Literal("circa 1850", datatype=XSD.date.value)) == "circa 1850"
+
+    def test_unknown_datatype_returns_lexical(self):
+        assert literal_value(Literal("x", datatype="http://e/custom")) == "x"
+
+
+class TestPredicates:
+    def test_numeric_detection(self):
+        assert is_numeric_literal(Literal("1", datatype=XSD.integer.value))
+        assert is_numeric_literal(Literal("1.0", datatype=XSD.double.value))
+        assert not is_numeric_literal(Literal("1"))
+
+    def test_date_detection(self):
+        assert is_date_literal(Literal("1865-04-15", datatype=XSD.date.value))
+        assert is_date_literal(Literal("1952", datatype=XSD.gYear.value))
+        assert not is_date_literal(Literal("1865-04-15"))

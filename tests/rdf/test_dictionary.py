@@ -1,0 +1,61 @@
+"""Tests for dictionary encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf import IRI, Literal
+from repro.rdf.dictionary import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_is_idempotent(self):
+        d = TermDictionary()
+        a = d.encode(IRI("http://e/a"))
+        assert d.encode(IRI("http://e/a")) == a
+        assert len(d) == 1
+
+    def test_ids_are_dense(self):
+        d = TermDictionary()
+        ids = [d.encode(IRI(f"http://e/{i}")) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_lookup_does_not_mint(self):
+        d = TermDictionary()
+        assert d.lookup(IRI("http://e/a")) is None
+        assert len(d) == 0
+
+    def test_lookup_after_encode(self):
+        d = TermDictionary()
+        term_id = d.encode(Literal("x"))
+        assert d.lookup(Literal("x")) == term_id
+
+    def test_decode_roundtrip(self):
+        d = TermDictionary()
+        term = Literal("1", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert d.decode(d.encode(term)) == term
+
+    def test_decode_unknown_raises(self):
+        d = TermDictionary()
+        with pytest.raises(KeyError):
+            d.decode(7)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode(IRI("http://e/a"))
+        assert IRI("http://e/a") in d
+        assert IRI("http://e/b") not in d
+
+    def test_distinct_literals_by_datatype(self):
+        d = TermDictionary()
+        plain = d.encode(Literal("1"))
+        typed = d.encode(Literal("1", datatype="http://www.w3.org/2001/XMLSchema#integer"))
+        assert plain != typed
+
+    @given(st.lists(st.text(min_size=1, max_size=8), max_size=30))
+    def test_roundtrip_many(self, names):
+        d = TermDictionary()
+        ids = {name: d.encode(Literal(name)) for name in names}
+        for name, term_id in ids.items():
+            assert d.decode(term_id) == Literal(name)
+        assert len(d) == len(set(names))

@@ -1,0 +1,232 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import DBO, DBR, Graph, IRI, Literal, RDF, Triple, Variable
+
+
+def t(s, p, o):
+    return Triple(IRI(f"http://e/{s}"), IRI(f"http://e/{p}"), IRI(f"http://e/{o}"))
+
+
+@pytest.fixture
+def small_graph():
+    g = Graph()
+    g.add(Triple(DBR.Snow, RDF.type, DBO.Book))
+    g.add(Triple(DBR.Snow, DBO.author, DBR.Orhan_Pamuk))
+    g.add(Triple(DBR.My_Name_Is_Red, RDF.type, DBO.Book))
+    g.add(Triple(DBR.My_Name_Is_Red, DBO.author, DBR.Orhan_Pamuk))
+    g.add(Triple(DBR.Orhan_Pamuk, RDF.type, DBO.Writer))
+    g.add(Triple(DBR.Orhan_Pamuk, DBO.birthPlace, DBR.Istanbul))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_then_false(self):
+        g = Graph()
+        assert g.add(t("s", "p", "o")) is True
+        assert g.add(t("s", "p", "o")) is False
+        assert len(g) == 1
+
+    def test_add_all_counts_new_only(self):
+        g = Graph()
+        added = g.add_all([t("a", "p", "b"), t("a", "p", "b"), t("a", "p", "c")])
+        assert added == 2
+
+    def test_add_non_ground_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add(Triple(Variable("x"), IRI("http://e/p"), IRI("http://e/o")))
+
+    def test_remove_present(self):
+        g = Graph([t("a", "p", "b")])
+        assert g.remove(t("a", "p", "b")) is True
+        assert len(g) == 0
+        assert t("a", "p", "b") not in g
+
+    def test_remove_absent(self):
+        g = Graph([t("a", "p", "b")])
+        assert g.remove(t("a", "p", "c")) is False
+        assert len(g) == 1
+
+    def test_remove_unknown_terms(self):
+        g = Graph()
+        assert g.remove(t("never", "seen", "terms")) is False
+
+    def test_remove_then_readd(self):
+        g = Graph([t("a", "p", "b")])
+        g.remove(t("a", "p", "b"))
+        assert g.add(t("a", "p", "b")) is True
+        assert t("a", "p", "b") in g
+
+    def test_constructor_seeds(self):
+        g = Graph([t("a", "p", "b"), t("c", "p", "d")])
+        assert len(g) == 2
+
+
+class TestMatch:
+    def test_fully_bound_hit(self, small_graph):
+        results = list(small_graph.match(DBR.Snow, DBO.author, DBR.Orhan_Pamuk))
+        assert len(results) == 1
+
+    def test_fully_bound_miss(self, small_graph):
+        assert list(small_graph.match(DBR.Snow, DBO.author, DBR.Istanbul)) == []
+
+    def test_subject_bound(self, small_graph):
+        assert len(list(small_graph.match(DBR.Snow, None, None))) == 2
+
+    def test_subject_predicate_bound(self, small_graph):
+        results = list(small_graph.match(DBR.Snow, RDF.type, None))
+        assert [r.object for r in results] == [DBO.Book]
+
+    def test_predicate_bound(self, small_graph):
+        assert len(list(small_graph.match(None, DBO.author, None))) == 2
+
+    def test_predicate_object_bound(self, small_graph):
+        subjects = {r.subject for r in small_graph.match(None, RDF.type, DBO.Book)}
+        assert subjects == {DBR.Snow, DBR.My_Name_Is_Red}
+
+    def test_object_bound(self, small_graph):
+        results = list(small_graph.match(None, None, DBR.Orhan_Pamuk))
+        assert len(results) == 2
+
+    def test_object_subject_bound(self, small_graph):
+        results = list(small_graph.match(DBR.Orhan_Pamuk, None, DBR.Istanbul))
+        assert [r.predicate for r in results] == [DBO.birthPlace]
+
+    def test_full_scan(self, small_graph):
+        assert len(list(small_graph.match(None, None, None))) == len(small_graph)
+
+    def test_unknown_constant_matches_nothing(self, small_graph):
+        assert list(small_graph.match(DBR.Nobody, None, None)) == []
+
+    def test_iteration_equals_full_scan(self, small_graph):
+        assert set(iter(small_graph)) == set(small_graph.match(None, None, None))
+
+    def test_literal_objects_roundtrip(self):
+        g = Graph()
+        lit = Literal("1.98", datatype="http://www.w3.org/2001/XMLSchema#double")
+        g.add(Triple(DBR.Michael_Jordan, DBO.height, lit))
+        [result] = g.match(DBR.Michael_Jordan, DBO.height, None)
+        assert result.object == lit
+
+
+class TestCount:
+    def test_count_total(self, small_graph):
+        assert small_graph.count() == 6
+
+    def test_count_by_predicate(self, small_graph):
+        assert small_graph.count(predicate=RDF.type) == 3
+
+    def test_count_by_subject(self, small_graph):
+        assert small_graph.count(subject=DBR.Snow) == 2
+
+    def test_count_by_object(self, small_graph):
+        assert small_graph.count(obj=DBO.Book) == 2
+
+    def test_count_predicate_object(self, small_graph):
+        assert small_graph.count(predicate=RDF.type, obj=DBO.Book) == 2
+
+    def test_count_subject_predicate(self, small_graph):
+        assert small_graph.count(subject=DBR.Orhan_Pamuk, predicate=DBO.birthPlace) == 1
+
+    def test_count_subject_object(self, small_graph):
+        assert small_graph.count(subject=DBR.Snow, obj=DBO.Book) == 1
+
+    def test_count_fully_bound(self, small_graph):
+        assert small_graph.count(DBR.Snow, RDF.type, DBO.Book) == 1
+        assert small_graph.count(DBR.Snow, RDF.type, DBO.Writer) == 0
+
+    def test_count_unknown_term(self, small_graph):
+        assert small_graph.count(subject=DBR.Missing) == 0
+
+    def test_count_agrees_with_match(self, small_graph):
+        patterns = [
+            (None, None, None),
+            (DBR.Snow, None, None),
+            (None, RDF.type, None),
+            (None, None, DBR.Orhan_Pamuk),
+            (DBR.Snow, RDF.type, None),
+            (None, RDF.type, DBO.Book),
+            (DBR.Orhan_Pamuk, None, DBR.Istanbul),
+        ]
+        for s, p, o in patterns:
+            assert small_graph.count(s, p, o) == len(list(small_graph.match(s, p, o)))
+
+
+class TestVocabularyViews:
+    def test_subjects(self, small_graph):
+        assert DBR.Snow in set(small_graph.subjects())
+
+    def test_predicates(self, small_graph):
+        assert {DBO.author, DBO.birthPlace, RDF.type} == set(small_graph.predicates())
+
+    def test_objects(self, small_graph):
+        assert DBR.Istanbul in set(small_graph.objects())
+
+    def test_objects_of(self, small_graph):
+        assert list(small_graph.objects_of(DBR.Snow, DBO.author)) == [DBR.Orhan_Pamuk]
+
+    def test_subjects_of(self, small_graph):
+        assert set(small_graph.subjects_of(RDF.type, DBO.Book)) == {
+            DBR.Snow,
+            DBR.My_Name_Is_Red,
+        }
+
+    def test_value_present(self, small_graph):
+        assert small_graph.value(DBR.Orhan_Pamuk, DBO.birthPlace) == DBR.Istanbul
+
+    def test_value_absent(self, small_graph):
+        assert small_graph.value(DBR.Snow, DBO.birthPlace) is None
+
+
+# ---------------------------------------------------------------------------
+# Property-based: the three indexes must stay mutually consistent under any
+# interleaving of adds and removes.
+# ---------------------------------------------------------------------------
+
+_small_iris = st.sampled_from([IRI(f"http://e/{n}") for n in "abcdefg"])
+_triples = st.builds(Triple, _small_iris, _small_iris, _small_iris)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.booleans(), _triples), max_size=40))
+def test_indexes_stay_consistent(operations):
+    g = Graph()
+    reference: set[Triple] = set()
+    for is_add, triple in operations:
+        if is_add:
+            g.add(triple)
+            reference.add(triple)
+        else:
+            g.remove(triple)
+            reference.discard(triple)
+    assert set(g.match(None, None, None)) == reference
+    assert len(g) == len(reference)
+    # Every single-slot view must agree with the reference set.
+    for triple in reference:
+        assert triple in g
+        assert triple in set(g.match(triple.subject, None, None))
+        assert triple in set(g.match(None, triple.predicate, None))
+        assert triple in set(g.match(None, None, triple.object))
+
+
+@settings(max_examples=40)
+@given(st.lists(_triples, max_size=30))
+def test_count_matches_enumeration_for_all_masks(triples):
+    g = Graph(triples)
+    sample = triples[0] if triples else t("a", "p", "b")
+    masks = [
+        (None, None, None),
+        (sample.subject, None, None),
+        (None, sample.predicate, None),
+        (None, None, sample.object),
+        (sample.subject, sample.predicate, None),
+        (None, sample.predicate, sample.object),
+        (sample.subject, None, sample.object),
+        (sample.subject, sample.predicate, sample.object),
+    ]
+    for s, p, o in masks:
+        assert g.count(s, p, o) == len(list(g.match(s, p, o)))

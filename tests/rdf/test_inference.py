@@ -1,0 +1,124 @@
+"""Tests for RDFS materialisation."""
+
+import pytest
+
+from repro.rdf import DBO, DBR, Graph, IRI, RDF, RDFS, Triple
+from repro.rdf.inference import (
+    materialize_domain_range_types,
+    materialize_rdfs,
+    materialize_subclass_closure,
+    materialize_subproperty_closure,
+)
+
+
+class TestSubclassClosure:
+    def test_single_step(self):
+        g = Graph([
+            Triple(DBO.Writer, RDFS.subClassOf, DBO.Person),
+            Triple(DBR.X, RDF.type, DBO.Writer),
+        ])
+        assert materialize_subclass_closure(g) == 1
+        assert Triple(DBR.X, RDF.type, DBO.Person) in g
+
+    def test_transitive_chain(self):
+        g = Graph([
+            Triple(DBO.Novel, RDFS.subClassOf, DBO.Book),
+            Triple(DBO.Book, RDFS.subClassOf, DBO.Work),
+            Triple(DBO.Work, RDFS.subClassOf, DBO.Thing),
+            Triple(DBR.Snow, RDF.type, DBO.Novel),
+        ])
+        materialize_subclass_closure(g)
+        for cls in (DBO.Book, DBO.Work, DBO.Thing):
+            assert Triple(DBR.Snow, RDF.type, cls) in g
+
+    def test_idempotent(self):
+        g = Graph([
+            Triple(DBO.Writer, RDFS.subClassOf, DBO.Person),
+            Triple(DBR.X, RDF.type, DBO.Writer),
+        ])
+        materialize_subclass_closure(g)
+        assert materialize_subclass_closure(g) == 0
+
+    def test_cycle_tolerated(self):
+        g = Graph([
+            Triple(DBO.A, RDFS.subClassOf, DBO.B),
+            Triple(DBO.B, RDFS.subClassOf, DBO.A),
+            Triple(DBR.X, RDF.type, DBO.A),
+        ])
+        materialize_subclass_closure(g)
+        assert Triple(DBR.X, RDF.type, DBO.B) in g
+
+    def test_no_axioms_no_change(self):
+        g = Graph([Triple(DBR.X, RDF.type, DBO.Writer)])
+        assert materialize_subclass_closure(g) == 0
+
+
+class TestSubpropertyClosure:
+    def test_single_step(self):
+        g = Graph([
+            Triple(DBO.mayor, RDFS.subPropertyOf, DBO.leaderName),
+            Triple(DBR.Berlin, DBO.mayor, DBR.Wowereit),
+        ])
+        assert materialize_subproperty_closure(g) == 1
+        assert Triple(DBR.Berlin, DBO.leaderName, DBR.Wowereit) in g
+
+    def test_chain(self):
+        g = Graph([
+            Triple(DBO.a, RDFS.subPropertyOf, DBO.b),
+            Triple(DBO.b, RDFS.subPropertyOf, DBO.c),
+            Triple(DBR.X, DBO.a, DBR.Y),
+        ])
+        materialize_subproperty_closure(g)
+        assert Triple(DBR.X, DBO.c, DBR.Y) in g
+
+
+class TestDomainRange:
+    def test_domain_types_subject(self):
+        g = Graph([
+            Triple(DBO.author, RDFS.domain, DBO.Book),
+            Triple(DBR.Snow, DBO.author, DBR.Pamuk),
+        ])
+        materialize_domain_range_types(g)
+        assert Triple(DBR.Snow, RDF.type, DBO.Book) in g
+
+    def test_range_types_object(self):
+        g = Graph([
+            Triple(DBO.author, RDFS.range, DBO.Person),
+            Triple(DBR.Snow, DBO.author, DBR.Pamuk),
+        ])
+        materialize_domain_range_types(g)
+        assert Triple(DBR.Pamuk, RDF.type, DBO.Person) in g
+
+    def test_literal_object_untyped(self):
+        from repro.rdf import Literal
+        g = Graph([
+            Triple(DBO.height, RDFS.range, DBO.Thing),
+            Triple(DBR.X, DBO.height, Literal("1.98")),
+        ])
+        assert materialize_domain_range_types(g) == 0
+
+
+class TestFixpoint:
+    def test_interleaved_rules_reach_fixpoint(self):
+        # subPropertyOf introduces a typing fact only reachable after the
+        # property closure ran; materialize_rdfs must iterate to fixpoint.
+        g = Graph([
+            Triple(DBO.mayor, RDFS.subPropertyOf, DBO.leaderName),
+            Triple(DBO.leaderName, RDFS.domain, DBO.PopulatedPlace),
+            Triple(DBO.PopulatedPlace, RDFS.subClassOf, DBO.Place),
+            Triple(DBR.Berlin, DBO.mayor, DBR.Wowereit),
+        ])
+        added = materialize_rdfs(g, include_domain_range=True)
+        assert added >= 3
+        assert Triple(DBR.Berlin, DBO.leaderName, DBR.Wowereit) in g
+        assert Triple(DBR.Berlin, RDF.type, DBO.PopulatedPlace) in g
+        assert Triple(DBR.Berlin, RDF.type, DBO.Place) in g
+
+    def test_curated_kb_already_at_fixpoint(self):
+        # The builder materialises the closure itself; running the rules on
+        # the curated KB must therefore add nothing (agreement between the
+        # record-level and the graph-level materialisation).
+        from repro.kb import load_curated_kb
+
+        closed = Graph(iter(load_curated_kb().graph))
+        assert materialize_rdfs(closed) == 0

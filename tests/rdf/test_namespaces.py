@@ -1,0 +1,89 @@
+"""Tests for namespaces, CURIE expansion and IRI shrinking."""
+
+import pytest
+
+from repro.rdf import (
+    DBO,
+    DBR,
+    IRI,
+    Namespace,
+    PREFIXES,
+    RDF,
+    XSD,
+    expand_curie,
+    shrink_iri,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        assert DBO.writer == IRI("http://dbpedia.org/ontology/writer")
+
+    def test_item_access(self):
+        assert DBO["birthPlace"].local_name == "birthPlace"
+
+    def test_contains_iri(self):
+        assert DBO.writer in DBO
+        assert DBO.writer not in DBR
+
+    def test_contains_string(self):
+        assert "http://dbpedia.org/ontology/author" in DBO
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+    def test_underscore_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            DBO._private  # noqa: B018
+
+    def test_rdf_type(self):
+        assert RDF.type.value.endswith("#type")
+
+
+class TestCurie:
+    def test_expand_dbo(self):
+        assert expand_curie("dbo:writer") == DBO.writer
+
+    def test_expand_paper_spelling_dbont(self):
+        assert expand_curie("dbont:writer") == DBO.writer
+
+    def test_expand_paper_spelling_res(self):
+        assert expand_curie("res:Orhan_Pamuk") == DBR.Orhan_Pamuk
+
+    def test_expand_unknown_prefix(self):
+        with pytest.raises(ValueError, match="unknown prefix"):
+            expand_curie("zz:thing")
+
+    def test_expand_missing_colon(self):
+        with pytest.raises(ValueError, match="missing colon"):
+            expand_curie("writer")
+
+    def test_custom_prefix_table(self):
+        table = {"ex": Namespace("http://example.org/")}
+        assert expand_curie("ex:a", table).value == "http://example.org/a"
+
+
+class TestShrink:
+    def test_shrink_known(self):
+        assert shrink_iri(DBO.writer) == "dbo:writer"
+
+    def test_shrink_resource(self):
+        assert shrink_iri(DBR.Orhan_Pamuk) == "dbr:Orhan_Pamuk"
+
+    def test_shrink_unknown_falls_back_to_angle_brackets(self):
+        assert shrink_iri(IRI("http://elsewhere.example/x")) == "<http://elsewhere.example/x>"
+
+    def test_shrink_accepts_string(self):
+        assert shrink_iri("http://www.w3.org/2001/XMLSchema#integer") == "xsd:integer"
+
+    def test_roundtrip_expand_shrink(self):
+        for curie in ("dbo:height", "dbr:Berlin", "rdf:type", "rdfs:label"):
+            assert shrink_iri(expand_curie(curie)) == curie
+
+    def test_all_prefixes_expandable(self):
+        for prefix in PREFIXES:
+            assert expand_curie(f"{prefix}:x").value.endswith("x")
+
+    def test_xsd_namespace_shape(self):
+        assert XSD.integer.value == "http://www.w3.org/2001/XMLSchema#integer"

@@ -1,0 +1,120 @@
+"""Tests for N-Triples parsing and serialisation."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    parse_ntriples,
+    read_ntriples,
+    serialize_ntriples,
+    write_ntriples,
+)
+from repro.rdf.ntriples import NTriplesError
+
+
+class TestParse:
+    def test_iri_triple(self):
+        [t] = parse_ntriples("<http://e/s> <http://e/p> <http://e/o> .")
+        assert t == Triple(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o"))
+
+    def test_plain_literal(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "value" .')
+        assert t.object == Literal("value")
+
+    def test_language_literal(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "Istanbul"@tr .')
+        assert t.object == Literal("Istanbul", language="tr")
+
+    def test_typed_literal(self):
+        [t] = parse_ntriples(
+            '<http://e/s> <http://e/p> "1.98"^^<http://www.w3.org/2001/XMLSchema#double> .'
+        )
+        assert t.object.datatype.endswith("double")
+
+    def test_bnode_subject_and_object(self):
+        [t] = parse_ntriples("_:a <http://e/p> _:b .")
+        assert t.subject == BNode("a")
+        assert t.object == BNode("b")
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n<http://e/s> <http://e/p> <http://e/o> .\n# done\n"
+        assert len(list(parse_ntriples(text))) == 1
+
+    def test_escaped_quote(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "say \\"hi\\"" .')
+        assert t.object.lexical == 'say "hi"'
+
+    def test_escaped_newline_and_tab(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "a\\nb\\tc" .')
+        assert t.object.lexical == "a\nb\tc"
+
+    def test_unicode_escape(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "\\u00e9" .')
+        assert t.object.lexical == "é"
+
+    def test_malformed_line_raises_with_line_number(self):
+        text = "<http://e/s> <http://e/p> <http://e/o> .\nnot a triple\n"
+        with pytest.raises(NTriplesError) as err:
+            list(parse_ntriples(text))
+        assert err.value.line_number == 2
+
+    def test_language_tag_with_region(self):
+        [t] = parse_ntriples('<http://e/s> <http://e/p> "color"@en-US .')
+        assert t.object.language == "en-US"
+
+
+class TestRoundtrip:
+    def _sample(self):
+        return [
+            Triple(IRI("http://e/s"), IRI("http://e/p"), IRI("http://e/o")),
+            Triple(IRI("http://e/s"), IRI("http://e/p"), Literal("plain")),
+            Triple(IRI("http://e/s"), IRI("http://e/p"), Literal("tagged", language="en")),
+            Triple(
+                IRI("http://e/s"),
+                IRI("http://e/p"),
+                Literal("1", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+            ),
+            Triple(BNode("x"), IRI("http://e/p"), BNode("y")),
+        ]
+
+    def test_serialize_parse_roundtrip(self):
+        triples = self._sample()
+        assert list(parse_ntriples(serialize_ntriples(triples))) == triples
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "data.nt"
+        triples = self._sample()
+        written = write_ntriples(triples, path)
+        assert written == len(triples)
+        assert list(read_ntriples(path)) == triples
+
+    def test_handle_roundtrip(self):
+        buffer = io.StringIO()
+        triples = self._sample()
+        write_ntriples(triples, buffer)
+        buffer.seek(0)
+        assert list(read_ntriples(buffer)) == triples
+
+    def test_graph_export_import(self):
+        g = Graph(self._sample())
+        g2 = Graph(parse_ntriples(serialize_ntriples(iter(g))))
+        assert set(iter(g2)) == set(iter(g))
+
+    @given(
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+            max_size=40,
+        )
+    )
+    def test_literal_lexical_roundtrip(self, lexical):
+        triple = Triple(IRI("http://e/s"), IRI("http://e/p"), Literal(lexical))
+        [parsed] = parse_ntriples(serialize_ntriples([triple]))
+        assert parsed.object.lexical == lexical

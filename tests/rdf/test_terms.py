@@ -1,0 +1,120 @@
+"""Tests for the RDF term model."""
+
+import pytest
+
+from repro.rdf import BNode, IRI, Literal, Triple, Variable
+
+
+class TestIRI:
+    def test_n3_form(self):
+        assert IRI("http://example.org/a").n3() == "<http://example.org/a>"
+
+    def test_local_name_slash(self):
+        assert IRI("http://dbpedia.org/ontology/writer").local_name == "writer"
+
+    def test_local_name_hash(self):
+        assert IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type").local_name == "type"
+
+    def test_local_name_no_separator(self):
+        assert IRI("urn-like").local_name == "urn-like"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_hashable_and_equal(self):
+        assert IRI("http://e/a") == IRI("http://e/a")
+        assert len({IRI("http://e/a"), IRI("http://e/a")}) == 1
+
+
+class TestLiteral:
+    def test_plain(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_language_tag(self):
+        assert Literal("hi", language="en").n3() == '"hi"@en'
+
+    def test_datatype(self):
+        lit = Literal("3", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert lit.n3() == '"3"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype="http://e/dt", language="en")
+
+    def test_quote_escaping(self):
+        assert Literal('say "hi"').n3() == '"say \\"hi\\""'
+
+    def test_newline_escaping(self):
+        assert Literal("a\nb").n3() == '"a\\nb"'
+
+    def test_backslash_escaping(self):
+        assert Literal("a\\b").n3() == '"a\\\\b"'
+
+
+class TestBNode:
+    def test_fresh_labels_distinct(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label(self):
+        assert BNode("x").n3() == "_:x"
+
+    def test_same_label_equal(self):
+        assert BNode("x") == BNode("x")
+
+
+class TestVariable:
+    def test_n3(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_rejects_question_mark_prefix(self):
+        with pytest.raises(ValueError):
+            Variable("?x")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestTriple:
+    def _iri(self, name):
+        return IRI(f"http://e/{name}")
+
+    def test_ground_triple(self):
+        t = Triple(self._iri("s"), self._iri("p"), self._iri("o"))
+        assert t.is_ground()
+        assert t.variables() == set()
+
+    def test_pattern_triple_variables(self):
+        t = Triple(Variable("x"), self._iri("p"), Variable("y"))
+        assert not t.is_ground()
+        assert t.variables() == {Variable("x"), Variable("y")}
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(Literal("x"), self._iri("p"), self._iri("o"))
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(self._iri("s"), Literal("p"), self._iri("o"))
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(self._iri("s"), BNode(), self._iri("o"))
+
+    def test_non_term_slot_rejected(self):
+        with pytest.raises(TypeError):
+            Triple("s", self._iri("p"), self._iri("o"))
+
+    def test_unpacking(self):
+        t = Triple(self._iri("s"), self._iri("p"), Literal("v"))
+        s, p, o = t
+        assert (s, p, o) == (t.subject, t.predicate, t.object)
+
+    def test_n3_round_shape(self):
+        t = Triple(self._iri("s"), self._iri("p"), Literal("v"))
+        assert t.n3() == '<http://e/s> <http://e/p> "v" .'
+
+    def test_variable_object_allowed(self):
+        t = Triple(self._iri("s"), self._iri("p"), Variable("o"))
+        assert Variable("o") in t.variables()

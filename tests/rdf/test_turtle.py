@@ -1,0 +1,115 @@
+"""Tests for Turtle-subset serialisation and parsing."""
+
+import pytest
+
+from repro.kb import load_curated_kb
+from repro.rdf import DBO, DBR, Graph, IRI, Literal, RDF, RDFS, Triple, XSD
+from repro.rdf.turtle import parse_turtle, serialize_turtle, write_turtle
+
+
+def sample_triples():
+    return [
+        Triple(DBR.Snow, RDF.type, DBO.Book),
+        Triple(DBR.Snow, DBO.author, DBR.Orhan_Pamuk),
+        Triple(DBR.Snow, RDFS.label, Literal("Snow", language="en")),
+        Triple(DBR.Snow, DBO.numberOfPages,
+               Literal("426", datatype=XSD.integer.value)),
+        Triple(DBR.Orhan_Pamuk, RDF.type, DBO.Writer),
+    ]
+
+
+class TestSerialize:
+    def test_prefix_declarations_present(self):
+        text = serialize_turtle(sample_triples())
+        assert "@prefix dbo: <http://dbpedia.org/ontology/> ." in text
+        assert "@prefix dbr: <http://dbpedia.org/resource/> ." in text
+
+    def test_unused_prefixes_omitted(self):
+        text = serialize_turtle([Triple(DBR.A, DBO.author, DBR.B)])
+        assert "@prefix foaf" not in text
+        assert "@prefix xsd" not in text
+
+    def test_a_shorthand(self):
+        text = serialize_turtle([Triple(DBR.Snow, RDF.type, DBO.Book)])
+        assert "dbr:Snow a dbo:Book ." in text
+
+    def test_subject_grouping_with_semicolons(self):
+        text = serialize_turtle(sample_triples())
+        assert text.count("dbr:Snow") == 1  # one block, not four statements
+
+    def test_object_grouping_with_commas(self):
+        triples = [
+            Triple(DBR.Intel, DBO.foundedBy, DBR.Gordon_Moore),
+            Triple(DBR.Intel, DBO.foundedBy, DBR.Robert_Noyce),
+        ]
+        text = serialize_turtle(triples)
+        assert "dbr:Gordon_Moore, dbr:Robert_Noyce" in text
+
+    def test_typed_literal_prefixed(self):
+        text = serialize_turtle(sample_triples())
+        assert '"426"^^xsd:integer' in text
+
+    def test_language_tag(self):
+        text = serialize_turtle(sample_triples())
+        assert '"Snow"@en' in text
+
+    def test_unknown_namespace_falls_back_to_full_iri(self):
+        triple = Triple(IRI("http://elsewhere.example/s"), DBO.author, DBR.B)
+        text = serialize_turtle([triple])
+        assert "<http://elsewhere.example/s>" in text
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "out.ttl"
+        write_turtle(sample_triples(), path)
+        assert path.read_text().startswith("@prefix")
+
+
+class TestParse:
+    def test_roundtrip_sample(self):
+        triples = sample_triples()
+        parsed = set(parse_turtle(serialize_turtle(triples)))
+        assert parsed == set(triples)
+
+    def test_roundtrip_curated_kb_subset(self):
+        kb = load_curated_kb()
+        subset = [t for t in kb.graph.match(DBR.Orhan_Pamuk, None, None)]
+        parsed = set(parse_turtle(serialize_turtle(subset)))
+        assert parsed == set(subset)
+
+    def test_roundtrip_full_curated_kb(self):
+        kb = load_curated_kb()
+        triples = list(kb.graph)
+        parsed = list(parse_turtle(serialize_turtle(triples)))
+        assert set(parsed) == set(triples)
+
+    def test_handwritten_turtle(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:alice a ex:Person ;
+                 ex:knows ex:bob, ex:carol ;
+                 ex:name "Alice"@en .
+        """
+        triples = list(parse_turtle(text))
+        assert len(triples) == 4
+        assert Triple(
+            IRI("http://example.org/alice"),
+            IRI("http://example.org/knows"),
+            IRI("http://example.org/carol"),
+        ) in triples
+
+    def test_builtin_prefixes_available(self):
+        triples = list(parse_turtle("dbr:Snow a dbo:Book"))
+        assert triples == [Triple(DBR.Snow, RDF.type, DBO.Book)]
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ValueError, match="unknown turtle prefix"):
+            list(parse_turtle("zz:a zz:b zz:c"))
+
+    def test_graph_roundtrip_into_store(self):
+        g = Graph(sample_triples())
+        g2 = Graph(parse_turtle(serialize_turtle(iter(g))))
+        assert set(iter(g2)) == set(iter(g))
+
+    def test_numeric_shorthand(self):
+        [triple] = parse_turtle("dbr:X dbo:height 1.98")
+        assert triple.object.datatype.endswith("double")

@@ -1,0 +1,124 @@
+"""Tests for the paper's greatest-common-subsequence scoring (section 2.2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    lcs_length,
+    lcs_score,
+    lcs_string,
+    subsequence_similarity,
+)
+
+words = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=30)
+
+
+class TestLcsLength:
+    def test_identical_strings(self):
+        assert lcs_length("writer", "writer") == 6
+
+    def test_empty_left(self):
+        assert lcs_length("", "writer") == 0
+
+    def test_empty_right(self):
+        assert lcs_length("writer", "") == 0
+
+    def test_both_empty(self):
+        assert lcs_length("", "") == 0
+
+    def test_disjoint_alphabets(self):
+        assert lcs_length("abc", "xyz") == 0
+
+    def test_paper_example_river_taxidriver(self):
+        # 'river' is fully contained in 'taxidriver' as a subsequence.
+        assert lcs_length("river", "taxidriver") == 5
+
+    def test_written_vs_writer(self):
+        # w-r-i-t-e shared; the double t of 'written' has no second partner.
+        assert lcs_length("written", "writer") == 5
+
+    def test_subsequence_not_substring(self):
+        assert lcs_length("ace", "abcde") == 3
+
+    def test_symmetry_concrete(self):
+        assert lcs_length("height", "tall") == lcs_length("tall", "height")
+
+    @given(words, words)
+    def test_symmetric(self, a, b):
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    @given(words, words)
+    def test_bounded_by_shorter(self, a, b):
+        assert lcs_length(a, b) <= min(len(a), len(b))
+
+    @given(words)
+    def test_self_lcs_is_length(self, a):
+        assert lcs_length(a, a) == len(a)
+
+    @given(words, words)
+    def test_monotone_under_concatenation(self, a, b):
+        # Adding characters can only help.
+        assert lcs_length(a + b, b) >= lcs_length(a, b)
+
+
+class TestLcsString:
+    def test_returns_a_common_subsequence(self):
+        result = lcs_string("written", "writer")
+        assert result == "write"
+
+    def test_empty_inputs(self):
+        assert lcs_string("", "abc") == ""
+        assert lcs_string("abc", "") == ""
+
+    @given(words, words)
+    def test_length_agrees_with_lcs_length(self, a, b):
+        assert len(lcs_string(a, b)) == lcs_length(a, b)
+
+    @given(words, words)
+    def test_is_subsequence_of_both(self, a, b):
+        result = lcs_string(a, b)
+        for source in (a, b):
+            it = iter(source)
+            assert all(ch in it for ch in result)
+
+
+class TestScores:
+    def test_one_sided_score_trap(self):
+        # The naive one-sided score falls into the paper's river/taxiDriver
+        # trap: the word is a perfect subsequence of the property.
+        assert lcs_score("river", "taxiDriver") == 1.0
+
+    def test_symmetric_score_avoids_trap(self):
+        # The symmetric normalisation penalises the length mismatch.
+        assert subsequence_similarity("river", "taxiDriver") == pytest.approx(0.5)
+
+    def test_written_maps_to_writer_strongly(self):
+        assert subsequence_similarity("written", "writer") == pytest.approx(5 / 7)
+
+    def test_written_prefers_writer_over_painter(self):
+        assert subsequence_similarity("written", "writer") > subsequence_similarity(
+            "written", "painter"
+        )
+
+    def test_case_insensitive(self):
+        assert subsequence_similarity("Height", "height") == 1.0
+
+    def test_empty_word(self):
+        assert lcs_score("", "writer") == 0.0
+        assert subsequence_similarity("", "") == 0.0
+
+    @given(words, words)
+    def test_score_in_unit_interval(self, a, b):
+        assert 0.0 <= subsequence_similarity(a, b) <= 1.0
+
+    @given(words)
+    def test_identity_scores_one(self, a):
+        if a:
+            assert subsequence_similarity(a, a) == 1.0
+
+    @given(words, words)
+    def test_symmetric_similarity_is_symmetric(self, a, b):
+        assert subsequence_similarity(a, b) == pytest.approx(
+            subsequence_similarity(b, a)
+        )

@@ -1,0 +1,118 @@
+"""Tests for the ablation similarity metrics and the registry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    SIMILARITY_FUNCTIONS,
+    dice_coefficient,
+    get_similarity,
+    jaccard_similarity,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    normalized_overlap,
+)
+
+words = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=20)
+
+
+class TestLevenshtein:
+    def test_classic_kitten_sitting(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_identity(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_to_word(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("writer", "writes") == 1
+
+    @given(words, words)
+    def test_symmetric(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(words, words)
+    def test_triangle_via_empty(self, a, b):
+        # dist(a,b) <= dist(a,"") + dist("",b) = len(a) + len(b)
+        assert levenshtein_distance(a, b) <= len(a) + len(b)
+
+    @given(words, words)
+    def test_lower_bound_length_difference(self, a, b):
+        assert levenshtein_distance(a, b) >= abs(len(a) - len(b))
+
+    @given(words, words)
+    def test_similarity_in_unit_interval(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestSetMetrics:
+    def test_jaccard_identical(self):
+        assert jaccard_similarity("night", "night") == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_similarity("abab", "cdcd") == 0.0
+
+    def test_dice_identical(self):
+        assert dice_coefficient("night", "night") == 1.0
+
+    def test_dice_known_value(self):
+        # bigrams(night) = {ni,ig,gh,ht}, bigrams(nacht) = {na,ac,ch,ht}
+        # intersection = {ht} -> dice = 2*1/8
+        assert dice_coefficient("night", "nacht") == pytest.approx(0.25)
+
+    def test_overlap_substring_is_one(self):
+        assert normalized_overlap("writer", "writers") == 1.0
+
+    def test_single_char_inputs_have_no_bigrams(self):
+        assert jaccard_similarity("a", "b") == 0.0
+        assert dice_coefficient("a", "b") == 0.0
+        assert normalized_overlap("a", "ab") == 0.0
+
+    @given(words, words)
+    def test_dice_geq_jaccard(self, a, b):
+        # Dice >= Jaccard always holds for non-degenerate pairs.
+        assert dice_coefficient(a, b) >= jaccard_similarity(a, b) - 1e-12
+
+
+class TestJaroWinkler:
+    def test_identity(self):
+        assert jaro_winkler("martha", "martha") == 1.0
+
+    def test_classic_pair(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro_winkler("", "abc") == 0.0
+
+    def test_no_matches(self):
+        assert jaro_winkler("abc", "xyz") == 0.0
+
+    def test_prefix_boost(self):
+        # Shared prefix must help relative to the same edits at the end.
+        assert jaro_winkler("writer", "writes") >= jaro_winkler("writer", "awrites")
+
+    @given(words, words)
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestRegistry:
+    def test_paper_configuration_present(self):
+        assert "lcs" in SIMILARITY_FUNCTIONS
+
+    def test_all_entries_callable_and_bounded(self):
+        for name, fn in SIMILARITY_FUNCTIONS.items():
+            score = fn("written", "writer")
+            assert 0.0 <= score <= 1.0, name
+
+    def test_lookup_by_name(self):
+        assert get_similarity("lcs") is SIMILARITY_FUNCTIONS["lcs"]
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="lcs"):
+            get_similarity("cosine")

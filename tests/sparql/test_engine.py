@@ -1,0 +1,332 @@
+"""End-to-end tests for the SPARQL engine (parse + plan + execute)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.rdf import DBO, DBR, Graph, Literal, RDF, RDFS, Triple, Variable, XSD, make_literal
+from repro.sparql import SparqlEngine, SparqlError, ask, select
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = Graph()
+
+    def add(s, p, o):
+        g.add(Triple(s, p, o))
+
+    # Books by Orhan Pamuk.
+    add(DBR.Orhan_Pamuk, RDF.type, DBO.Writer)
+    add(DBR.Orhan_Pamuk, RDFS.label, Literal("Orhan Pamuk", language="en"))
+    add(DBR.Orhan_Pamuk, DBO.birthPlace, DBR.Istanbul)
+    for title in ("Snow", "My_Name_Is_Red", "The_White_Castle"):
+        book = DBR[title]
+        add(book, RDF.type, DBO.Book)
+        add(book, DBO.author, DBR.Orhan_Pamuk)
+        add(book, RDFS.label, Literal(title.replace("_", " "), language="en"))
+    # One book by someone else.
+    add(DBR.Dune, RDF.type, DBO.Book)
+    add(DBR.Dune, DBO.author, DBR.Frank_Herbert)
+    add(DBR.Frank_Herbert, RDF.type, DBO.Writer)
+    add(DBR.Frank_Herbert, DBO.deathDate, make_literal(dt.date(1986, 2, 11)))
+    # People with heights.
+    add(DBR.Michael_Jordan, RDF.type, DBO.Athlete)
+    add(DBR.Michael_Jordan, DBO.height, make_literal(1.98))
+    add(DBR.Claudia_Schiffer, RDF.type, DBO.Model)
+    add(DBR.Claudia_Schiffer, DBO.height, make_literal(1.8))
+    # Places.
+    add(DBR.Istanbul, RDF.type, DBO.City)
+    add(DBR.Istanbul, DBO.country, DBR.Turkey)
+    add(DBR.Istanbul, DBO.populationTotal, make_literal(13854740))
+    add(DBR.Ankara, RDF.type, DBO.City)
+    add(DBR.Ankara, DBO.country, DBR.Turkey)
+    add(DBR.Ankara, DBO.populationTotal, make_literal(4338620))
+    return g
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return SparqlEngine(graph)
+
+
+class TestSelect:
+    def test_paper_query1_shape(self, engine):
+        result = engine.select(
+            """
+            SELECT ?x WHERE {
+              ?x rdf:type dbont:Book .
+              ?x dbont:author res:Orhan_Pamuk .
+            }
+            """
+        )
+        names = {term.local_name for term in result.column("x")}
+        assert names == {"Snow", "My_Name_Is_Red", "The_White_Castle"}
+
+    def test_join_two_hops(self, engine):
+        result = engine.select(
+            """
+            SELECT ?book WHERE {
+              ?book dbo:author ?writer .
+              ?writer dbo:birthPlace dbr:Istanbul .
+            }
+            """
+        )
+        assert len(result) == 3
+
+    def test_no_match_returns_empty(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x dbo:author dbr:Nobody }")
+        assert len(result) == 0
+        assert not result
+
+    def test_select_star_projects_all_vars(self, engine):
+        result = engine.select("SELECT * WHERE { dbr:Dune ?p ?o }")
+        names = {v.name for v in result.variables}
+        assert names == {"p", "o"}
+
+    def test_distinct_collapses(self, engine):
+        plain = engine.select("SELECT ?t WHERE { ?x a ?t . ?x dbo:author ?a }")
+        distinct = engine.select("SELECT DISTINCT ?t WHERE { ?x a ?t . ?x dbo:author ?a }")
+        assert len(distinct) < len(plain)
+        assert len(distinct) == 1
+
+    def test_limit(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x a dbo:Book } LIMIT 2")
+        assert len(result) == 2
+
+    def test_offset_pagination_disjoint(self, engine):
+        page1 = engine.select("SELECT ?x WHERE { ?x a dbo:Book } ORDER BY ?x LIMIT 2")
+        page2 = engine.select(
+            "SELECT ?x WHERE { ?x a dbo:Book } ORDER BY ?x LIMIT 2 OFFSET 2"
+        )
+        assert not (set(page1.column("x")) & set(page2.column("x")))
+
+    def test_order_by_numeric_asc(self, engine):
+        result = engine.select(
+            "SELECT ?p ?h WHERE { ?p dbo:height ?h } ORDER BY ?h"
+        )
+        heights = result.values("h")
+        assert heights == sorted(heights)
+
+    def test_order_by_numeric_desc(self, engine):
+        result = engine.select(
+            "SELECT ?c WHERE { ?c dbo:populationTotal ?pop } ORDER BY DESC(?pop)"
+        )
+        assert result.column("c")[0] == DBR.Istanbul
+
+    def test_cartesian_product_when_disconnected(self, engine):
+        result = engine.select(
+            "SELECT ?a ?b WHERE { ?a a dbo:City . ?b a dbo:Model } "
+        )
+        assert len(result) == 2  # 2 cities x 1 model
+
+    def test_same_variable_twice_in_pattern(self, engine):
+        # ?x ?p ?x matches nothing in this dataset.
+        result = engine.select("SELECT ?x WHERE { ?x ?p ?x }")
+        assert len(result) == 0
+
+
+class TestFilters:
+    def test_numeric_greater(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (?h > 1.9) }"
+        )
+        assert result.column("p") == [DBR.Michael_Jordan]
+
+    def test_numeric_less_equal(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (?h <= 1.8) }"
+        )
+        assert result.column("p") == [DBR.Claudia_Schiffer]
+
+    def test_equality_on_iri(self, engine):
+        result = engine.select(
+            "SELECT ?c WHERE { ?c dbo:country ?k FILTER (?k = dbr:Turkey) }"
+        )
+        assert len(result) == 2
+
+    def test_inequality_on_iri(self, engine):
+        result = engine.select(
+            "SELECT ?b WHERE { ?b dbo:author ?a FILTER (?a != res:Orhan_Pamuk) }"
+        )
+        assert result.column("b") == [DBR.Dune]
+
+    def test_regex_case_insensitive(self, engine):
+        result = engine.select(
+            'SELECT ?x WHERE { ?x rdfs:label ?l FILTER REGEX(?l, "^snow", "i") }'
+        )
+        assert result.column("x") == [DBR.Snow]
+
+    def test_contains(self, engine):
+        result = engine.select(
+            'SELECT ?x WHERE { ?x rdfs:label ?l FILTER CONTAINS(?l, "Red") }'
+        )
+        assert result.column("x") == [DBR.My_Name_Is_Red]
+
+    def test_lang(self, engine):
+        result = engine.select(
+            'SELECT ?l WHERE { dbr:Orhan_Pamuk rdfs:label ?l FILTER (LANG(?l) = "en") }'
+        )
+        assert len(result) == 1
+
+    def test_boolean_and(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (?h > 1.7 && ?h < 1.9) }"
+        )
+        assert result.column("p") == [DBR.Claudia_Schiffer]
+
+    def test_boolean_or(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (?h < 1.7 || ?h > 1.9) }"
+        )
+        assert result.column("p") == [DBR.Michael_Jordan]
+
+    def test_negation(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (!(?h > 1.9)) }"
+        )
+        assert result.column("p") == [DBR.Claudia_Schiffer]
+
+    def test_type_error_fails_filter_not_query(self, engine):
+        # Comparing an IRI with < is a type error; the row is dropped,
+        # the query still succeeds.
+        result = engine.select(
+            "SELECT ?b WHERE { ?b dbo:author ?a FILTER (?a > 5) }"
+        )
+        assert len(result) == 0
+
+    def test_datatype_builtin(self, engine):
+        result = engine.select(
+            "SELECT ?p WHERE { ?p dbo:height ?h FILTER (DATATYPE(?h) = xsd:double) }"
+        )
+        assert len(result) == 2
+
+    def test_isiri_builtin(self, engine):
+        result = engine.select(
+            "SELECT ?o WHERE { dbr:Istanbul dbo:country ?o FILTER ISIRI(?o) }"
+        )
+        assert result.column("o") == [DBR.Turkey]
+
+    def test_date_comparison(self, engine):
+        result = engine.select(
+            'SELECT ?w WHERE { ?w dbo:deathDate ?d FILTER (?d < "2000-01-01"^^xsd:date) }'
+        )
+        assert result.column("w") == [DBR.Frank_Herbert]
+
+
+class TestOptionalAndUnion:
+    def test_optional_keeps_unmatched(self, engine):
+        result = engine.select(
+            """
+            SELECT ?w ?d WHERE {
+              ?w a dbo:Writer
+              OPTIONAL { ?w dbo:deathDate ?d }
+            }
+            """
+        )
+        by_writer = {row[0]: row[1] for row in result.rows}
+        assert by_writer[DBR.Orhan_Pamuk] is None
+        assert by_writer[DBR.Frank_Herbert] is not None
+
+    def test_optional_with_bound_filter(self, engine):
+        result = engine.select(
+            """
+            SELECT ?w WHERE {
+              ?w a dbo:Writer
+              OPTIONAL { ?w dbo:deathDate ?d }
+              FILTER (!BOUND(?d))
+            }
+            """
+        )
+        assert result.column("w") == [DBR.Orhan_Pamuk]
+
+    def test_union_combines(self, engine):
+        result = engine.select(
+            """
+            SELECT ?x WHERE {
+              { ?x a dbo:Athlete } UNION { ?x a dbo:Model }
+            }
+            """
+        )
+        assert set(result.column("x")) == {DBR.Michael_Jordan, DBR.Claudia_Schiffer}
+
+    def test_union_with_shared_prefix_pattern(self, engine):
+        result = engine.select(
+            """
+            SELECT DISTINCT ?b WHERE {
+              ?b a dbo:Book
+              { ?b dbo:author res:Orhan_Pamuk } UNION { ?b dbo:author dbr:Frank_Herbert }
+            }
+            """
+        )
+        assert len(result) == 4
+
+
+class TestAggregates:
+    def test_count_var(self, engine):
+        result = engine.select("SELECT COUNT(?x) WHERE { ?x a dbo:Book }")
+        assert result.scalar() == 4
+
+    def test_count_distinct(self, engine):
+        result = engine.select("SELECT COUNT(DISTINCT ?a) WHERE { ?b dbo:author ?a }")
+        assert result.scalar() == 2
+
+    def test_count_star(self, engine):
+        result = engine.select("SELECT COUNT(*) WHERE { ?x a dbo:City }")
+        assert result.scalar() == 2
+
+    def test_count_alias(self, engine):
+        result = engine.select("SELECT (COUNT(?x) AS ?n) WHERE { ?x a dbo:Book }")
+        assert result.variables == (Variable("n"),)
+
+    def test_count_empty(self, engine):
+        result = engine.select("SELECT COUNT(?x) WHERE { ?x a dbo:Country }")
+        assert result.scalar() == 0
+
+
+class TestAsk:
+    def test_ask_true(self, engine):
+        assert engine.ask("ASK { dbr:Frank_Herbert dbo:deathDate ?d }") is True
+
+    def test_ask_false(self, engine):
+        assert engine.ask("ASK { dbr:Orhan_Pamuk dbo:deathDate ?d }") is False
+
+    def test_ask_ground_triple(self, engine):
+        assert engine.ask("ASK { dbr:Istanbul dbo:country dbr:Turkey }") is True
+
+    def test_module_level_helpers(self, graph):
+        assert ask(graph, "ASK { ?x a dbo:Book }")
+        assert len(select(graph, "SELECT ?x WHERE { ?x a dbo:Book }")) == 4
+
+    def test_select_on_ask_raises(self, engine):
+        with pytest.raises(SparqlError):
+            engine.select("ASK { ?x a dbo:Book }")
+
+    def test_ask_on_select_raises(self, engine):
+        with pytest.raises(SparqlError):
+            engine.ask("SELECT ?x WHERE { ?x a dbo:Book }")
+
+
+class TestResultHelpers:
+    def test_bindings(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x a dbo:Athlete }")
+        assert result.bindings() == [{Variable("x"): DBR.Michael_Jordan}]
+
+    def test_values_converts_literals(self, engine):
+        result = engine.select("SELECT ?h WHERE { dbr:Michael_Jordan dbo:height ?h }")
+        assert result.values("h") == [pytest.approx(1.98)]
+
+    def test_column_unknown_var(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x a dbo:Athlete }")
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_scalar_requires_1x1(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x a dbo:Book }")
+        with pytest.raises(ValueError):
+            result.scalar()
+
+    def test_to_dict_shape(self, engine):
+        result = engine.select("SELECT ?x WHERE { ?x a dbo:Athlete }")
+        payload = result.to_dict()
+        assert payload["head"]["vars"] == ["x"]
+        assert payload["results"]["bindings"][0]["x"]["type"] == "uri"

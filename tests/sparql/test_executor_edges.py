@@ -1,0 +1,120 @@
+"""Edge-case tests for the executor: nesting, scoping, degenerate inputs."""
+
+import pytest
+
+from repro.rdf import DBO, DBR, Graph, Literal, RDF, Triple, make_literal
+from repro.sparql import SparqlEngine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = Graph()
+    g.add(Triple(DBR.A, RDF.type, DBO.Writer))
+    g.add(Triple(DBR.A, DBO.spouse, DBR.B))
+    g.add(Triple(DBR.B, DBO.birthPlace, DBR.C))
+    g.add(Triple(DBR.D, RDF.type, DBO.Writer))
+    g.add(Triple(DBR.A, DBO.height, make_literal(1.8)))
+    return g
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return SparqlEngine(graph)
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_graph_select(self):
+        engine = SparqlEngine(Graph())
+        assert len(engine.select("SELECT ?s WHERE { ?s ?p ?o }")) == 0
+
+    def test_empty_graph_ask(self):
+        assert SparqlEngine(Graph()).ask("ASK { ?s ?p ?o }") is False
+
+    def test_empty_graph_count(self):
+        engine = SparqlEngine(Graph())
+        assert engine.select("SELECT COUNT(?s) WHERE { ?s ?p ?o }").scalar() == 0
+
+    def test_empty_group(self, engine):
+        # {} has the single empty solution; SELECT * over it projects none.
+        result = engine.select("SELECT * WHERE { }")
+        assert len(result) == 1
+        assert result.variables == ()
+
+    def test_limit_zero(self, engine):
+        assert len(engine.select("SELECT ?s WHERE { ?s ?p ?o } LIMIT 0")) == 0
+
+    def test_offset_past_end(self, engine):
+        assert len(engine.select("SELECT ?s WHERE { ?s ?p ?o } OFFSET 999")) == 0
+
+
+class TestNesting:
+    def test_nested_optional(self, engine):
+        result = engine.select("""
+            SELECT ?w ?s ?bp WHERE {
+              ?w a dbo:Writer
+              OPTIONAL {
+                ?w dbo:spouse ?s
+                OPTIONAL { ?s dbo:birthPlace ?bp }
+              }
+            }
+        """)
+        rows = {tuple(row) for row in result.rows}
+        assert (DBR.A, DBR.B, DBR.C) in rows
+        assert (DBR.D, None, None) in rows
+
+    def test_union_inside_optional(self, engine):
+        result = engine.select("""
+            SELECT ?w ?x WHERE {
+              ?w a dbo:Writer
+              OPTIONAL {
+                { ?w dbo:spouse ?x } UNION { ?w dbo:birthPlace ?x }
+              }
+            }
+        """)
+        by_writer = {}
+        for w, x in result.rows:
+            by_writer.setdefault(w, set()).add(x)
+        assert by_writer[DBR.A] == {DBR.B}
+        assert by_writer[DBR.D] == {None}
+
+    def test_filter_scoped_to_optional_group(self, engine):
+        # The filter inside the OPTIONAL applies to the optional part only:
+        # writers whose spouse fails the filter keep their row, unextended.
+        result = engine.select("""
+            SELECT ?w ?s WHERE {
+              ?w a dbo:Writer
+              OPTIONAL { ?w dbo:spouse ?s FILTER (?s = dbr:Nobody) }
+            }
+        """)
+        rows = {tuple(row) for row in result.rows}
+        assert (DBR.A, None) in rows
+
+    def test_double_union(self, engine):
+        result = engine.select("""
+            SELECT ?x WHERE {
+              { ?x a dbo:Writer } UNION { ?x dbo:birthPlace ?p } UNION { ?x dbo:spouse ?p2 }
+            }
+        """)
+        assert set(result.column("x")) == {DBR.A, DBR.B, DBR.D}
+
+
+class TestProjectionEdgeCases:
+    def test_projected_variable_never_bound(self, engine):
+        result = engine.select("SELECT ?nope WHERE { ?s a dbo:Writer }")
+        assert all(row == (None,) for row in result.rows)
+
+    def test_order_by_unbound_variable_sorts_first(self, engine):
+        result = engine.select("""
+            SELECT ?w ?s WHERE {
+              ?w a dbo:Writer
+              OPTIONAL { ?w dbo:spouse ?s }
+            } ORDER BY ?s
+        """)
+        assert result.rows[0][1] is None
+
+    def test_mixed_literal_and_iri_column(self, engine):
+        result = engine.select("SELECT ?o WHERE { dbr:A ?p ?o } ORDER BY ?o")
+        values = result.column("o")
+        # SPARQL term ordering: IRIs before literals.
+        kinds = ["iri" if hasattr(v, "local_name") else "lit" for v in values]
+        assert kinds == sorted(kinds, key=lambda k: 0 if k == "iri" else 1)

@@ -1,0 +1,117 @@
+"""Tests for the SPARQL tokeniser."""
+
+import pytest
+
+from repro.sparql.errors import SparqlParseError
+from repro.sparql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        assert values("select SELECT Select")[:3] == ["SELECT", "SELECT", "SELECT"]
+
+    def test_variable_question_mark(self):
+        [token, __] = list(tokenize("?x"))
+        assert token.kind == "VAR" and token.value == "x"
+
+    def test_variable_dollar(self):
+        [token, __] = list(tokenize("$x"))
+        assert token.kind == "VAR" and token.value == "x"
+
+    def test_iriref(self):
+        [token, __] = list(tokenize("<http://e/a>"))
+        assert token.kind == "IRIREF"
+
+    def test_pname_full(self):
+        [token, __] = list(tokenize("dbo:writer"))
+        assert token.kind == "PNAME" and token.value == "dbo:writer"
+
+    def test_pname_prefix_only(self):
+        [token, __] = list(tokenize("dbo: "))
+        assert token.kind == "PNAME" and token.value == "dbo:"
+
+    def test_pname_local_only(self):
+        [token, __] = list(tokenize(":writer"))
+        assert token.kind == "PNAME" and token.value == ":writer"
+
+    def test_string_double_quoted(self):
+        [token, __] = list(tokenize('"hello"'))
+        assert token.kind == "STRING" and token.value == "hello"
+
+    def test_string_single_quoted(self):
+        [token, __] = list(tokenize("'hello'"))
+        assert token.value == "hello"
+
+    def test_string_with_escapes(self):
+        [token, __] = list(tokenize('"a\\nb\\"c"'))
+        assert token.value == 'a\nb"c'
+
+    def test_langtag(self):
+        tokens = list(tokenize('"Berlin"@de'))
+        assert tokens[1].kind == "LANGTAG" and tokens[1].value == "de"
+
+    def test_typed_literal_tokens(self):
+        tokens = list(tokenize('"1"^^xsd:integer'))
+        assert [t.kind for t in tokens[:3]] == ["STRING", "DOUBLE_CARET", "PNAME"]
+
+    def test_integer(self):
+        [token, __] = list(tokenize("42"))
+        assert token.kind == "NUMBER" and token.value == "42"
+
+    def test_decimal(self):
+        [token, __] = list(tokenize("1.98"))
+        assert token.value == "1.98"
+
+    def test_number_does_not_swallow_statement_dot(self):
+        tokens = list(tokenize("198 ."))
+        assert [t.kind for t in tokens[:2]] == ["NUMBER", "OP"]
+        tokens = list(tokenize("198."))
+        assert [t.kind for t in tokens[:2]] == ["NUMBER", "OP"]
+
+    def test_operators(self):
+        ops = [t.value for t in tokenize("&& || <= >= != = < > ! ( ) { } . ; , *")]
+        assert ops[:-1] == "&& || <= >= != = < > ! ( ) { } . ; , *".split()
+
+    def test_comment_skipped(self):
+        assert kinds("SELECT # a comment\n?x") == ["KEYWORD", "VAR", "EOF"]
+
+    def test_builtin_lexes_as_keyword(self):
+        [token, __] = list(tokenize("REGEX"))
+        assert token.kind == "KEYWORD" and token.value == "REGEX"
+
+    def test_a_shorthand(self):
+        [token, __] = list(tokenize("a"))
+        assert token.kind == "KEYWORD" and token.value == "A"
+
+    def test_eof_emitted(self):
+        assert list(tokenize(""))[-1].kind == "EOF"
+
+    def test_positions_recorded(self):
+        tokens = list(tokenize("SELECT ?x"))
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_unexpected_character(self):
+        with pytest.raises(SparqlParseError, match="unexpected"):
+            list(tokenize("SELECT @ ?x"))
+
+    def test_unknown_bare_name_rejected(self):
+        with pytest.raises(SparqlParseError, match="bare name"):
+            list(tokenize("frobnicate"))
+
+    def test_pname_with_inner_dot(self):
+        [token, __] = list(tokenize("dbr:J.K._Rowling"))
+        assert token.value == "dbr:J.K._Rowling"
+
+    def test_pname_does_not_swallow_trailing_dot(self):
+        tokens = list(tokenize("dbr:Berlin."))
+        assert tokens[0].value == "dbr:Berlin"
+        assert tokens[1].value == "."

@@ -1,0 +1,287 @@
+"""Tests for the SPARQL parser."""
+
+import pytest
+
+from repro.rdf import DBO, DBR, IRI, Literal, RDF, Variable
+from repro.sparql import AskQuery, SelectQuery, parse_query
+from repro.sparql.ast import (
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    Filter,
+    FunctionCall,
+    Group,
+    Not,
+    OptionalPattern,
+    TermExpr,
+    UnionPattern,
+)
+from repro.sparql.errors import SparqlParseError
+
+
+class TestSelectBasics:
+    def test_single_triple(self):
+        q = parse_query("SELECT ?x WHERE { ?x a dbo:Book }")
+        assert isinstance(q, SelectQuery)
+        assert q.projection == (Variable("x"),)
+        [triple] = q.where.triples()
+        assert triple.predicate == RDF.type
+        assert triple.object == DBO.Book
+
+    def test_paper_query1(self):
+        q = parse_query(
+            """
+            SELECT ?x WHERE {
+              ?x rdf:type dbont:Book .
+              ?x dbont:writer res:Orhan_Pamuk .
+            }
+            """
+        )
+        triples = q.where.triples()
+        assert len(triples) == 2
+        assert triples[1].predicate == DBO.writer
+        assert triples[1].object == DBR.Orhan_Pamuk
+
+    def test_select_star(self):
+        q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert q.select_all
+
+    def test_multiple_projection_vars(self):
+        q = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        assert q.projection == (Variable("s"), Variable("o"))
+
+    def test_distinct(self):
+        q = parse_query("SELECT DISTINCT ?x WHERE { ?x ?p ?o }")
+        assert q.distinct
+
+    def test_where_keyword_optional(self):
+        q = parse_query("SELECT ?x { ?x a dbo:Book }")
+        assert len(q.where.triples()) == 1
+
+    def test_trailing_dot_optional(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x a dbo:Book . }")
+        q2 = parse_query("SELECT ?x WHERE { ?x a dbo:Book }")
+        assert q1.where.triples() == q2.where.triples()
+
+    def test_full_iri_terms(self):
+        q = parse_query(
+            "SELECT ?x WHERE { <http://dbpedia.org/resource/Snow> "
+            "<http://dbpedia.org/ontology/author> ?x }"
+        )
+        [triple] = q.where.triples()
+        assert triple.subject == DBR.Snow
+
+    def test_custom_prefix_declaration(self):
+        q = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x ex:p ex:o }"
+        )
+        [triple] = q.where.triples()
+        assert triple.predicate == IRI("http://example.org/p")
+
+    def test_prefix_redeclaration_overrides(self):
+        q = parse_query(
+            "PREFIX dbo: <http://other.example/> SELECT ?x WHERE { ?x dbo:p ?y }"
+        )
+        [triple] = q.where.triples()
+        assert triple.predicate == IRI("http://other.example/p")
+
+    def test_undeclared_prefix(self):
+        with pytest.raises(SparqlParseError, match="undeclared prefix"):
+            parse_query("SELECT ?x WHERE { ?x nope:p ?y }")
+
+
+class TestLiteralsInQueries:
+    def test_plain_string_object(self):
+        q = parse_query('SELECT ?x WHERE { ?x rdfs:label "Snow" }')
+        [triple] = q.where.triples()
+        assert triple.object == Literal("Snow")
+
+    def test_language_tagged_object(self):
+        q = parse_query('SELECT ?x WHERE { ?x rdfs:label "Schnee"@de }')
+        [triple] = q.where.triples()
+        assert triple.object == Literal("Schnee", language="de")
+
+    def test_typed_literal_pname_datatype(self):
+        q = parse_query('SELECT ?x WHERE { ?x dbo:height "1.98"^^xsd:double }')
+        [triple] = q.where.triples()
+        assert triple.object.datatype.endswith("double")
+
+    def test_integer_shorthand(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:population 3400000 }")
+        [triple] = q.where.triples()
+        assert triple.object.datatype.endswith("integer")
+
+    def test_decimal_shorthand(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:height 1.98 }")
+        [triple] = q.where.triples()
+        assert triple.object.datatype.endswith("double")
+
+    def test_boolean_shorthand(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:extinct true }")
+        [triple] = q.where.triples()
+        assert triple.object.lexical == "true"
+
+
+class TestAbbreviations:
+    def test_semicolon_shares_subject(self):
+        q = parse_query("SELECT ?x WHERE { ?x a dbo:Book ; dbo:author ?a }")
+        triples = q.where.triples()
+        assert len(triples) == 2
+        assert triples[0].subject == triples[1].subject == Variable("x")
+
+    def test_comma_shares_subject_predicate(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:author dbr:A, dbr:B }")
+        triples = q.where.triples()
+        assert len(triples) == 2
+        assert {t.object for t in triples} == {DBR.A, DBR.B}
+
+    def test_dangling_semicolon(self):
+        q = parse_query("SELECT ?x WHERE { ?x a dbo:Book ; . }")
+        assert len(q.where.triples()) == 1
+
+    def test_a_expands_to_rdf_type(self):
+        q = parse_query("SELECT ?x WHERE { ?x a dbo:Book }")
+        assert q.where.triples()[0].predicate == RDF.type
+
+
+class TestFiltersAndGroups:
+    def test_filter_comparison(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:height ?h FILTER (?h > 2.0) }")
+        [__, filter_node] = q.where.patterns
+        assert isinstance(filter_node, Filter)
+        assert isinstance(filter_node.expression, Comparison)
+        assert filter_node.expression.operator == ">"
+
+    def test_filter_regex(self):
+        q = parse_query('SELECT ?x WHERE { ?x rdfs:label ?l FILTER REGEX(?l, "^Sno", "i") }')
+        filter_node = q.where.patterns[-1]
+        assert isinstance(filter_node.expression, FunctionCall)
+        assert filter_node.expression.name == "REGEX"
+        assert len(filter_node.expression.arguments) == 3
+
+    def test_filter_boolean_combination(self):
+        q = parse_query(
+            "SELECT ?x WHERE { ?x dbo:height ?h FILTER (?h > 1.0 && ?h < 2.0) }"
+        )
+        expr = q.where.patterns[-1].expression
+        assert isinstance(expr, BooleanOp) and expr.operator == "&&"
+
+    def test_filter_negation(self):
+        q = parse_query("SELECT ?x WHERE { ?x ?p ?o FILTER (!BOUND(?o)) }")
+        expr = q.where.patterns[-1].expression
+        assert isinstance(expr, Not)
+
+    def test_optional_group(self):
+        q = parse_query(
+            "SELECT ?x ?d WHERE { ?x a dbo:Book OPTIONAL { ?x dbo:deathDate ?d } }"
+        )
+        optional = q.where.patterns[-1]
+        assert isinstance(optional, OptionalPattern)
+        assert len(optional.pattern.triples()) == 1
+
+    def test_union(self):
+        q = parse_query(
+            "SELECT ?x WHERE { { ?x dbo:author ?a } UNION { ?x dbo:writer ?a } }"
+        )
+        union = q.where.patterns[0]
+        assert isinstance(union, UnionPattern)
+
+    def test_nested_union_three_way(self):
+        q = parse_query(
+            "SELECT ?x WHERE { { ?x dbo:a ?y } UNION { ?x dbo:b ?y } UNION { ?x dbo:c ?y } }"
+        )
+        outer = q.where.patterns[0]
+        assert isinstance(outer, UnionPattern)
+        assert isinstance(outer.left, Group)
+        inner = outer.left.patterns[0]
+        assert isinstance(inner, UnionPattern)
+
+    def test_unterminated_group(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x a dbo:Book")
+
+
+class TestModifiers:
+    def test_limit(self):
+        q = parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT 5")
+        assert q.limit == 5
+
+    def test_offset(self):
+        q = parse_query("SELECT ?x WHERE { ?x ?p ?o } OFFSET 3")
+        assert q.offset == 3
+
+    def test_limit_offset_either_order(self):
+        q1 = parse_query("SELECT ?x WHERE { ?x ?p ?o } LIMIT 5 OFFSET 3")
+        q2 = parse_query("SELECT ?x WHERE { ?x ?p ?o } OFFSET 3 LIMIT 5")
+        assert (q1.limit, q1.offset) == (q2.limit, q2.offset) == (5, 3)
+
+    def test_order_by_var(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:height ?h } ORDER BY ?h")
+        [condition] = q.order_by
+        assert not condition.descending
+
+    def test_order_by_desc(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:height ?h } ORDER BY DESC(?h)")
+        assert q.order_by[0].descending
+
+    def test_order_by_multiple(self):
+        q = parse_query("SELECT ?x WHERE { ?x dbo:height ?h } ORDER BY DESC(?h) ?x")
+        assert len(q.order_by) == 2
+
+
+class TestCount:
+    def test_count_var(self):
+        q = parse_query("SELECT COUNT(?x) WHERE { ?x a dbo:Book }")
+        [aggregate] = q.projection
+        assert isinstance(aggregate, CountAggregate)
+        assert aggregate.variable == Variable("x")
+        assert not aggregate.distinct
+
+    def test_count_distinct(self):
+        q = parse_query("SELECT COUNT(DISTINCT ?x) WHERE { ?x ?p ?o }")
+        assert q.projection[0].distinct
+
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) WHERE { ?x ?p ?o }")
+        assert q.projection[0].variable is None
+
+    def test_count_with_alias(self):
+        q = parse_query("SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?o }")
+        assert q.projection[0].alias == Variable("n")
+
+    def test_is_aggregate_flag(self):
+        assert parse_query("SELECT COUNT(?x) WHERE { ?x ?p ?o }").is_aggregate
+        assert not parse_query("SELECT ?x WHERE { ?x ?p ?o }").is_aggregate
+
+
+class TestAsk:
+    def test_ask_parses(self):
+        q = parse_query("ASK { dbr:Frank_Herbert dbo:deathDate ?d }")
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where(self):
+        q = parse_query("ASK WHERE { ?x a dbo:Book }")
+        assert isinstance(q, AskQuery)
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(SparqlParseError, match="SELECT or ASK"):
+            parse_query("")
+
+    def test_missing_projection(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT WHERE { ?x ?p ?o }")
+
+    def test_garbage_after_query(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x ?p ?o } SELECT")
+
+    def test_missing_term(self):
+        with pytest.raises(SparqlParseError):
+            parse_query("SELECT ?x WHERE { ?x dbo:author . }")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises((SparqlParseError, ValueError)):
+            parse_query('SELECT ?x WHERE { "lit" dbo:author ?x }')

@@ -1,0 +1,176 @@
+"""Round-trip tests: parse(serialize(ast)) == ast.
+
+Deterministic cases pin the formatting; the hypothesis strategies generate
+random query ASTs in canonical shape (one BGP per group followed by
+non-BGP patterns, so re-parsing groups triples identically) and pin parser
+and serialiser against each other.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import DBO, DBR, IRI, Literal, Variable, XSD
+from repro.rdf.terms import Triple
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    Filter,
+    FunctionCall,
+    Group,
+    Not,
+    OptionalPattern,
+    OrderCondition,
+    SelectQuery,
+    TermExpr,
+    UnionPattern,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.serializer import serialize_query
+
+
+def roundtrip(query):
+    return parse_query(serialize_query(query))
+
+
+class TestDeterministicRoundtrips:
+    @pytest.mark.parametrize("text", [
+        "SELECT ?x WHERE { ?x a dbo:Book }",
+        "SELECT DISTINCT ?x ?y WHERE { ?x dbo:author ?y }",
+        "SELECT * WHERE { ?s ?p ?o }",
+        "SELECT ?x WHERE { ?x a dbo:City . ?x dbo:populationTotal ?p "
+        "FILTER (?p > 10000000) } ORDER BY DESC(?p) LIMIT 3 OFFSET 1",
+        "SELECT COUNT(?x) WHERE { ?x a dbo:Book }",
+        "SELECT (COUNT(DISTINCT ?x) AS ?n) WHERE { ?x ?p ?o }",
+        "SELECT ?w WHERE { ?w a dbo:Writer OPTIONAL { ?w dbo:deathDate ?d } "
+        "FILTER (!BOUND(?d)) }",
+        "SELECT ?x WHERE { { ?x dbo:author ?a } UNION { ?x dbo:writer ?a } }",
+        "ASK { res:Istanbul dbont:country res:Turkey }",
+        'SELECT ?x WHERE { ?x rdfs:label "Snow"@en }',
+        'SELECT ?x WHERE { ?x dbo:height "1.98"^^xsd:double }',
+        'SELECT ?l WHERE { ?x rdfs:label ?l FILTER REGEX(?l, "^Sno", "i") }',
+    ])
+    def test_text_ast_text_fixpoint(self, text):
+        first = parse_query(text)
+        second = parse_query(serialize_query(first))
+        assert first == second
+
+    def test_formatting_example(self):
+        query = parse_query("SELECT ?x WHERE { ?x a dbo:Book } LIMIT 2")
+        assert serialize_query(query) == (
+            "SELECT ?x WHERE {\n  ?x a dbo:Book .\n} LIMIT 2"
+        )
+
+    def test_ask_formatting(self):
+        query = parse_query("ASK { ?x a dbo:Book }")
+        assert serialize_query(query).startswith("ASK {")
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies over canonical-shape ASTs
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "z", "who", "pop", "item"])
+_variables = st.builds(Variable, _names)
+_iris = st.sampled_from([
+    DBO.author, DBO.writer, DBO.height, DBO.populationTotal,
+    DBR.Istanbul, DBR.Orhan_Pamuk, DBR.Berlin, DBO.Book,
+])
+_plain_literals = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           blacklist_characters='"\\'),
+    max_size=12,
+).map(Literal)
+_typed_literals = st.integers(min_value=0, max_value=10**6).map(
+    lambda n: Literal(str(n), datatype=XSD.integer.value)
+)
+_objects = st.one_of(_variables, _iris, _plain_literals, _typed_literals)
+_subjects = st.one_of(_variables, _iris)
+_predicates = st.one_of(_variables, _iris)
+
+_triples = st.builds(Triple, _subjects, _predicates, _objects)
+_bgps = st.lists(_triples, min_size=1, max_size=4).map(
+    lambda ts: BGP(tuple(ts))
+)
+
+_comparisons = st.builds(
+    Comparison,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    st.builds(TermExpr, _variables),
+    st.one_of(st.builds(TermExpr, _typed_literals), st.builds(TermExpr, _variables)),
+)
+_bound_calls = st.builds(
+    lambda v: FunctionCall("BOUND", (TermExpr(v),)), _variables
+)
+_expressions = st.recursive(
+    st.one_of(_comparisons, _bound_calls),
+    lambda children: st.one_of(
+        st.builds(Not, children),
+        st.builds(BooleanOp, st.sampled_from(["&&", "||"]), children, children),
+    ),
+    max_leaves=4,
+)
+_filters = st.builds(Filter, _expressions)
+
+
+def _canonical_group(children):
+    """Group shape whose serialisation re-parses identically."""
+    return st.builds(
+        lambda bgp, extras: Group((bgp, *extras)),
+        _bgps,
+        st.lists(children, max_size=2),
+    )
+
+
+_groups = st.deferred(lambda: _canonical_group(st.one_of(
+    _filters,
+    st.builds(OptionalPattern, _canonical_group(_filters)),
+    st.builds(UnionPattern, _canonical_group(_filters), _canonical_group(_filters)),
+)))
+
+_projections = st.one_of(
+    st.just(()),  # SELECT *
+    st.lists(_variables, min_size=1, max_size=3, unique=True).map(tuple),
+    st.builds(
+        lambda v, distinct: (CountAggregate(v, distinct),),
+        st.one_of(st.none(), _variables),
+        st.booleans(),
+    ),
+)
+
+_order_conditions = st.lists(
+    st.builds(OrderCondition, st.builds(TermExpr, _variables), st.booleans()),
+    max_size=2,
+).map(tuple)
+
+_select_queries = st.builds(
+    SelectQuery,
+    projection=_projections,
+    where=_groups,
+    distinct=st.booleans(),
+    order_by=_order_conditions,
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=100)),
+    offset=st.integers(min_value=0, max_value=10),
+)
+
+_ask_queries = st.builds(AskQuery, where=_groups)
+
+
+class TestPropertyRoundtrips:
+    @settings(max_examples=80, deadline=None)
+    @given(_select_queries)
+    def test_select_roundtrip(self, query):
+        assert roundtrip(query) == query
+
+    @settings(max_examples=40, deadline=None)
+    @given(_ask_queries)
+    def test_ask_roundtrip(self, query):
+        assert roundtrip(query) == query
+
+    @settings(max_examples=40, deadline=None)
+    @given(_select_queries)
+    def test_serialization_is_deterministic(self, query):
+        assert serialize_query(query) == serialize_query(query)

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAsk:
+    def test_answers_question(self, capsys):
+        code = main(["ask", "How tall is Michael Jordan?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1.98" in out
+
+    def test_list_answers_use_labels(self, capsys):
+        main(["ask", "Which book is written by Orhan Pamuk?"])
+        out = capsys.readouterr().out
+        assert "My Name Is Red" in out
+        assert "Snow" in out
+
+    def test_unanswered_exits_nonzero(self, capsys):
+        code = main(["ask", "Is Frank Herbert still alive?"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unanswered" in out
+
+    def test_boolean_with_extensions(self, capsys):
+        code = main(["ask", "--extensions", "Is Berlin the capital of Germany?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.strip() == "Yes"
+
+    def test_verbose_shows_internals(self, capsys):
+        main(["ask", "--verbose", "Who is the mayor of Berlin?"])
+        out = capsys.readouterr().out
+        assert "triple patterns (section 2.1):" in out
+        assert "winning query:" in out
+        assert "SELECT" in out
+
+
+class TestSparql:
+    def test_select(self, capsys):
+        code = main(["sparql", "SELECT ?x WHERE { ?x a dbont:Country } LIMIT 2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("?x")
+        assert out.count("\n") == 3  # header + 2 rows
+
+    def test_ask(self, capsys):
+        main(["sparql", "ASK { res:Istanbul dbont:country res:Turkey }"])
+        assert capsys.readouterr().out.strip() == "true"
+
+
+class TestValidateAndExplain:
+    def test_validate_clean_kb(self, capsys):
+        assert main(["validate"]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_explain_shows_plan(self, capsys):
+        code = main(["explain",
+                     "SELECT ?b WHERE { ?b a dbont:Book . ?b dbont:author ?w }"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SELECT plan" in out
+        assert "join[1]" in out and "join[2]" in out
+
+    def test_explain_ask(self, capsys):
+        main(["explain", "ASK { res:Istanbul dbont:country res:Turkey }"])
+        assert "ASK plan" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "triples:" in out
+        assert "object properties:" in out
+
+    def test_mine_default_words(self, capsys):
+        assert main(["mine"]) == 0
+        out = capsys.readouterr().out
+        assert "deathPlace" in out
+
+    def test_mine_specific_word(self, capsys):
+        main(["mine", "alive"])
+        assert "(no patterns)" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_export(self, capsys, tmp_path):
+        out_dir = tmp_path / "release"
+        assert main(["export", str(out_dir)]) == 0
+        assert (out_dir / "curated.nt").exists()
+        assert (out_dir / "curated.ttl").exists()
+        assert (out_dir / "patterns.tsv").exists()
+        assert (out_dir / "pattern_store.json").exists()
+        # The exported N-Triples must reload to the same graph.
+        from repro.kb import load_curated_kb
+        from repro.rdf import Graph, read_ntriples
+        reloaded = Graph(read_ntriples(out_dir / "curated.nt"))
+        assert len(reloaded) == len(load_curated_kb().graph)
+
+    def test_export_single_format(self, capsys, tmp_path):
+        out_dir = tmp_path / "nt-only"
+        assert main(["export", "--format", "nt", str(out_dir)]) == 0
+        assert (out_dir / "curated.nt").exists()
+        assert not (out_dir / "curated.ttl").exists()
+
+
+@pytest.mark.slow
+class TestEval:
+    def test_eval_prints_table2(self, capsys):
+        assert main(["eval"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "This reproduction" in out

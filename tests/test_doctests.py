@@ -1,0 +1,27 @@
+"""Run every module docstring example as part of the suite.
+
+Public-API docstrings carry ``>>>`` examples; this keeps them honest —
+a signature or behaviour change that invalidates an example fails here.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module_info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"

@@ -1,0 +1,174 @@
+"""Cross-module integration tests: the whole stack on non-benchmark
+questions.
+
+The QALD benchmark fixes 55 questions; this module sweeps a wider set of
+question phrasings (the probe set used while curating the KB) to guard the
+pipeline's behaviour beyond the benchmark composition.
+"""
+
+import pytest
+
+from repro import PipelineConfig, QuestionAnsweringSystem, load_curated_kb
+from repro.rdf import Literal, literal_value
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="module")
+def qa(kb):
+    return QuestionAnsweringSystem.over(kb)
+
+
+def answer_names(result):
+    return {
+        a.lexical if isinstance(a, Literal) else a.local_name
+        for a in result.answers
+    }
+
+
+#: (question, expected local names / lexical values)
+ANSWERED_PROBES = [
+    ("Who is the governor of Texas?", {"Rick_Perry"}),
+    ("What is the population of Italy?", {"59464644"}),
+    ("Who directed Psycho?", {"Alfred_Hitchcock"}),
+    ("What is the official language of the Philippines?",
+     {"Filipino_language", "English_language"}),
+    ("Where did John Lennon die?", {"New_York_City"}),
+    ("Where does the Amazon start?", {"Peru"}),
+    ("Who is the owner of Universal Studios?", {"NBCUniversal"}),
+    ("How many employees does IBM have?", {"433362"}),
+    ("How many students does Harvard University have?", {"21000"}),
+    ("Who is the leader of Germany?", {"Angela_Merkel"}),
+    ("Who leads Italy?", {"Mario_Monti"}),
+    ("Which company developed Minecraft?", {"Mojang"}),
+    ("Who founded Apple?", {"Steve_Jobs", "Steve_Wozniak"}),
+    ("Where was Apollo 11 launched?", {"Kennedy_Space_Center"}),
+    ("Which mountain is located in the Himalayas?", {"Mount_Everest"}),
+    ("What is the currency of Japan?", {"Japanese_yen"}),
+    ("What is the elevation of Mount Everest?", {"8848"}),
+    ("Which books did J. R. R. Tolkien write?",
+     {"The_Hobbit", "The_Lord_of_the_Rings"}),
+    ("Who wrote Hamlet?", {"William_Shakespeare"}),
+    ("Which films were directed by Alfred Hitchcock?", {"Psycho_film"}),
+    ("Where is the headquarters of Google?", {"Mountain_View_California"}),
+    ("Who was Dune written by?", {"Frank_Herbert"}),
+    ("How deep is Lake Baikal?", {"1642"}),
+    ("How long is the Nile?", {"6650"}),
+    ("What is the runtime of Batman?", {"126"}),
+    ("Which bridge crosses the River Thames?", {"Tower_Bridge"}),
+    ("Where was Freddie Mercury born?", {"Stone_Town"}),
+    ("Who recorded Thriller?", {"Michael_Jackson"}),
+    ("Who is the architect of the Eiffel Tower?", {"Gustave_Eiffel"}),
+    ("How many floors does the Empire State Building have?", {"102"}),
+    ("Which soccer club does Lionel Messi play for?", {"FC_Barcelona"}),
+    ("Who created The Simpsons?", {"Matt_Groening"}),
+    ("How tall is Michael Jordan?", {"1.98"}),
+    ("Where did Michael Jackson die?", {"Los_Angeles"}),
+    # Extended-domain probes (composers, painters, philosophers, geography).
+    ("Where did Mozart die?", {"Vienna"}),
+    ("Which films were directed by Steven Spielberg?",
+     {"Jaws_film", "E_T_the_Extra_Terrestrial"}),
+    ("Who created the Mona Lisa?", {"Leonardo_da_Vinci"}),
+    ("What is the capital of Poland?", {"Warsaw"}),
+    ("Where was Marie Curie born?", {"Warsaw"}),
+    ("How deep is Lake Michigan?", {"281"}),
+    ("Where did Immanuel Kant die?", {"Konigsberg"}),
+]
+
+UNANSWERED_PROBES = [
+    "Which album contains the song Last Christmas?",   # verb gap: contain
+    "Who is married to Claudia Schiffer?",             # fronted passive-ish
+    "Which city is the capital of Australia?",         # NP-wh copula NP
+    "Which country is Berlin located in?",             # stranded preposition
+    "Who is the president of the United States?",      # role noun unmapped
+    "How old is Claudia Schiffer?",                    # no age property
+    "In which country does the Nile start?",           # aux-fronted prep wh
+    "How many people live in Istanbul?",               # counting via verb
+]
+
+
+class TestAnsweredProbes:
+    @pytest.mark.parametrize("question,expected", ANSWERED_PROBES,
+                             ids=[q for q, __ in ANSWERED_PROBES])
+    def test_probe(self, qa, question, expected):
+        result = qa.answer(question)
+        assert result.answered, f"{question}: {result.failure}"
+        assert answer_names(result) == expected
+
+
+class TestUnansweredProbes:
+    """Phrasings outside the grammar/lexicon stay unanswered — the system
+    must refuse rather than guess (precision over recall)."""
+
+    @pytest.mark.parametrize("question", UNANSWERED_PROBES)
+    def test_probe(self, qa, question):
+        result = qa.answer(question)
+        assert not result.answered, (
+            f"{question} unexpectedly answered: {answer_names(result)}"
+        )
+
+
+class TestNoisyProbes:
+    """Questions where mined-pattern noise beats exact string similarity —
+    the error class behind the paper's sub-1.0 precision, pinned here so a
+    change in mining silently altering it gets noticed."""
+
+    def test_largest_city_pattern_noise(self, qa):
+        # "city" occurs in the corpus pattern "is a city in" mined under
+        # dbo:country, whose frequency outranks the exact-label match on
+        # dbo:largestCity; the reversed-orientation country query then
+        # returns every Australian city, not the largest one.
+        result = qa.answer("What is the largest city of Australia?")
+        assert result.answered
+        assert answer_names(result) == {"Canberra", "Sydney"}
+
+
+class TestParaphraseStability:
+    """Different phrasings of one fact must converge on one answer."""
+
+    @pytest.mark.parametrize("question", [
+        "Where was Michael Jackson born?",
+        "Where was Michael Jackson born in?",
+        "Where was Michael Jackson born at?",
+    ])
+    def test_birthplace_paraphrases(self, qa, question):
+        result = qa.answer(question)
+        assert answer_names(result) == {"Gary_Indiana"}
+
+    @pytest.mark.parametrize("question", [
+        "How tall is Michael Jordan?",
+        "What is the height of Michael Jordan?",
+    ])
+    def test_height_paraphrases(self, qa, question):
+        result = qa.answer(question)
+        assert answer_names(result) == {"1.98"}
+
+
+class TestAnswerObjectInvariants:
+    def test_every_probe_answer_has_winning_query(self, qa):
+        for question, __ in ANSWERED_PROBES[:5]:
+            result = qa.answer(question)
+            assert result.query is not None
+            assert result.query in result.candidate_queries
+
+    def test_winning_query_reexecutes_to_superset(self, qa, kb):
+        # Re-running the winning query must contain every reported answer
+        # (type filtering may have removed some bindings).
+        from repro.rdf import Variable
+
+        result = qa.answer("Who is the mayor of Berlin?")
+        rerun = kb.engine.query(result.query.to_ast())
+        rerun_terms = set(rerun.column(Variable("x")))
+        assert set(result.answers) <= rerun_terms
+
+    def test_determinism(self, kb):
+        a = QuestionAnsweringSystem.over(kb)
+        b = QuestionAnsweringSystem.over(kb)
+        for question, __ in ANSWERED_PROBES[:8]:
+            assert (
+                answer_names(a.answer(question))
+                == answer_names(b.answer(question))
+            )

@@ -1,0 +1,105 @@
+"""Tests for the similar-property index and the adjective map."""
+
+import pytest
+
+from repro.kb.schema import build_dbpedia_ontology
+from repro.wordnet import (
+    build_adjective_map,
+    build_similar_property_pairs,
+    build_wordnet,
+)
+
+
+@pytest.fixture(scope="module")
+def wn():
+    return build_wordnet()
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_dbpedia_ontology()
+
+
+@pytest.fixture(scope="module")
+def pairs(ontology, wn):
+    return build_similar_property_pairs(ontology, wn)
+
+
+@pytest.fixture(scope="module")
+def amap(ontology, wn):
+    return build_adjective_map(ontology, wn)
+
+
+class TestSimilarPropertyPairs:
+    def test_paper_example_writer_author(self, pairs):
+        assert "author" in pairs.similar_to("writer")
+        assert "writer" in pairs.similar_to("author")
+
+    def test_scores_recorded_above_thresholds(self, pairs):
+        lin, wup = pairs.scores("author", "writer")
+        assert lin >= 0.75 and wup >= 0.85
+
+    def test_symmetry(self, pairs):
+        for a, b in pairs.pairs():
+            assert b in pairs.similar_to(a)
+            assert a in pairs.similar_to(b)
+
+    def test_mayor_governor_not_paired(self, pairs):
+        assert "governor" not in pairs.similar_to("mayor")
+
+    def test_director_author_not_paired(self, pairs):
+        assert "author" not in pairs.similar_to("director")
+
+    def test_unknown_property_empty(self, pairs):
+        assert pairs.similar_to("zorkmid") == set()
+
+    def test_multiword_properties_excluded(self, pairs):
+        # camelCase names have no WordNet entry, like the original setup.
+        assert pairs.similar_to("birthPlace") == set()
+        for a, b in pairs.pairs():
+            assert a.islower() and b.islower()
+
+    def test_scores_for_unrecorded_pair(self, pairs):
+        assert pairs.scores("mayor", "governor") is None
+
+    def test_stricter_thresholds_shrink_index(self, ontology, wn):
+        strict = build_similar_property_pairs(ontology, wn, 0.99, 0.99)
+        default = build_similar_property_pairs(ontology, wn)
+        assert len(strict) <= len(default)
+
+
+class TestAdjectiveMap:
+    def test_paper_example_tall(self, amap):
+        assert amap.properties_for("tall") == ["height"]
+
+    def test_high_maps_to_height_and_elevation(self, amap):
+        assert set(amap.properties_for("high")) == {"height", "elevation"}
+
+    def test_deep_maps_to_depth(self, amap):
+        assert amap.properties_for("deep") == ["depth"]
+
+    def test_populous(self, amap):
+        assert amap.properties_for("populous") == ["populationTotal"]
+
+    def test_big_maps_to_area(self, amap):
+        assert "areaTotal" in amap.properties_for("big")
+        assert "areaTotal" in amap.properties_for("large")
+
+    def test_alive_unmapped_paper_failure_case(self, amap):
+        # Section 5: "Neither relational patterns contain the word 'alive'
+        # nor the list of DBpedia properties."
+        assert amap.properties_for("alive") == []
+        assert "alive" not in amap
+
+    def test_case_insensitive(self, amap):
+        assert amap.properties_for("Tall") == ["height"]
+
+    def test_contains(self, amap):
+        assert "tall" in amap
+        assert "purple" not in amap
+
+    def test_all_mapped_properties_are_data_properties(self, amap, ontology):
+        from repro.kb.ontology import PropertyKind
+        for adjective in amap.adjectives():
+            for name in amap.properties_for(adjective):
+                assert ontology.get_property(name).kind is PropertyKind.DATA

@@ -1,0 +1,103 @@
+"""Tests for Lin / Wu-Palmer / path similarity."""
+
+import pytest
+
+from repro.wordnet import (
+    build_wordnet,
+    lin_similarity,
+    path_similarity,
+    word_lin,
+    word_wup,
+    wup_similarity,
+)
+
+
+@pytest.fixture(scope="module")
+def wn():
+    return build_wordnet()
+
+
+class TestWup:
+    def test_identity(self, wn):
+        assert wup_similarity(wn, "writer.n.01", "writer.n.01") == 1.0
+
+    def test_synonym_synset(self, wn):
+        # writer and author are the same synset; via lemma-level scoring
+        # both words resolve to it.
+        assert word_wup(wn, "writer", "author", "n") == 1.0
+
+    def test_siblings_high(self, wn):
+        score = wup_similarity(wn, "wife.n.01", "husband.n.01")
+        assert 0.8 <= score < 1.0
+
+    def test_distant_low(self, wn):
+        near = wup_similarity(wn, "wife.n.01", "husband.n.01")
+        far = wup_similarity(wn, "wife.n.01", "mountain.n.01")
+        assert far < near
+
+    def test_no_common_subsumer(self, wn):
+        assert wup_similarity(wn, "wife.n.01", "die.v.01") == 0.0
+
+    def test_symmetric(self, wn):
+        assert wup_similarity(wn, "mayor.n.01", "governor.n.01") == pytest.approx(
+            wup_similarity(wn, "governor.n.01", "mayor.n.01")
+        )
+
+    def test_in_unit_interval(self, wn):
+        nouns = [s.identifier for s in wn.all_synsets("n")][:20]
+        for a in nouns:
+            for b in nouns:
+                assert 0.0 <= wup_similarity(wn, a, b) <= 1.0
+
+
+class TestLin:
+    def test_identity(self, wn):
+        assert lin_similarity(wn, "writer.n.01", "writer.n.01") == 1.0
+
+    def test_paper_thresholds_writer_author(self, wn):
+        # The motivating pair of section 2.2.1 must clear both thresholds.
+        assert word_lin(wn, "writer", "author", "n") >= 0.75
+        assert word_wup(wn, "writer", "author", "n") >= 0.85
+
+    def test_unrelated_roles_below_threshold(self, wn):
+        # mayor vs governor: related but NOT synonymous; the pipeline must
+        # not conflate city mayors with state governors.
+        assert word_lin(wn, "mayor", "governor", "n") < 0.75
+
+    def test_director_not_similar_to_author(self, wn):
+        assert word_lin(wn, "director", "author", "n") < 0.75
+
+    def test_symmetric(self, wn):
+        assert lin_similarity(wn, "wife.n.01", "spouse.n.01") == pytest.approx(
+            lin_similarity(wn, "spouse.n.01", "wife.n.01")
+        )
+
+    def test_zero_without_subsumer(self, wn):
+        assert lin_similarity(wn, "wife.n.01", "die.v.01") == 0.0
+
+
+class TestPath:
+    def test_identity(self, wn):
+        assert path_similarity(wn, "wife.n.01", "wife.n.01") == 1.0
+
+    def test_parent_child(self, wn):
+        assert path_similarity(wn, "wife.n.01", "spouse.n.01") == pytest.approx(0.5)
+
+    def test_siblings(self, wn):
+        assert path_similarity(wn, "wife.n.01", "husband.n.01") == pytest.approx(1 / 3)
+
+
+class TestWordLevel:
+    def test_unknown_word_scores_zero(self, wn):
+        assert word_lin(wn, "writer", "zorkmid", "n") == 0.0
+
+    def test_verb_synonyms(self, wn):
+        assert word_lin(wn, "die", "perish", "v") == 1.0
+        assert word_wup(wn, "write", "compose", "v") == 1.0
+
+    def test_adjectives_have_no_taxonomy_score(self, wn):
+        assert word_lin(wn, "tall", "high", "a") == 0.0
+
+    def test_cross_pos_isolated(self, wn):
+        # 'author' the noun vs 'write' the verb share no taxonomy.
+        assert word_lin(wn, "author", "write", "n") == 0.0

@@ -1,0 +1,112 @@
+"""Tests for the synset database: lookup, taxonomy, information content."""
+
+import pytest
+
+from repro.wordnet import WordNetDatabase, Synset, build_wordnet
+
+
+@pytest.fixture(scope="module")
+def wn():
+    return build_wordnet()
+
+
+class TestValidation:
+    def test_duplicate_identifier_rejected(self):
+        s = Synset("a.n.01", "n", ("a",))
+        with pytest.raises(ValueError, match="duplicate"):
+            WordNetDatabase([s, s])
+
+    def test_dangling_hypernym_rejected(self):
+        s = Synset("a.n.01", "n", ("a",), hypernyms=("missing.n.01",))
+        with pytest.raises(ValueError, match="unknown synset"):
+            WordNetDatabase([s])
+
+    def test_bad_pos_rejected(self):
+        with pytest.raises(ValueError, match="pos"):
+            Synset("a.x.01", "x", ("a",))
+
+    def test_empty_lemmas_rejected(self):
+        with pytest.raises(ValueError, match="lemmas"):
+            Synset("a.n.01", "n", ())
+
+
+class TestLookup:
+    def test_synsets_by_lemma(self, wn):
+        results = wn.synsets("author", "n")
+        assert any("writer" in s.lemmas for s in results)
+
+    def test_case_insensitive(self, wn):
+        assert wn.synsets("Author", "n") == wn.synsets("author", "n")
+
+    def test_pos_filter(self, wn):
+        noun_only = wn.synsets("author", "n")
+        verb_only = wn.synsets("author", "v")
+        assert all(s.pos == "n" for s in noun_only)
+        assert all(s.pos == "v" for s in verb_only)
+        # 'author' is both a noun lemma and a verb lemma (write.v.01).
+        assert noun_only and verb_only
+
+    def test_unknown_lemma(self, wn):
+        assert wn.synsets("zorkmid") == []
+
+    def test_get_by_identifier(self, wn):
+        assert "writer" in wn.get("writer.n.01").lemmas
+
+    def test_get_unknown(self, wn):
+        with pytest.raises(KeyError):
+            wn.get("nope.n.99")
+
+    def test_all_synsets_by_pos(self, wn):
+        assert all(s.pos == "a" for s in wn.all_synsets("a"))
+        assert len(list(wn.all_synsets())) == len(wn)
+
+
+class TestTaxonomy:
+    def test_hypernym_path_reaches_root(self, wn):
+        paths = wn.hypernym_paths("writer.n.01")
+        assert all(path[-1] == "entity.n.01" for path in paths)
+
+    def test_ancestors(self, wn):
+        ancestors = wn.ancestors("wife.n.01")
+        assert "spouse.n.01" in ancestors
+        assert "person.n.01" in ancestors
+        assert "wife.n.01" not in ancestors
+
+    def test_depth_root_is_one(self, wn):
+        assert wn.depth("entity.n.01") == 1
+
+    def test_depth_monotone_along_path(self, wn):
+        assert wn.depth("wife.n.01") > wn.depth("spouse.n.01") > wn.depth("person.n.01")
+
+    def test_lcs_of_siblings(self, wn):
+        assert wn.lowest_common_subsumer("wife.n.01", "husband.n.01") == "spouse.n.01"
+
+    def test_lcs_of_ancestor_pair(self, wn):
+        assert wn.lowest_common_subsumer("wife.n.01", "spouse.n.01") == "spouse.n.01"
+
+    def test_lcs_identity(self, wn):
+        assert wn.lowest_common_subsumer("wife.n.01", "wife.n.01") == "wife.n.01"
+
+    def test_lcs_across_pos_is_none(self, wn):
+        assert wn.lowest_common_subsumer("wife.n.01", "die.v.01") is None
+
+
+class TestInformationContent:
+    def test_root_has_zero_ic(self, wn):
+        assert wn.information_content("entity.n.01") == pytest.approx(0.0, abs=1e-9)
+
+    def test_ic_increases_with_specificity(self, wn):
+        assert (
+            wn.information_content("wife.n.01")
+            > wn.information_content("spouse.n.01")
+            > wn.information_content("person.n.01")
+        )
+
+    def test_ic_nonnegative_everywhere(self, wn):
+        for synset in wn.all_synsets():
+            assert wn.information_content(synset.identifier) >= 0.0
+
+    def test_verb_root_zero(self, wn):
+        # make.v.01 is one of several verb roots; its IC reflects its share
+        # of the verb mass, strictly positive but smaller than any child.
+        assert wn.information_content("make.v.01") < wn.information_content("write.v.01")
