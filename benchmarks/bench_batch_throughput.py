@@ -1,0 +1,134 @@
+"""P4 — batch answering throughput: cached vs. uncached seed path.
+
+Measures repeated QALD-style runs end to end — the workload the caching
+layers target: the SPARQL result cache, the similarity memo, candidate
+deduplication and branch-and-bound product pruning, plus the
+``answer_many()`` thread-pool fan-out.
+
+Two configurations answer the identical question stream:
+
+* **baseline** — the seed's cold path: query cache off, similarity memo
+  off, no product pruning, questions answered sequentially;
+* **optimized** — everything on, batch executed via ``answer_many()``.
+
+The script asserts both produce identical answers, then emits a BENCH
+JSON artifact (see ``BENCH_batch.json`` at the repo root for the recorded
+numbers)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_throughput.py \
+        --repeats 5 --output BENCH_batch.json
+
+``--quick`` runs a two-question, one-repeat smoke (wired into the tier-1
+test suite via ``tests/perf/test_batch.py``) that checks the machinery,
+not the speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+from repro.qald.devset import load_dev_questions
+
+
+def build_system(config: PipelineConfig, query_cache: bool) -> QuestionAnsweringSystem:
+    """A fresh KB + system so no cache warmth leaks between configurations."""
+    kb = load_curated_kb()
+    kb.engine.cache_enabled = query_cache
+    return QuestionAnsweringSystem.over(kb, config)
+
+
+def answer_signature(answer) -> tuple:
+    """Everything observable about one answer, for equality checks."""
+    return (
+        answer.question,
+        tuple(term.n3() for term in answer.answers),
+        answer.query.to_sparql() if answer.query is not None else None,
+        answer.expected_type.value,
+        answer.failure,
+        answer.boolean,
+    )
+
+
+def run_baseline(questions: list[str], repeats: int) -> tuple[float, list[tuple]]:
+    system = build_system(PipelineConfig().without_perf_caches(), query_cache=False)
+    start = time.perf_counter()
+    signatures: list[tuple] = []
+    for _ in range(repeats):
+        signatures = [answer_signature(system.answer(q)) for q in questions]
+    return time.perf_counter() - start, signatures
+
+
+def run_optimized(
+    questions: list[str], repeats: int, workers: int
+) -> tuple[float, list[tuple], dict]:
+    system = build_system(PipelineConfig(), query_cache=True)
+    start = time.perf_counter()
+    signatures: list[tuple] = []
+    for _ in range(repeats):
+        answers = system.answer_many(questions, max_workers=workers)
+        signatures = [answer_signature(a) for a in answers]
+    elapsed = time.perf_counter() - start
+    return elapsed, signatures, system.perf_report()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="times the question batch is replayed (default 5)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="answer_many() thread-pool width (default 4)")
+    parser.add_argument("--output", default=None,
+                        help="write the BENCH JSON artifact here")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke run for CI (no speedup assertion)")
+    args = parser.parse_args(argv)
+
+    questions = [q.text for q in load_dev_questions()]
+    repeats = args.repeats
+    if args.quick:
+        questions = questions[:2]
+        repeats = 1
+
+    baseline_seconds, baseline_sigs = run_baseline(questions, repeats)
+    optimized_seconds, optimized_sigs, perf = run_optimized(
+        questions, repeats, args.workers
+    )
+
+    identical = baseline_sigs == optimized_sigs
+    speedup = baseline_seconds / optimized_seconds if optimized_seconds else 0.0
+
+    result = {
+        "benchmark": "batch_throughput",
+        "questions": len(questions),
+        "repeats": repeats,
+        "workers": args.workers,
+        "quick": args.quick,
+        "baseline_seconds": round(baseline_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(speedup, 2),
+        "identical_answers": identical,
+        "perf": perf,
+    }
+
+    print("BENCH " + json.dumps(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+
+    if not identical:
+        for base, opt in zip(baseline_sigs, optimized_sigs):
+            if base != opt:
+                print(f"MISMATCH:\n  baseline : {base}\n  optimized: {opt}",
+                      file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,20 @@ class PipelineConfig:
     #: Cartesian product of section 2.2).
     max_queries: int = 64
 
+    # -- performance layer (docs/performance.md); none of these change
+    # -- answers, only how much work is done to produce them --------------
+
+    #: Memoize string-similarity scores across questions (section 2.2
+    #: recomputes the same word-property pairs heavily).
+    enable_similarity_cache: bool = True
+    #: Memoize sentence annotation (tokenise/tag/parse) on question text.
+    enable_annotation_cache: bool = True
+    #: Prune the candidate Cartesian product with a branch-and-bound upper
+    #: bound once the ranked top-``max_queries`` can no longer change, and
+    #: stop executing candidates once a productive query can no longer be
+    #: displaced (scores are sorted non-increasing).
+    enable_early_termination: bool = True
+
     # -- future-work extensions (paper section 6), all off by default so
     # -- the faithful configuration reproduces Table 2 unchanged ----------
 
@@ -67,6 +81,18 @@ class PipelineConfig:
 
     def with_similarity(self, name: str) -> "PipelineConfig":
         return self._replace(similarity=name)
+
+    def without_perf_caches(self) -> "PipelineConfig":
+        """The seed's cold path: no memoization, no product pruning.
+
+        Used by ``benchmarks/bench_batch_throughput.py`` as the baseline
+        configuration (together with disabling the engine's query cache).
+        """
+        return self._replace(
+            enable_similarity_cache=False,
+            enable_annotation_cache=False,
+            enable_early_termination=False,
+        )
 
     def _replace(self, **changes) -> "PipelineConfig":
         from dataclasses import replace

@@ -30,9 +30,11 @@ from repro.kb.ontology import PropertyDef, PropertyKind
 from repro.ned.disambiguator import Disambiguator
 from repro.nlp.pipeline import Sentence
 from repro.patty.store import PatternStore
+from repro.perf.lru import LRUCache
+from repro.perf.stats import PerfStats
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import IRI, Term, Variable
-from repro.similarity import get_similarity
+from repro.similarity import get_similarity, memoize_similarity
 from repro.wordnet.adjectives import AdjectivePropertyMap
 from repro.wordnet.pairs import SimilarPropertyIndex
 
@@ -82,14 +84,33 @@ class TripleMapper:
         adjective_map: AdjectivePropertyMap,
         config: PipelineConfig | None = None,
         data_pattern_store: PatternStore | None = None,
+        stats: PerfStats | None = None,
     ) -> None:
         self._kb = kb
         self._patterns = pattern_store
         self._pairs = similar_pairs
         self._adjectives = adjective_map
         self._config = config if config is not None else PipelineConfig()
+        self._stats = stats
         self._similarity = get_similarity(self._config.similarity)
+        if self._config.enable_similarity_cache:
+            # Shared across questions (and across the NED below): scores are
+            # pure string functions, so entries never go stale.
+            self._similarity = memoize_similarity(
+                self._similarity, stats=stats, name="similarity"
+            )
         self._ned = Disambiguator(kb, similarity=self._similarity)
+        #: Memo for the per-(word, property) best-of-label-words score of
+        #: :meth:`_property_similarity` — the hot inner loop of 2.2.1/2.2.2.
+        self._property_scores = LRUCache(65536)
+        #: Memo for the full similarity scan over the property catalogue:
+        #: (word, is_verb) -> tuple of above-threshold candidates.  The
+        #: catalogue and threshold are fixed per mapper, so the scan is a
+        #: pure function of its key.
+        self._scan_cache = LRUCache(8192)
+        #: Memo for WordNet similar-pair expansions (2.2.1), keyed on the
+        #: property local name; the index is immutable after construction.
+        self._similar_names: dict[str, tuple[str, ...]] = {}
         #: Optional extension resource (section 5 research gap): patterns
         #: for data properties, consulted only when the config enables it.
         self._data_patterns = data_pattern_store
@@ -209,14 +230,8 @@ class TripleMapper:
         # Verbs target object properties, nouns and adjectives any property
         # (the paper sends nouns to data properties; role nouns like
         # "mayor" additionally match object properties by name).
-        searchable = (
-            self._kb.ontology.object_properties()
-            if is_verb else list(self._kb.ontology.properties())
-        )
-        for prop in searchable:
-            score = self._property_similarity(word, prop)
-            if score >= self._config.similarity_threshold:
-                offer(PredicateCandidate(prop.iri, prop.kind, score, "similarity"))
+        for candidate in self._similarity_candidates(word, is_verb):
+            offer(candidate)
 
         # 2.2.2 — the WordNet adjective map.
         if self._config.use_adjective_map and (is_adjective or not is_verb):
@@ -229,7 +244,7 @@ class TripleMapper:
             for existing in list(candidates.values()):
                 if existing.kind is not PropertyKind.OBJECT:
                     continue
-                for similar_name in self._pairs.similar_to(existing.iri.local_name):
+                for similar_name in self._similar_to(existing.iri.local_name):
                     prop = self._kb.ontology.get_property(similar_name)
                     offer(PredicateCandidate(
                         prop.iri,
@@ -243,9 +258,74 @@ class TripleMapper:
         ranked = sorted(candidates.values(), key=lambda c: (-c.weight, c.iri.value))
         return ranked[: self._config.max_predicate_candidates]
 
+    def _similarity_candidates(
+        self, word: str, is_verb: bool
+    ) -> tuple[PredicateCandidate, ...]:
+        """Above-threshold similarity candidates for one predicate word.
+
+        Scanning the whole property catalogue per question is the mapping
+        stage's hot loop; question words repeat heavily across a batch, so
+        the scan result is memoized (candidates are frozen dataclasses and
+        safe to share).  With the cache disabled this is exactly the seed's
+        per-question scan.
+        """
+        use_cache = self._config.enable_similarity_cache
+        key = (word, is_verb)
+        if use_cache:
+            cached = self._scan_cache.get(key)
+            if cached is not None:
+                if self._stats is not None:
+                    self._stats.increment("mapping.scan_cache.hits")
+                return cached
+        searchable = (
+            self._kb.ontology.object_properties()
+            if is_verb else list(self._kb.ontology.properties())
+        )
+        threshold = self._config.similarity_threshold
+        found = tuple(
+            PredicateCandidate(prop.iri, prop.kind, score, "similarity")
+            for prop in searchable
+            if (score := self._property_similarity(word, prop)) >= threshold
+        )
+        if use_cache:
+            self._scan_cache.put(key, found)
+            if self._stats is not None:
+                self._stats.increment("mapping.scan_cache.misses")
+        return found
+
+    def _similar_to(self, name: str) -> tuple[str, ...]:
+        """WordNet-similar property names, memoized across questions.
+
+        ``SimilarPropertyIndex.similar_to`` builds a fresh set per call;
+        the underlying index never changes after construction, so the
+        sorted tuple is cached forever.  Sorting pins the candidate-offer
+        order (and therefore tie-breaking) regardless of set iteration
+        order.
+        """
+        cached = self._similar_names.get(name)
+        if cached is None:
+            cached = self._similar_names[name] = tuple(
+                sorted(self._pairs.similar_to(name))
+            )
+        return cached
+
     def _property_similarity(self, word: str, prop: PropertyDef) -> float:
         """Best similarity between the word and the property's name or any
         word of its decamelised label."""
+        if not self._config.enable_similarity_cache:
+            return self._property_similarity_uncached(word, prop)
+        key = (word, prop.name)
+        score = self._property_scores.get(key)
+        if score is None:
+            score = self._property_similarity_uncached(word, prop)
+            self._property_scores.put(key, score)
+            if self._stats is not None:
+                self._stats.increment("mapping.property_scores.misses")
+        elif self._stats is not None:
+            self._stats.increment("mapping.property_scores.hits")
+        return score
+
+    def _property_similarity_uncached(self, word: str, prop: PropertyDef) -> float:
         best = self._similarity(word, prop.name)
         for label_word in prop.display_label().split():
             best = max(best, self._similarity(word, label_word))

@@ -4,11 +4,18 @@
 (2.2) -> generate candidate queries (2.3) -> execute against the KB ->
 filter by expected answer type (2.3.2) -> return the answers of the
 best-scoring productive query (2.3.1).
+
+``answer_many()`` fans a batch of questions out over a thread pool against
+the same (read-only) knowledge base; see :mod:`repro.perf.batch` for the
+thread-safety contract and ``docs/performance.md`` for the cache layers
+that make repeated runs cheap.  Every stage records wall time and counters
+into :attr:`QuestionAnsweringSystem.stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.core.config import PipelineConfig
 from repro.core.extraction import TripleExtractor
@@ -19,6 +26,8 @@ from repro.core.typecheck import ExpectedType, answer_matches_type, expected_ans
 from repro.kb.builder import KnowledgeBase
 from repro.nlp.pipeline import Pipeline, Sentence
 from repro.patty.store import PatternStore, build_pattern_store
+from repro.perf.batch import BatchAnswerer
+from repro.perf.stats import PerfStats
 from repro.rdf.terms import Term, Variable
 from repro.wordnet.adjectives import AdjectivePropertyMap, build_adjective_map
 from repro.wordnet.database import build_wordnet
@@ -99,13 +108,18 @@ class QuestionAnsweringSystem:
     ) -> None:
         self._kb = kb
         self._config = config if config is not None else PipelineConfig()
-        self._pipeline = Pipeline(kb.surface_index)
+        self._stats = PerfStats()
+        self._pipeline = Pipeline(
+            kb.surface_index,
+            cache_size=1024 if self._config.enable_annotation_cache else 0,
+        )
         self._extractor = TripleExtractor()
         self._mapper = TripleMapper(
             kb, pattern_store, similar_pairs, adjective_map, self._config,
             data_pattern_store=data_pattern_store,
+            stats=self._stats,
         )
-        self._generator = QueryGenerator(self._config)
+        self._generator = QueryGenerator(self._config, stats=self._stats)
         self._boolean_handler = None
         if self._config.enable_boolean_questions:
             from repro.extensions.booleans import BooleanQuestionHandler
@@ -148,7 +162,8 @@ class QuestionAnsweringSystem:
             if rewritten is not None:
                 text = rewritten
 
-        sentence = self._pipeline.annotate(text)
+        with self._stats.timer("annotate"):
+            sentence = self._pipeline.annotate(text)
         result = Answer(question=question,
                         expected_type=expected_answer_type(sentence),
                         rewritten_question=rewritten)
@@ -160,26 +175,45 @@ class QuestionAnsweringSystem:
             if self._answer_boolean(sentence, result):
                 return result
 
-        result.triples = self._extractor.extract(sentence)
+        with self._stats.timer("extract"):
+            result.triples = self._extractor.extract(sentence)
         if not result.triples:
             result.failure = "no triple patterns extracted (section 2.1 coverage)"
             return result
 
         try:
-            mapped = self._mapper.map(sentence, result.triples)
+            with self._stats.timer("map"):
+                mapped = self._mapper.map(sentence, result.triples)
         except MappingFailure as failure:
             result.failure = f"mapping failed: {failure}"
             return result
 
-        result.candidate_queries = self._generator.generate(mapped)
+        with self._stats.timer("generate"):
+            result.candidate_queries = self._generator.generate(mapped)
         if not result.candidate_queries:
             result.failure = "no candidate queries generated"
             return result
 
-        self._execute(result)
+        with self._stats.timer("execute"):
+            self._execute(result)
         if not result.answered and result.failure is None:
             result.failure = "no candidate query produced type-conforming answers"
         return result
+
+    def answer_many(
+        self,
+        questions: Sequence[str] | Iterable[str],
+        max_workers: int | None = None,
+    ) -> list[Answer]:
+        """Answer a batch of questions concurrently.
+
+        Results come back in input order and are exactly what sequential
+        :meth:`answer` calls would produce — the pipeline is deterministic
+        and its shared caches change only how fast answers are computed,
+        never what they are.  The knowledge base must not be mutated while
+        the batch is in flight.
+        """
+        return BatchAnswerer(self, max_workers=max_workers).answer_many(questions)
 
     # ------------------------------------------------------------------
 
@@ -210,9 +244,15 @@ class QuestionAnsweringSystem:
         return True
 
     def _execute(self, result: Answer) -> None:
-        """Run candidates best-first; keep the first productive one."""
+        """Run candidates best-first; keep the first productive one.
+
+        Early termination (section 2.3.1): candidate scores are sorted
+        non-increasing, so the moment a candidate yields type-conforming
+        answers no later candidate can displace it — the loop stops without
+        touching the rest of the (already capped) list.
+        """
         check_types = self._config.use_type_checking
-        for candidate in result.candidate_queries:
+        for executed, candidate in enumerate(result.candidate_queries, start=1):
             select = self._kb.engine.query(candidate.to_ast())
             answers = [term for term in select.column(Variable("x")) if term is not None]
             if check_types:
@@ -223,7 +263,15 @@ class QuestionAnsweringSystem:
             if answers:
                 result.answers = answers
                 result.query = candidate
+                self._stats.increment("execute.candidates_run", executed)
+                self._stats.increment(
+                    "execute.candidates_short_circuited",
+                    len(result.candidate_queries) - executed,
+                )
                 return
+        self._stats.increment(
+            "execute.candidates_run", len(result.candidate_queries)
+        )
 
     @property
     def kb(self) -> KnowledgeBase:
@@ -232,3 +280,15 @@ class QuestionAnsweringSystem:
     @property
     def config(self) -> PipelineConfig:
         return self._config
+
+    @property
+    def stats(self) -> PerfStats:
+        """Per-stage timers and counters for this system instance."""
+        return self._stats
+
+    def perf_report(self) -> dict:
+        """Stage timings, pipeline counters and engine cache statistics."""
+        report = self._stats.snapshot()
+        report["sparql"] = self._kb.engine.cache_stats()
+        report["sparql"]["engine_counters"] = self._kb.engine.stats.snapshot()["counters"]
+        return report

@@ -8,6 +8,8 @@ feeds PATTY lookup and string similarity on DBpedia property names).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 #: Irregular verb forms -> lemma.
 IRREGULAR_VERBS: dict[str, str] = {
     "was": "be", "were": "be", "is": "be", "are": "be", "am": "be",
@@ -93,8 +95,13 @@ def _lemmatize_noun(word: str) -> str:
     return word
 
 
+@lru_cache(maxsize=16384)
 def lemmatize(word: str, pos: str = "NN") -> str:
     """Lemmatise ``word`` given its Penn tag.
+
+    Pure suffix rules over a closed vocabulary of question words, so the
+    result is memoized; ``lemmatize.__wrapped__`` is the uncached rule
+    engine (the cache-agreement test exercises both).
 
     >>> lemmatize("written", "VBN")
     'write'

@@ -17,6 +17,7 @@ from repro.nlp.depparser import DependencyParser
 from repro.nlp.morphology import lemmatize
 from repro.nlp.postagger import PosTagger
 from repro.nlp.tokenizer import tokenize
+from repro.perf.lru import LRUCache
 from repro.rdf.terms import IRI
 
 
@@ -54,13 +55,30 @@ class Pipeline:
     on unrecognised names.
     """
 
-    def __init__(self, gazetteer: SurfaceFormIndex | None = None) -> None:
+    def __init__(
+        self, gazetteer: SurfaceFormIndex | None = None, cache_size: int = 1024
+    ) -> None:
         self._gazetteer = gazetteer
         self._tagger = PosTagger()
         self._parser = DependencyParser()
+        #: text -> Sentence memo.  The annotation chain is deterministic
+        #: and every consumer treats Sentence as read-only (Token and
+        #: Dependency are frozen; DependencyGraph is mutated only during
+        #: parsing), so repeated questions share one annotation.  Size 0
+        #: disables the cache.
+        self._cache = LRUCache(cache_size)
 
     def annotate(self, text: str) -> Sentence:
-        """Run the full chain on one question."""
+        """Run the full chain on one question (memoized on the text)."""
+        sentence = self._cache.get(text)
+        if sentence is not None:
+            return sentence
+        sentence = self.annotate_uncached(text)
+        self._cache.put(text, sentence)
+        return sentence
+
+    def annotate_uncached(self, text: str) -> Sentence:
+        """Run the full chain, bypassing (and not filling) the memo."""
         raw_tokens = tokenize(text)
         merged, mention_spans = self._merge_entities(raw_tokens)
         tags = self._tagger.tag([surface for surface, __ in merged])

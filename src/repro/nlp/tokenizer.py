@@ -8,6 +8,7 @@ capitalisation is a feature the tagger and the entity spotter both use.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 _TOKEN_RE = re.compile(
     r"""
@@ -31,6 +32,15 @@ def tokenize(text: str) -> list[str]:
     >>> tokenize("Is Frank Herbert still alive?")
     ['Is', 'Frank', 'Herbert', 'still', 'alive', '?']
     """
+    # Callers may mutate the returned list (the pipeline merges entity
+    # spans in place), so the memoized tuple is copied out.
+    return list(_tokenize_cached(text))
+
+
+@lru_cache(maxsize=4096)
+def _tokenize_cached(text: str) -> tuple[str, ...]:
+    """Memoized scan; ``_tokenize_cached.__wrapped__`` is the raw rule set
+    (the cache-agreement test compares both)."""
     # Detach the negation clitic before scanning — "Isn't" -> "Is n't" —
     # because the leftmost-match scan cannot split it otherwise.
     text = re.sub(r"(\w)n't\b", r"\1 n't", text)
@@ -49,4 +59,4 @@ def tokenize(text: str) -> list[str]:
             out.append(".")
         else:
             out.append(token)
-    return out
+    return tuple(out)

@@ -1,0 +1,23 @@
+"""Performance infrastructure: caches, counters, batch execution.
+
+This package backs the throughput-oriented answering layer:
+
+* :mod:`repro.perf.lru` — thread-safe LRU cache (SPARQL parse/result
+  caches, similarity memo);
+* :mod:`repro.perf.stats` — per-stage timing counters shared by the
+  pipeline and its caches;
+* :mod:`repro.perf.batch` — :class:`BatchAnswerer`, the thread-pool
+  fan-out behind ``QuestionAnsweringSystem.answer_many``.
+"""
+
+from repro.perf.batch import BatchAnswerer, default_workers
+from repro.perf.lru import LRUCache
+from repro.perf.stats import PerfStats, StageTimer
+
+__all__ = [
+    "BatchAnswerer",
+    "LRUCache",
+    "PerfStats",
+    "StageTimer",
+    "default_workers",
+]

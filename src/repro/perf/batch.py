@@ -1,0 +1,70 @@
+"""Batch answering: fan questions out over a thread pool.
+
+The pipeline is read-only over its shared resources once constructed — the
+graph indexes, pattern store, WordNet maps and surface index are never
+mutated by :meth:`~repro.core.system.QuestionAnsweringSystem.answer` — so
+questions can run concurrently against one system instance.  The only
+shared *mutable* state is the cache/stat layer, and every one of those
+structures (:class:`repro.perf.lru.LRUCache`,
+:class:`repro.perf.stats.PerfStats`, the similarity memo) takes its own
+lock.  ``docs/performance.md`` spells out the full thread-safety contract.
+
+Results are returned in input order and are exactly what sequential
+``answer()`` calls would have produced: each question is answered by the
+same deterministic pipeline, and no stage's outcome depends on which thread
+ran it or on cache warmth (caches change *when* work happens, never its
+result).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.system import Answer, QuestionAnsweringSystem
+
+
+def default_workers() -> int:
+    """Pool width: one thread per core, capped to keep contention sane."""
+    return min(8, os.cpu_count() or 1)
+
+
+class BatchAnswerer:
+    """Answers many questions concurrently over one shared system.
+
+    The system's knowledge base must not be mutated while a batch is in
+    flight (the same contract as any concurrent reader of
+    :class:`repro.rdf.Graph`).
+    """
+
+    def __init__(
+        self,
+        system: "QuestionAnsweringSystem",
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._system = system
+        self._max_workers = max_workers if max_workers is not None else default_workers()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def answer_many(self, questions: Sequence[str] | Iterable[str]) -> "list[Answer]":
+        """Answer every question; results align with the input order."""
+        questions = list(questions)
+        if not questions:
+            return []
+        stats = self._system.stats
+        stats.increment("batch.questions", len(questions))
+        if len(questions) == 1 or self._max_workers == 1:
+            return [self._system.answer(question) for question in questions]
+        with stats.timer("batch.wall"):
+            with ThreadPoolExecutor(
+                max_workers=min(self._max_workers, len(questions)),
+                thread_name_prefix="repro-batch",
+            ) as pool:
+                return list(pool.map(self._system.answer, questions))

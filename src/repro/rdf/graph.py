@@ -60,8 +60,21 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        self._generation = 0
         if triples is not None:
             self.add_all(triples)
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped by every successful :meth:`add`/:meth:`remove`, never reset.
+        Query-result caches (see :class:`repro.sparql.engine.SparqlEngine`)
+        key their validity on this value: a changed generation means any
+        cached bindings may be stale.  Reads never change it, so concurrent
+        readers of an unchanging graph observe a stable generation.
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Mutation
@@ -81,6 +94,7 @@ class Graph:
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
+        self._generation += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -100,6 +114,7 @@ class Graph:
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         self._size -= 1
+        self._generation += 1
         return True
 
     # ------------------------------------------------------------------

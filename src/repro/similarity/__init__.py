@@ -8,6 +8,7 @@ score; :mod:`repro.similarity.metrics` provides alternative measures used by
 the ablation benchmarks (A4 in DESIGN.md).
 """
 
+from repro.similarity.cache import MemoizedSimilarity, memoize_similarity
 from repro.similarity.lcs import (
     lcs_length,
     lcs_score,
@@ -37,4 +38,6 @@ __all__ = [
     "normalized_overlap",
     "SIMILARITY_FUNCTIONS",
     "get_similarity",
+    "MemoizedSimilarity",
+    "memoize_similarity",
 ]

@@ -1,9 +1,26 @@
-"""The query engine facade: parse, plan, execute, shape results."""
+"""The query engine facade: parse, plan, execute, shape results.
+
+The engine carries two LRU caches sized by ``cache_size``:
+
+* a **parse cache** mapping query text to its AST (query parsing does not
+  depend on graph contents, so entries never go stale);
+* a **result cache** mapping the (hashable, frozen) AST to the computed
+  result, invalidated wholesale whenever :attr:`repro.rdf.Graph.generation`
+  moves — i.e. on any triple assertion or retraction.
+
+Both caches are thread-safe and both results types
+(:class:`~repro.sparql.results.SelectResult`,
+:class:`~repro.sparql.results.AskResult`) are immutable, so cached objects
+are shared between callers without copying.
+"""
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
+from repro.perf.lru import LRUCache
+from repro.perf.stats import PerfStats
 from repro.rdf.datatypes import XSD_INTEGER
 from repro.rdf.graph import Graph
 from repro.rdf.terms import Literal, Term, Variable
@@ -19,6 +36,12 @@ from repro.sparql.functions import order_key
 from repro.sparql.parser import parse_query
 from repro.sparql.results import AskResult, SelectResult
 
+#: Default width of the parse and result caches.  Sized for the QA
+#: workload: one question executes at most ``max_queries`` (64) candidate
+#: queries, so 512 holds several questions' worth of candidates plus the
+#: type-checking lookups.
+DEFAULT_CACHE_SIZE = 512
+
 
 class SparqlEngine:
     """Executes SPARQL-subset queries against a :class:`repro.rdf.Graph`.
@@ -29,24 +52,102 @@ class SparqlEngine:
     >>> result = engine.query("SELECT ?b WHERE { ?b a dbo:Book }")
     >>> [term.local_name for term in result.column("b")]
     ['Snow']
+
+    A repeated query is answered from cache — until the graph mutates:
+
+    >>> engine.query("SELECT ?b WHERE { ?b a dbo:Book }") is result
+    True
+    >>> g.add(Triple(DBR.My_Name_Is_Red, RDF.type, DBO.Book))
+    True
+    >>> len(engine.query("SELECT ?b WHERE { ?b a dbo:Book }"))
+    2
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        stats: PerfStats | None = None,
+    ) -> None:
         self._graph = graph
+        self._stats = stats if stats is not None else PerfStats()
+        self._parse_cache = LRUCache(cache_size)
+        self._result_cache = LRUCache(cache_size)
+        self._cache_lock = threading.Lock()
+        self._cached_generation = graph.generation
+        self.cache_enabled = cache_size > 0
 
     @property
     def graph(self) -> Graph:
         return self._graph
 
+    @property
+    def stats(self) -> PerfStats:
+        """The engine's perf counters (shared with the owning system)."""
+        return self._stats
+
+    def cache_stats(self) -> dict[str, dict]:
+        """Hit/miss snapshots of the parse and result caches."""
+        return {
+            "parse_cache": self._parse_cache.stats(),
+            "result_cache": self._result_cache.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        self._parse_cache.clear()
+        self._result_cache.clear()
+
     def query(self, query: str | SelectQuery | AskQuery) -> SelectResult | AskResult:
         """Run a query given as text or pre-parsed AST."""
         if isinstance(query, str):
-            query = parse_query(query)
+            query = self._parse(query)
+        if not isinstance(query, (SelectQuery, AskQuery)):
+            raise SparqlError(f"unsupported query type {type(query).__name__}")
+        if not self.cache_enabled:
+            return self._evaluate(query)
+
+        self._validate_result_cache()
+        cached = self._result_cache.get(query)
+        if cached is not None:
+            self._stats.increment("sparql.result_cache.hits")
+            return cached
+        self._stats.increment("sparql.result_cache.misses")
+        result = self._evaluate(query)
+        self._result_cache.put(query, result)
+        return result
+
+    def _parse(self, text: str) -> SelectQuery | AskQuery:
+        """Parse query text through the parse cache."""
+        if not self.cache_enabled:
+            return parse_query(text)
+        ast = self._parse_cache.get(text)
+        if ast is not None:
+            self._stats.increment("sparql.parse_cache.hits")
+            return ast
+        self._stats.increment("sparql.parse_cache.misses")
+        ast = parse_query(text)
+        self._parse_cache.put(text, ast)
+        return ast
+
+    def _validate_result_cache(self) -> None:
+        """Drop every cached result if the graph has mutated since filling.
+
+        The generation check makes staleness impossible rather than
+        unlikely: results enter the cache only at the generation observed
+        here, and any later mutation moves the generation before the next
+        lookup can hit.
+        """
+        generation = self._graph.generation
+        with self._cache_lock:
+            if generation != self._cached_generation:
+                self._result_cache.clear()
+                self._cached_generation = generation
+                self._stats.increment("sparql.result_cache.invalidations")
+
+    def _evaluate(self, query: SelectQuery | AskQuery) -> SelectResult | AskResult:
         if isinstance(query, SelectQuery):
             return self._run_select(query)
-        if isinstance(query, AskQuery):
-            return self._run_ask(query)
-        raise SparqlError(f"unsupported query type {type(query).__name__}")
+        return self._run_ask(query)
 
     def select(self, query: str | SelectQuery) -> SelectResult:
         """Run a SELECT query; raises on ASK input."""

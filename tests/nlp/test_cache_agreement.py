@@ -1,0 +1,75 @@
+"""Cached nlp helpers must agree exactly with their uncached rule engines.
+
+``lemmatize`` and ``_tokenize_cached`` are memoized with
+``functools.lru_cache``; ``.__wrapped__`` exposes the raw function.  Any
+divergence would mean the cache changes answers, which the perf layer is
+contractually forbidden to do (docs/performance.md).
+"""
+
+from repro.nlp.morphology import lemmatize
+from repro.nlp.tokenizer import _tokenize_cached, tokenize
+
+SENTENCES = [
+    "Which book is written by Orhan Pamuk?",
+    "How tall is Michael Jordan?",
+    "Where did Abraham Lincoln die?",
+    "Who is the mayor of Berlin?",
+    "How many pages does War and Peace have?",
+    "Which river does the Brooklyn Bridge cross?",
+    "Isn't Frank Herbert still alive?",
+    "Give me all movies starring Tom Cruise.",
+    "",
+    "   ",
+    "one-word",
+]
+
+WORDS = [
+    ("written", "VBN"), ("books", "NNS"), ("wrote", "VBD"),
+    ("died", "VBD"), ("cities", "NNS"), ("taller", "JJR"),
+    ("was", "VBD"), ("children", "NNS"), ("lives", "VBZ"),
+    ("lives", "NNS"), ("running", "VBG"), ("founded", "VBD"),
+    ("", "NN"), ("x", "NN"),
+]
+
+
+class TestLemmatizeAgreement:
+    def test_cached_matches_uncached(self):
+        for word, pos in WORDS:
+            assert lemmatize(word, pos) == lemmatize.__wrapped__(word, pos), (
+                word, pos,
+            )
+
+    def test_pos_distinguishes_entries(self):
+        """'lives' is both VBZ->live and NNS->life; the cache key must
+        include the POS tag, not just the word."""
+        assert lemmatize("lives", "VBZ") == "live"
+        assert lemmatize("lives", "NNS") == "life"
+
+    def test_cache_is_active(self):
+        lemmatize.cache_clear()
+        lemmatize("written", "VBN")
+        lemmatize("written", "VBN")
+        assert lemmatize.cache_info().hits >= 1
+
+
+class TestTokenizeAgreement:
+    def test_cached_matches_uncached(self):
+        for sentence in SENTENCES:
+            assert list(_tokenize_cached.__wrapped__(sentence)) == tokenize(
+                sentence
+            ), sentence
+
+    def test_returns_fresh_mutable_list(self):
+        """The pipeline merges entity spans in place; the memoized tuple
+        must be copied out on every call."""
+        first = tokenize(SENTENCES[0])
+        first[0] = "MUTATED"
+        second = tokenize(SENTENCES[0])
+        assert second[0] == "Which"
+        assert first is not second
+
+    def test_cache_is_active(self):
+        _tokenize_cached.cache_clear()
+        tokenize(SENTENCES[0])
+        tokenize(SENTENCES[0])
+        assert _tokenize_cached.cache_info().hits >= 1

@@ -1,0 +1,16 @@
+"""Shared fixtures for the perf-layer tests."""
+
+import pytest
+
+from repro.core import QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="session")
+def qa(kb):
+    return QuestionAnsweringSystem.over(kb)

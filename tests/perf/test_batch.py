@@ -1,0 +1,121 @@
+"""Batch answering: answer_many() must equal sequential answer() exactly,
+and the throughput benchmark's smoke mode must run clean on every PR."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.perf import BatchAnswerer
+from repro.qald.devset import load_dev_questions
+
+QUESTIONS = [
+    "Which book is written by Orhan Pamuk?",
+    "How tall is Michael Jordan?",
+    "Where did Abraham Lincoln die?",
+    "Who is the mayor of Berlin?",
+    "How many pages does War and Peace have?",
+    "Which river does the Brooklyn Bridge cross?",
+    "Is Frank Herbert still alive?",  # unanswerable: failure paths too
+]
+
+
+def signature(answer):
+    """Every observable field of an Answer, for byte-level comparison."""
+    return (
+        answer.question,
+        tuple(term.n3() for term in answer.answers),
+        answer.query.to_sparql() if answer.query is not None else None,
+        answer.query.score if answer.query is not None else None,
+        tuple(str(t) for t in answer.triples),
+        tuple(q.to_sparql() for q in answer.candidate_queries),
+        answer.expected_type.value,
+        answer.failure,
+        answer.boolean,
+        answer.rewritten_question,
+    )
+
+
+class TestAnswerMany:
+    def test_matches_sequential_answers(self, qa):
+        sequential = [signature(qa.answer(q)) for q in QUESTIONS]
+        batch = [signature(a) for a in qa.answer_many(QUESTIONS, max_workers=4)]
+        assert batch == sequential
+
+    def test_matches_sequential_on_dev_set(self, qa):
+        questions = [q.text for q in load_dev_questions()]
+        sequential = [signature(qa.answer(q)) for q in questions]
+        batch = [signature(a) for a in qa.answer_many(questions, max_workers=8)]
+        assert batch == sequential
+
+    def test_preserves_input_order(self, qa):
+        answers = qa.answer_many(QUESTIONS, max_workers=4)
+        assert [a.question for a in answers] == QUESTIONS
+
+    def test_single_worker_path(self, qa):
+        answers = qa.answer_many(QUESTIONS[:2], max_workers=1)
+        assert [a.question for a in answers] == QUESTIONS[:2]
+
+    def test_empty_batch(self, qa):
+        assert qa.answer_many([]) == []
+
+    def test_accepts_generators(self, qa):
+        answers = qa.answer_many(q for q in QUESTIONS[:2])
+        assert len(answers) == 2
+
+    def test_batch_counter_recorded(self, qa):
+        before = qa.stats.counter("batch.questions")
+        qa.answer_many(QUESTIONS[:3], max_workers=2)
+        assert qa.stats.counter("batch.questions") == before + 3
+
+    def test_invalid_worker_count_rejected(self, qa):
+        with pytest.raises(ValueError):
+            BatchAnswerer(qa, max_workers=0)
+
+    def test_repeated_batches_stay_identical(self, qa):
+        """Cache warmth must change speed only, never answers."""
+        first = [signature(a) for a in qa.answer_many(QUESTIONS)]
+        second = [signature(a) for a in qa.answer_many(QUESTIONS)]
+        assert first == second
+
+
+class TestCachedConfigEquivalence:
+    def test_cold_config_matches_cached_config(self, kb):
+        """The perf layer is behaviour-neutral: a system with every cache
+        and pruning switch off answers identically to the default."""
+        cold = QuestionAnsweringSystem.over(
+            kb, PipelineConfig().without_perf_caches()
+        )
+        warm = QuestionAnsweringSystem.over(kb, PipelineConfig())
+        for question in QUESTIONS:
+            assert signature(cold.answer(question)) == signature(
+                warm.answer(question)
+            ), question
+
+
+class TestBenchmarkSmoke:
+    def test_quick_mode_runs_and_emits_json(self, tmp_path):
+        """Tier-1 wiring for benchmarks/bench_batch_throughput.py --quick."""
+        repo_root = Path(__file__).resolve().parents[2]
+        script = repo_root / "benchmarks" / "bench_batch_throughput.py"
+        out = tmp_path / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), "--quick", "--output", str(out)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["identical_answers"] is True
+        assert payload["quick"] is True
+        assert payload["optimized_seconds"] > 0

@@ -1,0 +1,128 @@
+"""Unit tests for the perf primitives: LRUCache and PerfStats."""
+
+import threading
+
+import pytest
+
+from repro.perf import LRUCache, PerfStats
+
+
+class TestLRUCache:
+    def test_basic_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "fallback") == "fallback"
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("nope")
+        assert (cache.hits, cache.misses) == (2, 1)
+        assert cache.stats()["hit_rate"] == pytest.approx(2 / 3, abs=1e-3)
+
+    def test_zero_size_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear_preserves_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.get("a") is None
+        assert cache.hits == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_concurrent_access_is_consistent(self):
+        cache = LRUCache(128)
+
+        def worker(offset):
+            for i in range(200):
+                key = (offset + i) % 64
+                cache.put(key, key * 2)
+                value = cache.get(key)
+                assert value is None or value == key * 2
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 128
+
+
+class TestPerfStats:
+    def test_timer_accumulates(self):
+        stats = PerfStats()
+        with stats.timer("stage"):
+            pass
+        with stats.timer("stage"):
+            pass
+        entry = stats.snapshot()["timers"]["stage"]
+        assert entry["calls"] == 2
+        assert entry["total_seconds"] >= 0.0
+
+    def test_counters(self):
+        stats = PerfStats()
+        stats.increment("hits")
+        stats.increment("hits", 4)
+        assert stats.counter("hits") == 5
+        assert stats.counter("unknown") == 0
+
+    def test_merge(self):
+        a, b = PerfStats(), PerfStats()
+        a.increment("n", 1)
+        b.increment("n", 2)
+        b.record("stage", 0.5)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 3
+        assert snap["timers"]["stage"]["calls"] == 1
+
+    def test_reset(self):
+        stats = PerfStats()
+        stats.increment("n")
+        stats.record("stage", 0.1)
+        stats.reset()
+        assert stats.snapshot() == {"timers": {}, "counters": {}}
+
+    def test_format_table_mentions_stages(self):
+        stats = PerfStats()
+        stats.record("annotate", 0.25)
+        stats.increment("cache.hits", 3)
+        table = stats.format_table()
+        assert "annotate" in table
+        assert "cache.hits = 3" in table
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        stats = PerfStats()
+
+        def worker():
+            for _ in range(1000):
+                stats.increment("n")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.counter("n") == 4000
