@@ -37,12 +37,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_reliability_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--max-candidates", type=int, metavar="N",
+            help="cap candidate queries executed per question "
+                 "(truncation is reported, never silent)")
+        command.add_argument(
+            "--stage-budget-ms", type=float, metavar="MS",
+            help="wall-clock budget for candidate enumeration + execution "
+                 "per question")
+        command.add_argument(
+            "--inject-fault", action="append", default=[], metavar="STAGE:KIND",
+            help="force a fault at a stage boundary (kind: error|timeout|empty;"
+                 " repeatable; for reliability testing)")
+
     ask = sub.add_parser("ask", help="answer a natural-language question")
     ask.add_argument("question", help="the question text")
     ask.add_argument("--extensions", action="store_true",
                      help="enable the section-6 future-work extensions")
     ask.add_argument("--verbose", action="store_true",
                      help="show pipeline internals (triples, queries)")
+    add_reliability_flags(ask)
 
     evaluate = sub.add_parser("eval", help="run the QALD-2-style benchmark (Table 2)")
     evaluate.add_argument("--extensions", action="store_true")
@@ -50,6 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="list per-question outcomes")
     evaluate.add_argument("--json", metavar="PATH",
                           help="also write a machine-readable report")
+    add_reliability_flags(evaluate)
 
     sparql = sub.add_parser("sparql", help="run SPARQL against the curated KB")
     sparql.add_argument("query", help="SELECT/ASK query text")
@@ -73,22 +89,42 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(extensions: bool) -> PipelineConfig:
-    return PipelineConfig().with_extensions() if extensions else PipelineConfig()
+def _config(extensions: bool, args: argparse.Namespace | None = None) -> PipelineConfig:
+    config = PipelineConfig().with_extensions() if extensions else PipelineConfig()
+    if args is None:
+        return config
+    max_candidates = getattr(args, "max_candidates", None)
+    stage_budget_ms = getattr(args, "stage_budget_ms", None)
+    if max_candidates is not None or stage_budget_ms is not None:
+        config = config.with_budgets(
+            max_candidates=max_candidates, stage_budget_ms=stage_budget_ms
+        )
+    fault_specs = getattr(args, "inject_fault", None)
+    if fault_specs:
+        from repro.reliability import FaultInjector, FaultSpec
+
+        injector = FaultInjector([FaultSpec.parse(text) for text in fault_specs])
+        config = config.with_fault_injector(injector)
+    return config
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
     kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions))
+    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions, args))
     result = qa.answer(args.question)
     if args.verbose:
         print(result.explain())
         print()
+    if result.truncated:
+        print("(truncated: candidate budget exhausted; answers may be partial)")
+    for fallback in result.degraded:
+        print(f"(degraded: {fallback})")
     if result.boolean is not None:
         print("Yes" if result.boolean else "No")
         return 0
     if not result.answered:
-        print(f"(unanswered: {result.failure})")
+        stage = f" [stage: {result.failure_stage}]" if result.failure_stage else ""
+        print(f"(unanswered: {result.failure}{stage})")
         return 1
     for answer in result.answers:
         if isinstance(answer, Literal):
@@ -100,11 +136,21 @@ def _cmd_ask(args: argparse.Namespace) -> int:
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions))
+    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions, args))
     result = QaldEvaluator(kb, qa).evaluate(load_questions())
     print(format_table2(result))
     print()
     print(format_category_breakdown(result))
+    counters = qa.stats.snapshot()["counters"]
+    reliability = {
+        name: value for name, value in counters.items()
+        if name.startswith("reliability.") or name.startswith("execute.candidates_")
+    }
+    if any(name.startswith("reliability.") for name in reliability):
+        print()
+        print("reliability counters:")
+        for name, value in sorted(reliability.items()):
+            print(f"  {name} = {value}")
     if args.verbose:
         print()
         print(format_outcomes(result, verbose=True))

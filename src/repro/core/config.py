@@ -7,7 +7,11 @@ string-similarity metric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.faults import FaultInjector
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,34 @@ class PipelineConfig:
     #: displaced (scores are sorted non-increasing).
     enable_early_termination: bool = True
 
+    # -- reliability layer (docs/reliability.md): typed failures, budgets,
+    # -- graceful degradation.  Budgets default to "unlimited" and the
+    # -- injector to None, so the faithful configuration is unaffected ----
+
+    #: Hard cap on candidate queries *executed* per question (on top of
+    #: ``max_queries``, which caps how many are generated).  ``None``
+    #: disables the cap.  Never silent: hitting it sets
+    #: ``Answer.truncated`` and the ``execute.candidates_truncated``
+    #: counter.
+    max_candidates: int | None = None
+    #: Wall-clock budget in milliseconds shared by one question's
+    #: candidate-enumeration and execution stages.  ``None`` disables it.
+    #: Hitting the budget stops the stage early (keeping the work already
+    #: done), sets ``Answer.truncated`` and bumps the
+    #: ``reliability.budget_exhausted`` counter.
+    stage_budget_ms: float | None = None
+    #: Degrade instead of refusing: when annotation or extraction fails
+    #: with an exception, retry with the shallow keyword extractor
+    #: (``repro.reliability.fallback``) before giving up.  On the happy
+    #: path this never runs, so Table 2 is unaffected.
+    enable_fallback_extraction: bool = True
+    #: Deterministic fault injection for the reliability test harness
+    #: (off — None — in any production configuration).  Excluded from
+    #: equality/hash: it is a test controller, not pipeline semantics.
+    fault_injector: "FaultInjector | None" = field(
+        default=None, compare=False, repr=False
+    )
+
     # -- future-work extensions (paper section 6), all off by default so
     # -- the faithful configuration reproduces Table 2 unchanged ----------
 
@@ -81,6 +113,20 @@ class PipelineConfig:
 
     def with_similarity(self, name: str) -> "PipelineConfig":
         return self._replace(similarity=name)
+
+    def with_budgets(
+        self,
+        max_candidates: int | None = None,
+        stage_budget_ms: float | None = None,
+    ) -> "PipelineConfig":
+        """Opt into the reliability budgets (see docs/reliability.md)."""
+        return self._replace(
+            max_candidates=max_candidates, stage_budget_ms=stage_budget_ms
+        )
+
+    def with_fault_injector(self, injector: "FaultInjector") -> "PipelineConfig":
+        """Attach a fault injector (test harness only)."""
+        return self._replace(fault_injector=injector)
 
     def without_perf_caches(self) -> "PipelineConfig":
         """The seed's cold path: no memoization, no product pruning.

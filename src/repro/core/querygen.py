@@ -52,6 +52,15 @@ from repro.sparql.ast import BGP, Group, SelectQuery
 _PRUNE_EPSILON = 1e-9
 
 
+class _EnumerationBudgetStop(Exception):
+    """Internal control flow: the enumeration deadline expired; ``partial``
+    carries every combination recorded before the cut."""
+
+    def __init__(self, partial: dict) -> None:
+        super().__init__("candidate enumeration budget exhausted")
+        self.partial = partial
+
+
 @dataclass(frozen=True)
 class CandidateQuery:
     """One fully instantiated SPARQL candidate with its ranking score."""
@@ -93,8 +102,18 @@ class QueryGenerator:
         self._config = config if config is not None else PipelineConfig()
         self._stats = stats
 
-    def generate(self, mapped: list[CandidateTriple]) -> list[CandidateQuery]:
-        """Distinct candidate queries, best score first, capped at max_queries."""
+    def generate(
+        self, mapped: list[CandidateTriple], deadline=None
+    ) -> list[CandidateQuery]:
+        """Distinct candidate queries, best score first, capped at max_queries.
+
+        ``deadline`` (a :class:`repro.reliability.Deadline`, optional) is
+        the reliability layer's enumeration budget: when it expires
+        mid-enumeration the combinations collected so far are ranked and
+        returned — a truncated but well-formed candidate list — and the
+        ``querygen.budget_exhausted`` counter records the cut (the caller
+        surfaces it via ``Answer.truncated``; never silent).
+        """
         if not mapped:
             return []
         per_pattern: list[list[tuple[Triple, float, str]]] = []
@@ -105,10 +124,15 @@ class QueryGenerator:
             per_pattern.append(choices)
 
         limit = self._config.max_queries
-        if self._config.enable_early_termination:
-            best = self._enumerate_pruned(per_pattern, limit)
-        else:
-            best = self._enumerate_full(per_pattern)
+        try:
+            if self._config.enable_early_termination:
+                best = self._enumerate_pruned(per_pattern, limit, deadline)
+            else:
+                best = self._enumerate_full(per_pattern, deadline)
+        except _EnumerationBudgetStop as stop:
+            best = stop.partial
+            if self._stats is not None:
+                self._stats.increment("querygen.budget_exhausted")
 
         # Rank exactly like a stable sort over the full product: score
         # descending, ties broken by product-enumeration order.
@@ -125,7 +149,7 @@ class QueryGenerator:
     # ------------------------------------------------------------------
 
     def _enumerate_full(
-        self, per_pattern: list[list[tuple[Triple, float, str]]]
+        self, per_pattern: list[list[tuple[Triple, float, str]]], deadline=None
     ) -> dict:
         """Exhaustive Cartesian product with duplicate collapsing.
 
@@ -135,6 +159,8 @@ class QueryGenerator:
         best: dict[tuple[Triple, ...], tuple] = {}
         index_ranges = [range(len(choices)) for choices in per_pattern]
         for order in itertools.product(*index_ranges):
+            if deadline is not None and deadline.expired():
+                raise _EnumerationBudgetStop(best)
             score = 1.0
             triples: list[Triple] = []
             sources: list[str] = []
@@ -147,7 +173,10 @@ class QueryGenerator:
         return best
 
     def _enumerate_pruned(
-        self, per_pattern: list[list[tuple[Triple, float, str]]], limit: int
+        self,
+        per_pattern: list[list[tuple[Triple, float, str]]],
+        limit: int,
+        deadline=None,
     ) -> dict:
         """Branch-and-bound enumeration of the product's top ``limit`` set.
 
@@ -200,6 +229,8 @@ class QueryGenerator:
             sources: tuple[str, ...],
         ) -> None:
             if axis == len(axes):
+                if deadline is not None and deadline.expired():
+                    raise _EnumerationBudgetStop(best)
                 if self._record(best, triples, score, order, sources):
                     dirty[0] = True
                 return

@@ -10,6 +10,16 @@ the same (read-only) knowledge base; see :mod:`repro.perf.batch` for the
 thread-safety contract and ``docs/performance.md`` for the cache layers
 that make repeated runs cheap.  Every stage records wall time and counters
 into :attr:`QuestionAnsweringSystem.stats`.
+
+**Reliability contract** (``docs/reliability.md``): ``answer()`` never
+raises.  Every stage boundary converts failures into a typed
+:class:`repro.reliability.StageError` recorded on :attr:`Answer.failure`
+(and :attr:`Answer.failure_stage`); annotation/extraction exceptions fall
+back to the shallow keyword extractor before giving up; a candidate query
+that errors or exceeds the stage budget is skipped and ranking continues
+over the survivors.  Budgets (``PipelineConfig.max_candidates`` /
+``stage_budget_ms``) are never silent: hitting one sets
+:attr:`Answer.truncated` and a counter.
 """
 
 from __future__ import annotations
@@ -24,8 +34,19 @@ from repro.core.querygen import CandidateQuery, QueryGenerator
 from repro.core.triples import TriplePattern
 from repro.core.typecheck import ExpectedType, answer_matches_type, expected_answer_type
 from repro.kb.builder import KnowledgeBase
+from repro.nlp.dependencies import DependencyGraph
 from repro.nlp.pipeline import Pipeline, Sentence
 from repro.patty.store import PatternStore, build_pattern_store
+from repro.reliability.budgets import Deadline
+from repro.reliability.errors import (
+    AnnotationError,
+    ExecutionError,
+    ExtractionError,
+    MappingError,
+    QueryGenerationError,
+    StageError,
+    TypeCheckError,
+)
 from repro.perf.batch import BatchAnswerer
 from repro.perf.stats import PerfStats
 from repro.rdf.terms import Term, Variable
@@ -49,6 +70,18 @@ class Answer:
     boolean: bool | None = None
     #: Imperative rewrite applied before answering, when the extension ran.
     rewritten_question: str | None = None
+    #: Pipeline stage the failure is attributed to (a
+    #: :class:`repro.reliability.Stage` value, or "internal" for the
+    #: never-raise last resort), when :attr:`failure` came from a typed
+    #: :class:`repro.reliability.StageError`.
+    failure_stage: str | None = None
+    #: Fallbacks applied while answering, in order (e.g.
+    #: "annotate:shallow-annotation", "extract:keyword-patterns").  A
+    #: non-empty list means the answer was produced in degraded mode.
+    degraded: list[str] = field(default_factory=list)
+    #: True when a budget (candidate cap or stage wall-clock budget) cut
+    #: work short — the explicit "truncated" marker; never silent.
+    truncated: bool = False
 
     @property
     def answered(self) -> bool:
@@ -69,6 +102,10 @@ class Answer:
         lines = [f"question: {self.question}"]
         if self.rewritten_question is not None:
             lines.append(f"rewritten (imperative extension): {self.rewritten_question}")
+        for fallback in self.degraded:
+            lines.append(f"degraded (reliability fallback): {fallback}")
+        if self.truncated:
+            lines.append("truncated: candidate budget exhausted before completion")
         if self.triples:
             lines.append("triple patterns (section 2.1):")
             for pattern in self.triples:
@@ -120,6 +157,12 @@ class QuestionAnsweringSystem:
             stats=self._stats,
         )
         self._generator = QueryGenerator(self._config, stats=self._stats)
+        # Imported lazily: repro.reliability.fallback itself imports
+        # repro.core.triples, so a module-level import would cycle when
+        # repro.reliability is imported before repro.core.
+        from repro.reliability.fallback import KeywordPatternExtractor
+
+        self._fallback_extractor = KeywordPatternExtractor()
         self._boolean_handler = None
         if self._config.enable_boolean_questions:
             from repro.extensions.booleans import BooleanQuestionHandler
@@ -152,53 +195,228 @@ class QuestionAnsweringSystem:
     # ------------------------------------------------------------------
 
     def answer(self, question: str) -> Answer:
-        """Answer one natural-language question."""
+        """Answer one natural-language question.
+
+        Never raises: any failure inside a stage is converted at the stage
+        boundary into a typed diagnostic on :attr:`Answer.failure` (see the
+        module docstring for the full reliability contract).
+        """
+        try:
+            return self._answer_guarded(question)
+        except Exception as error:  # last resort: the contract is absolute
+            self._stats.increment("reliability.unexpected_errors")
+            return Answer(
+                question=question,
+                failure=f"InternalError: unhandled {type(error).__name__}: {error}",
+                failure_stage="internal",
+            )
+
+    def _answer_guarded(self, question: str) -> Answer:
         text = question
         rewritten: str | None = None
         if self._config.enable_imperatives:
             from repro.extensions.imperatives import normalize_imperative
 
-            rewritten = normalize_imperative(question)
+            try:
+                rewritten = normalize_imperative(question)
+            except Exception:
+                self._stats.increment("reliability.failures.imperative_rewrite")
+                rewritten = None
             if rewritten is not None:
                 text = rewritten
 
-        with self._stats.timer("annotate"):
-            sentence = self._pipeline.annotate(text)
-        result = Answer(question=question,
-                        expected_type=expected_answer_type(sentence),
-                        rewritten_question=rewritten)
+        faults = self._config.fault_injector
+        deadline = Deadline.from_millis(self._config.stage_budget_ms)
+        result = Answer(question=question, rewritten_question=rewritten)
+
+        # -- annotate --------------------------------------------------
+        sentence = self._annotate_stage(text, result, faults)
+        if sentence is None:
+            return result
+        shallow = sentence.graph.template == "shallow-fallback"
+
+        try:
+            result.expected_type = expected_answer_type(sentence)
+        except Exception:
+            self._stats.increment("reliability.failures.expected_type")
 
         if (
             self._boolean_handler is not None
-            and self._boolean_handler.is_boolean_question(sentence)
+            and not shallow
+            and self._try_boolean(sentence, result)
         ):
-            if self._answer_boolean(sentence, result):
-                return result
-
-        with self._stats.timer("extract"):
-            result.triples = self._extractor.extract(sentence)
-        if not result.triples:
-            result.failure = "no triple patterns extracted (section 2.1 coverage)"
             return result
 
+        # -- extract ---------------------------------------------------
+        if not self._extract_stage(text, sentence, result, faults, shallow):
+            return result
+
+        # -- map -------------------------------------------------------
+        mapped = self._map_stage(text, sentence, result, faults)
+        if mapped is None:
+            return result
+
+        # -- generate --------------------------------------------------
+        if not self._generate_stage(text, mapped, result, faults, deadline):
+            return result
+
+        # -- execute ---------------------------------------------------
+        with self._stats.timer("execute"):
+            self._execute(result, deadline=deadline, faults=faults, text=text)
+        if deadline.tripped:
+            result.truncated = True
+            self._stats.increment("reliability.budget_exhausted")
+        if not result.answered and result.failure is None:
+            if result.truncated:
+                result.failure = (
+                    "candidate budget exhausted before a productive query"
+                )
+            else:
+                result.failure = (
+                    "no candidate query produced type-conforming answers"
+                )
+        return result
+
+    # -- stage boundaries (each converts failures to typed diagnostics) --
+
+    def _annotate_stage(self, text, result, faults) -> Sentence | None:
+        """Full annotation, degrading to shallow annotation on failure."""
+        error: StageError | None = None
         try:
-            with self._stats.timer("map"):
-                mapped = self._mapper.map(sentence, result.triples)
-        except MappingFailure as failure:
-            result.failure = f"mapping failed: {failure}"
-            return result
+            if faults is not None and faults.check("annotate", text):
+                # Injected empty result: an empty sentence, which the
+                # extractor treats as the paper's "cannot process" case.
+                return Sentence(
+                    text=text, tokens=[], graph=DependencyGraph([], root=None)
+                )
+            with self._stats.timer("annotate"):
+                return self._pipeline.annotate(text)
+        except StageError as stage_error:
+            error = stage_error
+        except Exception as unexpected:
+            error = AnnotationError(f"{type(unexpected).__name__}: {unexpected}")
 
-        with self._stats.timer("generate"):
-            result.candidate_queries = self._generator.generate(mapped)
+        self._stats.increment("reliability.failures.annotate")
+        result.failure = error.describe()
+        result.failure_stage = error.stage.value
+        if not self._config.enable_fallback_extraction:
+            return None
+        try:
+            sentence = self._pipeline.annotate_shallow(text)
+        except Exception:
+            self._stats.increment("reliability.fallbacks.shallow_annotate_failed")
+            return None
+        result.degraded.append("annotate:shallow-annotation")
+        self._stats.increment("reliability.fallbacks.shallow_annotate")
+        return sentence
+
+    def _try_boolean(self, sentence: Sentence, result: Answer) -> bool:
+        """Guarded boolean-extension path; falls through on any failure."""
+        try:
+            if not self._boolean_handler.is_boolean_question(sentence):
+                return False
+            return self._answer_boolean(sentence, result)
+        except Exception:
+            self._stats.increment("reliability.failures.boolean_extension")
+            result.boolean = None
+            return False
+
+    def _extract_stage(self, text, sentence, result, faults, shallow) -> bool:
+        """Triple extraction with the keyword-pattern fallback ladder.
+
+        Returns True when ``result.triples`` is usable.  The fallback runs
+        only for *exceptional* failures (extractor raised, or annotation
+        already degraded to a parse-less sentence) — an ordinary empty
+        bucket stays the paper's "cannot process" refusal.
+        """
+        error: StageError | None = None
+        try:
+            if faults is not None and faults.check("extract", text):
+                result.triples = []
+            else:
+                with self._stats.timer("extract"):
+                    result.triples = self._extractor.extract(sentence)
+        except StageError as stage_error:
+            error = stage_error
+        except Exception as unexpected:
+            error = ExtractionError(f"{type(unexpected).__name__}: {unexpected}")
+
+        if error is not None:
+            self._stats.increment("reliability.failures.extract")
+            result.failure = error.describe()
+            result.failure_stage = error.stage.value
+            result.triples = []
+
+        if result.triples:
+            return True
+
+        if self._config.enable_fallback_extraction and (error is not None or shallow):
+            try:
+                patterns = self._fallback_extractor.extract(sentence)
+            except Exception:
+                patterns = []
+            if patterns:
+                result.triples = patterns
+                result.degraded.append("extract:keyword-patterns")
+                self._stats.increment("reliability.fallbacks.keyword_extraction")
+                result.failure = None
+                result.failure_stage = None
+                return True
+
+        if result.failure is None:
+            result.failure = "no triple patterns extracted (section 2.1 coverage)"
+        return False
+
+    def _map_stage(self, text, sentence, result, faults) -> list[CandidateTriple] | None:
+        try:
+            if faults is not None and faults.check("map", text):
+                return []
+            with self._stats.timer("map"):
+                return self._mapper.map(sentence, result.triples)
+        except MappingFailure as failure:
+            # The paper's expected refusal (Table 2 "cannot process"), not
+            # a reliability fault: keep its established diagnostic.
+            result.failure = f"mapping failed: {failure}"
+            result.failure_stage = "map"
+            return None
+        except StageError as error:
+            self._stats.increment("reliability.failures.map")
+            result.failure = error.describe()
+            result.failure_stage = error.stage.value
+            return None
+        except Exception as unexpected:
+            self._stats.increment("reliability.failures.map")
+            error = MappingError(f"{type(unexpected).__name__}: {unexpected}")
+            result.failure = error.describe()
+            result.failure_stage = error.stage.value
+            return None
+
+    def _generate_stage(self, text, mapped, result, faults, deadline) -> bool:
+        try:
+            if faults is not None and faults.check("generate", text):
+                result.candidate_queries = []
+            else:
+                with self._stats.timer("generate"):
+                    result.candidate_queries = self._generator.generate(
+                        mapped, deadline=deadline
+                    )
+        except StageError as error:
+            self._stats.increment("reliability.failures.generate")
+            result.failure = error.describe()
+            result.failure_stage = error.stage.value
+            return False
+        except Exception as unexpected:
+            self._stats.increment("reliability.failures.generate")
+            error = QueryGenerationError(
+                f"{type(unexpected).__name__}: {unexpected}"
+            )
+            result.failure = error.describe()
+            result.failure_stage = error.stage.value
+            return False
         if not result.candidate_queries:
             result.failure = "no candidate queries generated"
-            return result
-
-        with self._stats.timer("execute"):
-            self._execute(result)
-        if not result.answered and result.failure is None:
-            result.failure = "no candidate query produced type-conforming answers"
-        return result
+            return False
+        return True
 
     def answer_many(
         self,
@@ -243,35 +461,90 @@ class QuestionAnsweringSystem:
         )
         return True
 
-    def _execute(self, result: Answer) -> None:
+    def _execute(
+        self,
+        result: Answer,
+        deadline: Deadline | None = None,
+        faults=None,
+        text: str = "",
+    ) -> None:
         """Run candidates best-first; keep the first productive one.
 
         Early termination (section 2.3.1): candidate scores are sorted
         non-increasing, so the moment a candidate yields type-conforming
         answers no later candidate can displace it — the loop stops without
         touching the rest of the (already capped) list.
+
+        Reliability: a candidate that raises (or draws an injected fault)
+        is *skipped* — ranking continues over the survivors — and the first
+        typed error is kept for the diagnostic if nothing answers.  The
+        ``max_candidates`` cap and the wall-clock deadline both cut the
+        loop short with an explicit truncation marker, never silently.
         """
         check_types = self._config.use_type_checking
-        for executed, candidate in enumerate(result.candidate_queries, start=1):
-            select = self._kb.engine.query(candidate.to_ast())
+        candidates = result.candidate_queries
+        cap = self._config.max_candidates
+        if cap is not None and len(candidates) > cap:
+            self._stats.increment(
+                "execute.candidates_truncated", len(candidates) - cap
+            )
+            result.truncated = True
+            candidates = candidates[:cap]
+
+        first_error: StageError | None = None
+        executed = 0
+        for candidate in candidates:
+            if deadline is not None and deadline.expired():
+                self._stats.increment("execute.budget_exhausted")
+                break
+            executed += 1
+            try:
+                if faults is not None and faults.check("execute", text):
+                    continue  # injected empty result set
+                select = self._kb.engine.query(candidate.to_ast())
+            except StageError as error:
+                first_error = first_error or error
+                self._stats.increment("execute.candidates_failed")
+                continue
+            except Exception as unexpected:
+                first_error = first_error or ExecutionError(
+                    f"{type(unexpected).__name__}: {unexpected}"
+                )
+                self._stats.increment("execute.candidates_failed")
+                continue
             answers = [term for term in select.column(Variable("x")) if term is not None]
-            if check_types:
-                answers = [
-                    term for term in answers
-                    if answer_matches_type(self._kb, term, result.expected_type)
-                ]
+            if check_types and answers:
+                try:
+                    if faults is not None and faults.check("typecheck", text):
+                        answers = []
+                    else:
+                        answers = [
+                            term for term in answers
+                            if answer_matches_type(self._kb, term, result.expected_type)
+                        ]
+                except StageError as error:
+                    first_error = first_error or error
+                    self._stats.increment("execute.candidates_failed")
+                    continue
+                except Exception as unexpected:
+                    first_error = first_error or TypeCheckError(
+                        f"{type(unexpected).__name__}: {unexpected}"
+                    )
+                    self._stats.increment("execute.candidates_failed")
+                    continue
             if answers:
                 result.answers = answers
                 result.query = candidate
                 self._stats.increment("execute.candidates_run", executed)
                 self._stats.increment(
                     "execute.candidates_short_circuited",
-                    len(result.candidate_queries) - executed,
+                    len(candidates) - executed,
                 )
                 return
-        self._stats.increment(
-            "execute.candidates_run", len(result.candidate_queries)
-        )
+        self._stats.increment("execute.candidates_run", executed)
+        if first_error is not None and result.failure is None:
+            result.failure = first_error.describe()
+            result.failure_stage = first_error.stage.value
 
     @property
     def kb(self) -> KnowledgeBase:

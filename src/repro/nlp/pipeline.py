@@ -79,8 +79,29 @@ class Pipeline:
 
     def annotate_uncached(self, text: str) -> Sentence:
         """Run the full chain, bypassing (and not filling) the memo."""
+        tokens, mentions = self._tokenize_and_tag(text)
+        graph = self._parser.parse(tokens)
+        return Sentence(text=text, tokens=tokens, graph=graph, mentions=mentions)
+
+    def annotate_shallow(self, text: str) -> Sentence:
+        """Degraded-mode annotation: tokenise, chunk and tag — no parse.
+
+        Used by the reliability layer's fallback ladder when full
+        annotation fails: the returned sentence carries a flat dependency
+        graph (no arcs, no root, template ``"shallow-fallback"``) that the
+        keyword pattern extractor can still work with.  Never cached — the
+        memo must only ever hold full annotations, so a fault during
+        annotation can't poison later clean runs.
+        """
+        tokens, mentions = self._tokenize_and_tag(text)
+        graph = DependencyGraph(tokens, root=None)
+        graph.template = "shallow-fallback"
+        return Sentence(text=text, tokens=tokens, graph=graph, mentions=mentions)
+
+    def _tokenize_and_tag(self, text: str) -> tuple[list[Token], list[Mention]]:
+        """The pre-parse half of the chain, shared by both annotate modes."""
         raw_tokens = tokenize(text)
-        merged, mention_spans = self._merge_entities(raw_tokens)
+        merged, __ = self._merge_entities(raw_tokens)
         tags = self._tagger.tag([surface for surface, __ in merged])
 
         tokens: list[Token] = []
@@ -92,9 +113,7 @@ class Pipeline:
                 mentions.append(Mention(index, surface, candidates))
             else:
                 tokens.append(Token(index, surface, lemmatize(surface, pos), pos))
-
-        graph = self._parser.parse(tokens)
-        return Sentence(text=text, tokens=tokens, graph=graph, mentions=mentions)
+        return tokens, mentions
 
     # ------------------------------------------------------------------
 

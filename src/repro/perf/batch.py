@@ -14,6 +14,13 @@ Results are returned in input order and are exactly what sequential
 same deterministic pipeline, and no stage's outcome depends on which thread
 ran it or on cache warmth (caches change *when* work happens, never its
 result).
+
+**Batch isolation** (docs/reliability.md): one poisoned question can never
+kill the batch.  ``answer()`` itself never raises (the reliability layer
+converts stage failures into typed ``Answer.failure`` diagnostics), and as
+a last line of defence every per-question call here is guarded — an escape
+is converted into a failed ``Answer`` for that question only, counted under
+``batch.failures``, while every other question completes normally.
 """
 
 from __future__ import annotations
@@ -61,10 +68,24 @@ class BatchAnswerer:
         stats = self._system.stats
         stats.increment("batch.questions", len(questions))
         if len(questions) == 1 or self._max_workers == 1:
-            return [self._system.answer(question) for question in questions]
+            return [self._answer_isolated(question) for question in questions]
         with stats.timer("batch.wall"):
             with ThreadPoolExecutor(
                 max_workers=min(self._max_workers, len(questions)),
                 thread_name_prefix="repro-batch",
             ) as pool:
-                return list(pool.map(self._system.answer, questions))
+                return list(pool.map(self._answer_isolated, questions))
+
+    def _answer_isolated(self, question: str) -> "Answer":
+        """One question, contained: an escaping exception fails only it."""
+        try:
+            return self._system.answer(question)
+        except Exception as error:
+            from repro.core.system import Answer
+
+            self._system.stats.increment("batch.failures")
+            return Answer(
+                question=question,
+                failure=f"InternalError: unhandled {type(error).__name__}: {error}",
+                failure_stage="internal",
+            )

@@ -1,0 +1,73 @@
+"""Per-stage wall-clock deadlines.
+
+A :class:`Deadline` is created once per question (from
+``PipelineConfig.stage_budget_ms``) and handed to the expensive stages
+(candidate enumeration and candidate execution).  Stages poll
+:meth:`Deadline.expired` at natural loop boundaries and stop early —
+*keeping whatever they already produced* — rather than raising through the
+pipeline.  The first observation of expiry latches :attr:`tripped`, which
+is how the system knows to mark the answer as truncated (no silent caps:
+every budget hit is visible in ``Answer.truncated`` and the
+``reliability.budget_exhausted.*`` counters).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Deadline:
+    """A monotonic wall-clock budget shared by one question's stages.
+
+    ``clock`` is injectable for deterministic tests.
+
+    >>> ticks = iter([0.0, 0.05, 0.2])
+    >>> deadline = Deadline(0.1, clock=lambda: next(ticks))
+    >>> deadline.expired()
+    False
+    >>> deadline.expired()
+    True
+    >>> deadline.tripped
+    True
+    """
+
+    __slots__ = ("_clock", "_expires_at", "tripped")
+
+    def __init__(
+        self,
+        seconds: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+        #: Latched true the first time :meth:`expired` observes expiry.
+        self.tripped = False
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires (budget feature switched off)."""
+        return cls(None)
+
+    @classmethod
+    def from_millis(cls, millis: float | None, **kwargs) -> "Deadline":
+        return cls(None if millis is None else millis / 1000.0, **kwargs)
+
+    @property
+    def limited(self) -> bool:
+        return self._expires_at is not None
+
+    def remaining(self) -> float:
+        """Seconds left; ``inf`` when unlimited, floored at 0."""
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """Whether the budget is spent (latches :attr:`tripped`)."""
+        if self._expires_at is None:
+            return False
+        if self._clock() >= self._expires_at:
+            self.tripped = True
+            return True
+        return False

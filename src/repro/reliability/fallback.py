@@ -1,0 +1,87 @@
+"""Degraded-mode extraction: shallow keyword patterns, no parse tree.
+
+When dependency parsing (or the section-2.1 extractor itself) fails, the
+pipeline falls back to this extractor instead of refusing outright — the
+same "partial evidence beats no evidence" stance SLING-style relation
+linkers take.  It needs only tokens: one recognised entity mention plus
+one content word yields the pattern ``[?x, <content word>, <entity>]``,
+which downstream mapping and both-orientation query generation (section
+2.3) can still turn into real candidate queries.
+
+The fallback is deliberately conservative: with no entity mention or no
+content word it produces nothing, so a question rescued this way either
+answers through the ordinary mapping machinery or fails with the original
+typed :class:`~repro.reliability.errors.StageError` — it never invents
+evidence.  Answers produced through this path are flagged in
+``Answer.degraded``.
+"""
+
+from __future__ import annotations
+
+from repro.core.triples import Slot, TriplePattern
+from repro.nlp.dependencies import Token
+from repro.nlp.pipeline import Sentence
+
+#: Question machinery that must never become a predicate keyword.
+_STOP_WORDS = {
+    "be", "is", "are", "was", "were", "do", "does", "did", "have", "has",
+    "had", "the", "a", "an", "of", "in", "on", "by", "to", "for", "with",
+    "from", "and", "or", "not", "give", "me", "all", "list", "many",
+    "much", "what", "which", "who", "whom", "whose", "where", "when",
+    "how", "why", "there", "it", "this", "that", "these", "those",
+}
+
+
+class KeywordPatternExtractor:
+    """Builds shallow triple patterns from token-level evidence only."""
+
+    def extract(self, sentence: Sentence) -> list[TriplePattern]:
+        """One ``[?x, keyword, entity]`` pattern, or nothing.
+
+        Works on any :class:`Sentence`, including the flat (unparsed)
+        output of ``Pipeline.annotate_shallow``.
+        """
+        entity = self._first_entity(sentence)
+        if entity is None:
+            return []
+        keyword = self._content_word(sentence, entity)
+        if keyword is None:
+            return []
+        return [
+            TriplePattern(
+                Slot.variable(),
+                Slot.text_of(keyword),
+                Slot.entity(entity),
+                is_main=True,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _first_entity(sentence: Sentence) -> Token | None:
+        for token in sentence.tokens:
+            if token.entity:
+                return token
+        return None
+
+    @staticmethod
+    def _content_word(sentence: Sentence, entity: Token) -> Token | None:
+        """The best predicate keyword: prefer a verb, else a noun/adjective.
+
+        Tokens are scanned in sentence order; the entity itself, wh-words
+        and stop words never qualify.
+        """
+        fallback: Token | None = None
+        for token in sentence.tokens:
+            if token.index == entity.index or token.entity:
+                continue
+            if token.is_wh_word() or token.lemma.lower() in _STOP_WORDS:
+                continue
+            if not token.text or not token.text[0].isalnum():
+                continue
+            if token.is_verb():
+                return token
+            if fallback is None and (token.is_noun() or token.is_adjective()):
+                fallback = token
+        return fallback

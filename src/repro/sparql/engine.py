@@ -112,12 +112,24 @@ class SparqlEngine:
             self._stats.increment("sparql.result_cache.hits")
             return cached
         self._stats.increment("sparql.result_cache.misses")
-        result = self._evaluate(query)
+        # Failure containment (docs/reliability.md): the cache is filled
+        # only after a *successful* evaluation — an evaluation that raises
+        # leaves both caches untouched, so a faulted run can never poison
+        # the results a later clean run observes.
+        try:
+            result = self._evaluate(query)
+        except Exception:
+            self._stats.increment("sparql.errors")
+            raise
         self._result_cache.put(query, result)
         return result
 
     def _parse(self, text: str) -> SelectQuery | AskQuery:
-        """Parse query text through the parse cache."""
+        """Parse query text through the parse cache.
+
+        Like the result cache, the parse cache only ever holds successful
+        parses: a raising parse is counted and propagated, never stored.
+        """
         if not self.cache_enabled:
             return parse_query(text)
         ast = self._parse_cache.get(text)
@@ -125,7 +137,11 @@ class SparqlEngine:
             self._stats.increment("sparql.parse_cache.hits")
             return ast
         self._stats.increment("sparql.parse_cache.misses")
-        ast = parse_query(text)
+        try:
+            ast = parse_query(text)
+        except Exception:
+            self._stats.increment("sparql.parse_errors")
+            raise
         self._parse_cache.put(text, ast)
         return ast
 

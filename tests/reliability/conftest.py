@@ -1,0 +1,61 @@
+"""Shared fixtures for the reliability suite.
+
+The heavyweight resources (KB, pattern store, WordNet maps) are built once
+per session; individual tests construct cheap per-test systems over them
+via ``make_system`` so each can carry its own fault injector / budgets
+without cross-test interference.
+"""
+
+import pytest
+
+from repro.core import PipelineConfig, QuestionAnsweringSystem
+from repro.kb import load_curated_kb
+from repro.patty import build_pattern_store
+from repro.wordnet import (
+    build_adjective_map,
+    build_similar_property_pairs,
+    build_wordnet,
+)
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="session")
+def _resources(kb):
+    wordnet = build_wordnet()
+    return {
+        "pattern_store": build_pattern_store(kb),
+        "similar_pairs": build_similar_property_pairs(kb.ontology, wordnet),
+        "adjective_map": build_adjective_map(kb.ontology, wordnet),
+    }
+
+
+@pytest.fixture()
+def make_system(kb, _resources):
+    """Factory: a fresh system over the shared resources for any config."""
+
+    def build(config: PipelineConfig | None = None) -> QuestionAnsweringSystem:
+        return QuestionAnsweringSystem(
+            kb,
+            _resources["pattern_store"],
+            _resources["similar_pairs"],
+            _resources["adjective_map"],
+            config if config is not None else PipelineConfig(),
+        )
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def session_qa(kb, _resources):
+    """One long-lived default-config system for read-only robustness tests."""
+    return QuestionAnsweringSystem(
+        kb,
+        _resources["pattern_store"],
+        _resources["similar_pairs"],
+        _resources["adjective_map"],
+        PipelineConfig(),
+    )

@@ -1,0 +1,179 @@
+"""Fault-injection matrix: every stage x every fault kind x dev questions.
+
+For each cell the batch must complete with one Answer per question, only
+affected questions may fail — and when they fail, ``Answer.failure`` names
+the matching typed StageError — and a clean re-run afterwards must return
+answers **byte-identical** to a never-faulted run (the
+cache-consistency-after-fault contract of docs/reliability.md).
+
+The quick (default) mode runs the full stage x kind matrix over a slice of
+the QALD dev set; the ``slow``-marked test covers all 20 dev questions.
+"""
+
+import pytest
+
+from repro.core import PipelineConfig
+from repro.qald.devset import load_dev_questions
+from repro.reliability import STAGES, FaultInjector, FaultSpec, error_for
+
+FAULT_KINDS = ("error", "timeout", "empty")
+
+#: What the failure diagnostic must lead with, per (stage, kind).
+def expected_failure_names(stage, kind):
+    if kind == "timeout":
+        return ("StageTimeout",)
+    if kind == "error":
+        return (error_for(stage).__name__,)
+    # "empty" faults surface as ordinary refusals, not typed errors.
+    return ()
+
+
+def answer_signature(answer):
+    """A byte-for-byte comparable rendering of everything user-visible."""
+    return (
+        answer.question,
+        tuple(str(term) for term in answer.answers),
+        answer.failure,
+        answer.boolean,
+        None if answer.query is None else answer.query.to_sparql(),
+    )
+
+
+@pytest.fixture(scope="module")
+def dev_questions():
+    return [q.text for q in load_dev_questions()]
+
+
+@pytest.fixture(scope="module")
+def pristine(make_system_module, dev_questions):
+    """Answers from a system that has never seen a fault."""
+    qa = make_system_module(PipelineConfig())
+    return [answer_signature(a) for a in qa.answer_many(dev_questions)]
+
+
+@pytest.fixture(scope="module")
+def make_system_module(kb, _resources):
+    from repro.core import QuestionAnsweringSystem
+
+    def build(config):
+        return QuestionAnsweringSystem(
+            kb,
+            _resources["pattern_store"],
+            _resources["similar_pairs"],
+            _resources["adjective_map"],
+            config,
+        )
+
+    return build
+
+
+def run_matrix_cell(qa, injector, stage, kind, questions, pristine):
+    """Arm one fault, run the batch, then prove the clean re-run is intact."""
+    injector.disarm()
+    injector.arm(FaultSpec(stage=stage, kind=kind))
+
+    faulted = qa.answer_many(questions)
+
+    # The batch completed: one Answer per question, in order, none raised.
+    assert [a.question for a in faulted] == questions
+
+    expected_names = expected_failure_names(stage, kind)
+    pristine_answered = {
+        sig[0] for sig in pristine if sig[1] or sig[3] is not None
+    }
+    for answer in faulted:
+        if answer.answered:
+            # Rescued by a fallback (annotate/extract faults) or the fault
+            # kind leaves answers intact; degraded-mode answers say so.
+            assert answer.failure is None
+        else:
+            assert answer.failure is not None
+            # Only questions the clean pipeline fully answers are
+            # guaranteed to reach (and therefore draw) the injected fault;
+            # ones refused at an earlier stage keep their own diagnostic,
+            # and fallback-degraded answers may fail further downstream.
+            if (
+                expected_names
+                and not answer.degraded
+                and answer.question in pristine_answered
+            ):
+                assert answer.failure.startswith(expected_names), (
+                    f"{stage}:{kind}: {answer.failure!r}"
+                )
+
+    # Cache-consistency contract: disarm, re-run clean, compare bytes.
+    injector.disarm()
+    clean = [answer_signature(a) for a in qa.answer_many(questions)]
+    assert clean == pristine, f"cache poisoned by {stage}:{kind}"
+    return faulted
+
+
+class TestFaultMatrixQuick:
+    """The full stage x kind matrix over a 5-question dev slice."""
+
+    @pytest.mark.parametrize("stage", STAGES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_cell(self, make_system_module, dev_questions, pristine, stage, kind):
+        questions = dev_questions[:5]
+        injector = FaultInjector()
+        qa = make_system_module(PipelineConfig().with_fault_injector(injector))
+        # Warm the caches with a clean batch first: a fault afterwards must
+        # neither use poisoned entries nor poison the warm ones.
+        qa.answer_many(questions)
+        run_matrix_cell(
+            qa, injector, stage, kind, questions, pristine[:5]
+        )
+
+    def test_typed_failures_surface_for_unrescuable_stages(
+        self, make_system_module, dev_questions
+    ):
+        """map/generate/execute/typecheck error-faults fail every question
+        with the stage's taxonomy name (no fallback can rescue those)."""
+        injector = FaultInjector()
+        qa = make_system_module(PipelineConfig().with_fault_injector(injector))
+        for stage in ("map", "generate", "execute", "typecheck"):
+            injector.disarm()
+            injector.arm(FaultSpec(stage=stage, kind="error"))
+            for answer in qa.answer_many(dev_questions[:5]):
+                assert not answer.answered
+                assert answer.failure.startswith(error_for(stage).__name__)
+                assert answer.failure_stage == stage
+
+    def test_match_scoped_fault_hits_only_affected_question(
+        self, make_system_module, dev_questions, pristine
+    ):
+        """A fault scoped to one question fails it alone; the rest of the
+        batch is untouched."""
+        injector = FaultInjector()
+        qa = make_system_module(PipelineConfig().with_fault_injector(injector))
+        target = dev_questions[1]  # "Where was Steven Spielberg born?"
+        injector.arm(FaultSpec(stage="execute", kind="error", match=target))
+
+        answers = qa.answer_many(dev_questions)
+        by_question = {a.question: a for a in answers}
+        assert by_question[target].failure is not None
+        assert by_question[target].failure.startswith("ExecutionError")
+
+        unaffected = [
+            answer_signature(a) for a in answers if a.question != target
+        ]
+        expected = [
+            signature for signature in pristine if signature[0] != target
+        ]
+        assert unaffected == expected
+
+        injector.disarm()
+        clean = [answer_signature(a) for a in qa.answer_many(dev_questions)]
+        assert clean == pristine
+
+
+@pytest.mark.slow
+class TestFaultMatrixFull:
+    """Every stage x kind over the full 20-question dev set."""
+
+    @pytest.mark.parametrize("stage", STAGES)
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_cell(self, make_system_module, dev_questions, pristine, stage, kind):
+        injector = FaultInjector()
+        qa = make_system_module(PipelineConfig().with_fault_injector(injector))
+        run_matrix_cell(qa, injector, stage, kind, dev_questions, pristine)

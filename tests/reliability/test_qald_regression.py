@@ -1,0 +1,86 @@
+"""Regression pin: the reliability layer must not move the QALD dev score.
+
+Table 2 reproduction fidelity is the project's ground truth; the typed
+failure boundaries, fallback ladder and (generous) budgets are required to
+be score-neutral.  Both metric families are compared outcome-by-outcome
+between the plain configuration and a reliability-enabled one.
+"""
+
+import pytest
+
+from repro.core import PipelineConfig
+from repro.qald.devset import load_dev_questions
+from repro.qald.evaluate import QaldEvaluator
+
+
+def _metrics(result):
+    return {
+        "total": result.total,
+        "answered": result.answered,
+        "correct": result.correct,
+        "paper_precision": result.paper_precision,
+        "paper_recall": result.paper_recall,
+        "paper_f1": result.paper_f1,
+        "macro_precision": result.macro_precision,
+        "macro_recall": result.macro_recall,
+        "macro_f1": result.macro_f1,
+    }
+
+
+def _per_question(result):
+    return [
+        (o.question.qid, o.answered, o.correct, frozenset(map(str, o.predicted)))
+        for o in result.outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def questions():
+    return load_dev_questions()
+
+
+class TestDevSetScoreUnchanged:
+    def test_reliability_layer_is_score_neutral(
+        self, kb, make_system_module_reg, questions
+    ):
+        baseline_qa = make_system_module_reg(PipelineConfig())
+        baseline = QaldEvaluator(kb, baseline_qa).evaluate(questions)
+
+        # Generous budgets: present (so the code paths run) but far above
+        # what any dev question needs, hence score-neutral by contract.
+        reliability_config = PipelineConfig().with_budgets(
+            max_candidates=PipelineConfig().max_queries,
+            stage_budget_ms=60_000.0,
+        )
+        guarded_qa = make_system_module_reg(reliability_config)
+        guarded = QaldEvaluator(kb, guarded_qa).evaluate(questions)
+
+        assert _metrics(guarded) == _metrics(baseline)
+        assert _per_question(guarded) == _per_question(baseline)
+        # Budgets were live but never tripped; nothing was truncated.
+        assert guarded_qa.stats.counter("reliability.budget_exhausted") == 0
+        assert guarded_qa.stats.counter("execute.candidates_truncated") == 0
+
+    def test_dev_set_answers_something(self, kb, make_system_module_reg, questions):
+        """Guard against a vacuously-passing pin (both runs scoring zero)."""
+        qa = make_system_module_reg(PipelineConfig())
+        result = QaldEvaluator(kb, qa).evaluate(questions)
+        assert result.total == 20
+        assert result.answered >= 10
+        assert result.paper_f1 > 0.5
+
+
+@pytest.fixture(scope="module")
+def make_system_module_reg(kb, _resources):
+    from repro.core import QuestionAnsweringSystem
+
+    def build(config):
+        return QuestionAnsweringSystem(
+            kb,
+            _resources["pattern_store"],
+            _resources["similar_pairs"],
+            _resources["adjective_map"],
+            config,
+        )
+
+    return build

@@ -1,0 +1,158 @@
+"""Unit coverage for the reliability primitives: the typed error taxonomy,
+deadlines, and the deterministic fault injector."""
+
+import pytest
+
+from repro.reliability import (
+    STAGES,
+    AnnotationError,
+    BudgetExceeded,
+    Deadline,
+    ExecutionError,
+    FaultInjector,
+    FaultSpec,
+    MappingError,
+    Stage,
+    StageError,
+    StageTimeout,
+    error_for,
+)
+
+
+class TestTaxonomy:
+    def test_every_stage_has_an_error_class(self):
+        for stage in STAGES:
+            cls = error_for(stage)
+            assert issubclass(cls, StageError)
+            assert cls("x").stage.value == stage
+
+    def test_stage_enum_matches_stage_list(self):
+        assert STAGES == tuple(s.value for s in Stage)
+        assert STAGES == (
+            "annotate", "extract", "map", "generate", "execute", "typecheck",
+        )
+
+    def test_describe_leads_with_class_name(self):
+        error = ExecutionError("boom")
+        assert error.describe().startswith("ExecutionError")
+        assert "stage 'execute'" in error.describe()
+        assert "boom" in error.describe()
+
+    def test_describe_without_detail(self):
+        assert MappingError().describe() == "MappingError at stage 'map'"
+
+    def test_timeout_and_budget_carry_their_stage(self):
+        assert StageTimeout("extract").stage is Stage.EXTRACT
+        assert StageTimeout(Stage.MAP).stage is Stage.MAP
+        assert BudgetExceeded("execute", "58ms over").stage is Stage.EXECUTE
+        assert "58ms over" in BudgetExceeded("execute", "58ms over").describe()
+
+    def test_stage_errors_are_exceptions_not_base_escapes(self):
+        with pytest.raises(StageError):
+            raise AnnotationError("parse blew up")
+
+    def test_error_for_rejects_unknown_stage(self):
+        with pytest.raises(ValueError):
+            error_for("frobnicate")
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.limited
+        assert not deadline.expired()
+        assert deadline.remaining() == float("inf")
+        assert not deadline.tripped
+
+    def test_expiry_is_latched(self):
+        ticks = iter([0.0, 0.01, 0.5, 0.6])
+        deadline = Deadline(0.1, clock=lambda: next(ticks))
+        assert not deadline.expired()
+        assert deadline.expired()
+        assert deadline.tripped
+
+    def test_from_millis(self):
+        ticks = iter([0.0, 0.05, 0.2])
+        deadline = Deadline.from_millis(100, clock=lambda: next(ticks))
+        assert not deadline.expired()
+        assert deadline.expired()
+        assert Deadline.from_millis(None).limited is False
+
+    def test_remaining_floors_at_zero(self):
+        ticks = iter([0.0, 5.0])
+        deadline = Deadline(1.0, clock=lambda: next(ticks))
+        assert deadline.remaining() == 0.0
+
+
+class TestFaultSpec:
+    def test_parse_stage_and_kind(self):
+        spec = FaultSpec.parse("execute:timeout")
+        assert spec.stage == "execute" and spec.kind == "timeout"
+        assert spec.match is None
+
+    def test_parse_with_match(self):
+        spec = FaultSpec.parse("map:error:Orhan")
+        assert spec.match == "Orhan"
+
+    def test_parse_rejects_bad_syntax(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("execute")
+
+    def test_rejects_unknown_stage_or_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stage="warp", kind="error")
+        with pytest.raises(ValueError):
+            FaultSpec(stage="execute", kind="explode")
+
+
+class TestFaultInjector:
+    def test_inert_when_disarmed(self):
+        injector = FaultInjector()
+        assert not injector.armed
+        assert injector.check("execute", "any question") is False
+
+    def test_error_fault_raises_stage_class(self):
+        injector = FaultInjector([FaultSpec(stage="map", kind="error")])
+        with pytest.raises(MappingError):
+            injector.check("map", "q")
+        assert injector.check("execute", "q") is False  # other stages clean
+
+    def test_timeout_fault_raises_stage_timeout(self):
+        injector = FaultInjector([FaultSpec(stage="annotate", kind="timeout")])
+        with pytest.raises(StageTimeout) as caught:
+            injector.check("annotate")
+        assert caught.value.stage is Stage.ANNOTATE
+
+    def test_empty_fault_returns_true(self):
+        injector = FaultInjector([FaultSpec(stage="extract", kind="empty")])
+        assert injector.check("extract", "q") is True
+
+    def test_match_restricts_to_question_substring(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="execute", kind="error", match="Pamuk")]
+        )
+        assert injector.check("execute", "Who wrote Dune?") is False
+        with pytest.raises(ExecutionError):
+            injector.check("execute", "Which book is written by Orhan Pamuk?")
+
+    def test_times_counts_down_deterministically(self):
+        injector = FaultInjector(
+            [FaultSpec(stage="execute", kind="error", times=2)]
+        )
+        for __ in range(2):
+            with pytest.raises(ExecutionError):
+                injector.check("execute", "q")
+        assert injector.check("execute", "q") is False
+        assert injector.fired("execute", "error") == 2
+
+    def test_disarm_clears_specs_but_keeps_fired_counts(self):
+        injector = FaultInjector([FaultSpec(stage="execute", kind="error")])
+        with pytest.raises(ExecutionError):
+            injector.check("execute", "q")
+        injector.disarm()
+        assert injector.check("execute", "q") is False
+        assert injector.fired("execute", "error") == 1
+
+    def test_accepts_stage_enum(self):
+        injector = FaultInjector([FaultSpec(stage="generate", kind="empty")])
+        assert injector.check(Stage.GENERATE, "q") is True
