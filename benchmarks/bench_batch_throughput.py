@@ -73,7 +73,7 @@ def run_optimized(
         answers = system.answer_many(questions, max_workers=workers)
         signatures = [answer_signature(a) for a in answers]
     elapsed = time.perf_counter() - start
-    return elapsed, signatures, system.perf_report()
+    return elapsed, signatures, system.metrics()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,7 +95,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats = 1
 
     baseline_seconds, baseline_sigs = run_baseline(questions, repeats)
-    optimized_seconds, optimized_sigs, perf = run_optimized(
+    optimized_seconds, optimized_sigs, metrics = run_optimized(
         questions, repeats, args.workers
     )
 
@@ -112,7 +112,7 @@ def main(argv: list[str] | None = None) -> int:
         "optimized_seconds": round(optimized_seconds, 4),
         "speedup": round(speedup, 2),
         "identical_answers": identical,
-        "perf": perf,
+        "metrics": metrics,
     }
 
     print("BENCH " + json.dumps(result))

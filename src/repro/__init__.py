@@ -1,9 +1,9 @@
 """repro — reproduction of "Semantic Question Answering System over Linked
 Data using Relational Patterns" (Hakimov et al., EDBT/ICDT Workshops 2013).
 
-Top-level convenience API::
+The stable public surface is :mod:`repro.api` (re-exported here)::
 
-    from repro import load_curated_kb, QuestionAnsweringSystem
+    from repro.api import QuestionAnsweringSystem, load_curated_kb
 
     kb = load_curated_kb()
     qa = QuestionAnsweringSystem.over(kb)
@@ -12,23 +12,31 @@ Top-level convenience API::
 Subsystems (see README.md for the map): :mod:`repro.rdf`,
 :mod:`repro.sparql`, :mod:`repro.kb`, :mod:`repro.nlp`,
 :mod:`repro.wordnet`, :mod:`repro.patty`, :mod:`repro.ned`,
-:mod:`repro.similarity`, :mod:`repro.core`, :mod:`repro.qald`.
+:mod:`repro.similarity`, :mod:`repro.core`, :mod:`repro.qald`,
+:mod:`repro.perf`, :mod:`repro.reliability`, :mod:`repro.obs`.
 """
 
-from repro.core.config import PipelineConfig
-from repro.core.system import Answer, QuestionAnsweringSystem
-from repro.kb.builder import KnowledgeBase
-from repro.kb.dataset import load_curated_kb
-from repro.kb.generator import load_synthetic_kb
+from repro.api import (
+    Answer,
+    Explanation,
+    KnowledgeBase,
+    PipelineConfig,
+    QuestionAnsweringSystem,
+    answer_many,
+    load_curated_kb,
+    load_synthetic_kb,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuestionAnsweringSystem",
     "Answer",
+    "Explanation",
     "PipelineConfig",
     "KnowledgeBase",
     "load_curated_kb",
     "load_synthetic_kb",
+    "answer_many",
     "__version__",
 ]

@@ -1,0 +1,85 @@
+"""The stable top-level facade — import from here, not from submodules.
+
+Everything a downstream user of the reproduction needs lives behind this
+one module, so internal reorganisations (which submodule owns ``Answer``,
+where the tracer lives, …) never break callers::
+
+    from repro.api import QuestionAnsweringSystem, load_curated_kb
+
+    qa = QuestionAnsweringSystem.over(load_curated_kb())
+    result = qa.answer("Which book is written by Orhan Pamuk?")
+    print(result.answers)
+    print(result.explanation())          # structured, str() == report text
+
+Batch answering without holding a system yourself::
+
+    from repro.api import answer_many
+
+    results = answer_many(["Who wrote Dune?", "Where was Kafka born?"])
+
+The exported names (and nothing else here) are covered by the
+compatibility promise:
+
+============================  =========================================
+``QuestionAnsweringSystem``   the whole pipeline; ``.answer()`` /
+                              ``.answer_many()`` / ``.metrics()``
+``PipelineConfig``            frozen config; ``.with_extensions()``,
+                              ``.with_tracing()``, ``.updated()``
+``Answer``                    one question's outcome; ``.explanation()``
+``Explanation``               structured account of the pipeline run
+``KnowledgeBase``             the curated/synthetic KB container
+``load_curated_kb``           the paper's curated DBpedia slice
+``load_synthetic_kb``         the larger generated KB (benchmarks)
+``answer_many``               one-shot batch helper (below)
+============================  =========================================
+
+Observability (``docs/observability.md``) is reached from these same
+objects: ``PipelineConfig.with_tracing()`` turns on span traces
+(``Answer.trace``), and ``QuestionAnsweringSystem.metrics()`` emits the
+unified ``repro.metrics/v1`` document.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.config import PipelineConfig
+from repro.core.explain import Explanation
+from repro.core.system import Answer, QuestionAnsweringSystem
+from repro.kb.builder import KnowledgeBase
+from repro.kb.dataset import load_curated_kb
+from repro.kb.generator import load_synthetic_kb
+
+__all__ = [
+    "QuestionAnsweringSystem",
+    "PipelineConfig",
+    "Answer",
+    "Explanation",
+    "KnowledgeBase",
+    "load_curated_kb",
+    "load_synthetic_kb",
+    "answer_many",
+]
+
+
+def answer_many(
+    questions: Sequence[str] | Iterable[str],
+    *,
+    kb: KnowledgeBase | None = None,
+    config: PipelineConfig | None = None,
+    max_workers: int | None = None,
+) -> list[Answer]:
+    """Answer a batch of questions in one call, results in input order.
+
+    Builds a :class:`QuestionAnsweringSystem` over ``kb`` (the curated KB
+    when omitted) and fans the questions out over a thread pool — the
+    convenience wrapper around
+    :meth:`QuestionAnsweringSystem.answer_many` for callers who do not
+    need to keep the system (and its warm caches) around.  Constructing
+    the system dominates one-shot cost, so hold your own instance when
+    answering repeatedly.
+    """
+    system = QuestionAnsweringSystem.over(
+        kb if kb is not None else load_curated_kb(), config
+    )
+    return system.answer_many(questions, max_workers=max_workers)

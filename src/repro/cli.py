@@ -2,29 +2,151 @@
 
     python -m repro ask "Which book is written by Orhan Pamuk?"
     python -m repro ask --extensions "When did Frank Herbert die?"
-    python -m repro eval --verbose
+    python -m repro ask --trace "Who wrote The Pillars of the Earth?"
+    python -m repro explain "Who wrote The Pillars of the Earth?"
+    python -m repro eval --verbose --metrics-out metrics.json
     python -m repro sparql "SELECT ?x WHERE { ?x a dbont:Book } LIMIT 3"
+    python -m repro plan "SELECT ?x WHERE { ?x a dbont:Book }"
     python -m repro mine die bear write
     python -m repro info
+
+Every pipeline-facing command (``ask`` / ``eval`` / ``explain``) shares one
+declarative flag table (:data:`PIPELINE_FLAGS`): each entry maps an argparse
+flag either straight onto a :class:`repro.core.PipelineConfig` field (via
+``PipelineConfig.updated``) or through a small builder, so a flag behaves
+identically everywhere and adding one is a one-line change.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
-from repro.core import PipelineConfig, QuestionAnsweringSystem
-from repro.kb import load_curated_kb
+from repro.api import PipelineConfig, QuestionAnsweringSystem, load_curated_kb
+from repro.obs.export import render_span_tree, write_metrics
 from repro.qald import (
     QaldEvaluator,
     format_outcomes,
     format_table2,
+    load_dev_questions,
     load_questions,
 )
 from repro.qald.report import format_category_breakdown
 from repro.rdf import Literal
 from repro.sparql.results import AskResult
+
+# ---------------------------------------------------------------------------
+# Declarative flag -> PipelineConfig plumbing (shared by ask/eval/explain)
+# ---------------------------------------------------------------------------
+
+
+def _apply_extensions(config: PipelineConfig, on: bool) -> PipelineConfig:
+    return config.with_extensions() if on else config
+
+
+def _apply_faults(config: PipelineConfig, specs: list[str]) -> PipelineConfig:
+    from repro.reliability import FaultInjector, FaultSpec
+
+    injector = FaultInjector([FaultSpec.parse(text) for text in specs])
+    return config.with_fault_injector(injector)
+
+
+@dataclass(frozen=True)
+class Flag:
+    """One CLI flag and how it lands on :class:`PipelineConfig`.
+
+    Exactly one of ``field``/``apply`` is set: ``field`` names the config
+    field the parsed value is written to (through
+    :meth:`PipelineConfig.updated`), ``apply`` is a builder for flags that
+    need more than a field assignment (extensions bundle, fault injector).
+    """
+
+    name: str
+    kwargs: dict
+    field: str | None = None
+    apply: Callable[[PipelineConfig, Any], PipelineConfig] | None = None
+
+    @property
+    def dest(self) -> str:
+        return self.name.lstrip("-").replace("-", "_")
+
+
+#: The single source of truth for pipeline flags.  Order is help order.
+PIPELINE_FLAGS: tuple[Flag, ...] = (
+    Flag(
+        "--extensions",
+        kwargs=dict(action="store_true",
+                    help="enable the section-6 future-work extensions"),
+        apply=_apply_extensions,
+    ),
+    Flag(
+        "--max-candidates",
+        kwargs=dict(type=int, metavar="N",
+                    help="cap candidate queries executed per question "
+                         "(truncation is reported, never silent)"),
+        field="max_candidates",
+    ),
+    Flag(
+        "--stage-budget-ms",
+        kwargs=dict(type=float, metavar="MS",
+                    help="wall-clock budget for candidate enumeration + "
+                         "execution per question"),
+        field="stage_budget_ms",
+    ),
+    Flag(
+        "--trace",
+        kwargs=dict(action="store_true",
+                    help="record a span tree per question "
+                         "(docs/observability.md)"),
+        field="enable_tracing",
+    ),
+    Flag(
+        "--trace-sample",
+        kwargs=dict(type=int, metavar="K",
+                    help="with --trace: trace every K-th question only"),
+        field="trace_sample_every",
+    ),
+    Flag(
+        "--inject-fault",
+        kwargs=dict(action="append", default=[], metavar="STAGE:KIND",
+                    help="force a fault at a stage boundary (kind: "
+                         "error|timeout|empty; repeatable; for reliability "
+                         "testing)"),
+        apply=_apply_faults,
+    ),
+)
+
+
+def add_pipeline_flags(command: argparse.ArgumentParser) -> None:
+    """Register every :data:`PIPELINE_FLAGS` entry on a subcommand."""
+    for flag in PIPELINE_FLAGS:
+        command.add_argument(flag.name, dest=flag.dest, **flag.kwargs)
+
+
+def config_from_args(args: argparse.Namespace) -> PipelineConfig:
+    """Fold the parsed pipeline flags into a :class:`PipelineConfig`.
+
+    Flags left at their absent default (``None`` / ``False`` / ``[]``) are
+    skipped, so the faithful default configuration is untouched unless a
+    flag was actually given.
+    """
+    config = PipelineConfig()
+    for flag in PIPELINE_FLAGS:
+        value = getattr(args, flag.dest, None)
+        if value is None or value is False or value == []:
+            continue
+        if flag.apply is not None:
+            config = flag.apply(config, value)
+        else:
+            config = config.updated(**{flag.field: value})
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,38 +159,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_reliability_flags(command: argparse.ArgumentParser) -> None:
-        command.add_argument(
-            "--max-candidates", type=int, metavar="N",
-            help="cap candidate queries executed per question "
-                 "(truncation is reported, never silent)")
-        command.add_argument(
-            "--stage-budget-ms", type=float, metavar="MS",
-            help="wall-clock budget for candidate enumeration + execution "
-                 "per question")
-        command.add_argument(
-            "--inject-fault", action="append", default=[], metavar="STAGE:KIND",
-            help="force a fault at a stage boundary (kind: error|timeout|empty;"
-                 " repeatable; for reliability testing)")
-
     ask = sub.add_parser("ask", help="answer a natural-language question")
     ask.add_argument("question", help="the question text")
-    ask.add_argument("--extensions", action="store_true",
-                     help="enable the section-6 future-work extensions")
     ask.add_argument("--verbose", action="store_true",
                      help="show pipeline internals (triples, queries)")
-    add_reliability_flags(ask)
+    add_pipeline_flags(ask)
+
+    explain = sub.add_parser(
+        "explain",
+        help="answer a question and show the full diagnostic view "
+             "(candidate ranking + span tree)",
+    )
+    explain.add_argument("question", help="the question text")
+    add_pipeline_flags(explain)
 
     evaluate = sub.add_parser("eval", help="run the QALD-2-style benchmark (Table 2)")
-    evaluate.add_argument("--extensions", action="store_true")
     evaluate.add_argument("--verbose", action="store_true",
                           help="list per-question outcomes")
     evaluate.add_argument("--json", metavar="PATH",
                           help="also write a machine-readable report")
-    add_reliability_flags(evaluate)
+    evaluate.add_argument("--metrics-out", metavar="PATH",
+                          help="write the unified repro.metrics/v1 document")
+    evaluate.add_argument("--dev", action="store_true",
+                          help="use the 20-question development split "
+                               "instead of the Table-2 set")
+    add_pipeline_flags(evaluate)
 
     sparql = sub.add_parser("sparql", help="run SPARQL against the curated KB")
     sparql.add_argument("query", help="SELECT/ASK query text")
+
+    plan = sub.add_parser("plan", help="show the engine's query plan")
+    plan.add_argument("query", help="SELECT/ASK query text")
 
     mine = sub.add_parser("mine", help="inspect mined relational patterns")
     mine.add_argument("words", nargs="*", default=[],
@@ -76,9 +197,6 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="knowledge-base statistics")
     sub.add_parser("validate", help="check KB consistency against the ontology")
-
-    explain = sub.add_parser("explain", help="show the engine's query plan")
-    explain.add_argument("query", help="SELECT/ASK query text")
 
     export = sub.add_parser(
         "export", help="export the curated KB and the mined pattern resource"
@@ -89,31 +207,28 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(extensions: bool, args: argparse.Namespace | None = None) -> PipelineConfig:
-    config = PipelineConfig().with_extensions() if extensions else PipelineConfig()
-    if args is None:
-        return config
-    max_candidates = getattr(args, "max_candidates", None)
-    stage_budget_ms = getattr(args, "stage_budget_ms", None)
-    if max_candidates is not None or stage_budget_ms is not None:
-        config = config.with_budgets(
-            max_candidates=max_candidates, stage_budget_ms=stage_budget_ms
-        )
-    fault_specs = getattr(args, "inject_fault", None)
-    if fault_specs:
-        from repro.reliability import FaultInjector, FaultSpec
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
 
-        injector = FaultInjector([FaultSpec.parse(text) for text in fault_specs])
-        config = config.with_fault_injector(injector)
-    return config
+
+def _print_answers(kb, result) -> None:
+    for answer in result.answers:
+        if isinstance(answer, Literal):
+            print(answer.lexical)
+        else:
+            print(kb.label_of(answer))
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
     kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions, args))
+    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
     result = qa.answer(args.question)
     if args.verbose:
-        print(result.explain())
+        print(result.explanation())
+        print()
+    if args.trace and result.trace is not None:
+        print(render_span_tree(result.trace))
         print()
     if result.truncated:
         print("(truncated: candidate budget exhausted; answers may be partial)")
@@ -126,18 +241,29 @@ def _cmd_ask(args: argparse.Namespace) -> int:
         stage = f" [stage: {result.failure_stage}]" if result.failure_stage else ""
         print(f"(unanswered: {result.failure}{stage})")
         return 1
-    for answer in result.answers:
-        if isinstance(answer, Literal):
-            print(answer.lexical)
-        else:
-            print(kb.label_of(answer))
+    _print_answers(kb, result)
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Full diagnostic view of one question: the structured report, the
+    ranked candidate table with per-candidate outcomes, and the span tree
+    (tracing is forced on for this command)."""
+    kb = load_curated_kb()
+    config = config_from_args(args).updated(
+        enable_tracing=True, trace_sample_every=1
+    )
+    qa = QuestionAnsweringSystem.over(kb, config)
+    result = qa.answer(args.question)
+    print(result.explanation().render_tree())
+    return 0 if result.answered else 1
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, _config(args.extensions, args))
-    result = QaldEvaluator(kb, qa).evaluate(load_questions())
+    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
+    questions = load_dev_questions() if args.dev else load_questions()
+    result = QaldEvaluator(kb, qa).evaluate(questions)
     print(format_table2(result))
     print()
     print(format_category_breakdown(result))
@@ -162,6 +288,9 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(to_json_dict(result), handle, indent=2)
         print(f"\nJSON report written to {args.json}")
+    if args.metrics_out:
+        write_metrics(qa.metrics(), args.metrics_out)
+        print(f"\nmetrics written to {args.metrics_out}")
     return 0
 
 
@@ -212,7 +341,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if not issues else 1
 
 
-def _cmd_explain(args: argparse.Namespace) -> int:
+def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.sparql.explain import explain
 
     kb = load_curated_kb()
@@ -248,12 +377,13 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "ask": _cmd_ask,
+    "explain": _cmd_explain,
     "eval": _cmd_eval,
     "sparql": _cmd_sparql,
     "mine": _cmd_mine,
     "info": _cmd_info,
     "validate": _cmd_validate,
-    "explain": _cmd_explain,
+    "plan": _cmd_plan,
     "export": _cmd_export,
 }
 

@@ -22,6 +22,7 @@ Pipeline stages, one module per paper subsection:
 """
 
 from repro.core.config import PipelineConfig
+from repro.core.explain import CandidateRecord, Explanation
 from repro.core.triples import Slot, SlotKind, TriplePattern
 from repro.core.extraction import TripleExtractor
 from repro.core.mapping import CandidateTriple, PredicateCandidate, TripleMapper
@@ -31,6 +32,8 @@ from repro.core.system import Answer, QuestionAnsweringSystem
 
 __all__ = [
     "PipelineConfig",
+    "CandidateRecord",
+    "Explanation",
     "Slot",
     "SlotKind",
     "TriplePattern",

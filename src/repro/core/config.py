@@ -81,6 +81,18 @@ class PipelineConfig:
         default=None, compare=False, repr=False
     )
 
+    # -- observability layer (docs/observability.md): span tracing is an
+    # -- opt-in; the default NULL tracer keeps the hot path unchanged -----
+
+    #: Build a span tree per (sampled) question, attached to
+    #: ``Answer.trace``: one span per pipeline stage, candidate/cache
+    #: events, and per-candidate mapping rationale.  Off by default —
+    #: the no-op tracer's overhead is pinned <2% by the tier-1 guard.
+    enable_tracing: bool = False
+    #: Trace every n-th question (deterministic, by call count).  1 traces
+    #: everything; larger values are the low-overhead production mode.
+    trace_sample_every: int = 1
+
     # -- future-work extensions (paper section 6), all off by default so
     # -- the faithful configuration reproduces Table 2 unchanged ----------
 
@@ -127,6 +139,20 @@ class PipelineConfig:
     def with_fault_injector(self, injector: "FaultInjector") -> "PipelineConfig":
         """Attach a fault injector (test harness only)."""
         return self._replace(fault_injector=injector)
+
+    def with_tracing(self, sample_every: int = 1) -> "PipelineConfig":
+        """Opt into span tracing (see docs/observability.md)."""
+        return self._replace(enable_tracing=True, trace_sample_every=sample_every)
+
+    def updated(self, **changes) -> "PipelineConfig":
+        """A copy with individual fields replaced.
+
+        The public single-field update API: the CLI's declarative
+        flag→field table applies each present flag through this, so two
+        flags never clobber each other the way the all-at-once
+        ``with_budgets`` signature could.
+        """
+        return self._replace(**changes)
 
     def without_perf_caches(self) -> "PipelineConfig":
         """The seed's cold path: no memoization, no product pruning.

@@ -29,9 +29,11 @@ from repro.kb.builder import KnowledgeBase
 from repro.kb.ontology import PropertyDef, PropertyKind
 from repro.ned.disambiguator import Disambiguator
 from repro.nlp.pipeline import Sentence
+from repro.obs.trace import NULL_TRACER
 from repro.patty.store import PatternStore
 from repro.perf.lru import LRUCache
 from repro.perf.stats import PerfStats
+from repro.similarity.cache import MemoizedSimilarity
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import IRI, Term, Variable
 from repro.similarity import get_similarity, memoize_similarity
@@ -85,6 +87,7 @@ class TripleMapper:
         config: PipelineConfig | None = None,
         data_pattern_store: PatternStore | None = None,
         stats: PerfStats | None = None,
+        tracer=None,
     ) -> None:
         self._kb = kb
         self._patterns = pattern_store
@@ -92,6 +95,7 @@ class TripleMapper:
         self._adjectives = adjective_map
         self._config = config if config is not None else PipelineConfig()
         self._stats = stats
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._similarity = get_similarity(self._config.similarity)
         if self._config.enable_similarity_cache:
             # Shared across questions (and across the NED below): scores are
@@ -133,6 +137,21 @@ class TripleMapper:
             candidate.predicates = self._map_predicate(pattern)
             mapped.append(candidate)
         return mapped
+
+    def cache_snapshot(self) -> dict[str, dict]:
+        """Hit/miss counters of the mapping-stage caches.
+
+        The tracer diffs two snapshots around the map stage to attach
+        per-question cache sub-spans (docs/observability.md); each entry
+        carries at least ``hits`` and ``misses``.
+        """
+        snapshot: dict[str, dict] = {
+            "mapping.scan_cache": self._scan_cache.stats(),
+            "mapping.property_scores": self._property_scores.stats(),
+        }
+        if isinstance(self._similarity, MemoizedSimilarity):
+            snapshot["similarity.memo"] = self._similarity.snapshot()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Arguments (2.2.4 / 2.2.5)
@@ -256,7 +275,23 @@ class TripleMapper:
         if not candidates:
             raise MappingFailure(pattern, "predicate")
         ranked = sorted(candidates.values(), key=lambda c: (-c.weight, c.iri.value))
-        return ranked[: self._config.max_predicate_candidates]
+        kept = ranked[: self._config.max_predicate_candidates]
+        if self._tracer.active:
+            # Chosen-vs-rejected rationale for the explain tree: which IRIs
+            # survived the per-slot cap, with their scores and evidence.
+            self._tracer.event(
+                "predicate-candidates",
+                predicate=slot.text,
+                chosen=[
+                    (c.iri.local_name, round(c.weight, 6), c.source) for c in kept
+                ],
+                rejected=[
+                    (c.iri.local_name, round(c.weight, 6), c.source)
+                    for c in ranked[len(kept):len(kept) + 10]
+                ],
+                rejected_total=max(0, len(ranked) - len(kept)),
+            )
+        return kept
 
     def _similarity_candidates(
         self, word: str, is_verb: bool

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from repro.core.config import PipelineConfig
 from repro.core.mapping import CandidateTriple, PredicateCandidate
 from repro.kb.ontology import PropertyKind
+from repro.obs.trace import NULL_TRACER
 from repro.perf.stats import PerfStats
 from repro.rdf.namespaces import RDF, shrink_iri
 from repro.rdf.terms import IRI, Term, Triple, Variable
@@ -98,9 +99,11 @@ class QueryGenerator:
         self,
         config: PipelineConfig | None = None,
         stats: PerfStats | None = None,
+        tracer=None,
     ) -> None:
         self._config = config if config is not None else PipelineConfig()
         self._stats = stats
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def generate(
         self, mapped: list[CandidateTriple], deadline=None
@@ -133,16 +136,26 @@ class QueryGenerator:
             best = stop.partial
             if self._stats is not None:
                 self._stats.increment("querygen.budget_exhausted")
+            if self._tracer.active:
+                self._tracer.event("enumeration-budget-exhausted")
 
         # Rank exactly like a stable sort over the full product: score
         # descending, ties broken by product-enumeration order.
         entries = sorted(
             best.items(), key=lambda item: (-item[1][0], item[1][1])
         )
-        return [
+        queries = [
             CandidateQuery(triples, score, sources)
             for triples, (score, __, sources) in entries[:limit]
         ]
+        if self._tracer.active:
+            self._tracer.annotate(
+                axes=len(per_pattern),
+                enumerated=len(best),
+                kept=len(queries),
+                top_score=queries[0].score if queries else 0.0,
+            )
+        return queries
 
     # ------------------------------------------------------------------
     # Product enumeration

@@ -24,10 +24,12 @@ over the survivors.  Budgets (``PipelineConfig.max_candidates`` /
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.config import PipelineConfig
+from repro.core.explain import Explanation
 from repro.core.extraction import TripleExtractor
 from repro.core.mapping import CandidateTriple, MappingFailure, TripleMapper
 from repro.core.querygen import CandidateQuery, QueryGenerator
@@ -47,6 +49,8 @@ from repro.reliability.errors import (
     StageError,
     TypeCheckError,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.perf.batch import BatchAnswerer
 from repro.perf.stats import PerfStats
 from repro.rdf.terms import Term, Variable
@@ -82,6 +86,17 @@ class Answer:
     #: True when a budget (candidate cap or stage wall-clock budget) cut
     #: work short — the explicit "truncated" marker; never silent.
     truncated: bool = False
+    #: Executor outcome per candidate-query rank: ``(index, status,
+    #: detail)`` tuples with statuses from
+    #: :data:`repro.core.explain.CANDIDATE_STATUSES`.  Feeds the
+    #: :class:`Explanation` candidate table; candidates without a record
+    #: were never executed (short-circuited).
+    candidate_outcomes: list[tuple[int, str, str]] = field(
+        default_factory=list, repr=False
+    )
+    #: The root span of this question's trace, when the system was
+    #: configured with ``enable_tracing`` and the question was sampled.
+    trace: Span | None = field(default=None, repr=False)
 
     @property
     def answered(self) -> bool:
@@ -92,43 +107,31 @@ class Answer:
         """The single top-ranked answer (what the paper reports to users)."""
         return self.answers[0] if self.answers else None
 
-    def explain(self) -> str:
-        """Human-readable trace of what the pipeline did for this question.
+    def explanation(self) -> Explanation:
+        """Structured account of what the pipeline did for this question:
+        stage spans (under tracing), the ranked candidate table with
+        per-candidate scores and evidence sources, and rejection reasons.
 
-        One line per stage: rewrite, extracted patterns, candidate-query
-        count, the winning query, the expected-type filter, and the final
-        verdict.  Used by ``python -m repro ask --verbose``.
+        ``str(answer.explanation())`` reproduces the legacy ``explain()``
+        text; ``explanation().render_tree()`` adds the candidate table and
+        the span tree (what ``python -m repro explain`` prints).
         """
-        lines = [f"question: {self.question}"]
-        if self.rewritten_question is not None:
-            lines.append(f"rewritten (imperative extension): {self.rewritten_question}")
-        for fallback in self.degraded:
-            lines.append(f"degraded (reliability fallback): {fallback}")
-        if self.truncated:
-            lines.append("truncated: candidate budget exhausted before completion")
-        if self.triples:
-            lines.append("triple patterns (section 2.1):")
-            for pattern in self.triples:
-                lines.append(f"  {pattern}")
-        else:
-            lines.append("triple patterns (section 2.1): none extracted")
-        if self.candidate_queries:
-            lines.append(
-                f"candidate queries (section 2.3): {len(self.candidate_queries)}"
-            )
-        if self.expected_type is not ExpectedType.ANY:
-            lines.append(f"expected answer type (Table 1): {self.expected_type.value}")
-        if self.query is not None:
-            lines.append("winning query:")
-            for line in self.query.to_sparql().splitlines():
-                lines.append(f"  {line}")
-        if self.boolean is not None:
-            lines.append(f"verdict: {'yes' if self.boolean else 'no'} (ASK extension)")
-        elif self.answered:
-            lines.append(f"answers: {len(self.answers)}")
-        else:
-            lines.append(f"unanswered: {self.failure}")
-        return "\n".join(lines)
+        return Explanation.from_answer(self)
+
+    def explain(self) -> str:
+        """Deprecated: use :meth:`explanation` (``str()`` of it is this text).
+
+        Kept for one release as a shim over the structured
+        :class:`Explanation` API; the returned text is unchanged.
+        """
+        warnings.warn(
+            "Answer.explain() is deprecated; use Answer.explanation() "
+            "(str() of it yields this exact text, .render_tree() the full "
+            "diagnostic view)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.explanation().render()
 
 
 class QuestionAnsweringSystem:
@@ -146,6 +149,18 @@ class QuestionAnsweringSystem:
         self._kb = kb
         self._config = config if config is not None else PipelineConfig()
         self._stats = PerfStats()
+        self._tracer = (
+            Tracer(sample_every=self._config.trace_sample_every)
+            if self._config.enable_tracing else NULL_TRACER
+        )
+        #: Aggregated trace histograms (``trace.<span>.ms``) folded out of
+        #: every sampled question; merged into :meth:`metrics`.
+        self._trace_metrics = MetricsRegistry()
+        if self._tracer.enabled:
+            # The engine keeps a *list* of installed tracers (it is shared
+            # by every system over this KB); events land on whichever one
+            # has a trace open on the current thread.
+            kb.engine.add_tracer(self._tracer)
         self._pipeline = Pipeline(
             kb.surface_index,
             cache_size=1024 if self._config.enable_annotation_cache else 0,
@@ -155,8 +170,11 @@ class QuestionAnsweringSystem:
             kb, pattern_store, similar_pairs, adjective_map, self._config,
             data_pattern_store=data_pattern_store,
             stats=self._stats,
+            tracer=self._tracer,
         )
-        self._generator = QueryGenerator(self._config, stats=self._stats)
+        self._generator = QueryGenerator(
+            self._config, stats=self._stats, tracer=self._tracer
+        )
         # Imported lazily: repro.reliability.fallback itself imports
         # repro.core.triples, so a module-level import would cycle when
         # repro.reliability is imported before repro.core.
@@ -200,18 +218,56 @@ class QuestionAnsweringSystem:
         Never raises: any failure inside a stage is converted at the stage
         boundary into a typed diagnostic on :attr:`Answer.failure` (see the
         module docstring for the full reliability contract).
+
+        Under ``PipelineConfig.enable_tracing`` the (sampled) question is
+        answered inside a span tree — one child span per stage, with
+        candidate/cache events — attached to :attr:`Answer.trace` and
+        folded into the ``trace.*`` histograms of :meth:`metrics`.
         """
+        root = self._tracer.begin_trace("answer", question=question)
         try:
-            return self._answer_guarded(question)
+            result = self._answer_guarded(question, traced=root is not None)
         except Exception as error:  # last resort: the contract is absolute
             self._stats.increment("reliability.unexpected_errors")
-            return Answer(
+            result = Answer(
                 question=question,
                 failure=f"InternalError: unhandled {type(error).__name__}: {error}",
                 failure_stage="internal",
             )
+        if root is not None:
+            self._finish_trace(root, result)
+        return result
 
-    def _answer_guarded(self, question: str) -> Answer:
+    def _finish_trace(self, root: Span, result: Answer) -> None:
+        """Stamp reliability events + outcome attributes, close, attach."""
+        for fallback in result.degraded:
+            root.add_event("degraded", fallback=fallback)
+        if result.truncated:
+            root.add_event("truncated")
+        if result.failure is not None:
+            root.add_event(
+                "failure",
+                stage=result.failure_stage or "",
+                error=result.failure,
+            )
+        root.attributes.update(
+            answered=result.answered,
+            answers=len(result.answers),
+            truncated=result.truncated,
+            degraded=len(result.degraded),
+        )
+        self._tracer.end_trace(root)
+        result.trace = root
+        self._trace_metrics.absorb_span(root)
+
+    def _answer_guarded(self, question: str, traced: bool = False) -> Answer:
+        # Stage spans use the explicit open/close twin of Tracer.span()
+        # behind `traced` guards: an untraced question pays one boolean
+        # check per stage, nothing else (the <2% overhead contract of
+        # docs/observability.md).  The stage methods never raise (that is
+        # the reliability contract), so open/close pairs cannot leak; the
+        # last-resort handler's end_trace would close them even if one did.
+        tracer = self._tracer
         text = question
         rewritten: str | None = None
         if self._config.enable_imperatives:
@@ -230,7 +286,14 @@ class QuestionAnsweringSystem:
         result = Answer(question=question, rewritten_question=rewritten)
 
         # -- annotate --------------------------------------------------
+        span = tracer.open_span("annotate") if traced else None
         sentence = self._annotate_stage(text, result, faults)
+        if span is not None:
+            span.attributes.update(
+                ok=sentence is not None,
+                tokens=0 if sentence is None else len(sentence.tokens),
+            )
+            tracer.close_span(span)
         if sentence is None:
             return result
         shallow = sentence.graph.template == "shallow-fallback"
@@ -248,21 +311,52 @@ class QuestionAnsweringSystem:
             return result
 
         # -- extract ---------------------------------------------------
-        if not self._extract_stage(text, sentence, result, faults, shallow):
+        span = tracer.open_span("extract") if traced else None
+        extracted = self._extract_stage(text, sentence, result, faults, shallow)
+        if span is not None:
+            span.attributes.update(ok=extracted, patterns=len(result.triples))
+            tracer.close_span(span)
+        if not extracted:
             return result
 
         # -- map -------------------------------------------------------
+        span = tracer.open_span("map") if traced else None
+        caches_before = self._mapper.cache_snapshot() if span is not None else None
         mapped = self._map_stage(text, sentence, result, faults)
+        if span is not None:
+            span.attributes.update(
+                ok=mapped is not None,
+                mapped_patterns=0 if mapped is None else len(mapped),
+                predicate_candidates=0 if mapped is None else sum(
+                    len(candidate.predicates) for candidate in mapped
+                ),
+            )
+            self._attach_cache_deltas(span, caches_before)
+            tracer.close_span(span)
         if mapped is None:
             return result
 
         # -- generate --------------------------------------------------
-        if not self._generate_stage(text, mapped, result, faults, deadline):
+        span = tracer.open_span("generate") if traced else None
+        generated = self._generate_stage(text, mapped, result, faults, deadline)
+        if span is not None:
+            span.attributes.update(
+                ok=generated, candidates=len(result.candidate_queries)
+            )
+            tracer.close_span(span)
+        if not generated:
             return result
 
         # -- execute ---------------------------------------------------
+        span = tracer.open_span("execute") if traced else None
         with self._stats.timer("execute"):
             self._execute(result, deadline=deadline, faults=faults, text=text)
+        if span is not None:
+            span.attributes.update(
+                productive=result.query is not None,
+                answers=len(result.answers),
+            )
+            tracer.close_span(span)
         if deadline.tripped:
             result.truncated = True
             self._stats.increment("reliability.budget_exhausted")
@@ -297,6 +391,7 @@ class QuestionAnsweringSystem:
             error = AnnotationError(f"{type(unexpected).__name__}: {unexpected}")
 
         self._stats.increment("reliability.failures.annotate")
+        self._trace_stage_failure(error)
         result.failure = error.describe()
         result.failure_stage = error.stage.value
         if not self._config.enable_fallback_extraction:
@@ -343,6 +438,7 @@ class QuestionAnsweringSystem:
 
         if error is not None:
             self._stats.increment("reliability.failures.extract")
+            self._trace_stage_failure(error)
             result.failure = error.describe()
             result.failure_stage = error.stage.value
             result.triples = []
@@ -381,12 +477,14 @@ class QuestionAnsweringSystem:
             return None
         except StageError as error:
             self._stats.increment("reliability.failures.map")
+            self._trace_stage_failure(error)
             result.failure = error.describe()
             result.failure_stage = error.stage.value
             return None
         except Exception as unexpected:
             self._stats.increment("reliability.failures.map")
             error = MappingError(f"{type(unexpected).__name__}: {unexpected}")
+            self._trace_stage_failure(error)
             result.failure = error.describe()
             result.failure_stage = error.stage.value
             return None
@@ -402,6 +500,7 @@ class QuestionAnsweringSystem:
                     )
         except StageError as error:
             self._stats.increment("reliability.failures.generate")
+            self._trace_stage_failure(error)
             result.failure = error.describe()
             result.failure_stage = error.stage.value
             return False
@@ -410,6 +509,7 @@ class QuestionAnsweringSystem:
             error = QueryGenerationError(
                 f"{type(unexpected).__name__}: {unexpected}"
             )
+            self._trace_stage_failure(error)
             result.failure = error.describe()
             result.failure_stage = error.stage.value
             return False
@@ -417,6 +517,31 @@ class QuestionAnsweringSystem:
             result.failure = "no candidate queries generated"
             return False
         return True
+
+    def _trace_stage_failure(self, error: StageError) -> None:
+        """Stamp a taxonomy-typed failure event on the open stage span."""
+        if self._tracer.active:
+            name, attributes = error.trace_event()
+            self._tracer.event(name, **attributes)
+
+    def _attach_cache_deltas(self, span: Span, before: dict | None) -> None:
+        """Instant sub-spans with per-stage cache hit/miss deltas.
+
+        The mapping stage's caches (similarity memo, property-scan memo,
+        property-score memo) are shared across questions and threads; the
+        deltas are exact for a sequentially traced question and
+        best-effort approximations while a concurrent batch is in flight.
+        """
+        if before is None:
+            return
+        after = self._mapper.cache_snapshot()
+        for name, counters in after.items():
+            baseline = before.get(name, {})
+            span.child(
+                f"cache.{name}",
+                hits=counters.get("hits", 0) - baseline.get("hits", 0),
+                misses=counters.get("misses", 0) - baseline.get("misses", 0),
+            )
 
     def answer_many(
         self,
@@ -482,6 +607,8 @@ class QuestionAnsweringSystem:
         loop short with an explicit truncation marker, never silently.
         """
         check_types = self._config.use_type_checking
+        tracer = self._tracer
+        outcomes = result.candidate_outcomes
         candidates = result.candidate_queries
         cap = self._config.max_candidates
         if cap is not None and len(candidates) > cap:
@@ -489,58 +616,102 @@ class QuestionAnsweringSystem:
                 "execute.candidates_truncated", len(candidates) - cap
             )
             result.truncated = True
+            for index in range(cap, len(candidates)):
+                outcomes.append((index, "budget-truncated", "max_candidates cap"))
             candidates = candidates[:cap]
 
         first_error: StageError | None = None
         executed = 0
-        for candidate in candidates:
+        for index, candidate in enumerate(candidates):
             if deadline is not None and deadline.expired():
                 self._stats.increment("execute.budget_exhausted")
+                for remaining in range(index, len(candidates)):
+                    outcomes.append(
+                        (remaining, "budget-truncated", "stage budget expired")
+                    )
                 break
             executed += 1
             try:
                 if faults is not None and faults.check("execute", text):
+                    outcomes.append((index, "fault-injected", ""))
                     continue  # injected empty result set
                 select = self._kb.engine.query(candidate.to_ast())
             except StageError as error:
                 first_error = first_error or error
                 self._stats.increment("execute.candidates_failed")
+                outcomes.append((index, "error", error.describe()))
                 continue
             except Exception as unexpected:
                 first_error = first_error or ExecutionError(
                     f"{type(unexpected).__name__}: {unexpected}"
                 )
                 self._stats.increment("execute.candidates_failed")
+                outcomes.append(
+                    (index, "error", f"{type(unexpected).__name__}: {unexpected}")
+                )
                 continue
             answers = [term for term in select.column(Variable("x")) if term is not None]
+            raw_count = len(answers)
             if check_types and answers:
+                tspan = (
+                    tracer.open_span(
+                        "typecheck", candidate=index, raw_answers=raw_count
+                    )
+                    if tracer.active else None
+                )
                 try:
                     if faults is not None and faults.check("typecheck", text):
                         answers = []
                     else:
                         answers = [
                             term for term in answers
-                            if answer_matches_type(self._kb, term, result.expected_type)
+                            if answer_matches_type(
+                                self._kb, term, result.expected_type
+                            )
                         ]
+                    if tspan is not None:
+                        tspan.attributes["kept"] = len(answers)
                 except StageError as error:
                     first_error = first_error or error
                     self._stats.increment("execute.candidates_failed")
+                    outcomes.append((index, "error", error.describe()))
                     continue
                 except Exception as unexpected:
                     first_error = first_error or TypeCheckError(
                         f"{type(unexpected).__name__}: {unexpected}"
                     )
                     self._stats.increment("execute.candidates_failed")
+                    outcomes.append(
+                        (index, "error", f"{type(unexpected).__name__}: {unexpected}")
+                    )
                     continue
+                finally:
+                    if tspan is not None:
+                        tracer.close_span(tspan)
             if answers:
                 result.answers = answers
                 result.query = candidate
+                outcomes.append((index, "winner", ""))
+                if tracer.active:
+                    tracer.event(
+                        "candidate",
+                        index=index,
+                        score=candidate.score,
+                        outcome="winner",
+                        answers=len(answers),
+                    )
                 self._stats.increment("execute.candidates_run", executed)
                 self._stats.increment(
                     "execute.candidates_short_circuited",
                     len(candidates) - executed,
                 )
                 return
+            status = "type-filtered" if raw_count and not answers else "no-bindings"
+            outcomes.append((index, status, ""))
+            if tracer.active:
+                tracer.event(
+                    "candidate", index=index, score=candidate.score, outcome=status
+                )
         self._stats.increment("execute.candidates_run", executed)
         if first_error is not None and result.failure is None:
             result.failure = first_error.describe()
@@ -559,8 +730,37 @@ class QuestionAnsweringSystem:
         """Per-stage timers and counters for this system instance."""
         return self._stats
 
+    @property
+    def tracer(self) -> "Tracer | object":
+        """This system's tracer (:data:`NULL_TRACER` unless tracing is on)."""
+        return self._tracer
+
+    def metrics(self) -> dict:
+        """The unified ``repro.metrics/v1`` document for this system.
+
+        Merges (see ``docs/observability.md``): the pipeline stage timers
+        (as ``stage.<name>.seconds`` histograms), every pipeline counter —
+        including the whole ``reliability.*`` family — the SPARQL engine's
+        counters and cache gauges, and the ``trace.*`` aggregates of every
+        traced question.  Supersedes the deprecated :meth:`perf_report`.
+        """
+        registry = MetricsRegistry()
+        registry.absorb_perf_stats(self._stats)
+        registry.absorb_perf_stats(self._kb.engine.stats)
+        registry.absorb_cache_stats(self._kb.engine.cache_stats())
+        registry.merge(self._trace_metrics)
+        return registry.snapshot()
+
     def perf_report(self) -> dict:
-        """Stage timings, pipeline counters and engine cache statistics."""
+        """Deprecated: use :meth:`metrics` (one schema for perf +
+        reliability + trace).  Returns the legacy ad-hoc shape unchanged."""
+        warnings.warn(
+            "QuestionAnsweringSystem.perf_report() is deprecated; use "
+            "QuestionAnsweringSystem.metrics() for the unified "
+            "repro.metrics/v1 document",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         report = self._stats.snapshot()
         report["sparql"] = self._kb.engine.cache_stats()
         report["sparql"]["engine_counters"] = self._kb.engine.stats.snapshot()["counters"]

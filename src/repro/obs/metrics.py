@@ -1,0 +1,235 @@
+"""The unified metrics registry: counters, gauges, histograms, one schema.
+
+Before this layer, run statistics lived in three disjoint surfaces: the
+pipeline's :class:`repro.perf.stats.PerfStats` (stage timers + ad-hoc
+counters, including every ``reliability.*`` counter), the SPARQL engine's
+own ``PerfStats`` plus its LRU ``cache_stats()`` dicts, and — when tracing
+is on — per-question span trees.  :class:`MetricsRegistry` absorbs all
+three into one JSON-exportable document under the :data:`METRICS_SCHEMA`
+schema; ``QuestionAnsweringSystem.metrics()`` is the one call that builds
+it, and ``repro eval --metrics-out`` writes it to disk.
+
+The absorbed surfaces are *deprecated as public APIs* (use ``metrics()``
+instead of ``perf_report()``), but their internals keep working unchanged —
+the registry reads their snapshots, it does not replace their plumbing.
+
+>>> registry = MetricsRegistry()
+>>> registry.inc("questions")
+>>> registry.observe("stage.annotate.seconds", 0.25)
+>>> registry.set_gauge("cache.size", 42)
+>>> doc = registry.snapshot()
+>>> doc["schema"]
+'repro.metrics/v1'
+>>> doc["counters"]["questions"], doc["gauges"]["cache.size"]
+(1, 42)
+>>> doc["histograms"]["stage.annotate.seconds"]["count"]
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span
+    from repro.perf.stats import PerfStats
+
+#: Schema identifier stamped on every exported metrics document.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | int | None = None
+
+    def set(self, value: float | int) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Aggregate distribution summary: count / total / min / max / mean.
+
+    Deliberately not a bucketed histogram: the pipeline's consumers (the
+    benchmark artifacts, the CI metrics job) need cheap summary statistics,
+    and aggregates merge losslessly — which a fixed bucket layout would
+    not — when folding pre-aggregated :class:`~repro.perf.stats.StageTimer`
+    observations in via :meth:`update`.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.update(1, value, value, value)
+
+    def update(
+        self,
+        count: int,
+        total: float,
+        minimum: float | None = None,
+        maximum: float | None = None,
+    ) -> None:
+        """Fold a pre-aggregated batch of observations in."""
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        if minimum is not None:
+            self.min = minimum if self.min is None else min(self.min, minimum)
+        if maximum is not None:
+            self.max = maximum if self.max is None else max(self.max, maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": None if self.min is None else round(self.min, 6),
+            "max": None if self.max is None else round(self.max, 6),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms.
+
+    One lock guards the name tables; the instrument objects themselves are
+    mutated under that same lock via the ``inc``/``set_gauge``/``observe``
+    convenience methods, which is how the batch answerer's worker threads
+    share a registry safely.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ---------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            counter.inc(amount)
+
+    def set_gauge(self, name: str, value: float | int) -> None:
+        with self._lock:
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge()
+            gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._histogram(name).observe(value)
+
+    def _histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    # -- absorption of the legacy surfaces -----------------------------
+
+    def absorb_perf_stats(self, stats: "PerfStats", prefix: str = "") -> None:
+        """Fold a :class:`PerfStats` snapshot in.
+
+        Stage timers become ``stage.<name>.seconds`` histograms (count =
+        calls, total = accumulated wall time); counters keep their names —
+        which is what unifies the ``reliability.*`` counters into this
+        schema without renaming anything the docs already reference.
+        """
+        data = stats.snapshot()
+        with self._lock:
+            for name, entry in data["timers"].items():
+                self._histogram(f"{prefix}stage.{name}.seconds").update(
+                    entry["calls"], entry["total_seconds"]
+                )
+        for name, value in data["counters"].items():
+            self.inc(prefix + name, value)
+
+    def absorb_cache_stats(
+        self, caches: Mapping[str, Mapping[str, Any]], prefix: str = "sparql."
+    ) -> None:
+        """Fold the engine's ``cache_stats()`` dicts in as gauges."""
+        for cache_name, stats in caches.items():
+            if not isinstance(stats, Mapping):
+                continue
+            for field_name, value in stats.items():
+                if isinstance(value, (int, float)):
+                    self.set_gauge(f"{prefix}{cache_name}.{field_name}", value)
+
+    def absorb_span(self, root: "Span") -> None:
+        """Fold one closed trace tree into the trace histograms/counters.
+
+        Every span contributes to a ``trace.<name>.ms`` histogram and every
+        event to a ``trace.events.<name>`` counter, so a metrics document
+        carries the aggregate shape of the traced questions next to the
+        perf and reliability numbers.
+        """
+        for span in root.walk():
+            self.observe(f"trace.{span.name}.ms", span.duration_ms)
+            for event in span.events:
+                self.inc(f"trace.events.{event.name}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        snapshot = other.snapshot()
+        for name, value in snapshot["counters"].items():
+            self.inc(name, value)
+        for name, value in snapshot["gauges"].items():
+            if value is not None:
+                self.set_gauge(name, value)
+        with self._lock:
+            for name, entry in snapshot["histograms"].items():
+                self._histogram(name).update(
+                    entry["count"], entry["total"], entry["min"], entry["max"]
+                )
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The unified metrics document (see docs/observability.md)."""
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "counters": {
+                    name: counter.value
+                    for name, counter in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: gauge.value
+                    for name, gauge in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }

@@ -15,6 +15,13 @@ same deterministic pipeline, and no stage's outcome depends on which thread
 ran it or on cache warmth (caches change *when* work happens, never its
 result).
 
+**Observability** (docs/observability.md): the tracer's open-span stack is
+thread-local, so a traced batch builds one independent span tree per
+question on whichever worker thread answered it — ``Answer.trace`` carries
+it — and the shared caches' hit/miss events land on the right question's
+spans.  Only the cache-delta sub-spans of the map stage are approximate
+under concurrency (counters are shared).
+
 **Batch isolation** (docs/reliability.md): one poisoned question can never
 kill the batch.  ``answer()`` itself never raises (the reliability layer
 converts stage failures into typed ``Answer.failure`` diagnostics), and as

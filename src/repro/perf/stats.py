@@ -4,12 +4,19 @@ Every :class:`repro.core.system.QuestionAnsweringSystem` owns a
 :class:`PerfStats`; the pipeline stages (annotate / extract / map /
 generate / execute) record wall time and call counts into it, and the
 caches (SPARQL result cache, similarity memo) publish their hit/miss
-counters through :meth:`PerfStats.snapshot`.  The batch benchmark emits the
-snapshot as its BENCH JSON artifact, and ``docs/performance.md`` documents
-how to read it.
+counters through :meth:`PerfStats.snapshot`.  The batch benchmark folds the
+snapshot (via ``QuestionAnsweringSystem.metrics()``) into its BENCH JSON
+artifact, and ``docs/performance.md`` documents how to read it.
 
 All mutation happens under one lock so worker threads of
 :class:`repro.perf.batch.BatchAnswerer` can share a single instance.
+
+This is the low-level accumulator, not the reporting surface: the unified
+``repro.metrics/v1`` schema of :class:`repro.obs.metrics.MetricsRegistry`
+absorbs every snapshot here (timers become ``stage.<name>.seconds``
+histograms, counters keep their names) via
+``QuestionAnsweringSystem.metrics()``, which supersedes the deprecated
+``perf_report()``.
 """
 
 from __future__ import annotations

@@ -61,6 +61,19 @@ class StageError(Exception):
         text = f"{self.name} at stage '{self.stage.value}'"
         return f"{text}: {self.detail}" if self.detail else text
 
+    def trace_event(self) -> tuple[str, dict]:
+        """``(name, attributes)`` for the observability layer's failure
+        events, so a span records *which* taxonomy class fired without
+        parsing :meth:`describe` text.
+
+        >>> MappingError("boom").trace_event()
+        ('stage-failure', {'stage': 'map', 'error': 'MappingError', 'detail': 'boom'})
+        """
+        return (
+            "stage-failure",
+            {"stage": self.stage.value, "error": self.name, "detail": self.detail},
+        )
+
 
 class AnnotationError(StageError):
     """Tokenisation / tagging / dependency parsing failed."""

@@ -64,6 +64,15 @@ class MemoizedSimilarity:
             self._stats.increment(f"{self._name}.memo.misses")
         return score
 
+    def snapshot(self) -> dict[str, int | float]:
+        """Hit/miss counter snapshot (keys match ``LRUCache.stats()``).
+
+        The observability layer diffs two snapshots around the mapping
+        stage to attach a ``cache.similarity.memo`` sub-span per traced
+        question (docs/observability.md).
+        """
+        return self.cache.stats()
+
 
 def memoize_similarity(
     fn,

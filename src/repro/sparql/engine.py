@@ -76,6 +76,9 @@ class SparqlEngine:
         self._cache_lock = threading.Lock()
         self._cached_generation = graph.generation
         self.cache_enabled = cache_size > 0
+        # Observability hook (docs/observability.md): tracing systems
+        # install their tracers via add_tracer(); see _trace_event.
+        self._tracers: tuple = ()
 
     @property
     def graph(self) -> Graph:
@@ -85,6 +88,24 @@ class SparqlEngine:
     def stats(self) -> PerfStats:
         """The engine's perf counters (shared with the owning system)."""
         return self._stats
+
+    def add_tracer(self, tracer) -> None:
+        """Install an observability tracer (docs/observability.md).
+
+        The engine is shared by every system over one KB, and more than
+        one of them may trace, so installed tracers accumulate; a cache
+        hit/miss event goes to whichever installed tracer has a trace
+        *open on the current thread* — i.e. onto the span of exactly the
+        question that caused the lookup.  With none installed (the
+        default) the hot path pays one empty-tuple truthiness check.
+        """
+        if tracer not in self._tracers:
+            self._tracers = self._tracers + (tracer,)
+
+    def _trace_event(self, name: str, **attributes) -> None:
+        for tracer in self._tracers:
+            if tracer.active:
+                tracer.event(name, **attributes)
 
     def cache_stats(self) -> dict[str, dict]:
         """Hit/miss snapshots of the parse and result caches."""
@@ -110,8 +131,12 @@ class SparqlEngine:
         cached = self._result_cache.get(query)
         if cached is not None:
             self._stats.increment("sparql.result_cache.hits")
+            if self._tracers:
+                self._trace_event("sparql.result_cache", outcome="hit")
             return cached
         self._stats.increment("sparql.result_cache.misses")
+        if self._tracers:
+            self._trace_event("sparql.result_cache", outcome="miss")
         # Failure containment (docs/reliability.md): the cache is filled
         # only after a *successful* evaluation — an evaluation that raises
         # leaves both caches untouched, so a faulted run can never poison
@@ -135,8 +160,12 @@ class SparqlEngine:
         ast = self._parse_cache.get(text)
         if ast is not None:
             self._stats.increment("sparql.parse_cache.hits")
+            if self._tracers:
+                self._trace_event("sparql.parse_cache", outcome="hit")
             return ast
         self._stats.increment("sparql.parse_cache.misses")
+        if self._tracers:
+            self._trace_event("sparql.parse_cache", outcome="miss")
         try:
             ast = parse_query(text)
         except Exception:

@@ -1,0 +1,10 @@
+"""Root fixtures shared by the top-level test modules."""
+
+import pytest
+
+from repro.api import load_curated_kb
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()

@@ -1,0 +1,16 @@
+"""Shared fixtures: one KB and one traced system for the whole session."""
+
+import pytest
+
+from repro.api import PipelineConfig, QuestionAnsweringSystem, load_curated_kb
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture(scope="session")
+def traced_qa(kb):
+    """A system with tracing on (sample_every=1: every question traced)."""
+    return QuestionAnsweringSystem.over(kb, PipelineConfig().with_tracing())

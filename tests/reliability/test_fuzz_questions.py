@@ -46,8 +46,8 @@ def _assert_answer_invariant(result, question):
         assert result.failure is not None
     else:
         assert result.failure is None
-    # explain() must render for any outcome (the CLI calls it blindly).
-    assert isinstance(result.explain(), str)
+    # The explanation must render for any outcome (the CLI calls it blindly).
+    assert isinstance(str(result.explanation()), str)
 
 
 class TestAdversarialCorpus:

@@ -1,0 +1,44 @@
+"""The repro.api facade: the stable import surface and answer_many."""
+
+import repro
+import repro.api as api
+
+
+class TestFacadeSurface:
+    def test_all_promised_names_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_top_level_package_reexports_facade(self):
+        for name in (
+            "QuestionAnsweringSystem", "PipelineConfig", "Answer",
+            "Explanation", "KnowledgeBase", "load_curated_kb", "answer_many",
+        ):
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_facade_classes_are_the_real_ones(self):
+        from repro.core.system import Answer as CoreAnswer
+        from repro.core.system import QuestionAnsweringSystem as CoreSystem
+
+        assert api.Answer is CoreAnswer
+        assert api.QuestionAnsweringSystem is CoreSystem
+
+
+class TestAnswerMany:
+    def test_one_shot_batch(self, kb):
+        results = api.answer_many(
+            ["Which book is written by Orhan Pamuk?",
+             "Who is the mayor of Berlin?"],
+            kb=kb,
+        )
+        assert len(results) == 2
+        assert all(result.answered for result in results)
+        assert results[0].question == "Which book is written by Orhan Pamuk?"
+
+    def test_config_passes_through(self, kb):
+        results = api.answer_many(
+            ["Is Berlin the capital of Germany?"],
+            kb=kb,
+            config=api.PipelineConfig(enable_boolean_questions=True),
+        )
+        assert results[0].boolean is True

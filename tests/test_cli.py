@@ -51,22 +51,106 @@ class TestSparql:
         assert capsys.readouterr().out.strip() == "true"
 
 
-class TestValidateAndExplain:
+class TestValidateAndPlan:
     def test_validate_clean_kb(self, capsys):
         assert main(["validate"]) == 0
         assert "consistent" in capsys.readouterr().out
 
-    def test_explain_shows_plan(self, capsys):
-        code = main(["explain",
+    def test_plan_shows_query_plan(self, capsys):
+        code = main(["plan",
                      "SELECT ?b WHERE { ?b a dbont:Book . ?b dbont:author ?w }"])
         out = capsys.readouterr().out
         assert code == 0
         assert "SELECT plan" in out
         assert "join[1]" in out and "join[2]" in out
 
-    def test_explain_ask(self, capsys):
-        main(["explain", "ASK { res:Istanbul dbont:country res:Turkey }"])
+    def test_plan_ask(self, capsys):
+        main(["plan", "ASK { res:Istanbul dbont:country res:Turkey }"])
         assert "ASK plan" in capsys.readouterr().out
+
+
+class TestExplainCommand:
+    """`repro explain <question>` — the full diagnostic view."""
+
+    def test_explain_answered_question(self, capsys):
+        code = main(["explain", "Who wrote The Pillars of the Earth?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "winning query:" in out
+        assert "candidate ranking (section 2.3.1):" in out
+        assert "winner" in out
+        # Tracing is forced on: the span tree is always present.
+        assert "trace:" in out
+        assert "- annotate (" in out
+        assert "- execute (" in out
+
+    def test_explain_unanswered_exits_nonzero(self, capsys):
+        code = main(["explain", "Is Frank Herbert still alive?"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unanswered:" in out
+        assert "trace:" in out
+
+
+class TestTraceFlag:
+    def test_ask_trace_prints_span_tree(self, capsys):
+        code = main(["ask", "--trace", "How tall is Michael Jordan?"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "- answer (" in out
+        assert "- map (" in out
+        assert "1.98" in out
+
+    def test_ask_without_trace_has_no_tree(self, capsys):
+        main(["ask", "How tall is Michael Jordan?"])
+        out = capsys.readouterr().out
+        assert "- answer (" not in out
+
+
+class TestFlagTable:
+    """The declarative flag->PipelineConfig plumbing."""
+
+    def test_flags_land_on_config_fields(self):
+        from repro.cli import _build_parser, config_from_args
+
+        args = _build_parser().parse_args(
+            ["ask", "--max-candidates", "3", "--stage-budget-ms", "50",
+             "--trace", "--trace-sample", "4", "q"]
+        )
+        config = config_from_args(args)
+        assert config.max_candidates == 3
+        assert config.stage_budget_ms == 50.0
+        assert config.enable_tracing is True
+        assert config.trace_sample_every == 4
+
+    def test_absent_flags_keep_faithful_defaults(self):
+        from repro.cli import _build_parser, config_from_args
+        from repro.core import PipelineConfig
+
+        args = _build_parser().parse_args(["ask", "q"])
+        assert config_from_args(args) == PipelineConfig()
+
+    def test_extensions_and_faults_compose(self):
+        from repro.cli import _build_parser, config_from_args
+
+        args = _build_parser().parse_args(
+            ["ask", "--extensions", "--inject-fault", "map:error", "q"]
+        )
+        config = config_from_args(args)
+        assert config.enable_boolean_questions is True
+        assert config.fault_injector is not None
+
+    def test_same_flags_on_every_pipeline_command(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        for command in ("ask", "eval"):
+            args = parser.parse_args(
+                [command, "--max-candidates", "2", "--trace"]
+                + (["q"] if command == "ask" else [])
+            )
+            assert args.max_candidates == 2
+            assert args.trace is True
 
 
 class TestOtherCommands:
@@ -116,3 +200,15 @@ class TestEval:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "This reproduction" in out
+
+    def test_eval_dev_metrics_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["eval", "--dev", "--metrics-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics written to" in out
+        document = json.loads(path.read_text())
+        assert document["schema"] == "repro.metrics/v1"
+        assert "stage.annotate.seconds" in document["histograms"]
+        assert "sparql.result_cache.hits" in document["gauges"]
