@@ -7,9 +7,11 @@ deduplication and branch-and-bound product pruning, plus the
 
 Two configurations answer the identical question stream:
 
-* **baseline** — the seed's cold path: query cache off, similarity memo
-  off, no product pruning, questions answered sequentially;
-* **optimized** — everything on, batch executed via ``answer_many()``.
+* **baseline** — the seed's cold path: term-space query evaluation, query
+  cache off, similarity memo off, no product pruning, questions answered
+  sequentially;
+* **optimized** — everything on (including the id-space compiled engine),
+  batch executed via ``answer_many()``.
 
 The script asserts both produce identical answers, then emits a BENCH
 JSON artifact (see ``BENCH_batch.json`` at the repo root for the recorded
@@ -35,10 +37,13 @@ from repro.kb import load_curated_kb
 from repro.qald.devset import load_dev_questions
 
 
-def build_system(config: PipelineConfig, query_cache: bool) -> QuestionAnsweringSystem:
+def build_system(
+    config: PipelineConfig, query_cache: bool, idspace: bool = True
+) -> QuestionAnsweringSystem:
     """A fresh KB + system so no cache warmth leaks between configurations."""
     kb = load_curated_kb()
     kb.engine.cache_enabled = query_cache
+    kb.engine.idspace = idspace
     return QuestionAnsweringSystem.over(kb, config)
 
 
@@ -55,7 +60,12 @@ def answer_signature(answer) -> tuple:
 
 
 def run_baseline(questions: list[str], repeats: int) -> tuple[float, list[tuple]]:
-    system = build_system(PipelineConfig().without_perf_caches(), query_cache=False)
+    # The seed's cold path evaluated queries in term space; keeping the
+    # baseline on that evaluator makes the identical-answers check a
+    # cross-engine differential test on the real question stream.
+    system = build_system(
+        PipelineConfig().without_perf_caches(), query_cache=False, idspace=False
+    )
     start = time.perf_counter()
     signatures: list[tuple] = []
     for _ in range(repeats):

@@ -34,6 +34,7 @@ from repro.patty.store import PatternStore
 from repro.perf.lru import LRUCache
 from repro.perf.stats import PerfStats
 from repro.similarity.cache import MemoizedSimilarity
+from repro.similarity.lcs import char_profile, subsequence_upper_bound
 from repro.rdf.namespaces import RDF
 from repro.rdf.terms import IRI, Term, Variable
 from repro.similarity import get_similarity, memoize_similarity
@@ -73,6 +74,73 @@ class MappingFailure(Exception):
         super().__init__(f"cannot map {slot_name} of {pattern}")
         self.pattern = pattern
         self.slot_name = slot_name
+
+
+class _ScanIndex:
+    """Length/first-character-bucketed catalogue labels for pruned scans.
+
+    The vocabulary scan of 2.2.1/2.2.2 scores a question word against every
+    property's name and label words.  Under the default LCS metric most of
+    those pairs cannot reach the acceptance threshold on length grounds
+    alone: ``subsequence_similarity`` divides by the longer string, so a
+    label of length ``L`` can only match a word of length ``n`` at
+    threshold ``t`` when ``t*n <= L <= n/t``.  This index buckets every
+    catalogue label word by ``(length, first character)`` at construction;
+    a scan then
+
+    1. visits only the length buckets inside the feasible window,
+    2. rejects a whole first-character group when the character is absent
+       from the question word *and* losing that one character already puts
+       the bound below the threshold (boundary lengths of the window),
+    3. applies the O(alphabet) :func:`~repro.similarity.lcs.subsequence_upper_bound`
+       per surviving label before the scorer's O(n*L) DP runs.
+
+    All three steps are sound over-approximations — a property is skipped
+    only when *no* label word of it can reach the threshold — so the pruned
+    scan returns exactly the candidate set of the full scan.
+    """
+
+    def __init__(self, properties: list[PropertyDef]) -> None:
+        # length -> first char -> list of (profile, property name)
+        self._buckets: dict[int, dict[str, list[tuple[dict[str, int], str]]]] = {}
+        for prop in properties:
+            for word in {prop.name, *prop.display_label().split()}:
+                normalized = word.strip().lower()
+                if not normalized:
+                    continue
+                by_first = self._buckets.setdefault(len(normalized), {})
+                by_first.setdefault(normalized[0], []).append(
+                    (char_profile(normalized), prop.name)
+                )
+
+    def feasible_names(self, word: str, threshold: float) -> set[str] | None:
+        """Property names that might reach ``threshold`` against ``word``.
+
+        Returns None (meaning "scan everything") when the threshold does
+        not permit pruning.
+        """
+        normalized = word.strip().lower()
+        length = len(normalized)
+        if length == 0 or threshold <= 0.0:
+            return None
+        profile = char_profile(normalized)
+        feasible: set[str] = set()
+        for label_length, by_first in self._buckets.items():
+            longer = max(length, label_length)
+            if min(length, label_length) / longer < threshold:
+                continue
+            for first, entries in by_first.items():
+                if first not in profile and min(length, label_length - 1) / longer < threshold:
+                    continue
+                for label_profile, name in entries:
+                    if name in feasible:
+                        continue
+                    bound = subsequence_upper_bound(
+                        profile, length, label_profile, label_length
+                    )
+                    if bound >= threshold:
+                        feasible.add(name)
+        return feasible
 
 
 class TripleMapper:
@@ -115,6 +183,16 @@ class TripleMapper:
         #: Memo for WordNet similar-pair expansions (2.2.1), keyed on the
         #: property local name; the index is immutable after construction.
         self._similar_names: dict[str, tuple[str, ...]] = {}
+        #: Length/first-char-bucketed label indexes for the pruned scan,
+        #: built lazily per catalogue flavour (verb -> object properties
+        #: only).  Sound only for the default LCS metric — the bound in
+        #: :class:`_ScanIndex` is specific to subsequence similarity — so
+        #: ablation configs with other metrics keep the full scan.
+        self._scan_indexes: dict[bool, _ScanIndex] = {}
+        self._prune_scans = (
+            self._config.enable_scan_pruning
+            and self._config.similarity == "lcs"
+        )
         #: Optional extension resource (section 5 research gap): patterns
         #: for data properties, consulted only when the config enables it.
         self._data_patterns = data_pattern_store
@@ -312,11 +390,25 @@ class TripleMapper:
                 if self._stats is not None:
                     self._stats.increment("mapping.scan_cache.hits")
                 return cached
-        searchable = (
+        searchable = list(
             self._kb.ontology.object_properties()
-            if is_verb else list(self._kb.ontology.properties())
+            if is_verb else self._kb.ontology.properties()
         )
         threshold = self._config.similarity_threshold
+        if self._prune_scans:
+            index = self._scan_indexes.get(is_verb)
+            if index is None:
+                index = self._scan_indexes[is_verb] = _ScanIndex(searchable)
+            feasible = index.feasible_names(word, threshold)
+            if feasible is not None:
+                # Filtering (not replacing) ``searchable`` preserves the
+                # full scan's catalogue order exactly.
+                pool = [prop for prop in searchable if prop.name in feasible]
+                if self._stats is not None:
+                    self._stats.increment(
+                        "mapping.scan_pruned", len(searchable) - len(pool)
+                    )
+                searchable = pool
         found = tuple(
             PredicateCandidate(prop.iri, prop.kind, score, "similarity")
             for prop in searchable

@@ -71,11 +71,21 @@ class CandidateQuery:
     sources: tuple[str, ...]
 
     def to_ast(self) -> SelectQuery:
-        return SelectQuery(
-            projection=(Variable("x"),),
-            where=Group((BGP(self.triples),)),
-            distinct=True,
-        )
+        # Memoized: the execute stage submits this AST per candidate, and
+        # the engine's plan/result caches key on the AST's structural hash
+        # — rebuilding the (immutable) tree each call would re-hash a
+        # fresh object every time.  Frozen dataclasses without
+        # ``slots=True`` still carry a ``__dict__``, so the cached tree
+        # rides on the instance.
+        cached = self.__dict__.get("_ast")
+        if cached is None:
+            cached = SelectQuery(
+                projection=(Variable("x"),),
+                where=Group((BGP(self.triples),)),
+                distinct=True,
+            )
+            object.__setattr__(self, "_ast", cached)
+        return cached
 
     def to_sparql(self) -> str:
         lines = [f"  {_term(t.subject)} {_term(t.predicate)} {_term(t.object)} ."

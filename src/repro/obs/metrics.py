@@ -178,7 +178,15 @@ class MetricsRegistry:
     def absorb_cache_stats(
         self, caches: Mapping[str, Mapping[str, Any]], prefix: str = "sparql."
     ) -> None:
-        """Fold the engine's ``cache_stats()`` dicts in as gauges."""
+        """Fold the engine's ``cache_stats()`` dicts in as gauges.
+
+        Every numeric field of every per-cache dict lands as
+        ``<prefix><cache>.<field>`` — for the current engine that yields
+        the ``sparql.parse_cache.*``, ``sparql.plan_cache.*`` and
+        ``sparql.result_cache.*`` families (hits/misses/hit_rate/
+        evictions/size) plus ``sparql.prefix_memo.size``.  New caches
+        added to the engine surface here with no registry changes.
+        """
         for cache_name, stats in caches.items():
             if not isinstance(stats, Mapping):
                 continue

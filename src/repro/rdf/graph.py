@@ -223,9 +223,20 @@ class Graph:
         enumeration where possible; this is what the planner's selectivity
         estimates call.
         """
-        s = self._maybe_lookup(subject)
-        p = self._maybe_lookup(predicate)
-        o = self._maybe_lookup(obj)
+        return self.count_ids(
+            self._maybe_lookup(subject),
+            self._maybe_lookup(predicate),
+            self._maybe_lookup(obj),
+        )
+
+    def count_ids(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        """Id-level twin of :meth:`count` (``-1`` = absent constant).
+
+        The compiled id-space executor calls this to decide between the
+        nested-index-loop and hash-join operators without decoding terms.
+        """
         if -1 in (s, p, o):
             return 0
         if s is None and p is None and o is None:
@@ -288,6 +299,21 @@ class Graph:
     def dictionary(self) -> TermDictionary:
         """The term dictionary (shared with the SPARQL executor)."""
         return self._dictionary
+
+    def lookup_id(self, term: Term) -> int:
+        """The term's dictionary id, or ``-1`` when never interned.
+
+        Ids are append-only (never recycled, never reassigned), so a
+        non-negative id stays valid for the lifetime of the graph — the
+        compiled-plan cache relies on this to keep resolved constants
+        across graph generations.
+        """
+        term_id = self._dictionary.lookup(term)
+        return -1 if term_id is None else term_id
+
+    def decode_id(self, term_id: int) -> Term:
+        """Decode a dictionary id back into its :class:`Term`."""
+        return self._dictionary.decode(term_id)
 
     def _maybe_lookup(self, term: Term | None) -> int | None:
         """Map a term to its id; None stays None; unseen terms become -1."""

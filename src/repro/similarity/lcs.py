@@ -101,6 +101,53 @@ def lcs_score(word: str, candidate: str) -> float:
     return lcs_length(word, candidate) / len(word)
 
 
+def char_profile(text: str) -> dict[str, int]:
+    """Character multiset of the normalised text.
+
+    Feeds :func:`subsequence_upper_bound`: the profile is computed once per
+    catalogue label at index-build time, then reused across every scan
+    (see ``repro.core.mapping``).
+
+    >>> char_profile("Deed") == {"d": 2, "e": 2}
+    True
+    """
+    profile: dict[str, int] = {}
+    for ch in _normalize(text):
+        profile[ch] = profile.get(ch, 0) + 1
+    return profile
+
+
+def subsequence_upper_bound(
+    profile_a: dict[str, int], len_a: int, profile_b: dict[str, int], len_b: int
+) -> float:
+    """Cheap sound upper bound on :func:`subsequence_similarity`.
+
+    A common subsequence can use each character at most as often as it
+    occurs in *both* strings, and can never be longer than either string,
+    so ``|LCS| <= min(len_a, len_b, |bag(a) ∩ bag(b)|)`` and dividing by
+    ``max(len_a, len_b)`` bounds the similarity.  O(alphabet) instead of
+    the DP's O(len_a * len_b): the vocabulary scan uses it to skip label
+    pairs that cannot reach the acceptance threshold.
+
+    >>> a, b = char_profile("river"), char_profile("taxidriver")
+    >>> subsequence_upper_bound(a, 5, b, 10) >= subsequence_similarity("river", "taxidriver")
+    True
+    """
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    small, large = (
+        (profile_a, profile_b)
+        if len(profile_a) <= len(profile_b)
+        else (profile_b, profile_a)
+    )
+    common = 0
+    for ch, count in small.items():
+        other = large.get(ch, 0)
+        common += count if count < other else other
+    upper = min(common, len_a, len_b)
+    return upper / (len_a if len_a > len_b else len_b)
+
+
 def subsequence_similarity(word: str, candidate: str) -> float:
     """Symmetric LCS similarity: ``|LCS| / max(|word|, |candidate|)``.
 

@@ -1,0 +1,993 @@
+"""Compiled id-space query plans.
+
+The term-space evaluator (:mod:`repro.sparql.executor`) decodes every
+matched triple back into :class:`~repro.rdf.terms.Term` objects and copies
+a ``dict[Variable, Term]`` per extension — encode/decode and dict-churn
+costs on every row of every join of every candidate query.  This module
+compiles a :class:`~repro.sparql.ast.SelectQuery`/:class:`~repro.sparql.ast.AskQuery`
+once into an executable plan that runs entirely in the integer id space the
+dictionary-encoded :class:`~repro.rdf.Graph` already maintains:
+
+* every variable of the query maps to a dense **slot index**; a partial
+  solution is a flat tuple of ids with :data:`UNBOUND` (-1) holes — no
+  dictionaries, no Term objects;
+* triple patterns resolve their constants to dictionary ids at bind time
+  (ids are append-only, so resolved constants survive graph mutations; an
+  absent constant re-resolves on the next generation) and join through
+  :meth:`~repro.rdf.Graph.match_ids`;
+* a **hash-join operator** takes over from the nested index loop when the
+  intermediate row set is large enough that one scan of the pattern plus a
+  hash probe per row beats per-row index lookups;
+* FILTER / ORDER BY expressions compile once into closures over slot
+  indices (:func:`compile_expression`) instead of re-walking the AST per
+  solution, with an id-level fast path for ``?var = <iri>`` equality;
+* ids decode to Terms only at final projection, after DISTINCT collapsed
+  duplicate id rows.
+
+The engine caches compiled plans keyed on the (structurally hashable) AST
+and shares a **prefix memo** across plans: the near-identical candidate
+queries of one question (same BGP prefix, different final predicate) reuse
+the prefix's id-level solution set within a graph generation — see
+:class:`PrefixMemo` and docs/performance.md ("Engine architecture").
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.perf.stats import PerfStats
+from repro.rdf.datatypes import XSD_INTEGER
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, Triple, Variable
+from repro.sparql.ast import (
+    AskQuery,
+    BGP,
+    BooleanOp,
+    Comparison,
+    CountAggregate,
+    Expression,
+    Filter,
+    FunctionCall,
+    Group,
+    Not,
+    OptionalPattern,
+    SelectQuery,
+    TermExpr,
+    UnionPattern,
+)
+from repro.sparql.errors import SparqlError, SparqlTypeError
+from repro.sparql.functions import (
+    apply_builtin,
+    compare_values,
+    effective_boolean,
+    invert_order,
+    order_key,
+)
+from repro.sparql.planner import BOUND_VARIABLE_FACTOR
+from repro.sparql.results import AskResult, SelectResult
+
+#: Slot value marking "this variable is not bound in this row".  Real
+#: dictionary ids are non-negative; the graph's own ``-1`` ("constant not
+#: in dictionary") never appears inside a row because absent constants are
+#: filtered out before a pattern executes.
+UNBOUND = -1
+
+#: Row-count threshold above which a pattern joins by hashing one scan of
+#: its matches instead of one index lookup per row.
+HASH_JOIN_MIN_ROWS = 64
+
+#: The hash join only pays off while the single scan is not much larger
+#: than the row set it replaces per-row lookups for.
+HASH_JOIN_MAX_SCAN_FACTOR = 8
+
+#: Prefix solution sets above this many rows are not memoized (the memo
+#: targets the QA candidate sets, whose prefixes are selective).
+PREFIX_MEMO_MAX_ROWS = 8192
+
+Row = tuple[int, ...]
+
+
+class PrefixMemo:
+    """Shared id-level solution sets for BGP prefixes, one graph generation.
+
+    Candidate queries generated for one question differ only in a predicate
+    or an orientation; their compiled BGPs therefore share join prefixes.
+    The memo maps a canonical prefix key — the resolved (id, slot-name)
+    shape of the first *k* planned patterns — to the id rows that prefix
+    produced, so the next candidate resumes the join after the shared part
+    instead of recomputing it.
+
+    Entries are only valid for the generation they were computed in; the
+    owning engine calls :meth:`invalidate` whenever the graph mutates (the
+    same hook that clears the result cache), so a lookup can never observe
+    rows from another generation.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._maxsize = maxsize
+        self._data: dict[tuple, tuple[tuple[str, ...], tuple[Row, ...]]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> tuple[tuple[str, ...], tuple[Row, ...]] | None:
+        with self._lock:
+            return self._data.get(key)
+
+    def put(self, key: tuple, names: tuple[str, ...], rows: tuple[Row, ...]) -> None:
+        if self._maxsize <= 0 or len(rows) > PREFIX_MEMO_MAX_ROWS:
+            return
+        with self._lock:
+            if key not in self._data and len(self._data) >= self._maxsize:
+                return  # full: keep the warm entries, skip the newcomer
+            self._data[key] = (names, rows)
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class ExecContext:
+    """Per-execution plumbing handed through the operator tree."""
+
+    __slots__ = ("graph", "stats", "prefix_memo")
+
+    def __init__(
+        self,
+        graph: Graph,
+        stats: PerfStats | None = None,
+        prefix_memo: PrefixMemo | None = None,
+    ) -> None:
+        self.graph = graph
+        self.stats = stats
+        self.prefix_memo = prefix_memo
+
+
+# ---------------------------------------------------------------------------
+# Triple patterns
+# ---------------------------------------------------------------------------
+
+
+class CompiledPattern:
+    """One triple pattern with variables mapped to slots and constants to ids.
+
+    ``*_slot`` is the slot index for a variable position (None for a
+    constant); ``*_id`` is the resolved dictionary id for a constant
+    position (-1 while the constant is absent from the graph's dictionary;
+    None for a variable).
+    """
+
+    __slots__ = (
+        "s_slot", "p_slot", "o_slot",
+        "s_term", "p_term", "o_term",
+        "s_id", "p_id", "o_id",
+        "variables",
+    )
+
+    def __init__(self, triple: Triple, slot_of: dict[Variable, int]) -> None:
+        self.s_slot, self.s_term = self._position(triple.subject, slot_of)
+        self.p_slot, self.p_term = self._position(triple.predicate, slot_of)
+        self.o_slot, self.o_term = self._position(triple.object, slot_of)
+        self.s_id: int | None = None
+        self.p_id: int | None = None
+        self.o_id: int | None = None
+        self.variables = frozenset(triple.variables())
+
+    @staticmethod
+    def _position(
+        slot: Term, slot_of: dict[Variable, int]
+    ) -> tuple[int | None, Term | None]:
+        if isinstance(slot, Variable):
+            return slot_of[slot], None
+        return None, slot
+
+    def resolve(self, graph: Graph) -> None:
+        """(Re-)resolve constant ids.  Already-resolved ids never change
+        (the dictionary is append-only); only absent constants retry."""
+        if self.s_term is not None and (self.s_id is None or self.s_id < 0):
+            self.s_id = graph.lookup_id(self.s_term)
+        if self.p_term is not None and (self.p_id is None or self.p_id < 0):
+            self.p_id = graph.lookup_id(self.p_term)
+        if self.o_term is not None and (self.o_id is None or self.o_id < 0):
+            self.o_id = graph.lookup_id(self.o_term)
+
+    def memo_key(self, names: dict[int, str]) -> tuple:
+        """Canonical shape of the resolved pattern for the prefix memo.
+
+        Constants contribute their dictionary id, variables their name (the
+        candidate generator reuses variable names, which is what makes
+        prefixes collide across candidates).  Absent constants contribute
+        -1: any such pattern matches nothing, so key collisions between
+        different absent terms are harmless (both memoize empty row sets).
+        """
+        return (
+            self.s_id if self.s_slot is None else ("v", names[self.s_slot]),
+            self.p_id if self.p_slot is None else ("v", names[self.p_slot]),
+            self.o_id if self.o_slot is None else ("v", names[self.o_slot]),
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def bound_ids(self, row: Row) -> tuple[int | None, int | None, int | None]:
+        """The (s, p, o) lookup ids for one row: constants stay, bound
+        variables substitute, unbound variables become wildcards."""
+        s = self.s_id if self.s_slot is None else row[self.s_slot]
+        p = self.p_id if self.p_slot is None else row[self.p_slot]
+        o = self.o_id if self.o_slot is None else row[self.o_slot]
+        return (
+            None if s == UNBOUND and self.s_slot is not None else s,
+            None if p == UNBOUND and self.p_slot is not None else p,
+            None if o == UNBOUND and self.o_slot is not None else o,
+        )
+
+    def extend(self, rows: list[Row], graph: Graph) -> list[Row]:
+        """Nested-index-loop join: extend every row with every match."""
+        match_ids = graph.match_ids
+        s_slot, p_slot, o_slot = self.s_slot, self.p_slot, self.o_slot
+        out: list[Row] = []
+        append = out.append
+        for row in rows:
+            s, p, o = self.bound_ids(row)
+            for ms, mp, mo in match_ids(s, p, o):
+                extended = list(row)
+                ok = True
+                # Repeated variables (e.g. ``?x ?p ?x``) hit the same slot
+                # twice: the first write binds, the second must agree.
+                for slot, value in (
+                    (s_slot, ms), (p_slot, mp), (o_slot, mo)
+                ):
+                    if slot is None:
+                        continue
+                    current = extended[slot]
+                    if current == UNBOUND:
+                        extended[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if ok:
+                    append(tuple(extended))
+        return out
+
+    def extend_hash(self, rows: list[Row], graph: Graph) -> list[Row]:
+        """Hash join: one scan of the pattern, a hash probe per row.
+
+        The first row's boundness decides the join key: its bound variable
+        positions key the hash table; the remaining (free) positions are
+        filled from each matching scan triple.  BGP streams are usually
+        homogeneous, so this signature almost always covers every row;
+        a row that deviates (heterogeneous OPTIONAL/UNION streams) falls
+        back to the per-row index lookup, which keeps the semantics
+        identical to :meth:`extend` in all cases.  With no bound positions
+        this degrades gracefully to a materialised cartesian product — one
+        scan shared by all rows instead of one scan per row.
+        """
+        s_slot, p_slot, o_slot = self.s_slot, self.p_slot, self.o_slot
+        var_items = [
+            (position, slot)
+            for position, slot in ((0, s_slot), (1, p_slot), (2, o_slot))
+            if slot is not None
+        ]
+        first = rows[0]
+        bound_items = [
+            (position, slot) for position, slot in var_items
+            if first[slot] != UNBOUND
+        ]
+        free_items = [
+            (position, slot) for position, slot in var_items
+            if first[slot] == UNBOUND
+        ]
+        bound_slots = tuple(slot for __, slot in bound_items)
+        free_slots = tuple(slot for __, slot in free_items)
+
+        # One scan with only the constants bound, grouped by the values at
+        # the bound variable positions.
+        table: dict[tuple[int, ...], list[tuple[int, int, int]]] = {}
+        for match in graph.match_ids(self.s_id, self.p_id, self.o_id):
+            key = tuple(match[position] for position, __ in bound_items)
+            table.setdefault(key, []).append(match)
+        if not table:
+            return []
+
+        out: list[Row] = []
+        append = out.append
+        for row in rows:
+            if any(row[slot] == UNBOUND for slot in bound_slots) or any(
+                row[slot] != UNBOUND for slot in free_slots
+            ):
+                # Boundness differs from the first row: per-row lookup.
+                s, p, o = self.bound_ids(row)
+                for ms, mp, mo in graph.match_ids(s, p, o):
+                    extended = list(row)
+                    ok = True
+                    for slot, value in ((s_slot, ms), (p_slot, mp), (o_slot, mo)):
+                        if slot is None:
+                            continue
+                        current = extended[slot]
+                        if current == UNBOUND:
+                            extended[slot] = value
+                        elif current != value:
+                            ok = False
+                            break
+                    if ok:
+                        append(tuple(extended))
+                continue
+            bucket = table.get(tuple(row[slot] for slot in bound_slots))
+            if bucket is None:
+                continue
+            if not free_items:
+                # Pure existence/multiplicity join: the row extends as-is,
+                # once per matching triple.
+                for __ in bucket:
+                    append(row)
+                continue
+            for match in bucket:
+                extended = list(row)
+                ok = True
+                # Repeated free variables (``?x ?p ?x``) hit the same slot
+                # twice: the first write binds, the second must agree.
+                for position, slot in free_items:
+                    value = match[position]
+                    current = extended[slot]
+                    if current == UNBOUND:
+                        extended[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if ok:
+                    append(tuple(extended))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+
+Valuation = Callable[[Row], Any]
+
+
+def compile_expression(
+    expression: Expression,
+    slot_of: dict[Variable, int],
+    decode: Callable[[int], Term],
+    cells: list[Any] | None = None,
+) -> Valuation:
+    """Compile an expression into a closure over an id row.
+
+    The closure raises :class:`SparqlTypeError` exactly where the
+    AST-walking evaluator would; callers wrap it per SPARQL error scoping
+    (filters fail, ORDER BY keys become unbound-kind).
+
+    ``cells`` collects every id-equality fast-path closure in the tree —
+    including ones nested under ``!``/``&&``/``||`` — so the plan can
+    resolve their constant ids against the live graph before execution.
+    """
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            slot = slot_of.get(term)
+            if slot is None:
+                # A variable that appears nowhere in the pattern tree is
+                # never bound — mirror the evaluator's unbound error.
+                def never(row: Row, name: str = term.name) -> Any:
+                    raise SparqlTypeError(f"unbound variable ?{name}")
+                return never
+
+            def value_of(row: Row, slot: int = slot, name: str = term.name) -> Any:
+                term_id = row[slot]
+                if term_id == UNBOUND:
+                    raise SparqlTypeError(f"unbound variable ?{name}")
+                return decode(term_id)
+            return value_of
+        return lambda row: term
+
+    if isinstance(expression, Comparison):
+        fast = _compile_id_equality(expression, slot_of)
+        if fast is not None:
+            if cells is not None:
+                cells.append(fast)
+            return fast
+        left = compile_expression(expression.left, slot_of, decode, cells)
+        right = compile_expression(expression.right, slot_of, decode, cells)
+        operator = expression.operator
+        return lambda row: compare_values(operator, left(row), right(row))
+
+    if isinstance(expression, BooleanOp):
+        left = compile_expression(expression.left, slot_of, decode, cells)
+        right = compile_expression(expression.right, slot_of, decode, cells)
+
+        def side(value_of: Valuation, row: Row) -> bool | None:
+            try:
+                return effective_boolean(value_of(row))
+            except SparqlTypeError:
+                return None
+
+        if expression.operator == "&&":
+            def conjunction(row: Row) -> bool:
+                lhs, rhs = side(left, row), side(right, row)
+                if lhs is False or rhs is False:
+                    return False
+                if lhs is True and rhs is True:
+                    return True
+                raise SparqlTypeError("type error in &&")
+            return conjunction
+
+        def disjunction(row: Row) -> bool:
+            lhs, rhs = side(left, row), side(right, row)
+            if lhs is True or rhs is True:
+                return True
+            if lhs is False and rhs is False:
+                return False
+            raise SparqlTypeError("type error in ||")
+        return disjunction
+
+    if isinstance(expression, Not):
+        operand = compile_expression(expression.operand, slot_of, decode, cells)
+        return lambda row: not effective_boolean(operand(row))
+
+    if isinstance(expression, FunctionCall):
+        name = expression.name
+        if name == "BOUND":
+            if len(expression.arguments) != 1:
+                raise SparqlTypeError("BOUND expects 1 argument(s), got "
+                                      f"{len(expression.arguments)}")
+            operand = expression.arguments[0]
+            if not (isinstance(operand, TermExpr)
+                    and isinstance(operand.term, Variable)):
+                raise SparqlTypeError("BOUND expects a variable")
+            slot = slot_of.get(operand.term)
+            if slot is None:
+                return lambda row: False
+            return lambda row: row[slot] != UNBOUND
+        argument_closures = tuple(
+            compile_expression(argument, slot_of, decode, cells)
+            for argument in expression.arguments
+        )
+        return lambda row: apply_builtin(
+            name, tuple(closure(row) for closure in argument_closures)
+        )
+
+    raise SparqlTypeError(f"cannot compile {type(expression).__name__}")
+
+
+def _compile_id_equality(
+    expression: Comparison, slot_of: dict[Variable, int]
+) -> Valuation | None:
+    """Fast path: ``?var = <iri>`` / ``?var != <iri>`` compare ids directly.
+
+    Sound because dictionary encoding is injective and SPARQL defines
+    IRI/BNode comparison as term equality; literals stay on the value path
+    (distinct literal terms can compare equal by value).
+    """
+    if expression.operator not in ("=", "!="):
+        return None
+    sides = (expression.left, expression.right)
+    variable: Variable | None = None
+    constant: Term | None = None
+    for side in sides:
+        if not isinstance(side, TermExpr):
+            return None
+        if isinstance(side.term, Variable):
+            variable = side.term
+        elif isinstance(side.term, (IRI, BNode)):
+            constant = side.term
+        else:
+            return None
+    if variable is None or constant is None:
+        return None
+    slot = slot_of.get(variable)
+    if slot is None:
+        return None
+    negate = expression.operator == "!="
+    name = variable.name
+    constant_box: list[int] = [UNBOUND]  # resolved lazily via closure cell
+
+    def equals(row: Row, _box=constant_box) -> bool:
+        term_id = row[slot]
+        if term_id == UNBOUND:
+            raise SparqlTypeError(f"unbound variable ?{name}")
+        return (term_id != _box[0]) if negate else (term_id == _box[0])
+
+    equals.constant = constant  # type: ignore[attr-defined]
+    equals.constant_box = constant_box  # type: ignore[attr-defined]
+    return equals
+
+
+# ---------------------------------------------------------------------------
+# Pattern-tree operators
+# ---------------------------------------------------------------------------
+
+
+class CompiledBGP:
+    """A basic graph pattern: planned pattern order + join operators."""
+
+    __slots__ = ("patterns", "memo_eligible")
+
+    def __init__(self, patterns: list[CompiledPattern], memo_eligible: bool) -> None:
+        self.patterns = patterns
+        self.memo_eligible = memo_eligible
+
+    def run(
+        self, context: ExecContext, rows: list[Row], plan: "CompiledQuery"
+    ) -> list[Row]:
+        if not rows:
+            return []
+        memo = context.prefix_memo if self.memo_eligible else None
+        start = 0
+        if memo is not None and len(rows) == 1 and len(self.patterns) > 1:
+            keys = [
+                pattern.memo_key(plan.slot_names) for pattern in self.patterns
+            ]
+            rows, start = self._resume_from_memo(context, memo, keys, rows, plan)
+            for index in range(start, len(self.patterns)):
+                rows = self._join(context, rows, self.patterns[index])
+                if index + 1 < len(self.patterns):
+                    self._store_prefix(
+                        memo, tuple(keys[: index + 1]), rows, plan,
+                        tuple(keys[: index + 1]),
+                    )
+                if not rows:
+                    break
+            return rows
+        for pattern in self.patterns:
+            rows = self._join(context, rows, pattern)
+            if not rows:
+                break
+        return rows
+
+    # -- joins ---------------------------------------------------------
+
+    def _join(
+        self, context: ExecContext, rows: list[Row], pattern: CompiledPattern
+    ) -> list[Row]:
+        if len(rows) >= HASH_JOIN_MIN_ROWS and pattern.variables:
+            scan = context.graph.count_ids(
+                pattern.s_id, pattern.p_id, pattern.o_id
+            )
+            if scan <= len(rows) * HASH_JOIN_MAX_SCAN_FACTOR:
+                if context.stats is not None:
+                    context.stats.increment("sparql.joins.hash")
+                return pattern.extend_hash(rows, context.graph)
+        if context.stats is not None:
+            context.stats.increment("sparql.joins.index_loop")
+        return pattern.extend(rows, context.graph)
+
+    # -- prefix memo ---------------------------------------------------
+
+    def _resume_from_memo(
+        self,
+        context: ExecContext,
+        memo: PrefixMemo,
+        keys: list[tuple],
+        rows: list[Row],
+        plan: "CompiledQuery",
+    ) -> tuple[list[Row], int]:
+        """Resume from the longest memoized prefix, if any."""
+        stats = context.stats
+        for length in range(len(self.patterns) - 1, 0, -1):
+            hit = memo.get(tuple(keys[:length]))
+            if hit is None:
+                continue
+            if stats is not None:
+                stats.increment("sparql.prefix_memo.hits")
+            names, stored = hit
+            slots = [plan.slot_by_name[name] for name in names]
+            width = plan.width
+            resumed: list[Row] = []
+            for stored_row in stored:
+                row = [UNBOUND] * width
+                for slot, value in zip(slots, stored_row):
+                    row[slot] = value
+                resumed.append(tuple(row))
+            return resumed, length
+        if stats is not None:
+            stats.increment("sparql.prefix_memo.misses")
+        return rows, 0
+
+    def _store_prefix(
+        self,
+        memo: PrefixMemo,
+        key: tuple,
+        rows: list[Row],
+        plan: "CompiledQuery",
+        prefix_keys: tuple,
+    ) -> None:
+        """Store a prefix's rows projected to its own bound variables."""
+        bound_names = sorted(
+            {
+                name
+                for pattern_key in prefix_keys
+                for position in pattern_key
+                if isinstance(position, tuple)
+                for name in (position[1],)
+            }
+        )
+        slots = [plan.slot_by_name[name] for name in bound_names]
+        projected = tuple(
+            tuple(row[slot] for slot in slots) for row in rows
+        )
+        memo.put(key, tuple(bound_names), projected)
+
+
+class CompiledOptional:
+    """OPTIONAL: left join against a compiled subgroup."""
+
+    __slots__ = ("group",)
+
+    def __init__(self, group: "CompiledGroup") -> None:
+        self.group = group
+
+    def run(
+        self, context: ExecContext, rows: list[Row], plan: "CompiledQuery"
+    ) -> list[Row]:
+        out: list[Row] = []
+        for row in rows:
+            extended = self.group.run(context, [row], plan)
+            if extended:
+                out.extend(extended)
+            else:
+                out.append(row)
+        return out
+
+
+class CompiledUnion:
+    """UNION: concatenation of both branches over the same input."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: "CompiledGroup", right: "CompiledGroup") -> None:
+        self.left = left
+        self.right = right
+
+    def run(
+        self, context: ExecContext, rows: list[Row], plan: "CompiledQuery"
+    ) -> list[Row]:
+        return self.left.run(context, rows, plan) + self.right.run(
+            context, rows, plan
+        )
+
+
+class CompiledGroup:
+    """A ``{ ... }`` group: ordered children, filters applied at the end."""
+
+    __slots__ = ("children", "filters")
+
+    def __init__(
+        self,
+        children: list[Any],
+        filters: list[Valuation],
+    ) -> None:
+        self.children = children
+        self.filters = filters
+
+    def run(
+        self, context: ExecContext, rows: list[Row], plan: "CompiledQuery"
+    ) -> list[Row]:
+        for child in self.children:
+            rows = child.run(context, rows, plan)
+            if not rows:
+                break
+        if rows and self.filters:
+            passing: list[Row] = []
+            for row in rows:
+                for constraint in self.filters:
+                    try:
+                        if not effective_boolean(constraint(row)):
+                            break
+                    except SparqlTypeError:
+                        # Per SPARQL semantics a type error fails the filter.
+                        break
+                else:
+                    passing.append(row)
+            rows = passing
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Whole-query plans
+# ---------------------------------------------------------------------------
+
+
+class CompiledQuery:
+    """An executable id-space plan for one SELECT or ASK query.
+
+    Compiled once per structurally distinct AST (the engine caches plans on
+    the frozen AST's own hash) and executed many times; the only per-
+    generation work is re-resolving constants that were absent from the
+    dictionary when the plan was built.
+    """
+
+    def __init__(self, query: SelectQuery | AskQuery, graph: Graph) -> None:
+        self.query = query
+        self.is_ask = isinstance(query, AskQuery)
+        self.slot_of: dict[Variable, int] = {}
+        self._collect_variables(query.where)
+        self.width = len(self.slot_of)
+        self.slot_names = {
+            slot: variable.name for variable, slot in self.slot_of.items()
+        }
+        self.slot_by_name = {
+            variable.name: slot for variable, slot in self.slot_of.items()
+        }
+        self._patterns: list[CompiledPattern] = []
+        self._id_equality_cells: list[Any] = []
+        decode = graph.decode_id
+        self.root = self._compile_group(
+            query.where, graph, decode, set(), top_level=True
+        )
+        if not self.is_ask:
+            self._compile_select_tail(query, decode)
+        self._resolved_generation = -1
+        self._resolve(graph)
+
+    # -- compilation ---------------------------------------------------
+
+    def _collect_variables(self, group: Group) -> None:
+        for child in group.patterns:
+            if isinstance(child, BGP):
+                for triple in child.triples:
+                    for variable in sorted(
+                        triple.variables(), key=lambda v: v.name
+                    ):
+                        if variable not in self.slot_of:
+                            self.slot_of[variable] = len(self.slot_of)
+            elif isinstance(child, OptionalPattern):
+                self._collect_variables(child.pattern)
+            elif isinstance(child, UnionPattern):
+                self._collect_variables(child.left)
+                self._collect_variables(child.right)
+            elif isinstance(child, Group):
+                self._collect_variables(child)
+
+    def _compile_group(
+        self,
+        group: Group,
+        graph: Graph,
+        decode: Callable[[int], Term],
+        bound: set[Variable],
+        top_level: bool = False,
+    ) -> CompiledGroup:
+        """Compile one group, tracking which variables are *definitely*
+        bound at each child (intersection semantics: OPTIONAL guarantees
+        nothing, UNION guarantees the branches' intersection)."""
+        children: list[Any] = []
+        filters: list[Valuation] = []
+        first = True
+        for child in group.patterns:
+            if isinstance(child, BGP):
+                compiled = self._compile_bgp(
+                    child, graph, bound, memo_eligible=top_level and first
+                )
+                children.append(compiled)
+                for triple in child.triples:
+                    bound |= triple.variables()
+            elif isinstance(child, Filter):
+                filters.append(
+                    self._register_filter(child.expression, decode)
+                )
+                continue  # filters don't advance the child sequence
+            elif isinstance(child, OptionalPattern):
+                children.append(
+                    CompiledOptional(
+                        self._compile_group(
+                            child.pattern, graph, decode, set(bound)
+                        )
+                    )
+                )
+            elif isinstance(child, UnionPattern):
+                left_bound = set(bound)
+                right_bound = set(bound)
+                compiled_union = CompiledUnion(
+                    self._compile_group(child.left, graph, decode, left_bound),
+                    self._compile_group(child.right, graph, decode, right_bound),
+                )
+                children.append(compiled_union)
+                bound |= left_bound & right_bound
+            elif isinstance(child, Group):
+                children.append(
+                    self._compile_group(child, graph, decode, bound)
+                )
+            else:
+                raise SparqlError(
+                    f"unknown pattern node {type(child).__name__}"
+                )
+            first = False
+        return CompiledGroup(children, filters)
+
+    def _register_filter(
+        self, expression: Expression, decode: Callable[[int], Term]
+    ) -> Valuation:
+        return compile_expression(
+            expression, self.slot_of, decode, self._id_equality_cells
+        )
+
+    def _compile_bgp(
+        self,
+        bgp: BGP,
+        graph: Graph,
+        bound: set[Variable],
+        memo_eligible: bool,
+    ) -> CompiledBGP:
+        ordered = _plan_patterns(graph, list(bgp.triples), set(bound))
+        compiled = [CompiledPattern(triple, self.slot_of) for triple in ordered]
+        self._patterns.extend(compiled)
+        return CompiledBGP(compiled, memo_eligible)
+
+    def _compile_select_tail(
+        self, query: SelectQuery, decode: Callable[[int], Term]
+    ) -> None:
+        self._order_keys: list[tuple[Valuation, bool]] = [
+            (
+                self._register_filter(condition.expression, decode),
+                condition.descending,
+            )
+            for condition in query.order_by
+        ]
+        self._decode = decode
+
+    # -- constants -----------------------------------------------------
+
+    def _resolve(self, graph: Graph) -> None:
+        generation = graph.generation
+        if generation == self._resolved_generation:
+            return
+        for pattern in self._patterns:
+            pattern.resolve(graph)
+        for closure in self._id_equality_cells:
+            box = closure.constant_box
+            if box[0] == UNBOUND:
+                box[0] = graph.lookup_id(closure.constant)
+        self._resolved_generation = generation
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, context: ExecContext) -> SelectResult | AskResult:
+        self._resolve(context.graph)
+        seed: list[Row] = [(UNBOUND,) * self.width]
+        rows = self.root.run(context, seed, self)
+        if self.is_ask:
+            return AskResult(bool(rows))
+        return self._shape_select(rows, context)
+
+    def _shape_select(
+        self, rows: list[Row], context: ExecContext
+    ) -> SelectResult:
+        query = self.query
+        assert isinstance(query, SelectQuery)
+        decode = self._decode
+
+        if query.is_aggregate:
+            return self._aggregate(query, rows)
+
+        if query.select_all:
+            seen_slots = set()
+            for row in rows:
+                for slot, value in enumerate(row):
+                    if value != UNBOUND:
+                        seen_slots.add(slot)
+            variables = tuple(
+                sorted(
+                    (
+                        variable
+                        for variable, slot in self.slot_of.items()
+                        if slot in seen_slots
+                    ),
+                    key=lambda v: v.name,
+                )
+            )
+        else:
+            variables = tuple(
+                p for p in query.projection if isinstance(p, Variable)
+            )
+
+        if query.order_by:
+            def sort_key(row: Row):
+                keys = []
+                for closure, descending in self._order_keys:
+                    try:
+                        value = closure(row)
+                    except SparqlTypeError:
+                        value = None
+                    kind, within = order_key(value)
+                    if descending:
+                        keys.append((-kind, invert_order(within)))
+                    else:
+                        keys.append((kind, within))
+                return tuple(keys)
+
+            rows = sorted(rows, key=sort_key)
+
+        slots = [self.slot_of.get(variable) for variable in variables]
+        id_rows: list[tuple[int, ...]] = [
+            tuple(
+                UNBOUND if slot is None else row[slot] for slot in slots
+            )
+            for row in rows
+        ]
+        if query.distinct:
+            id_rows = list(dict.fromkeys(id_rows))
+        if query.offset:
+            id_rows = id_rows[query.offset:]
+        if query.limit is not None:
+            id_rows = id_rows[: query.limit]
+
+        term_rows = tuple(
+            tuple(
+                None if term_id == UNBOUND else decode(term_id)
+                for term_id in id_row
+            )
+            for id_row in id_rows
+        )
+        return SelectResult(variables=variables, rows=term_rows)
+
+    def _aggregate(self, query: SelectQuery, rows: list[Row]) -> SelectResult:
+        if len(query.projection) != 1:
+            raise SparqlError("COUNT cannot be mixed with other projections")
+        aggregate = query.projection[0]
+        assert isinstance(aggregate, CountAggregate)
+        if aggregate.variable is None:
+            # Row tuples are slot-aligned, so tuple equality is exactly
+            # bound-variable-set equality — COUNT(DISTINCT *) needs no
+            # decode.
+            count = len(set(rows)) if aggregate.distinct else len(rows)
+        else:
+            slot = self.slot_of.get(aggregate.variable)
+            if slot is None:
+                count = 0
+            else:
+                values = [row[slot] for row in rows if row[slot] != UNBOUND]
+                count = len(set(values)) if aggregate.distinct else len(values)
+        out_variable = aggregate.alias or Variable("count")
+        row = (Literal(str(count), datatype=XSD_INTEGER),)
+        return SelectResult(variables=(out_variable,), rows=(row,))
+
+
+# ---------------------------------------------------------------------------
+# Join-order planning (id-level twin of repro.sparql.planner)
+# ---------------------------------------------------------------------------
+
+
+def _plan_patterns(
+    graph: Graph, triples: list[Triple], bound: set[Variable]
+) -> list[Triple]:
+    """Greedy selectivity ordering, identical heuristics to
+    :func:`repro.sparql.planner.plan_bgp` but fed by compile-time
+    ``definitely_bound`` sets (intersection semantics) instead of a sample
+    of the runtime solution stream."""
+    remaining = list(triples)
+    ordered: list[Triple] = []
+    while remaining:
+        best_index = 0
+        best_key: tuple[int, float] | None = None
+        for index, pattern in enumerate(remaining):
+            variables = pattern.variables()
+            disconnected = int(bool(ordered) and bound.isdisjoint(variables))
+            estimate = float(
+                graph.count(
+                    None if isinstance(pattern.subject, Variable) else pattern.subject,
+                    None if isinstance(pattern.predicate, Variable) else pattern.predicate,
+                    None if isinstance(pattern.object, Variable) else pattern.object,
+                )
+            )
+            for slot in (pattern.subject, pattern.predicate, pattern.object):
+                if isinstance(slot, Variable) and slot in bound:
+                    estimate /= BOUND_VARIABLE_FACTOR
+            key = (disconnected, estimate)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        chosen = remaining.pop(best_index)
+        ordered.append(chosen)
+        bound |= chosen.variables()
+    return ordered
+
+
+def compile_query(
+    query: SelectQuery | AskQuery, graph: Graph
+) -> CompiledQuery:
+    """Compile a parsed query into an executable id-space plan."""
+    if not isinstance(query, (SelectQuery, AskQuery)):
+        raise SparqlError(f"unsupported query type {type(query).__name__}")
+    return CompiledQuery(query, graph)

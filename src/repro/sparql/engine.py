@@ -1,17 +1,35 @@
 """The query engine facade: parse, plan, execute, shape results.
 
-The engine carries two LRU caches sized by ``cache_size``:
+The engine carries three LRU caches:
 
 * a **parse cache** mapping query text to its AST (query parsing does not
   depend on graph contents, so entries never go stale);
-* a **result cache** mapping the (hashable, frozen) AST to the computed
-  result, invalidated wholesale whenever :attr:`repro.rdf.Graph.generation`
-  moves — i.e. on any triple assertion or retraction.
+* a **plan cache** mapping the (hashable, frozen) AST to its compiled
+  id-space plan (:mod:`repro.sparql.compiler`).  Keyed on the AST's own
+  structural hash, so queries submitted as pre-built ASTs — the QA hot
+  path submits ``candidate.to_ast()`` directly — hit it just like textual
+  queries.  Plans never go stale: constants resolved to dictionary ids
+  stay valid forever (ids are append-only) and absent constants re-resolve
+  per graph generation;
+* a **result cache** mapping the AST to the computed result, invalidated
+  wholesale whenever :attr:`repro.rdf.Graph.generation` moves — i.e. on
+  any triple assertion or retraction.
 
-Both caches are thread-safe and both results types
+The engine also keeps a cross-query **prefix memo**
+(:class:`repro.sparql.compiler.PrefixMemo`): candidate queries for one
+question share BGP join prefixes, and the memo lets a later candidate
+resume from an earlier candidate's id-level prefix rows within a graph
+generation.
+
+All caches are thread-safe and both result types
 (:class:`~repro.sparql.results.SelectResult`,
 :class:`~repro.sparql.results.AskResult`) are immutable, so cached objects
 are shared between callers without copying.
+
+By default queries execute on the compiled id-space engine; pass
+``idspace=False`` to keep the original term-space evaluator
+(:mod:`repro.sparql.executor`), retained as the oracle for differential
+tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -29,9 +47,17 @@ from repro.sparql.ast import (
     CountAggregate,
     SelectQuery,
 )
+from repro.sparql.compiler import (
+    CompiledQuery,
+    ExecContext,
+    PrefixMemo,
+    compile_query,
+)
 from repro.sparql.errors import SparqlError, SparqlTypeError
 from repro.sparql.executor import Solution, evaluate_group
+from repro.sparql.functions import Inverted as _Inverted
 from repro.sparql.functions import evaluate as evaluate_expression
+from repro.sparql.functions import invert_order as _invert
 from repro.sparql.functions import order_key
 from repro.sparql.parser import parse_query
 from repro.sparql.results import AskResult, SelectResult
@@ -68,14 +94,22 @@ class SparqlEngine:
         graph: Graph,
         cache_size: int = DEFAULT_CACHE_SIZE,
         stats: PerfStats | None = None,
+        idspace: bool = True,
     ) -> None:
         self._graph = graph
         self._stats = stats if stats is not None else PerfStats()
         self._parse_cache = LRUCache(cache_size)
         self._result_cache = LRUCache(cache_size)
+        # Plans never go stale (see module docstring), so the plan cache
+        # stays on even when result caching is disabled — compiling per
+        # call would just re-do structurally identical work.
+        self._plan_cache = LRUCache(cache_size if cache_size > 0 else DEFAULT_CACHE_SIZE)
+        self._prefix_memo = PrefixMemo()
+        self._memo_generation = graph.generation
         self._cache_lock = threading.Lock()
         self._cached_generation = graph.generation
         self.cache_enabled = cache_size > 0
+        self.idspace = idspace
         # Observability hook (docs/observability.md): tracing systems
         # install their tracers via add_tracer(); see _trace_event.
         self._tracers: tuple = ()
@@ -108,15 +142,24 @@ class SparqlEngine:
                 tracer.event(name, **attributes)
 
     def cache_stats(self) -> dict[str, dict]:
-        """Hit/miss snapshots of the parse and result caches."""
+        """Hit/miss snapshots of the parse, plan, and result caches.
+
+        Folded into the ``repro.metrics/v1`` document as
+        ``sparql.<cache>.<field>`` gauges by
+        :meth:`repro.obs.metrics.MetricsRegistry.absorb_cache_stats`.
+        """
         return {
             "parse_cache": self._parse_cache.stats(),
+            "plan_cache": self._plan_cache.stats(),
             "result_cache": self._result_cache.stats(),
+            "prefix_memo": {"size": len(self._prefix_memo)},
         }
 
     def clear_caches(self) -> None:
         self._parse_cache.clear()
+        self._plan_cache.clear()
         self._result_cache.clear()
+        self._prefix_memo.invalidate()
 
     def query(self, query: str | SelectQuery | AskQuery) -> SelectResult | AskResult:
         """Run a query given as text or pre-parsed AST."""
@@ -124,8 +167,13 @@ class SparqlEngine:
             query = self._parse(query)
         if not isinstance(query, (SelectQuery, AskQuery)):
             raise SparqlError(f"unsupported query type {type(query).__name__}")
+        # Plan lookup happens before the result-cache lookup on purpose:
+        # plan-cache traffic then reflects every query submitted (text or
+        # AST), not only result-cache misses, and the plan is already in
+        # hand when a result-cache entry gets invalidated later.
+        plan = self._plan(query) if self.idspace else None
         if not self.cache_enabled:
-            return self._evaluate(query)
+            return self._evaluate(query, plan)
 
         self._validate_result_cache()
         cached = self._result_cache.get(query)
@@ -142,12 +190,27 @@ class SparqlEngine:
         # leaves both caches untouched, so a faulted run can never poison
         # the results a later clean run observes.
         try:
-            result = self._evaluate(query)
+            result = self._evaluate(query, plan)
         except Exception:
             self._stats.increment("sparql.errors")
             raise
         self._result_cache.put(query, result)
         return result
+
+    def _plan(self, query: SelectQuery | AskQuery) -> CompiledQuery:
+        """Fetch or compile the id-space plan for a query AST."""
+        plan = self._plan_cache.get(query)
+        if plan is not None:
+            self._stats.increment("sparql.plan_cache.hits")
+            if self._tracers:
+                self._trace_event("sparql.plan_cache", outcome="hit")
+            return plan
+        self._stats.increment("sparql.plan_cache.misses")
+        if self._tracers:
+            self._trace_event("sparql.plan_cache", outcome="miss")
+        plan = compile_query(query, self._graph)
+        self._plan_cache.put(query, plan)
+        return plan
 
     def _parse(self, text: str) -> SelectQuery | AskQuery:
         """Parse query text through the parse cache.
@@ -189,10 +252,29 @@ class SparqlEngine:
                 self._cached_generation = generation
                 self._stats.increment("sparql.result_cache.invalidations")
 
-    def _evaluate(self, query: SelectQuery | AskQuery) -> SelectResult | AskResult:
+    def _evaluate(
+        self,
+        query: SelectQuery | AskQuery,
+        plan: CompiledQuery | None = None,
+    ) -> SelectResult | AskResult:
+        if plan is not None:
+            return self._execute_plan(plan)
         if isinstance(query, SelectQuery):
             return self._run_select(query)
         return self._run_ask(query)
+
+    def _execute_plan(self, plan: CompiledQuery) -> SelectResult | AskResult:
+        # The prefix memo lives outside the result cache (it must also
+        # serve cache-disabled engines), so it checks the generation here
+        # on every execution rather than in _validate_result_cache.
+        generation = self._graph.generation
+        if generation != self._memo_generation:
+            with self._cache_lock:
+                if generation != self._memo_generation:
+                    self._prefix_memo.invalidate()
+                    self._memo_generation = generation
+        context = ExecContext(self._graph, self._stats, self._prefix_memo)
+        return plan.execute(context)
 
     def select(self, query: str | SelectQuery) -> SelectResult:
         """Run a SELECT query; raises on ASK input."""
@@ -289,27 +371,6 @@ class SparqlEngine:
         if limit is not None:
             rows = rows[:limit]
         return rows
-
-
-class _Inverted:
-    """Wrapper inverting comparison order for DESC sort keys."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_Inverted") -> bool:
-        return other.value < self.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Inverted) and other.value == self.value
-
-
-def _invert(value):
-    if isinstance(value, (int, float)):
-        return -value
-    return _Inverted(value)
 
 
 def select(graph: Graph, query: str) -> SelectResult:

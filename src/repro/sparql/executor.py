@@ -69,9 +69,15 @@ def evaluate_bgp(
     solutions = list(solutions)
     if not solutions:
         return
-    bound: set[Variable] = set()
-    for solution in solutions[:1]:
-        bound |= set(solution)
+    # Plan on the variables bound in *every* incoming solution: a
+    # heterogeneous stream (OPTIONAL/UNION branches bind different
+    # variables) must not get a join order keyed on a variable that is
+    # unbound in some solutions.
+    bound = set(solutions[0])
+    for solution in solutions[1:]:
+        bound &= set(solution)
+        if not bound:
+            break
     ordered = plan_bgp(graph, triples, bound)
 
     def join(current: Iterable[Solution], pattern: Triple) -> Iterator[Solution]:

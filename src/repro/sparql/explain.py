@@ -19,6 +19,7 @@ from repro.sparql.ast import (
     SelectQuery,
     UnionPattern,
 )
+from repro.sparql.compiler import HASH_JOIN_MIN_ROWS, compile_query
 from repro.sparql.parser import parse_query
 from repro.sparql.planner import estimate_cardinality, plan_bgp
 from repro.sparql.serializer import serialize_expression, serialize_term
@@ -33,6 +34,7 @@ def explain(graph: Graph, query: str | SelectQuery | AskQuery) -> str:
     SELECT plan
     group
       join[1] scan ?x rdf:type dbo:Book (est. 1)
+    engine: id-space compiled plan (1 slot(s): ?x; hash-join above 64 rows)
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -53,6 +55,16 @@ def explain(graph: Graph, query: str | SelectQuery | AskQuery) -> str:
             lines.append(
                 f"then: slice offset={query.offset} limit={query.limit}"
             )
+    # Execution detail (docs/performance.md, "Engine architecture"):
+    # compiling is cheap and observational — it never runs the query.
+    compiled = compile_query(query, graph)
+    slots = " ".join(
+        f"?{compiled.slot_names[slot]}" for slot in sorted(compiled.slot_names)
+    )
+    lines.append(
+        f"engine: id-space compiled plan ({compiled.width} slot(s): {slots}; "
+        f"hash-join above {HASH_JOIN_MIN_ROWS} rows)"
+    )
     return "\n".join(lines)
 
 

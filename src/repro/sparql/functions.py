@@ -127,8 +127,16 @@ def _comparable(term: Any) -> Any:
 
 
 def _compare(operator: str, left: Expression, right: Expression, bindings: Bindings) -> bool:
-    lhs = evaluate(left, bindings)
-    rhs = evaluate(right, bindings)
+    return compare_values(operator, evaluate(left, bindings), evaluate(right, bindings))
+
+
+def compare_values(operator: str, lhs: Any, rhs: Any) -> bool:
+    """SPARQL value comparison over already-evaluated operands.
+
+    Shared between the AST-walking evaluator above and the compiled
+    id-space expression closures (:mod:`repro.sparql.compiler`), which
+    evaluate operands once and must not re-walk the expression tree.
+    """
     # Term equality for IRIs and blank nodes.
     if isinstance(lhs, (IRI, BNode)) or isinstance(rhs, (IRI, BNode)):
         if operator == "=":
@@ -177,25 +185,39 @@ def _call(expression: FunctionCall, bindings: Bindings) -> Any:
     name = expression.name
     args = expression.arguments
 
-    def arity(n: int) -> None:
-        if len(args) != n:
-            raise SparqlTypeError(f"{name} expects {n} argument(s), got {len(args)}")
-
     if name == "BOUND":
-        arity(1)
+        if len(args) != 1:
+            raise SparqlTypeError(f"BOUND expects 1 argument(s), got {len(args)}")
         operand = args[0]
         if not (isinstance(operand, TermExpr) and isinstance(operand.term, Variable)):
             raise SparqlTypeError("BOUND expects a variable")
         return operand.term in bindings
 
+    return apply_builtin(name, tuple(evaluate(arg, bindings) for arg in args))
+
+
+def apply_builtin(name: str, values: tuple[Any, ...]) -> Any:
+    """Apply a builtin (other than ``BOUND``) to evaluated argument values.
+
+    Shared between :func:`evaluate` and the compiled expression closures:
+    the compiler evaluates arguments via per-slot closures and dispatches
+    here, so builtin semantics live in exactly one place.  ``BOUND`` never
+    reaches this function — it inspects bindings, not values, and both
+    callers special-case it.
+    """
+
+    def arity(n: int) -> None:
+        if len(values) != n:
+            raise SparqlTypeError(f"{name} expects {n} argument(s), got {len(values)}")
+
     if name == "REGEX":
-        if len(args) not in (2, 3):
+        if len(values) not in (2, 3):
             raise SparqlTypeError("REGEX expects 2 or 3 arguments")
-        text = _string_of(evaluate(args[0], bindings))
-        pattern = _string_of(evaluate(args[1], bindings))
+        text = _string_of(values[0])
+        pattern = _string_of(values[1])
         flags = 0
-        if len(args) == 3:
-            flag_text = _string_of(evaluate(args[2], bindings))
+        if len(values) == 3:
+            flag_text = _string_of(values[2])
             if "i" in flag_text:
                 flags |= re.IGNORECASE
         try:
@@ -205,26 +227,26 @@ def _call(expression: FunctionCall, bindings: Bindings) -> Any:
 
     if name == "STR":
         arity(1)
-        return Literal(_string_of(evaluate(args[0], bindings)))
+        return Literal(_string_of(values[0]))
 
     if name == "LANG":
         arity(1)
-        value = evaluate(args[0], bindings)
+        value = values[0]
         if not isinstance(value, Literal):
             raise SparqlTypeError("LANG expects a literal")
         return Literal(value.language or "")
 
     if name == "LANGMATCHES":
         arity(2)
-        tag = _string_of(evaluate(args[0], bindings)).lower()
-        pattern = _string_of(evaluate(args[1], bindings)).lower()
+        tag = _string_of(values[0]).lower()
+        pattern = _string_of(values[1]).lower()
         if pattern == "*":
             return bool(tag)
         return tag == pattern or tag.startswith(pattern + "-")
 
     if name == "DATATYPE":
         arity(1)
-        value = evaluate(args[0], bindings)
+        value = values[0]
         if not isinstance(value, Literal):
             raise SparqlTypeError("DATATYPE expects a literal")
         if value.datatype:
@@ -233,43 +255,59 @@ def _call(expression: FunctionCall, bindings: Bindings) -> Any:
 
     if name == "CONTAINS":
         arity(2)
-        haystack = _string_of(evaluate(args[0], bindings))
-        needle = _string_of(evaluate(args[1], bindings))
-        return needle in haystack
+        return _string_of(values[1]) in _string_of(values[0])
 
     if name == "STRSTARTS":
         arity(2)
-        return _string_of(evaluate(args[0], bindings)).startswith(
-            _string_of(evaluate(args[1], bindings))
-        )
+        return _string_of(values[0]).startswith(_string_of(values[1]))
 
     if name == "STRENDS":
         arity(2)
-        return _string_of(evaluate(args[0], bindings)).endswith(
-            _string_of(evaluate(args[1], bindings))
-        )
+        return _string_of(values[0]).endswith(_string_of(values[1]))
 
     if name == "LCASE":
         arity(1)
-        return Literal(_string_of(evaluate(args[0], bindings)).lower())
+        return Literal(_string_of(values[0]).lower())
 
     if name == "UCASE":
         arity(1)
-        return Literal(_string_of(evaluate(args[0], bindings)).upper())
+        return Literal(_string_of(values[0]).upper())
 
     if name in ("ISIRI", "ISURI"):
         arity(1)
-        return isinstance(evaluate(args[0], bindings), IRI)
+        return isinstance(values[0], IRI)
 
     if name == "ISLITERAL":
         arity(1)
-        return isinstance(evaluate(args[0], bindings), Literal)
+        return isinstance(values[0], Literal)
 
     if name == "ISBLANK":
         arity(1)
-        return isinstance(evaluate(args[0], bindings), BNode)
+        return isinstance(values[0], BNode)
 
     raise SparqlTypeError(f"unknown function {name}")
+
+
+class Inverted:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "Inverted") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Inverted) and other.value == self.value
+
+
+def invert_order(value: Any) -> Any:
+    """Invert a within-kind ORDER BY key for descending sorts."""
+    if isinstance(value, (int, float)):
+        return -value
+    return Inverted(value)
 
 
 def order_key(value: Any) -> tuple[int, Any]:
