@@ -31,6 +31,10 @@ compatibility promise:
 ``load_curated_kb``           the paper's curated DBpedia slice
 ``load_synthetic_kb``         the larger generated KB (benchmarks)
 ``answer_many``               one-shot batch helper (below)
+``ResilientServer``           long-lived concurrent serving layer:
+                              admission control, circuit breakers,
+                              warm-state snapshots (``repro.serve``)
+``ServerConfig``              sizing/policy knobs for the server
 ============================  =========================================
 
 Observability (``docs/observability.md``) is reached from these same
@@ -49,6 +53,7 @@ from repro.core.system import Answer, QuestionAnsweringSystem
 from repro.kb.builder import KnowledgeBase
 from repro.kb.dataset import load_curated_kb
 from repro.kb.generator import load_synthetic_kb
+from repro.serve.server import ResilientServer, ServerConfig
 
 __all__ = [
     "QuestionAnsweringSystem",
@@ -59,6 +64,8 @@ __all__ = [
     "load_curated_kb",
     "load_synthetic_kb",
     "answer_many",
+    "ResilientServer",
+    "ServerConfig",
 ]
 
 

@@ -9,6 +9,8 @@
     python -m repro plan "SELECT ?x WHERE { ?x a dbont:Book }"
     python -m repro mine die bear write
     python -m repro info
+    python -m repro serve --shed-policy degrade --snapshot warm.snapshot
+    python -m repro soak --duration 60 --quick
 
 Every pipeline-facing command (``ask`` / ``eval`` / ``explain``) shares one
 declarative flag table (:data:`PIPELINE_FLAGS`): each entry maps an argparse
@@ -94,6 +96,14 @@ PIPELINE_FLAGS: tuple[Flag, ...] = (
                     help="wall-clock budget for candidate enumeration + "
                          "execution per question"),
         field="stage_budget_ms",
+    ),
+    Flag(
+        "--timeout",
+        kwargs=dict(type=float, metavar="SECONDS",
+                    help="per-question wall-clock deadline in seconds "
+                         "(checked inside candidate enumeration, not only "
+                         "at stage boundaries; truncation is reported)"),
+        field="question_timeout_s",
     ),
     Flag(
         "--trace",
@@ -204,6 +214,39 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("directory", help="output directory (created if missing)")
     export.add_argument("--format", choices=["nt", "ttl", "both"], default="both",
                         help="graph serialisation(s) to write")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve questions from stdin through the resilient serving "
+             "layer (one question per line, tab-separated answers out)",
+    )
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="worker pool size (default 4)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission queue bound (default 64)")
+    serve.add_argument("--shed-policy", choices=["reject", "degrade"],
+                       default="reject",
+                       help="what to do with requests over the queue bound")
+    serve.add_argument("--request-timeout", type=float, metavar="SECONDS",
+                       help="per-request deadline (queue wait included)")
+    serve.add_argument("--snapshot", metavar="PATH",
+                       help="warm-state snapshot file: restored on start "
+                            "if valid, saved on shutdown")
+    add_pipeline_flags(serve)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the chaos/soak harness against the serving layer and "
+             "check the serving invariants (exit 1 on any violation)",
+    )
+    soak.add_argument("--duration", type=float, default=60.0, metavar="SECONDS",
+                      help="how long to drive load (default 60)")
+    soak.add_argument("--seed", type=int, default=0,
+                      help="chaos schedule seed (reproducible)")
+    soak.add_argument("--quick", action="store_true",
+                      help="CI smoke mode: smaller fault bursts")
+    soak.add_argument("--json", metavar="PATH",
+                      help="write the machine-readable soak report")
     return parser
 
 
@@ -375,6 +418,107 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Line-oriented serving loop over stdin (the demo/ops entry point).
+
+    Reads one question per line, answers through the
+    :class:`repro.serve.ResilientServer` (admission control, breakers,
+    bulkheads all active), prints one tab-separated line per answer.  With
+    ``--snapshot`` the warm caches are restored on start (when the file is
+    valid for the current KB) and saved on shutdown.
+    """
+    from repro.serve import ResilientServer, ServerConfig, SnapshotError
+
+    kb = load_curated_kb()
+    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
+    server = ResilientServer(
+        qa,
+        ServerConfig(
+            max_queue=args.max_queue,
+            workers=args.workers,
+            shed_policy=args.shed_policy,
+            default_timeout_s=args.request_timeout,
+        ),
+    )
+    if args.snapshot:
+        try:
+            counts = server.restore_snapshot(args.snapshot)
+            print(f"(warm state restored: {counts})", file=sys.stderr)
+        except SnapshotError as error:
+            print(f"(starting cold: {error})", file=sys.stderr)
+    try:
+        for line in sys.stdin:
+            question = line.strip()
+            if not question:
+                continue
+            result = server.answer(question)
+            if result.boolean is not None:
+                print(f"{question}\t{'Yes' if result.boolean else 'No'}")
+            elif result.answered:
+                labels = "\t".join(
+                    answer.lexical if isinstance(answer, Literal)
+                    else kb.label_of(answer)
+                    for answer in result.answers
+                )
+                print(f"{question}\t{labels}")
+            else:
+                stage = result.failure_stage or "?"
+                print(f"{question}\t(unanswered [{stage}]: {result.failure})")
+    finally:
+        server.stop()
+        if args.snapshot:
+            header = server.save_snapshot(args.snapshot)
+            print(f"(warm state saved: {header['counts']})", file=sys.stderr)
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Run the chaos/soak harness; the exit code is the CI gate."""
+    import faulthandler
+    import os
+    import tempfile
+
+    from repro.serve.soak import run_soak
+
+    # If the soak deadlocks outright, dump every thread's stack and die
+    # instead of hanging the CI job (the harness's own hang timeout covers
+    # stuck individual requests; this watchdog covers a stuck harness).
+    watchdog_s = args.duration + 120.0
+    faulthandler.dump_traceback_later(watchdog_s, exit=True)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            report = run_soak(
+                load_curated_kb(),
+                duration_s=args.duration,
+                seed=args.seed,
+                quick=args.quick,
+                snapshot_path=os.path.join(tmp, "warm.snapshot"),
+            )
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+    print(report.summary())
+    if args.json:
+        import json
+
+        document = {
+            "duration_s": report.duration_s,
+            "submitted": report.submitted,
+            "resolved": report.resolved,
+            "answered": report.answered,
+            "typed_failures": report.typed_failures,
+            "shed": report.shed,
+            "degraded": report.degraded,
+            "chaos_events": report.chaos_events,
+            "violations": report.violations,
+            "post_soak_identical": report.post_soak_identical,
+            "ok": report.ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        print(f"soak report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "ask": _cmd_ask,
     "explain": _cmd_explain,
@@ -385,6 +529,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "plan": _cmd_plan,
     "export": _cmd_export,
+    "serve": _cmd_serve,
+    "soak": _cmd_soak,
 }
 
 

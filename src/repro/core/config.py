@@ -11,7 +11,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.reliability.budgets import Deadline
     from repro.reliability.faults import FaultInjector
+    from repro.serve.guard import StageGuard
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,12 @@ class PipelineConfig:
     #: done), sets ``Answer.truncated`` and bumps the
     #: ``reliability.budget_exhausted`` counter.
     stage_budget_ms: float | None = None
+    #: Per-question wall-clock timeout in *seconds* (CLI ``--timeout``).
+    #: Semantically the same deadline mechanism as ``stage_budget_ms``
+    #: (when both are set the tighter one wins); kept separate so callers
+    #: can speak seconds at the request level and milliseconds at the
+    #: stage level without unit confusion.
+    question_timeout_s: float | None = None
     #: Degrade instead of refusing: when annotation or extraction fails
     #: with an exception, retry with the shallow keyword extractor
     #: (``repro.reliability.fallback``) before giving up.  On the happy
@@ -83,6 +91,15 @@ class PipelineConfig:
     #: (off — None — in any production configuration).  Excluded from
     #: equality/hash: it is a test controller, not pipeline semantics.
     fault_injector: "FaultInjector | None" = field(
+        default=None, compare=False, repr=False
+    )
+    #: Serving-layer stage guard (circuit breakers + bulkheads, see
+    #: ``repro.serve`` and docs/reliability.md "Serving & overload
+    #: behavior").  ``None`` — the default everywhere outside
+    #: :class:`repro.serve.ResilientServer` — costs one ``is None`` check
+    #: per guarded stage.  Excluded from equality/hash like the injector:
+    #: it shapes *when* work runs, never what answers are.
+    stage_guard: "StageGuard | None" = field(
         default=None, compare=False, repr=False
     )
 
@@ -144,6 +161,26 @@ class PipelineConfig:
     def with_fault_injector(self, injector: "FaultInjector") -> "PipelineConfig":
         """Attach a fault injector (test harness only)."""
         return self._replace(fault_injector=injector)
+
+    def with_stage_guard(self, guard: "StageGuard") -> "PipelineConfig":
+        """Attach a serving-layer stage guard (breakers + bulkheads)."""
+        return self._replace(stage_guard=guard)
+
+    def new_deadline(self) -> "Deadline":
+        """A fresh per-question :class:`repro.reliability.Deadline` from
+        the configured budgets — the tighter of ``question_timeout_s``
+        and ``stage_budget_ms``, unlimited when neither is set."""
+        from repro.reliability.budgets import Deadline
+
+        candidates = [
+            seconds
+            for seconds in (
+                self.question_timeout_s,
+                None if self.stage_budget_ms is None else self.stage_budget_ms / 1000.0,
+            )
+            if seconds is not None
+        ]
+        return Deadline(min(candidates) if candidates else None)
 
     def with_tracing(self, sample_every: int = 1) -> "PipelineConfig":
         """Opt into span tracing (see docs/observability.md)."""

@@ -231,6 +231,31 @@ class TripleMapper:
             snapshot["similarity.memo"] = self._similarity.snapshot()
         return snapshot
 
+    def export_warm_memos(self) -> dict:
+        """Picklable similarity memo contents for crash-safe restarts.
+
+        Only the pure-string memos travel: ``(a, b) -> score`` from the
+        similarity memo and ``(word, property) -> score`` from the
+        per-property memo.  The scan cache holds catalogue-derived objects
+        and is cheap to re-earn, so it stays behind.
+        """
+        memos: dict[str, list] = {"property_scores": self._property_scores.items()}
+        if isinstance(self._similarity, MemoizedSimilarity):
+            memos["similarity"] = self._similarity.cache.items()
+        return memos
+
+    def import_warm_memos(self, memos: dict) -> int:
+        """Restore :meth:`export_warm_memos` output; returns entries loaded."""
+        restored = 0
+        for key, score in memos.get("property_scores", ()):
+            self._property_scores.put(key, score)
+            restored += 1
+        if isinstance(self._similarity, MemoizedSimilarity):
+            for key, score in memos.get("similarity", ()):
+                self._similarity.cache.put(key, score)
+                restored += 1
+        return restored
+
     # ------------------------------------------------------------------
     # Arguments (2.2.4 / 2.2.5)
     # ------------------------------------------------------------------

@@ -259,6 +259,12 @@ class QueryGenerator:
                 return
             bound_tail = suffix_max[axis + 1]
             for triple, weight, source, position in axes[axis]:
+                # Checked inside the per-axis loop too (not only at the
+                # leaves): a prune-heavy pass over a huge Cartesian product
+                # can spend its whole budget skipping subtrees without ever
+                # reaching a leaf, and must still stop on time.
+                if deadline is not None and deadline.expired():
+                    raise _EnumerationBudgetStop(best)
                 cutoff = prune_threshold()
                 if cutoff is not None:
                     bound = score * weight * bound_tail

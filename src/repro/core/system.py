@@ -44,6 +44,7 @@ from repro.reliability.errors import (
     AnnotationError,
     ExecutionError,
     ExtractionError,
+    InternalError,
     MappingError,
     QueryGenerationError,
     StageError,
@@ -212,12 +213,18 @@ class QuestionAnsweringSystem:
 
     # ------------------------------------------------------------------
 
-    def answer(self, question: str) -> Answer:
+    def answer(self, question: str, deadline: Deadline | None = None) -> Answer:
         """Answer one natural-language question.
 
         Never raises: any failure inside a stage is converted at the stage
         boundary into a typed diagnostic on :attr:`Answer.failure` (see the
         module docstring for the full reliability contract).
+
+        ``deadline`` — an explicit per-request
+        :class:`repro.reliability.Deadline` (the serving layer propagates
+        each request's admission deadline here) — overrides the
+        config-derived budget (``stage_budget_ms`` / ``question_timeout_s``)
+        for this question only.
 
         Under ``PipelineConfig.enable_tracing`` the (sampled) question is
         answered inside a span tree — one child span per stage, with
@@ -226,13 +233,16 @@ class QuestionAnsweringSystem:
         """
         root = self._tracer.begin_trace("answer", question=question)
         try:
-            result = self._answer_guarded(question, traced=root is not None)
+            result = self._answer_guarded(
+                question, traced=root is not None, deadline=deadline
+            )
         except Exception as error:  # last resort: the contract is absolute
             self._stats.increment("reliability.unexpected_errors")
+            typed = InternalError.from_exception(error)
             result = Answer(
                 question=question,
-                failure=f"InternalError: unhandled {type(error).__name__}: {error}",
-                failure_stage="internal",
+                failure=typed.describe(),
+                failure_stage=typed.stage_value,
             )
         if root is not None:
             self._finish_trace(root, result)
@@ -260,7 +270,12 @@ class QuestionAnsweringSystem:
         result.trace = root
         self._trace_metrics.absorb_span(root)
 
-    def _answer_guarded(self, question: str, traced: bool = False) -> Answer:
+    def _answer_guarded(
+        self,
+        question: str,
+        traced: bool = False,
+        deadline: Deadline | None = None,
+    ) -> Answer:
         # Stage spans use the explicit open/close twin of Tracer.span()
         # behind `traced` guards: an untraced question pays one boolean
         # check per stage, nothing else (the <2% overhead contract of
@@ -282,7 +297,8 @@ class QuestionAnsweringSystem:
                 text = rewritten
 
         faults = self._config.fault_injector
-        deadline = Deadline.from_millis(self._config.stage_budget_ms)
+        if deadline is None:
+            deadline = self._config.new_deadline()
         result = Answer(question=question, rewritten_question=rewritten)
 
         # -- annotate --------------------------------------------------
@@ -349,8 +365,27 @@ class QuestionAnsweringSystem:
 
         # -- execute ---------------------------------------------------
         span = tracer.open_span("execute") if traced else None
-        with self._stats.timer("execute"):
-            self._execute(result, deadline=deadline, faults=faults, text=text)
+        guard = self._config.stage_guard
+        guarded = False
+        rejection: StageError | None = None
+        if guard is not None:
+            try:
+                guard.enter("execute")
+                guarded = True
+            except StageError as error:
+                # Breaker open / bulkhead saturated: candidates are never
+                # run; the request fails fast with the typed rejection.
+                rejection = error
+                self._trace_stage_failure(error)
+                result.failure = error.describe()
+                result.failure_stage = error.stage_value
+        if rejection is None:
+            with self._stats.timer("execute"):
+                execute_error = self._execute(
+                    result, deadline=deadline, faults=faults, text=text
+                )
+            if guarded:
+                guard.exit("execute", failed=execute_error is not None)
         if span is not None:
             span.attributes.update(
                 productive=result.query is not None,
@@ -374,26 +409,44 @@ class QuestionAnsweringSystem:
     # -- stage boundaries (each converts failures to typed diagnostics) --
 
     def _annotate_stage(self, text, result, faults) -> Sentence | None:
-        """Full annotation, degrading to shallow annotation on failure."""
+        """Full annotation, degrading to shallow annotation on failure.
+
+        The serving layer's stage guard (when installed) gates entry: an
+        open annotate breaker or saturated bulkhead raises its typed
+        rejection here, which lands on the same fallback ladder as a real
+        annotation failure — i.e. an overloaded annotate stage degrades to
+        shallow annotation instead of queueing more work behind it.
+        """
         error: StageError | None = None
+        guard = self._config.stage_guard
+        guarded = False
+        sentence: Sentence | None = None
         try:
+            if guard is not None:
+                guard.enter("annotate")
+                guarded = True
             if faults is not None and faults.check("annotate", text):
                 # Injected empty result: an empty sentence, which the
                 # extractor treats as the paper's "cannot process" case.
-                return Sentence(
+                sentence = Sentence(
                     text=text, tokens=[], graph=DependencyGraph([], root=None)
                 )
-            with self._stats.timer("annotate"):
-                return self._pipeline.annotate(text)
+            else:
+                with self._stats.timer("annotate"):
+                    sentence = self._pipeline.annotate(text)
         except StageError as stage_error:
             error = stage_error
         except Exception as unexpected:
             error = AnnotationError(f"{type(unexpected).__name__}: {unexpected}")
+        if guarded:
+            guard.exit("annotate", failed=error is not None)
+        if error is None:
+            return sentence
 
         self._stats.increment("reliability.failures.annotate")
         self._trace_stage_failure(error)
         result.failure = error.describe()
-        result.failure_stage = error.stage.value
+        result.failure_stage = error.stage_value
         if not self._config.enable_fallback_extraction:
             return None
         try:
@@ -440,7 +493,7 @@ class QuestionAnsweringSystem:
             self._stats.increment("reliability.failures.extract")
             self._trace_stage_failure(error)
             result.failure = error.describe()
-            result.failure_stage = error.stage.value
+            result.failure_stage = error.stage_value
             result.triples = []
 
         if result.triples:
@@ -464,29 +517,45 @@ class QuestionAnsweringSystem:
         return False
 
     def _map_stage(self, text, sentence, result, faults) -> list[CandidateTriple] | None:
+        guard = self._config.stage_guard
+        guarded = False
         try:
+            if guard is not None:
+                guard.enter("map")
+                guarded = True
             if faults is not None and faults.check("map", text):
-                return []
-            with self._stats.timer("map"):
-                return self._mapper.map(sentence, result.triples)
+                mapped: list[CandidateTriple] = []
+            else:
+                with self._stats.timer("map"):
+                    mapped = self._mapper.map(sentence, result.triples)
+            if guarded:
+                guard.exit("map", failed=False)
+            return mapped
         except MappingFailure as failure:
             # The paper's expected refusal (Table 2 "cannot process"), not
-            # a reliability fault: keep its established diagnostic.
+            # a reliability fault: keep its established diagnostic (and do
+            # not count it against the breaker — refusing is healthy).
+            if guarded:
+                guard.exit("map", failed=False)
             result.failure = f"mapping failed: {failure}"
             result.failure_stage = "map"
             return None
         except StageError as error:
+            if guarded:
+                guard.exit("map", failed=True)
             self._stats.increment("reliability.failures.map")
             self._trace_stage_failure(error)
             result.failure = error.describe()
-            result.failure_stage = error.stage.value
+            result.failure_stage = error.stage_value
             return None
         except Exception as unexpected:
+            if guarded:
+                guard.exit("map", failed=True)
             self._stats.increment("reliability.failures.map")
             error = MappingError(f"{type(unexpected).__name__}: {unexpected}")
             self._trace_stage_failure(error)
             result.failure = error.describe()
-            result.failure_stage = error.stage.value
+            result.failure_stage = error.stage_value
             return None
 
     def _generate_stage(self, text, mapped, result, faults, deadline) -> bool:
@@ -502,7 +571,7 @@ class QuestionAnsweringSystem:
             self._stats.increment("reliability.failures.generate")
             self._trace_stage_failure(error)
             result.failure = error.describe()
-            result.failure_stage = error.stage.value
+            result.failure_stage = error.stage_value
             return False
         except Exception as unexpected:
             self._stats.increment("reliability.failures.generate")
@@ -511,7 +580,7 @@ class QuestionAnsweringSystem:
             )
             self._trace_stage_failure(error)
             result.failure = error.describe()
-            result.failure_stage = error.stage.value
+            result.failure_stage = error.stage_value
             return False
         if not result.candidate_queries:
             result.failure = "no candidate queries generated"
@@ -592,8 +661,10 @@ class QuestionAnsweringSystem:
         deadline: Deadline | None = None,
         faults=None,
         text: str = "",
-    ) -> None:
+    ) -> StageError | None:
         """Run candidates best-first; keep the first productive one.
+        Returns the first typed candidate error (``None`` on a clean run)
+        so the serving layer's execute breaker can count backend failures.
 
         Early termination (section 2.3.1): candidate scores are sorted
         non-increasing, so the moment a candidate yields type-conforming
@@ -705,7 +776,7 @@ class QuestionAnsweringSystem:
                     "execute.candidates_short_circuited",
                     len(candidates) - executed,
                 )
-                return
+                return first_error
             status = "type-filtered" if raw_count and not answers else "no-bindings"
             outcomes.append((index, status, ""))
             if tracer.active:
@@ -715,7 +786,45 @@ class QuestionAnsweringSystem:
         self._stats.increment("execute.candidates_run", executed)
         if first_error is not None and result.failure is None:
             result.failure = first_error.describe()
-            result.failure_stage = first_error.stage.value
+            result.failure_stage = first_error.stage_value
+        return first_error
+
+    # -- serving-layer integration (repro.serve) -----------------------
+
+    def install_stage_guard(self, guard) -> None:
+        """Install a serving-layer stage guard (breakers + bulkheads).
+
+        The guard's ``enter(stage)`` / ``exit(stage, failed)`` hooks wrap
+        the annotate/map/execute stage boundaries (see
+        :class:`repro.serve.guard.StageGuard`).  Pass ``None`` to remove.
+        """
+        self._config = self._config.with_stage_guard(guard)
+
+    def export_warm_state(self) -> dict:
+        """Picklable warm caches for :mod:`repro.serve.snapshot`.
+
+        Bundles the SPARQL engine's warm state (result cache entries +
+        plan-cache AST keys) with the mapper's similarity memos.  Compiled
+        plans are never exported — they close over graph indexes — only
+        their AST keys, which :meth:`restore_warm_state` recompiles.
+        """
+        return {
+            "engine": self._kb.engine.export_warm_state(),
+            "mapper": self._mapper.export_warm_memos(),
+        }
+
+    def restore_warm_state(self, state: dict) -> dict[str, int]:
+        """Load :meth:`export_warm_state` output; returns restore counts.
+
+        Raises ``ValueError`` when the engine state belongs to a different
+        graph generation (the snapshot layer converts that into a typed
+        :class:`repro.serve.SnapshotError`).
+        """
+        counts = self._kb.engine.import_warm_state(state["engine"])
+        counts["mapper_memos"] = self._mapper.import_warm_memos(
+            state.get("mapper", {})
+        )
+        return counts
 
     @property
     def kb(self) -> KnowledgeBase:

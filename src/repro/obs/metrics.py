@@ -38,6 +38,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Schema identifier stamped on every exported metrics document.
 METRICS_SCHEMA = "repro.metrics/v1"
 
+#: Default cap on distinct series names per instrument family.  The cap
+#: keeps an exported document O(1) in *traffic*: every legitimate series is
+#: keyed by a bounded vocabulary (stage names, cache names, breaker names —
+#: a few dozen at most), so a registry approaching the cap means some code
+#: path is minting per-request names (e.g. a question id in a metric name),
+#: which this layer refuses to amplify into an unbounded export.  Dropped
+#: names are counted, never silent (``metrics.dropped_series``).
+MAX_SERIES_PER_KIND = 1024
+
+#: The overflow counter itself (always admitted, or the drop would be
+#: invisible exactly when it matters).
+_OVERFLOW_COUNTER = "metrics.dropped_series"
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -122,13 +135,31 @@ class MetricsRegistry:
     mutated under that same lock via the ``inc``/``set_gauge``/``observe``
     convenience methods, which is how the batch answerer's worker threads
     share a registry safely.
+
+    ``max_series`` bounds the number of *distinct names* per instrument
+    kind (see :data:`MAX_SERIES_PER_KIND`): a new name beyond the cap is
+    dropped and tallied under ``metrics.dropped_series`` instead of
+    growing the export without bound.  Existing names keep updating
+    normally at any size.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_series: int = MAX_SERIES_PER_KIND) -> None:
         self._lock = threading.Lock()
+        self._max_series = max_series
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+
+    def _admit(self, table: dict, name: str) -> bool:
+        """Whether a *new* series name fits under the cardinality cap
+        (caller holds the lock).  Drops are counted, never silent."""
+        if len(table) < self._max_series or name == _OVERFLOW_COUNTER:
+            return True
+        counter = self._counters.get(_OVERFLOW_COUNTER)
+        if counter is None:
+            counter = self._counters[_OVERFLOW_COUNTER] = Counter()
+        counter.inc()
+        return False
 
     # -- instruments ---------------------------------------------------
 
@@ -136,6 +167,8 @@ class MetricsRegistry:
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
+                if not self._admit(self._counters, name):
+                    return
                 counter = self._counters[name] = Counter()
             counter.inc(amount)
 
@@ -143,16 +176,22 @@ class MetricsRegistry:
         with self._lock:
             gauge = self._gauges.get(name)
             if gauge is None:
+                if not self._admit(self._gauges, name):
+                    return
                 gauge = self._gauges[name] = Gauge()
             gauge.set(value)
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
-            self._histogram(name).observe(value)
+            histogram = self._histogram(name)
+            if histogram is not None:
+                histogram.observe(value)
 
-    def _histogram(self, name: str) -> Histogram:
+    def _histogram(self, name: str) -> Histogram | None:
         histogram = self._histograms.get(name)
         if histogram is None:
+            if not self._admit(self._histograms, name):
+                return None
             histogram = self._histograms[name] = Histogram()
         return histogram
 
@@ -169,9 +208,9 @@ class MetricsRegistry:
         data = stats.snapshot()
         with self._lock:
             for name, entry in data["timers"].items():
-                self._histogram(f"{prefix}stage.{name}.seconds").update(
-                    entry["calls"], entry["total_seconds"]
-                )
+                histogram = self._histogram(f"{prefix}stage.{name}.seconds")
+                if histogram is not None:
+                    histogram.update(entry["calls"], entry["total_seconds"])
         for name, value in data["counters"].items():
             self.inc(prefix + name, value)
 
@@ -209,17 +248,24 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's instruments into this one."""
-        snapshot = other.snapshot()
-        for name, value in snapshot["counters"].items():
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, document: Mapping[str, Any]) -> None:
+        """Fold an exported :meth:`snapshot` document into this registry
+        (how :meth:`repro.serve.ResilientServer.metrics` layers the
+        serving-layer families over the pipeline's own document)."""
+        for name, value in document.get("counters", {}).items():
             self.inc(name, value)
-        for name, value in snapshot["gauges"].items():
+        for name, value in document.get("gauges", {}).items():
             if value is not None:
                 self.set_gauge(name, value)
         with self._lock:
-            for name, entry in snapshot["histograms"].items():
-                self._histogram(name).update(
-                    entry["count"], entry["total"], entry["min"], entry["max"]
-                )
+            for name, entry in document.get("histograms", {}).items():
+                histogram = self._histogram(name)
+                if histogram is not None:
+                    histogram.update(
+                        entry["count"], entry["total"], entry["min"], entry["max"]
+                    )
 
     # -- export --------------------------------------------------------
 

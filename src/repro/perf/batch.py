@@ -84,15 +84,23 @@ class BatchAnswerer:
                 return list(pool.map(self._answer_isolated, questions))
 
     def _answer_isolated(self, question: str) -> "Answer":
-        """One question, contained: an escaping exception fails only it."""
+        """One question, contained: an escaping exception fails only it.
+
+        The failure is routed through the typed taxonomy
+        (:class:`repro.reliability.errors.InternalError`), so a batch
+        failure carries the same ``failure``/``failure_stage`` contract as
+        a single-question failure.
+        """
         try:
             return self._system.answer(question)
         except Exception as error:
             from repro.core.system import Answer
+            from repro.reliability.errors import InternalError
 
             self._system.stats.increment("batch.failures")
+            typed = InternalError.from_exception(error)
             return Answer(
                 question=question,
-                failure=f"InternalError: unhandled {type(error).__name__}: {error}",
-                failure_stage="internal",
+                failure=typed.describe(),
+                failure_stage=typed.stage_value,
             )

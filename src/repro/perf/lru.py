@@ -84,6 +84,22 @@ class LRUCache:
         with self._lock:
             self._data.clear()
 
+    def keys(self) -> list:
+        """Snapshot of the keys, least-recently-used first (so replaying
+        them through ``put`` reproduces the recency order)."""
+        with self._lock:
+            return list(self._data.keys())
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Snapshot of ``(key, value)`` pairs, least-recently-used first.
+
+        The warm-state snapshot layer (``repro.serve.snapshot``) persists
+        these; values are handed out unchanged (the immutability contract
+        above), never copied.
+        """
+        with self._lock:
+            return list(self._data.items())
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -20,8 +20,11 @@ from repro.reliability.errors import (
     STAGES,
     AnnotationError,
     BudgetExceeded,
+    BulkheadSaturatedError,
+    CircuitOpenError,
     ExecutionError,
     ExtractionError,
+    InternalError,
     MappingError,
     QueryGenerationError,
     Stage,
@@ -46,6 +49,9 @@ __all__ = [
     "TypeCheckError",
     "StageTimeout",
     "BudgetExceeded",
+    "InternalError",
+    "CircuitOpenError",
+    "BulkheadSaturatedError",
     "error_for",
     "Deadline",
     "FaultInjector",

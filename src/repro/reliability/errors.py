@@ -56,9 +56,15 @@ class StageError(Exception):
         """The taxonomy name (the class name)."""
         return type(self).__name__
 
+    @property
+    def stage_value(self) -> str:
+        """The stage string for ``Answer.failure_stage`` (subclasses that
+        are not attributed to a pipeline stage override this)."""
+        return self.stage.value
+
     def describe(self) -> str:
         """The canonical one-line diagnostic stored on ``Answer.failure``."""
-        text = f"{self.name} at stage '{self.stage.value}'"
+        text = f"{self.name} at stage '{self.stage_value}'"
         return f"{text}: {self.detail}" if self.detail else text
 
     def trace_event(self) -> tuple[str, dict]:
@@ -71,7 +77,7 @@ class StageError(Exception):
         """
         return (
             "stage-failure",
-            {"stage": self.stage.value, "error": self.name, "detail": self.detail},
+            {"stage": self.stage_value, "error": self.name, "detail": self.detail},
         )
 
 
@@ -126,6 +132,55 @@ class BudgetExceeded(StageError):
     """A stage ran out of its configured work budget (wall time or
     candidate count).  Distinct from :class:`StageTimeout`: a budget is a
     *configured* limit the caller opted into, not an anomaly."""
+
+    def __init__(self, stage: Stage | str, detail: str = "") -> None:
+        super().__init__(detail)
+        self.stage = Stage(stage) if isinstance(stage, str) else stage
+
+
+class InternalError(StageError):
+    """An exception escaped the guarded pipeline itself — the never-raise
+    contract's last resort.  Not attributed to a pipeline stage:
+    ``Answer.failure_stage`` carries the literal ``"internal"``, and
+    :meth:`describe` keeps the established ``"InternalError: …"`` shape
+    (no stage clause) so existing diagnostics are unchanged.
+
+    >>> InternalError("unhandled ValueError: boom").describe()
+    'InternalError: unhandled ValueError: boom'
+    >>> InternalError().stage_value
+    'internal'
+    """
+
+    stage = None  # deliberately outside the Stage enum
+
+    @property
+    def stage_value(self) -> str:
+        return "internal"
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.detail}" if self.detail else self.name
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "InternalError":
+        """The canonical wrapper for an escaping exception."""
+        return cls(f"unhandled {type(error).__name__}: {error}")
+
+
+class CircuitOpenError(StageError):
+    """The serving layer's circuit breaker for a stage is open: the stage
+    was skipped outright instead of being attempted (fail-fast).  Raised by
+    the stage guard *before* the stage runs; never counted as a fresh
+    breaker failure."""
+
+    def __init__(self, stage: Stage | str, detail: str = "") -> None:
+        super().__init__(detail)
+        self.stage = Stage(stage) if isinstance(stage, str) else stage
+
+
+class BulkheadSaturatedError(StageError):
+    """The serving layer's per-stage bulkhead (concurrency limit) had no
+    free slot within its wait budget — the stage was shed to protect the
+    other stages' workers, not attempted and failed."""
 
     def __init__(self, stage: Stage | str, detail: str = "") -> None:
         super().__init__(detail)

@@ -17,12 +17,16 @@ poisoned entry; see ``docs/reliability.md``).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.reliability.errors import Stage, StageTimeout, error_for
 
 #: The supported fault kinds.
-FAULT_KINDS: tuple[str, ...] = ("error", "timeout", "empty")
+FAULT_KINDS: tuple[str, ...] = ("error", "timeout", "empty", "slow")
+
+#: Injected latency of a ``slow`` fault when the spec does not set one.
+DEFAULT_SLOW_MS = 50.0
 
 
 @dataclass(frozen=True)
@@ -31,17 +35,22 @@ class FaultSpec:
 
     * ``stage`` — a :data:`repro.reliability.errors.STAGES` name;
     * ``kind`` — ``"error"`` (raise the stage's taxonomy class),
-      ``"timeout"`` (raise :class:`StageTimeout`), or ``"empty"`` (the
-      stage behaves as if it produced nothing);
+      ``"timeout"`` (raise :class:`StageTimeout`), ``"empty"`` (the
+      stage behaves as if it produced nothing), or ``"slow"`` (the stage
+      runs normally after an injected delay — the chaos harness's
+      wedged-backend simulation; answers are unchanged);
     * ``match`` — only fire for questions containing this substring
       (``None`` fires for every question);
-    * ``times`` — fire at most this many times (``None`` = every time).
+    * ``times`` — fire at most this many times (``None`` = every time);
+    * ``delay_ms`` — injected latency for ``slow`` faults
+      (:data:`DEFAULT_SLOW_MS` when ``None``; ignored by other kinds).
     """
 
     stage: str
     kind: str = "error"
     match: str | None = None
     times: int | None = None
+    delay_ms: float | None = None
 
     def __post_init__(self) -> None:
         Stage(self.stage)  # validates the stage name
@@ -55,7 +64,7 @@ class FaultSpec:
         """Parse the CLI syntax ``stage:kind[:match]``.
 
         >>> FaultSpec.parse("execute:timeout")
-        FaultSpec(stage='execute', kind='timeout', match=None, times=None)
+        FaultSpec(stage='execute', kind='timeout', match=None, times=None, delay_ms=None)
         """
         parts = text.split(":", 2)
         if len(parts) < 2:
@@ -107,20 +116,25 @@ class FaultInjector:
 
         Returns ``True`` when an ``empty`` fault fired (the caller must
         behave as if the stage produced nothing); raises the matching
-        typed error for ``error``/``timeout`` faults; returns ``False``
-        when nothing fired.
+        typed error for ``error``/``timeout`` faults; sleeps and returns
+        ``False`` for ``slow`` faults (the stage then runs normally);
+        returns ``False`` when nothing fired.
         """
         stage_name = stage.value if isinstance(stage, Stage) else stage
-        kind = self._claim(stage_name, question)
-        if kind is None:
+        spec = self._claim(stage_name, question)
+        if spec is None:
             return False
-        if kind == "empty":
+        if spec.kind == "slow":
+            delay = spec.delay_ms if spec.delay_ms is not None else DEFAULT_SLOW_MS
+            time.sleep(delay / 1000.0)
+            return False
+        if spec.kind == "empty":
             return True
-        if kind == "timeout":
+        if spec.kind == "timeout":
             raise StageTimeout(stage_name, "injected timeout")
         raise error_for(stage_name)("injected fault")
 
-    def _claim(self, stage_name: str, question: str | None) -> str | None:
+    def _claim(self, stage_name: str, question: str | None) -> FaultSpec | None:
         """Find the first matching spec and consume one firing of it."""
         with self._lock:
             for index, spec in enumerate(self._specs):
@@ -137,5 +151,5 @@ class FaultInjector:
                     self._remaining[index] = remaining - 1
                 key = (stage_name, spec.kind)
                 self._fired[key] = self._fired.get(key, 0) + 1
-                return spec.kind
+                return spec
         return None

@@ -1,0 +1,46 @@
+"""The resilient serving layer (docs/reliability.md "Serving & overload
+behavior").
+
+:class:`ResilientServer` turns the batch-oriented
+:class:`repro.core.system.QuestionAnsweringSystem` into a long-lived
+concurrent service with explicit overload behavior:
+
+* **admission control** — a bounded request queue; a full queue sheds the
+  request with a typed :class:`Overloaded` failure (``reject`` policy) or
+  re-routes it onto a small tight-budget lane (``degrade`` policy);
+* **circuit breakers + bulkheads** — per-stage failure breakers with
+  half-open probing and per-stage concurrency limits
+  (:class:`~repro.serve.guard.StageGuard`), so a wedged SPARQL backend
+  cannot starve the NLP-only stages;
+* **crash-safe warm state** — versioned, checksummed snapshots of the warm
+  caches (:mod:`repro.serve.snapshot`) so a restarted server skips the
+  cold-start cliff;
+* **chaos/soak harness** — :func:`repro.serve.soak.run_soak` drives the
+  server under concurrent fault schedules and asserts the serving
+  invariants (every request resolves, typed failures only, no state bleed).
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.errors import Overloaded, ServeError, ServerClosed, SnapshotError
+from repro.serve.guard import GUARDED_STAGES, Bulkhead, StageGuard
+from repro.serve.server import ResilientServer, ServerConfig
+from repro.serve.snapshot import SNAPSHOT_SCHEMA, load_snapshot, save_snapshot
+from repro.serve.soak import SoakReport, run_soak
+
+__all__ = [
+    "ResilientServer",
+    "ServerConfig",
+    "CircuitBreaker",
+    "StageGuard",
+    "Bulkhead",
+    "GUARDED_STAGES",
+    "ServeError",
+    "Overloaded",
+    "ServerClosed",
+    "SnapshotError",
+    "SNAPSHOT_SCHEMA",
+    "save_snapshot",
+    "load_snapshot",
+    "SoakReport",
+    "run_soak",
+]

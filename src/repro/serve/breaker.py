@@ -1,0 +1,162 @@
+"""A per-stage circuit breaker with half-open probing.
+
+State machine (the classic three states):
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive* failures
+  trip the breaker open (a single success resets the streak, so sporadic
+  candidate errors under normal load never trip it);
+* **open** — requests are rejected instantly (fail-fast) until
+  ``recovery_s`` has elapsed since the trip;
+* **half-open** — after the recovery wait, up to ``half_open_probes``
+  in-flight requests are let through as probes.  A probe success closes
+  the breaker; a probe failure re-opens it and restarts the recovery
+  clock.
+
+``clock`` is injectable so tests drive the recovery timer deterministically
+(the same pattern as :class:`repro.reliability.budgets.Deadline`).  All
+transitions happen under one lock; the breaker is shared by every serving
+worker thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+#: State names, also exported as gauge values via :meth:`CircuitBreaker.snapshot`.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+#: Numeric codes for the ``breaker.<name>.state`` gauge (bounded, documented
+#: in docs/observability.md): closed=0, open=1, half_open=2.
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """One breaker, usually guarding one pipeline stage.
+
+    >>> ticks = [0.0]
+    >>> breaker = CircuitBreaker("execute", failure_threshold=2,
+    ...                          recovery_s=5.0, clock=lambda: ticks[0])
+    >>> breaker.allow(), breaker.state
+    (True, 'closed')
+    >>> breaker.record_failure(); breaker.record_failure()
+    >>> breaker.state, breaker.allow()
+    ('open', False)
+    >>> ticks[0] = 6.0          # recovery window elapsed
+    >>> breaker.allow(), breaker.state   # the probe is admitted
+    (True, 'half_open')
+    >>> breaker.record_success(); breaker.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 5,
+        recovery_s: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        # Lifetime transition/rejection counters (exported as metrics).
+        self.opened_count = 0
+        self.closed_count = 0
+        self.rejected_count = 0
+        self.probe_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Admission check; called by the guard *before* the stage runs.
+
+        Returns False when the request must be rejected (breaker open, or
+        half-open with every probe slot taken).  A True return from the
+        half-open state claims a probe slot, which the subsequent
+        ``record_success``/``record_failure`` releases.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.recovery_s:
+                    self._state = HALF_OPEN
+                    self._probes_in_flight = 0
+                else:
+                    self.rejected_count += 1
+                    return False
+            # half-open: admit at most half_open_probes concurrent probes
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                self.probe_count += 1
+                return True
+            self.rejected_count += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._state = CLOSED
+                self._probes_in_flight = 0
+                self.closed_count += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: back to open, recovery clock restarts.
+                self._trip()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        """Transition to open (caller holds the lock)."""
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self.opened_count += 1
+
+    def reset(self) -> None:
+        """Force-close (used by the soak harness between phases)."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """Bounded per-breaker metric values (one entry per field, never
+        per request): state code + lifetime transition counters."""
+        with self._lock:
+            return {
+                "state": STATE_CODES[self._state],
+                "opened": self.opened_count,
+                "closed": self.closed_count,
+                "rejected": self.rejected_count,
+                "probes": self.probe_count,
+            }

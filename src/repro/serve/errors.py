@@ -1,0 +1,47 @@
+"""Typed failures owned by the serving layer.
+
+They extend the pipeline's :class:`repro.reliability.StageError` taxonomy
+so shed requests satisfy the same contract as stage failures — the caller
+reads ``Answer.failure`` / ``Answer.failure_stage`` and never parses text.
+Serving-layer failures are not attributed to a pipeline stage:
+``failure_stage`` carries the literal ``"serve"``.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.errors import StageError
+
+
+class ServeError(StageError):
+    """Base of the serving-layer failures (admission, lifecycle).
+
+    >>> Overloaded("queue full (64 waiting)").describe()
+    "Overloaded at stage 'serve': queue full (64 waiting)"
+    >>> Overloaded().stage_value
+    'serve'
+    """
+
+    stage = None  # deliberately outside the pipeline Stage enum
+
+    @property
+    def stage_value(self) -> str:
+        return "serve"
+
+
+class Overloaded(ServeError):
+    """Admission control shed this request: the bounded queue (and, under
+    the ``degrade`` policy, the degraded lane too) had no room, or the
+    request's deadline expired before a worker picked it up."""
+
+
+class ServerClosed(ServeError):
+    """The request arrived after :meth:`ResilientServer.stop` (or was
+    still queued when the server drained).  Every such request is still
+    *resolved* — with this typed failure — never dropped."""
+
+
+class SnapshotError(Exception):
+    """A warm-state snapshot could not be saved or restored: corrupt
+    payload (checksum mismatch), unknown schema, or a knowledge-base
+    fingerprint that no longer matches the running KB.  A restore failure
+    is always safe: the caches are simply left cold."""

@@ -161,6 +161,50 @@ class SparqlEngine:
         self._result_cache.clear()
         self._prefix_memo.invalidate()
 
+    # -- warm-state snapshot (repro.serve.snapshot) ---------------------
+
+    def export_warm_state(self) -> dict:
+        """Picklable warm-cache state for crash-safe restarts.
+
+        Compiled plans are *not* serialised — they close over this graph's
+        indexes — only their AST keys, recompiled on import (compilation is
+        deterministic and cheap next to re-earning the result cache from
+        traffic).  Results are exported as ``(ast, result)`` pairs, valid
+        only for the exported graph generation.
+        """
+        return {
+            "generation": self._graph.generation,
+            "plan_keys": self._plan_cache.keys(),
+            "results": self._result_cache.items(),
+        }
+
+    def import_warm_state(self, state: dict) -> dict[str, int]:
+        """Restore :meth:`export_warm_state` output into the live caches.
+
+        The caller (the snapshot layer) has already matched the KB
+        fingerprint; the generation check here is the engine's own final
+        guard against torn restores — results cached under a different
+        graph generation never enter the cache.
+        """
+        if state["generation"] != self._graph.generation:
+            raise ValueError(
+                f"warm state is for graph generation {state['generation']}, "
+                f"engine is at {self._graph.generation}"
+            )
+        plans = 0
+        for ast in state["plan_keys"]:
+            if self._plan_cache.get(ast) is None:
+                self._plan_cache.put(ast, compile_query(ast, self._graph))
+                plans += 1
+        results = 0
+        self._validate_result_cache()
+        for ast, result in state["results"]:
+            self._result_cache.put(ast, result)
+            results += 1
+        self._stats.increment("sparql.snapshot.plans_restored", plans)
+        self._stats.increment("sparql.snapshot.results_restored", results)
+        return {"plans": plans, "results": results}
+
     def query(self, query: str | SelectQuery | AskQuery) -> SelectResult | AskResult:
         """Run a query given as text or pre-parsed AST."""
         if isinstance(query, str):

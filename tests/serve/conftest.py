@@ -1,0 +1,17 @@
+"""Shared fixtures for the serving-layer tests."""
+
+import pytest
+
+from repro.api import QuestionAnsweringSystem, load_curated_kb
+
+
+@pytest.fixture(scope="session")
+def kb():
+    return load_curated_kb()
+
+
+@pytest.fixture()
+def qa(kb):
+    # Function-scoped: serving tests install stage guards and mutate warm
+    # caches; sharing one system across tests would couple them.
+    return QuestionAnsweringSystem.over(kb)

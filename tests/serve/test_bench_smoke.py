@@ -1,0 +1,30 @@
+"""Tier-1 wiring for benchmarks/bench_serve_resilience.py --quick."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def test_quick_mode_runs_and_emits_json(tmp_path):
+    repo_root = Path(__file__).resolve().parents[2]
+    script = repo_root / "benchmarks" / "bench_serve_resilience.py"
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(script), "--quick", "--output", str(out)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["identical_answers"] is True
+    assert payload["restore_ok"] is True
+    assert payload["restore_ratio"] >= 0.8
+    assert payload["restarted"]["restored_counts"]["results"] > 0

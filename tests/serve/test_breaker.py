@@ -1,0 +1,96 @@
+"""Circuit-breaker state machine, driven by an injected clock."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, recovery=5.0, probes=1):
+    clock = Clock()
+    breaker = CircuitBreaker(
+        "execute",
+        failure_threshold=threshold,
+        recovery_s=recovery,
+        half_open_probes=probes,
+        clock=clock,
+    )
+    return breaker, clock
+
+
+def test_starts_closed_and_allows():
+    breaker, _ = make()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_consecutive_failures_trip_it_open():
+    breaker, _ = make(threshold=3)
+    for _ in range(2):
+        breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert breaker.opened_count == 1
+    assert breaker.rejected_count == 1
+
+
+def test_success_resets_the_failure_streak():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # streak never reached 3
+
+
+def test_recovery_window_admits_a_half_open_probe():
+    breaker, clock = make(threshold=1, recovery=5.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.now = 4.9
+    assert not breaker.allow()
+    clock.now = 5.1
+    assert breaker.allow()          # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()      # probe slot taken
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.closed_count == 1
+
+
+def test_failed_probe_reopens_and_restarts_the_clock():
+    breaker, clock = make(threshold=1, recovery=5.0)
+    breaker.record_failure()
+    clock.now = 6.0
+    assert breaker.allow()
+    breaker.record_failure()        # probe failed
+    assert breaker.state == OPEN
+    clock.now = 10.0                # only 4s since the re-trip
+    assert not breaker.allow()
+    clock.now = 11.5
+    assert breaker.allow()
+
+
+def test_multiple_probe_slots():
+    breaker, clock = make(threshold=1, recovery=1.0, probes=2)
+    breaker.record_failure()
+    clock.now = 2.0
+    assert breaker.allow()
+    assert breaker.allow()
+    assert not breaker.allow()
+
+
+def test_snapshot_is_bounded_and_numeric():
+    breaker, _ = make()
+    breaker.record_failure()
+    snap = breaker.snapshot()
+    assert set(snap) == {"state", "opened", "closed", "rejected", "probes"}
+    assert all(isinstance(value, int) for value in snap.values())

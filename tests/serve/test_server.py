@@ -1,0 +1,162 @@
+"""ResilientServer: admission, shedding, deadlines, hot reload, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.serve import Overloaded, ResilientServer, ServerConfig
+
+QUESTION = "Which book is written by Orhan Pamuk?"
+
+
+def test_serves_answers_and_metrics(qa):
+    with ResilientServer(qa, ServerConfig(workers=2)) as server:
+        answer = server.answer(QUESTION)
+        assert answer.answered
+        doc = server.metrics()
+    assert doc["schema"] == "repro.metrics/v1"
+    assert doc["counters"]["serve.submitted"] == 1
+    assert doc["counters"]["serve.completed"] == 1
+    assert doc["gauges"]["breaker.execute.state"] == 0  # closed
+    # The pipeline's own families ride along in the same document.
+    assert any(name.startswith("stage.") for name in doc["histograms"])
+
+
+def test_concurrent_callers_all_resolve(qa):
+    questions = [QUESTION, "How tall is Tom Cruise?", "Who directed Jaws?"] * 4
+    with ResilientServer(qa, ServerConfig(workers=4)) as server:
+        futures = [server.submit(text) for text in questions]
+        answers = [future.result(timeout=30) for future in futures]
+    assert len(answers) == len(questions)
+    for text, answer in zip(questions, answers):
+        assert answer.question == text
+        assert answer.answered or answer.failure is not None
+
+
+def test_full_queue_sheds_with_typed_overloaded_failure(qa):
+    # Wedge the single worker, fill the queue of 1: the next submit must
+    # shed synchronously with the typed serving failure.
+    entered, release = threading.Event(), threading.Event()
+    config = ServerConfig(max_queue=1, workers=1, shed_policy="reject")
+    server = ResilientServer(qa, config)
+    original = server._serve_one
+
+    def stalling(request, _original=original):
+        entered.set()
+        release.wait(timeout=30)
+        _original(request)
+
+    server._serve_one = stalling
+    try:
+        blocker = server.submit(QUESTION)
+        assert entered.wait(timeout=30)   # worker is wedged, queue empty
+        first = server.submit(QUESTION)   # fills the queue
+        shed = server.submit(QUESTION)    # over the bound: shed now
+        assert shed.done()
+        answer = shed.result()
+        assert not answer.answered
+        assert answer.failure_stage == "serve"
+        assert "Overloaded" in answer.failure
+    finally:
+        release.set()
+        server.stop()
+    assert first.result(timeout=30) is not None
+    assert blocker.result(timeout=30) is not None
+
+
+def test_degrade_policy_routes_overflow_to_tight_budget_lane(qa):
+    entered, release = threading.Event(), threading.Event()
+    config = ServerConfig(
+        max_queue=1, workers=1, shed_policy="degrade",
+        degraded_workers=1, degraded_timeout_s=30.0,
+    )
+    server = ResilientServer(qa, config)
+    original = server._serve_one
+
+    def stalling(request, _original=original):
+        if not request.degraded:
+            entered.set()
+            release.wait(timeout=30)
+        _original(request)
+
+    server._serve_one = stalling
+    try:
+        server.submit(QUESTION)             # wedges the primary worker
+        assert entered.wait(timeout=30)
+        server.submit(QUESTION)             # fills the primary queue
+        overflow = server.submit(QUESTION)  # re-routed to the degraded lane
+        answer = overflow.result(timeout=30)
+        assert "serve:degraded-admission" in answer.degraded
+    finally:
+        release.set()
+        server.stop()
+
+
+def test_expired_deadline_is_shed_at_dequeue(qa):
+    with ResilientServer(qa, ServerConfig(workers=1)) as server:
+        answer = server.answer(QUESTION, timeout_s=0.0)
+    assert not answer.answered
+    assert answer.failure_stage == "serve"
+    assert "deadline expired while queued" in answer.failure
+    assert server.metrics()["counters"]["serve.expired_in_queue"] == 1
+
+
+def test_submit_after_stop_resolves_with_server_closed(qa):
+    server = ResilientServer(qa, ServerConfig(workers=1))
+    server.stop()
+    answer = server.submit(QUESTION).result()
+    assert not answer.answered
+    assert answer.failure_stage == "serve"
+    assert "ServerClosed" in answer.failure
+
+
+def test_stop_resolves_requests_still_queued(qa):
+    entered, release = threading.Event(), threading.Event()
+    server = ResilientServer(qa, ServerConfig(max_queue=4, workers=1))
+    original = server._serve_one
+
+    def stalling(request, _original=original):
+        entered.set()
+        release.wait(timeout=30)
+        _original(request)
+
+    server._serve_one = stalling
+    running = server.submit(QUESTION)
+    assert entered.wait(timeout=30)
+    queued = [server.submit(QUESTION) for _ in range(3)]
+    stopper = threading.Thread(target=server.stop)
+    stopper.start()
+    release.set()
+    stopper.join(timeout=30)
+    assert running.result(timeout=30) is not None
+    for future in queued:
+        answer = future.result(timeout=30)
+        # Either the worker got to it before the sentinel, or stop()
+        # resolved it with the typed closure failure — never stranded.
+        assert answer.answered or answer.failure is not None
+
+
+def test_hot_reload_swaps_system_under_live_requests(qa, kb):
+    from repro.api import QuestionAnsweringSystem
+
+    twin = QuestionAnsweringSystem.over(kb)
+    with ResilientServer(qa, ServerConfig(workers=2)) as server:
+        before = server.answer(QUESTION)
+        server.hot_reload(twin)
+        assert server.system is twin
+        after = server.answer(QUESTION)
+    assert [t.n3() for t in after.answers] == [t.n3() for t in before.answers]
+    assert server.metrics()["counters"]["serve.reloads"] == 1
+    # The guard moved with the reload.
+    assert twin.config.stage_guard is server.guard
+
+
+def test_shed_policy_is_validated():
+    with pytest.raises(ValueError, match="shed_policy"):
+        ServerConfig(shed_policy="panic")
+
+
+def test_overloaded_describe_shape():
+    assert Overloaded("queue full").describe() == (
+        "Overloaded at stage 'serve': queue full"
+    )

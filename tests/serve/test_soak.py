@@ -1,0 +1,35 @@
+"""Quick soak smoke: the chaos harness's own invariants, in miniature.
+
+The CI ``soak-smoke`` job runs the real thing (``repro soak --duration 60
+--quick``); this test keeps the harness importable, runnable and honest
+inside the ordinary suite with a few seconds of load.
+"""
+
+import pytest
+
+from repro.serve.soak import answer_signature, run_soak
+
+
+@pytest.mark.slow
+def test_quick_soak_holds_every_invariant(kb, tmp_path):
+    report = run_soak(
+        kb,
+        duration_s=3.0,
+        seed=11,
+        quick=True,
+        snapshot_path=str(tmp_path / "warm.snapshot"),
+    )
+    assert report.violations == []
+    assert report.ok
+    assert report.submitted > 0
+    assert report.resolved == report.submitted
+    assert report.post_soak_identical
+    # Chaos actually happened.
+    assert sum(report.chaos_events.values()) > 0
+    # The metrics document rode along and stays schema-stable.
+    assert report.metrics["schema"] == "repro.metrics/v1"
+
+
+def test_answer_signature_is_byte_stable(qa):
+    text = "Which book is written by Orhan Pamuk?"
+    assert answer_signature(qa.answer(text)) == answer_signature(qa.answer(text))
