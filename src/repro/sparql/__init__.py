@@ -21,6 +21,7 @@ from repro.sparql.ast import (
     AskQuery,
     SelectQuery,
 )
+from repro.sparql.columnar import ColumnarQuery, ColumnBatch
 from repro.sparql.engine import SparqlEngine, ask, select
 from repro.sparql.errors import SparqlError, SparqlParseError, SparqlTypeError
 from repro.sparql.parser import parse_query
@@ -29,6 +30,8 @@ from repro.sparql.serializer import serialize_query
 
 __all__ = [
     "SparqlEngine",
+    "ColumnarQuery",
+    "ColumnBatch",
     "parse_query",
     "serialize_query",
     "select",

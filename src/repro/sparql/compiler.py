@@ -353,6 +353,7 @@ def compile_expression(
     slot_of: dict[Variable, int],
     decode: Callable[[int], Term],
     cells: list[Any] | None = None,
+    slots_used: set[int] | None = None,
 ) -> Valuation:
     """Compile an expression into a closure over an id row.
 
@@ -363,11 +364,18 @@ def compile_expression(
     ``cells`` collects every id-equality fast-path closure in the tree —
     including ones nested under ``!``/``&&``/``||`` — so the plan can
     resolve their constant ids against the live graph before execution.
+
+    ``slots_used`` collects the slot index of every variable the
+    expression can read.  The columnar engine keys its per-distinct-value
+    memo on exactly these slots, so the closure result for one id
+    combination is computed once per batch instead of once per row.
     """
     if isinstance(expression, TermExpr):
         term = expression.term
         if isinstance(term, Variable):
             slot = slot_of.get(term)
+            if slot is not None and slots_used is not None:
+                slots_used.add(slot)
             if slot is None:
                 # A variable that appears nowhere in the pattern tree is
                 # never bound — mirror the evaluator's unbound error.
@@ -388,15 +396,25 @@ def compile_expression(
         if fast is not None:
             if cells is not None:
                 cells.append(fast)
+            if slots_used is not None:
+                slots_used.add(fast.slot)
             return fast
-        left = compile_expression(expression.left, slot_of, decode, cells)
-        right = compile_expression(expression.right, slot_of, decode, cells)
+        left = compile_expression(
+            expression.left, slot_of, decode, cells, slots_used
+        )
+        right = compile_expression(
+            expression.right, slot_of, decode, cells, slots_used
+        )
         operator = expression.operator
         return lambda row: compare_values(operator, left(row), right(row))
 
     if isinstance(expression, BooleanOp):
-        left = compile_expression(expression.left, slot_of, decode, cells)
-        right = compile_expression(expression.right, slot_of, decode, cells)
+        left = compile_expression(
+            expression.left, slot_of, decode, cells, slots_used
+        )
+        right = compile_expression(
+            expression.right, slot_of, decode, cells, slots_used
+        )
 
         def side(value_of: Valuation, row: Row) -> bool | None:
             try:
@@ -424,7 +442,9 @@ def compile_expression(
         return disjunction
 
     if isinstance(expression, Not):
-        operand = compile_expression(expression.operand, slot_of, decode, cells)
+        operand = compile_expression(
+            expression.operand, slot_of, decode, cells, slots_used
+        )
         return lambda row: not effective_boolean(operand(row))
 
     if isinstance(expression, FunctionCall):
@@ -440,9 +460,11 @@ def compile_expression(
             slot = slot_of.get(operand.term)
             if slot is None:
                 return lambda row: False
+            if slots_used is not None:
+                slots_used.add(slot)
             return lambda row: row[slot] != UNBOUND
         argument_closures = tuple(
-            compile_expression(argument, slot_of, decode, cells)
+            compile_expression(argument, slot_of, decode, cells, slots_used)
             for argument in expression.arguments
         )
         return lambda row: apply_builtin(
@@ -492,6 +514,10 @@ def _compile_id_equality(
 
     equals.constant = constant  # type: ignore[attr-defined]
     equals.constant_box = constant_box  # type: ignore[attr-defined]
+    # Columnar metadata: the batch engine turns a top-level id-equality
+    # filter into one whole-column mask instead of a per-row call.
+    equals.slot = slot  # type: ignore[attr-defined]
+    equals.negate = negate  # type: ignore[attr-defined]
     return equals
 
 
@@ -711,6 +737,13 @@ class CompiledQuery:
         self.slot_by_name = {
             variable.name: slot for variable, slot in self.slot_of.items()
         }
+        # ORDER BY tie-break order (docs/performance.md, "Deterministic
+        # ordering"): rows with equal sort keys fall back to their id
+        # tuple over all slots, taken in variable-name order so every
+        # engine — term-space, row, columnar — agrees on the total order.
+        self.tiebreak_slots = tuple(
+            slot for __, slot in sorted(self.slot_by_name.items())
+        )
         self._patterns: list[CompiledPattern] = []
         self._id_equality_cells: list[Any] = []
         decode = graph.decode_id
@@ -799,9 +832,15 @@ class CompiledQuery:
     def _register_filter(
         self, expression: Expression, decode: Callable[[int], Term]
     ) -> Valuation:
-        return compile_expression(
-            expression, self.slot_of, decode, self._id_equality_cells
+        slots_used: set[int] = set()
+        closure = compile_expression(
+            expression, self.slot_of, decode, self._id_equality_cells,
+            slots_used,
         )
+        # The columnar engine memoizes closure results per distinct value
+        # combination of exactly these slots (see repro.sparql.columnar).
+        closure.slots_used = frozenset(slots_used)  # type: ignore[attr-defined]
+        return closure
 
     def _compile_bgp(
         self,
@@ -883,6 +922,8 @@ class CompiledQuery:
             )
 
         if query.order_by:
+            tiebreak_slots = self.tiebreak_slots
+
             def sort_key(row: Row):
                 keys = []
                 for closure, descending in self._order_keys:
@@ -895,6 +936,9 @@ class CompiledQuery:
                         keys.append((-kind, invert_order(within)))
                     else:
                         keys.append((kind, within))
+                # Deterministic tie-break: id order over all slots, never
+                # inverted — every engine sorts ties identically.
+                keys.append(tuple(row[slot] for slot in tiebreak_slots))
                 return tuple(keys)
 
             rows = sorted(rows, key=sort_key)
@@ -985,9 +1029,18 @@ def _plan_patterns(
 
 
 def compile_query(
-    query: SelectQuery | AskQuery, graph: Graph
+    query: SelectQuery | AskQuery, graph: Graph, columnar: bool = False
 ) -> CompiledQuery:
-    """Compile a parsed query into an executable id-space plan."""
+    """Compile a parsed query into an executable id-space plan.
+
+    With ``columnar=True`` the plan executes on whole id-column batches
+    (:class:`repro.sparql.columnar.ColumnarQuery`) instead of row tuples;
+    the compiled pattern tree, slot layout and expression closures are
+    identical either way, only the operator implementations differ.
+    """
     if not isinstance(query, (SelectQuery, AskQuery)):
         raise SparqlError(f"unsupported query type {type(query).__name__}")
+    if columnar:
+        from repro.sparql.columnar import ColumnarQuery
+        return ColumnarQuery(query, graph)
     return CompiledQuery(query, graph)

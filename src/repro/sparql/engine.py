@@ -26,10 +26,12 @@ All caches are thread-safe and both result types
 :class:`~repro.sparql.results.AskResult`) are immutable, so cached objects
 are shared between callers without copying.
 
-By default queries execute on the compiled id-space engine; pass
-``idspace=False`` to keep the original term-space evaluator
-(:mod:`repro.sparql.executor`), retained as the oracle for differential
-tests and benchmarks.
+By default queries execute on the compiled id-space engine with the
+columnar batch operators (:mod:`repro.sparql.columnar`).  Pass
+``columnar=False`` for the row-tuple id-space operators, or
+``idspace=False`` for the original term-space evaluator
+(:mod:`repro.sparql.executor`) — both are retained as oracles for the
+three-way differential tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -95,6 +97,7 @@ class SparqlEngine:
         cache_size: int = DEFAULT_CACHE_SIZE,
         stats: PerfStats | None = None,
         idspace: bool = True,
+        columnar: bool = True,
     ) -> None:
         self._graph = graph
         self._stats = stats if stats is not None else PerfStats()
@@ -110,6 +113,10 @@ class SparqlEngine:
         self._cached_generation = graph.generation
         self.cache_enabled = cache_size > 0
         self.idspace = idspace
+        # Columnar batch execution (repro.sparql.columnar) is the default
+        # operator backend for id-space plans; columnar=False keeps the
+        # row-tuple operators, retained for differential testing.
+        self.columnar = bool(idspace and columnar)
         # Observability hook (docs/observability.md): tracing systems
         # install their tracers via add_tracer(); see _trace_event.
         self._tracers: tuple = ()
@@ -194,7 +201,10 @@ class SparqlEngine:
         plans = 0
         for ast in state["plan_keys"]:
             if self._plan_cache.get(ast) is None:
-                self._plan_cache.put(ast, compile_query(ast, self._graph))
+                self._plan_cache.put(
+                    ast,
+                    compile_query(ast, self._graph, columnar=self.columnar),
+                )
                 plans += 1
         results = 0
         self._validate_result_cache()
@@ -252,7 +262,7 @@ class SparqlEngine:
         self._stats.increment("sparql.plan_cache.misses")
         if self._tracers:
             self._trace_event("sparql.plan_cache", outcome="miss")
-        plan = compile_query(query, self._graph)
+        plan = compile_query(query, self._graph, columnar=self.columnar)
         self._plan_cache.put(query, plan)
         return plan
 
@@ -359,6 +369,18 @@ class SparqlEngine:
             )
 
         if query.order_by:
+            # Deterministic tie-break shared with the id-space engines
+            # (docs/performance.md): rows equal under every ORDER BY key
+            # fall back to dictionary-id order over the solution variables
+            # in name order, never inverted for DESC.
+            tiebreak_variables = tuple(
+                sorted(
+                    {v for solution in solutions for v in solution},
+                    key=lambda v: v.name,
+                )
+            )
+            lookup = self._graph.lookup_id
+
             def sort_key(solution: Solution):
                 keys = []
                 for condition in query.order_by:
@@ -371,6 +393,12 @@ class SparqlEngine:
                         keys.append((-kind, _invert(within)))
                     else:
                         keys.append((kind, within))
+                keys.append(
+                    tuple(
+                        lookup(solution[v]) if v in solution else -1
+                        for v in tiebreak_variables
+                    )
+                )
                 return tuple(keys)
 
             solutions.sort(key=sort_key)

@@ -1,9 +1,19 @@
-"""Iterator-based evaluation of graph patterns.
+"""Iterator-based term-space evaluation of graph patterns.
 
 Solutions are immutable-by-convention ``dict[Variable, Term]`` bindings.
 Groups evaluate their children in order: BGPs join (with planned triple
 order), OPTIONAL left-joins, UNION concatenates, and FILTERs collected in
 the group apply to the group's final solutions (SPARQL filter scoping).
+
+This is the slowest and simplest of the three engines — the reference
+the others are checked against.  The row id-space engine
+(:mod:`repro.sparql.compiler`) and the columnar batch engine
+(:mod:`repro.sparql.columnar`) must produce identical decoded solutions
+to this evaluator; the three-way differential harness
+(``tests/sparql/test_threeway_differential.py``) drives all three over
+seeded random queries, and ordered results compare byte-for-byte thanks
+to the shared deterministic ORDER BY tie-break (docs/performance.md,
+"Deterministic ordering").
 """
 
 from __future__ import annotations

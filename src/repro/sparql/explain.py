@@ -34,7 +34,7 @@ def explain(graph: Graph, query: str | SelectQuery | AskQuery) -> str:
     SELECT plan
     group
       join[1] scan ?x rdf:type dbo:Book (est. 1)
-    engine: id-space compiled plan (1 slot(s): ?x; hash-join above 64 rows)
+    engine: columnar id-space plan (1 slot(s): ?x; batch join above 64 rows)
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -57,13 +57,13 @@ def explain(graph: Graph, query: str | SelectQuery | AskQuery) -> str:
             )
     # Execution detail (docs/performance.md, "Engine architecture"):
     # compiling is cheap and observational — it never runs the query.
-    compiled = compile_query(query, graph)
+    compiled = compile_query(query, graph, columnar=True)
     slots = " ".join(
         f"?{compiled.slot_names[slot]}" for slot in sorted(compiled.slot_names)
     )
     lines.append(
-        f"engine: id-space compiled plan ({compiled.width} slot(s): {slots}; "
-        f"hash-join above {HASH_JOIN_MIN_ROWS} rows)"
+        f"engine: columnar id-space plan ({compiled.width} slot(s): {slots}; "
+        f"batch join above {HASH_JOIN_MIN_ROWS} rows)"
     )
     return "\n".join(lines)
 

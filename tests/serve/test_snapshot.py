@@ -100,3 +100,29 @@ def test_graph_mutation_invalidates_the_snapshot(qa, tmp_path):
     )
     with pytest.raises(SnapshotError, match="fingerprint|KB"):
         load_snapshot(qa, path)
+
+
+def test_restored_plans_are_recompiled_columnar(qa, kb, tmp_path):
+    """Snapshots carry plan *keys*, not plans: restore must compile fresh
+    ColumnarQuery objects against the live graph, never reuse pickled or
+    row-engine plans."""
+    from repro.api import QuestionAnsweringSystem
+    from repro.sparql.columnar import ColumnarQuery
+
+    warm(qa)
+    path = tmp_path / "warm.snapshot"
+    header = save_snapshot(qa, path)
+    assert header["counts"]["plan_keys"] > 0
+
+    fresh = QuestionAnsweringSystem.over(kb)
+    engine = fresh.kb.engine
+    engine.clear_caches()
+    load_snapshot(fresh, path)
+    plans = [engine._plan_cache.get(ast) for ast in engine._plan_cache.keys()]
+    assert plans
+    assert all(isinstance(plan, ColumnarQuery) for plan in plans)
+    # Freshly compiled against the live graph: resolved at its generation.
+    assert all(
+        plan._resolved_generation == fresh.kb.graph.generation
+        for plan in plans
+    )

@@ -106,3 +106,51 @@ class TestGenerationCounter:
         assert graph.generation == start + 2
         graph.remove(triple)  # absent: no change
         assert graph.generation == start + 2
+
+
+class TestColumnarPlanCache:
+    """The plan cache hands back ColumnarQuery plans and re-resolution —
+    not silent reuse of stale constants — covers KB generation bumps."""
+
+    def test_cached_plan_is_columnar(self, engine):
+        from repro.sparql.columnar import ColumnarQuery
+
+        engine.select(BOOKS)
+        ast = engine._parse(BOOKS)
+        plan = engine._plan_cache.get(ast)
+        assert isinstance(plan, ColumnarQuery)
+
+    def test_row_engine_opts_out_of_columnar_plans(self, graph):
+        from repro.sparql.columnar import ColumnarQuery
+        from repro.sparql.compiler import CompiledQuery
+
+        engine = SparqlEngine(graph, columnar=False)
+        engine.select(BOOKS)
+        plan = engine._plan_cache.get(engine._parse(BOOKS))
+        assert isinstance(plan, CompiledQuery)
+        assert not isinstance(plan, ColumnarQuery)
+
+    def test_generation_bump_reresolves_cached_columnar_plan(self, graph):
+        """A plan compiled while a constant was absent must pick the
+        constant up once a KB generation bump interns it."""
+        engine = SparqlEngine(graph)
+        query = "SELECT ?b WHERE { ?b a dbo:Play }"  # dbo:Play not interned
+        assert engine.select(query).rows == ()
+        ast = engine._parse(query)
+        plan_before = engine._plan_cache.get(ast)
+        generation_before = plan_before._resolved_generation
+
+        graph.add(Triple(DBR.Hamlet, RDF.type, DBO.Play))
+        fresh = engine.select(query)
+        assert [row[0].local_name for row in fresh.rows] == ["Hamlet"]
+        plan_after = engine._plan_cache.get(ast)
+        assert plan_after is plan_before  # same plan object, re-resolved
+        assert plan_after._resolved_generation > generation_before
+
+    def test_columnar_results_track_generation(self, graph):
+        engine = SparqlEngine(graph)
+        assert len(engine.select(BOOKS)) == 1
+        graph.add(Triple(DBR.My_Name_Is_Red, RDF.type, DBO.Book))
+        assert len(engine.select(BOOKS)) == 2
+        graph.remove(Triple(DBR.Snow, RDF.type, DBO.Book))
+        assert len(engine.select(BOOKS)) == 1
