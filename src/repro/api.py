@@ -30,6 +30,9 @@ compatibility promise:
 ``KnowledgeBase``             the curated/synthetic KB container
 ``load_curated_kb``           the paper's curated DBpedia slice
 ``load_synthetic_kb``         the larger generated KB (benchmarks)
+``load_kb``                   one entry point for any storage backend:
+                              curated in-memory, a segment directory,
+                              or an explicit ``KBBackend``/config
 ``answer_many``               one-shot batch helper (below)
 ``ResilientServer``           long-lived concurrent serving layer:
                               admission control, circuit breakers,
@@ -47,12 +50,17 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import os
+
 from repro.core.config import PipelineConfig
 from repro.core.explain import Explanation
 from repro.core.system import Answer, QuestionAnsweringSystem
+from repro.kb.backend import KBBackend
 from repro.kb.builder import KnowledgeBase
 from repro.kb.dataset import load_curated_kb
 from repro.kb.generator import load_synthetic_kb
+from repro.kb.schema import build_dbpedia_ontology
+from repro.kb.shard import SegmentedBackend
 from repro.serve.server import ResilientServer, ServerConfig
 
 __all__ = [
@@ -63,10 +71,50 @@ __all__ = [
     "KnowledgeBase",
     "load_curated_kb",
     "load_synthetic_kb",
+    "load_kb",
     "answer_many",
     "ResilientServer",
     "ServerConfig",
 ]
+
+
+def load_kb(
+    source: "str | os.PathLike | KBBackend | PipelineConfig | None" = None,
+) -> KnowledgeBase:
+    """One entry point for loading a knowledge base from any storage.
+
+    ``source`` selects the backend:
+
+    * ``None`` or ``"curated"`` — the curated in-memory KB
+      (:func:`load_curated_kb`), unchanged default behaviour;
+    * a path (``str``/``PathLike``) to a segment directory written by
+      ``repro kb build-segments`` — served out-of-core through
+      :class:`repro.kb.SegmentedBackend`;
+    * a :class:`repro.kb.KBBackend` instance — wrapped directly via
+      :meth:`KnowledgeBase.from_backend`;
+    * a :class:`PipelineConfig` — resolved from its ``kb_backend`` /
+      ``kb_segments_path`` fields (what the CLI passes through).
+    """
+    if source is None or source == "curated":
+        return load_curated_kb()
+    if isinstance(source, PipelineConfig):
+        if source.kb_backend == "memory":
+            return load_curated_kb()
+        if source.kb_backend == "segments":
+            if not source.kb_segments_path:
+                raise ValueError(
+                    "kb_backend='segments' needs kb_segments_path "
+                    "(CLI: --kb-path DIR, written by "
+                    "'repro kb build-segments')"
+                )
+            return load_kb(source.kb_segments_path)
+        raise ValueError(f"unknown kb_backend {source.kb_backend!r}")
+    if isinstance(source, KBBackend):
+        return KnowledgeBase.from_backend(build_dbpedia_ontology(), source)
+    path = os.fspath(source)
+    return KnowledgeBase.from_backend(
+        build_dbpedia_ontology(), SegmentedBackend(path)
+    )
 
 
 def answer_many(

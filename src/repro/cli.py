@@ -11,6 +11,8 @@
     python -m repro info
     python -m repro serve --shed-policy degrade --snapshot warm.snapshot
     python -m repro soak --duration 60 --quick
+    python -m repro kb build-segments --shards 8 --out segments/
+    python -m repro ask --kb-backend segments --kb-path segments/ "..."
 
 Every pipeline-facing command (``ask`` / ``eval`` / ``explain``) shares one
 declarative flag table (:data:`PIPELINE_FLAGS`): each entry maps an argparse
@@ -26,7 +28,12 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.api import PipelineConfig, QuestionAnsweringSystem, load_curated_kb
+from repro.api import (
+    PipelineConfig,
+    QuestionAnsweringSystem,
+    load_curated_kb,
+    load_kb,
+)
 from repro.obs.export import render_span_tree, write_metrics
 from repro.qald import (
     QaldEvaluator,
@@ -125,6 +132,21 @@ PIPELINE_FLAGS: tuple[Flag, ...] = (
                          "error|timeout|empty; repeatable; for reliability "
                          "testing)"),
         apply=_apply_faults,
+    ),
+    Flag(
+        "--kb-backend",
+        kwargs=dict(choices=["memory", "segments"],
+                    help="KB storage backend: in-heap dict indexes "
+                         "(memory, default) or mmap-loaded on-disk shards "
+                         "(segments; needs --kb-path)"),
+        field="kb_backend",
+    ),
+    Flag(
+        "--kb-path",
+        kwargs=dict(metavar="DIR",
+                    help="segment directory for --kb-backend segments "
+                         "(written by 'repro kb build-segments')"),
+        field="kb_segments_path",
     ),
 )
 
@@ -234,6 +256,29 @@ def _build_parser() -> argparse.ArgumentParser:
                             "if valid, saved on shutdown")
     add_pipeline_flags(serve)
 
+    kb = sub.add_parser(
+        "kb", help="knowledge-base storage management (segment building)"
+    )
+    kb_sub = kb.add_subparsers(dest="kb_command", required=True)
+    build = kb_sub.add_parser(
+        "build-segments",
+        help="partition a KB into an on-disk segment directory "
+             "(hash-sharded by subject, mmap-served by "
+             "--kb-backend segments)",
+    )
+    build.add_argument("--out", required=True, metavar="DIR",
+                       help="segment directory to write (created if missing)")
+    build.add_argument("--shards", type=int, default=8, metavar="N",
+                       help="number of hash partitions (default 8)")
+    build.add_argument("--source", choices=["curated", "synthetic"],
+                       default="curated",
+                       help="which KB to partition (default curated)")
+    build.add_argument("--scale", type=int, default=16, metavar="K",
+                       help="synthetic KB scale factor (with "
+                            "--source synthetic; default 16)")
+    build.add_argument("--seed", type=int, default=13,
+                       help="synthetic generator seed (default 13)")
+
     soak = sub.add_parser(
         "soak",
         help="run the chaos/soak harness against the serving layer and "
@@ -264,8 +309,9 @@ def _print_answers(kb, result) -> None:
 
 
 def _cmd_ask(args: argparse.Namespace) -> int:
-    kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
+    config = config_from_args(args)
+    kb = load_kb(config)
+    qa = QuestionAnsweringSystem.over(kb, config)
     result = qa.answer(args.question)
     if args.verbose:
         print(result.explanation())
@@ -292,10 +338,10 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     """Full diagnostic view of one question: the structured report, the
     ranked candidate table with per-candidate outcomes, and the span tree
     (tracing is forced on for this command)."""
-    kb = load_curated_kb()
     config = config_from_args(args).updated(
         enable_tracing=True, trace_sample_every=1
     )
+    kb = load_kb(config)
     qa = QuestionAnsweringSystem.over(kb, config)
     result = qa.answer(args.question)
     print(result.explanation().render_tree())
@@ -303,8 +349,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
-    kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
+    config = config_from_args(args)
+    kb = load_kb(config)
+    qa = QuestionAnsweringSystem.over(kb, config)
     questions = load_dev_questions() if args.dev else load_questions()
     result = QaldEvaluator(kb, qa).evaluate(questions)
     print(format_table2(result))
@@ -429,8 +476,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """
     from repro.serve import ResilientServer, ServerConfig, SnapshotError
 
-    kb = load_curated_kb()
-    qa = QuestionAnsweringSystem.over(kb, config_from_args(args))
+    config = config_from_args(args)
+    kb = load_kb(config)
+    qa = QuestionAnsweringSystem.over(kb, config)
     server = ResilientServer(
         qa,
         ServerConfig(
@@ -469,6 +517,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.snapshot:
             header = server.save_snapshot(args.snapshot)
             print(f"(warm state saved: {header['counts']})", file=sys.stderr)
+    return 0
+
+
+def _cmd_kb(args: argparse.Namespace) -> int:
+    """KB storage management: currently the segment builder."""
+    from repro.kb import build_segments, load_synthetic_kb
+
+    if args.kb_command != "build-segments":  # argparse enforces this
+        raise SystemExit(f"unknown kb command {args.kb_command!r}")
+    if args.source == "synthetic":
+        kb = load_synthetic_kb(scale=args.scale, seed=args.seed)
+    else:
+        kb = load_curated_kb()
+    manifest = build_segments(kb.graph, args.out, shards=args.shards)
+    sizes = manifest["shard_triples"]
+    print(f"wrote {manifest['shards']} shards to {args.out}")
+    print(f"triples:     {manifest['triples']} "
+          f"(largest shard {max(sizes)}, smallest {min(sizes)})")
+    print(f"terms:       {manifest['terms']}")
+    print(f"fingerprint: {manifest['fingerprint']}")
     return 0
 
 
@@ -531,6 +599,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "serve": _cmd_serve,
     "soak": _cmd_soak,
+    "kb": _cmd_kb,
 }
 
 

@@ -115,6 +115,18 @@ class PipelineConfig:
     #: everything; larger values are the low-overhead production mode.
     trace_sample_every: int = 1
 
+    # -- storage layer (docs/architecture.md "Storage backends &
+    # -- sharding"): which KBBackend the CLI builds the KB over.  Never
+    # -- changes answers — only where the triples live ---------------------
+
+    #: KB storage backend: ``"memory"`` (single-heap dict indexes, the
+    #: default) or ``"segments"`` (mmap-loaded on-disk shards, requires
+    #: ``kb_segments_path``).
+    kb_backend: str = "memory"
+    #: Segment directory for ``kb_backend="segments"`` (written by
+    #: ``repro kb build-segments``).
+    kb_segments_path: str | None = None
+
     # -- future-work extensions (paper section 6), all off by default so
     # -- the faithful configuration reproduces Table 2 unchanged ----------
 

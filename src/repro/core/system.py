@@ -211,6 +211,30 @@ class QuestionAnsweringSystem:
             data_pattern_store=data_pattern_store,
         )
 
+    @classmethod
+    def from_backend(
+        cls,
+        backend,
+        config: PipelineConfig | None = None,
+        ontology=None,
+    ) -> "QuestionAnsweringSystem":
+        """Build the system over a storage backend
+        (:class:`repro.kb.KBBackend`) instead of a pre-built KB.
+
+        Wraps the backend in a :class:`~repro.kb.builder.KnowledgeBase`
+        via :meth:`KnowledgeBase.from_backend` (rebuilding the derived
+        lookup indexes from the stored triples) and then mines the
+        pattern resources exactly as :meth:`over` does.  ``ontology``
+        defaults to the DBpedia-shaped schema every stored KB in this
+        repo uses.
+        """
+        from repro.kb.schema import build_dbpedia_ontology
+
+        if ontology is None:
+            ontology = build_dbpedia_ontology()
+        kb = KnowledgeBase.from_backend(ontology, backend)
+        return cls.over(kb, config)
+
     # ------------------------------------------------------------------
 
     def answer(self, question: str, deadline: Deadline | None = None) -> Answer:
@@ -857,6 +881,14 @@ class QuestionAnsweringSystem:
         registry.absorb_perf_stats(self._stats)
         registry.absorb_perf_stats(self._kb.engine.stats)
         registry.absorb_cache_stats(self._kb.engine.cache_stats())
+        # Storage-backend counters (kb.segments.* for segment sets);
+        # the in-memory backend keeps no PerfStats, so this is a no-op
+        # on the default path.
+        backend_perf = getattr(
+            getattr(self._kb, "backend", None), "perf", None
+        )
+        if backend_perf is not None:
+            registry.absorb_perf_stats(backend_perf)
         registry.merge(self._trace_metrics)
         return registry.snapshot()
 

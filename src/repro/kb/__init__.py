@@ -10,6 +10,13 @@ disambiguation (:mod:`repro.kb.pagelinks`).  Everything is assembled by
 :class:`repro.kb.builder.KnowledgeBase`.
 """
 
+from repro.kb.backend import (
+    BackendError,
+    BackendGraph,
+    InMemoryBackend,
+    KBBackend,
+    ReadOnlyGraphError,
+)
 from repro.kb.ontology import Ontology, OntologyClass, PropertyDef, PropertyKind
 from repro.kb.schema import build_dbpedia_ontology
 from repro.kb.builder import KnowledgeBase
@@ -17,6 +24,13 @@ from repro.kb.dataset import curated_records, load_curated_kb
 from repro.kb.labels import SurfaceFormIndex, normalize_surface
 from repro.kb.pagelinks import PageLinkGraph
 from repro.kb.generator import generate_records, load_synthetic_kb
+from repro.kb.segment import SegmentError, SegmentIntegrityError
+from repro.kb.shard import (
+    DEFAULT_SHARDS,
+    SegmentedBackend,
+    build_segments,
+    shard_of_subject,
+)
 
 __all__ = [
     "Ontology",
@@ -32,4 +46,15 @@ __all__ = [
     "PageLinkGraph",
     "generate_records",
     "load_synthetic_kb",
+    "KBBackend",
+    "InMemoryBackend",
+    "SegmentedBackend",
+    "BackendGraph",
+    "BackendError",
+    "ReadOnlyGraphError",
+    "SegmentError",
+    "SegmentIntegrityError",
+    "build_segments",
+    "shard_of_subject",
+    "DEFAULT_SHARDS",
 ]

@@ -10,8 +10,10 @@ The builder materialises, exactly once and from a single source of truth:
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
+from repro.kb.backend import InMemoryBackend, KBBackend
 from repro.kb.labels import SurfaceFormIndex, normalize_surface
 from repro.kb.ontology import Ontology, PropertyDef, PropertyKind
 from repro.kb.pagelinks import PageLinkGraph, WIKI_PAGE_LINK
@@ -28,15 +30,41 @@ class DatasetError(ValueError):
 
 
 class KnowledgeBase:
-    """A mini-DBpedia: graph + engine + lookup indexes.
+    """A mini-DBpedia: storage backend + engine + lookup indexes.
 
-    Build one with :meth:`from_records` (validating) or wrap an existing
-    graph directly.
+    Build one with :meth:`from_records` (validating, in-memory) or
+    :meth:`from_backend` (wrap an existing storage backend — e.g. an
+    on-disk :class:`~repro.kb.shard.SegmentedBackend` — rebuilding the
+    derived lookup indexes from its triples).
+
+    All triple access goes through :attr:`backend`
+    (:class:`~repro.kb.backend.KBBackend`); :attr:`graph` is the
+    backend's Graph-compatible view, which for the default
+    :class:`~repro.kb.backend.InMemoryBackend` is a plain mutable
+    :class:`~repro.rdf.Graph`.
     """
 
-    def __init__(self, ontology: Ontology, graph: Graph | None = None) -> None:
+    def __init__(
+        self,
+        ontology: Ontology,
+        graph: Graph | None = None,
+        backend: KBBackend | None = None,
+    ) -> None:
         self.ontology = ontology
-        self.graph = graph if graph is not None else Graph()
+        if graph is not None:
+            if backend is not None:
+                raise ValueError("pass either graph= or backend=, not both")
+            warnings.warn(
+                "KnowledgeBase(graph=...) is deprecated; wrap the graph in "
+                "repro.kb.InMemoryBackend and pass backend=, or use "
+                "KnowledgeBase.from_backend()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            backend = InMemoryBackend(graph)
+        self.backend = backend if backend is not None else InMemoryBackend()
+        self.backend.open()
+        self.graph = self.backend.graph_view()
         self.engine = SparqlEngine(self.graph)
         self.surface_index = SurfaceFormIndex()
         self.page_links = PageLinkGraph()
@@ -56,6 +84,51 @@ class KnowledgeBase:
         kb = cls(ontology)
         kb.add_records(records)
         return kb
+
+    @classmethod
+    def from_backend(
+        cls, ontology: Ontology, backend: KBBackend
+    ) -> "KnowledgeBase":
+        """Serve an existing storage backend as a knowledge base.
+
+        The derived lookup indexes — surface forms, the entity-type
+        closure, the page-link graph — are rebuilt from the stored
+        triples: ``rdfs:label`` literals become primary surface forms
+        (IRI local names become secondary ones), ``rdf:type`` triples
+        with ``dbo:`` objects rebuild the type closure, and wiki
+        page-link triples rebuild the disambiguation graph.  Free-form
+        record aliases are not materialised as triples, so they do not
+        survive the round trip — build both sides of a comparison through
+        this constructor when exact surface-index parity matters.
+        """
+        kb = cls(ontology, backend=backend)
+        kb._index_from_graph()
+        return kb
+
+    def _index_from_graph(self) -> None:
+        dbr_base = DBR.base
+        dbo_base = DBO.base
+        for subject, __, obj in self.graph.match(None, RDF.type, None):
+            if (
+                isinstance(subject, IRI)
+                and subject.value.startswith(dbr_base)
+                and isinstance(obj, IRI)
+                and obj.value.startswith(dbo_base)
+            ):
+                self._entity_types.setdefault(subject, set()).add(
+                    obj.local_name
+                )
+        for subject, __, obj in self.graph.match(None, RDFS.label, None):
+            if (
+                isinstance(subject, IRI)
+                and subject.value.startswith(dbr_base)
+                and isinstance(obj, Literal)
+            ):
+                self.surface_index.add(subject, obj.lexical, primary=True)
+                self.surface_index.add(subject, subject.local_name)
+        for subject, __, obj in self.graph.match(None, WIKI_PAGE_LINK, None):
+            if isinstance(subject, IRI) and isinstance(obj, IRI):
+                self.page_links.add_link(subject, obj)
 
     def add_records(self, records: Sequence[EntityRecord]) -> None:
         """Add records (validating referential integrity across the batch

@@ -1,0 +1,338 @@
+"""Hash-partitioned segment sets: the builder and the out-of-core backend.
+
+:func:`build_segments` splits a graph's triples across N shards by a mixed
+hash of the **subject id** and serializes each shard with
+:mod:`repro.kb.segment`.  Subject-hash partitioning has two properties the
+query layer leans on:
+
+* a subject-bound scan touches exactly **one** shard
+  (:func:`shard_of_subject` routes it), and
+* every solution of a subject-star BGP (all patterns sharing one subject
+  variable) lives entirely inside one shard — which is what makes the
+  per-shard fan-out of :mod:`repro.sparql.scatter` correct without any
+  cross-shard deduplication.
+
+:class:`SegmentedBackend` serves the :class:`repro.kb.backend.KBBackend`
+protocol from such a directory: the dictionary and the shard columns stay
+mmapped (out-of-core — the heap never holds the triple set), multi-shard
+scans heap-merge the per-shard sorted streams into one deterministic
+globally sorted stream, and counts are sums of per-shard range
+subtractions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Iterator
+
+from repro.kb.backend import KBBackend, BackendGraph, IdTriple
+from repro.kb.segment import (
+    SegmentDictionary,
+    SegmentError,
+    SegmentShard,
+    read_manifest,
+    scan_order_key,
+    write_dictionary,
+    write_manifest,
+    write_shard,
+)
+from repro.perf.stats import PerfStats
+from repro.rdf.graph import Graph
+from repro.rdf.terms import Term
+
+#: Default shard count for :func:`build_segments`.
+DEFAULT_SHARDS = 8
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer: decorrelates dense dictionary ids so
+    partition sizes stay balanced even though subject ids are sequential."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def shard_of_subject(subject_id: int, shards: int) -> int:
+    """The shard a subject id routes to."""
+    return _mix64(subject_id) % shards
+
+
+def shard_filename(shard: int) -> str:
+    return f"shard_{shard:03d}.seg"
+
+
+def build_segments(
+    graph: Graph, out_dir: str | os.PathLike, shards: int = DEFAULT_SHARDS
+) -> dict:
+    """Partition ``graph`` into an on-disk segment directory.
+
+    Returns the written manifest.  The dictionary is shared (ids stay
+    global and identical to the source graph's, so id-space plans compiled
+    against either backend resolve constants to the same ids); each shard
+    holds the triples whose subject hashes to it — possibly none, an empty
+    shard is a valid (and checksummed) segment.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    directory = os.fspath(out_dir)
+    os.makedirs(directory, exist_ok=True)
+
+    dictionary = graph.dictionary
+    terms = [dictionary.decode(term_id) for term_id in range(len(dictionary))]
+    checksums = {
+        "dictionary.bin": write_dictionary(
+            os.path.join(directory, "dictionary.bin"), terms
+        )
+    }
+
+    partitions: list[list[IdTriple]] = [[] for __ in range(shards)]
+    for triple in graph.match_ids(None, None, None):
+        partitions[shard_of_subject(triple[0], shards)].append(triple)
+    for shard, triples in enumerate(partitions):
+        name = shard_filename(shard)
+        checksums[name] = write_shard(
+            os.path.join(directory, name), shard, triples
+        )
+    return write_manifest(
+        directory,
+        shards,
+        [len(triples) for triples in partitions],
+        len(terms),
+        checksums,
+    )
+
+
+class SegmentedBackend(KBBackend):
+    """Out-of-core, read-only backend over a segment directory.
+
+    Opening validates the manifest and the dictionary; shard files map
+    lazily on first touch (their checksums validate then — a corrupted
+    shard raises the typed
+    :class:`~repro.kb.segment.SegmentIntegrityError` at first use, never
+    silently returns wrong rows).  All scans are deterministic: per-shard
+    streams are sorted by construction and multi-shard scans merge them
+    under the pattern shape's order key.
+
+    Counters (``kb.segments.*`` — see docs/observability.md) land in the
+    instance's :class:`~repro.perf.stats.PerfStats` and surface through
+    :meth:`stats`.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, stats: PerfStats | None = None
+    ) -> None:
+        self._path = os.fspath(path)
+        self._stats = stats if stats is not None else PerfStats()
+        self._manifest: dict | None = None
+        self._dictionary: SegmentDictionary | None = None
+        self._shards: list[SegmentShard] = []
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def perf(self) -> PerfStats:
+        return self._stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self) -> "SegmentedBackend":
+        if self._manifest is not None:
+            return self
+        manifest = read_manifest(self._path)
+        self._dictionary = SegmentDictionary(
+            os.path.join(self._path, "dictionary.bin")
+        )
+        if len(self._dictionary) != manifest["terms"]:
+            raise SegmentError(
+                f"{self._path}: dictionary holds {len(self._dictionary)} "
+                f"terms, manifest says {manifest['terms']}"
+            )
+        self._shards = [
+            SegmentShard(os.path.join(self._path, shard_filename(shard)), shard)
+            for shard in range(manifest["shards"])
+        ]
+        self._manifest = manifest
+        self._stats.increment("kb.segments.opened")
+        return self
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+        self._shards = []
+        if self._dictionary is not None:
+            self._dictionary.close()
+            self._dictionary = None
+        self._manifest = None
+
+    def _require_open(self) -> dict:
+        if self._manifest is None:
+            self.open()
+        return self._manifest  # type: ignore[return-value]
+
+    # -- id-space core -------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self._require_open()["shards"]
+
+    def shard(self, index: int) -> SegmentShard:
+        self._require_open()
+        return self._shards[index]
+
+    def scan(
+        self, s: int | None, p: int | None, o: int | None
+    ) -> Iterator[IdTriple]:
+        if -1 in (s, p, o):
+            return iter(())
+        manifest = self._require_open()
+        self._stats.increment("kb.segments.scans")
+        if s is not None:
+            # Subject-bound: the router pins the one shard that can match.
+            self._stats.increment("kb.segments.single_shard_scans")
+            shard = shard_of_subject(s, manifest["shards"])
+            return self._shards[shard].scan(s, p, o)
+        self._stats.increment("kb.segments.merged_scans")
+        streams = [shard.scan(s, p, o) for shard in self._shards]
+        return heapq.merge(*streams, key=scan_order_key(s, p, o))
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if -1 in (s, p, o):
+            return 0
+        manifest = self._require_open()
+        self._stats.increment("kb.segments.counts")
+        if s is not None:
+            shard = shard_of_subject(s, manifest["shards"])
+            return self._shards[shard].count(s, p, o)
+        return sum(shard.count(s, p, o) for shard in self._shards)
+
+    def lookup(self, term: Term) -> int:
+        self._require_open()
+        self._stats.increment("kb.segments.lookups")
+        term_id = self._dictionary.lookup(term)  # type: ignore[union-attr]
+        return -1 if term_id is None else term_id
+
+    def decode(self, term_id: int) -> Term:
+        self._require_open()
+        return self._dictionary.decode(term_id)  # type: ignore[union-attr]
+
+    @property
+    def dictionary(self) -> SegmentDictionary:
+        self._require_open()
+        return self._dictionary  # type: ignore[return-value]
+
+    @property
+    def generation(self) -> int:
+        """Segments are immutable: the generation is 0 forever, and the
+        fingerprint (not the generation) carries content identity."""
+        return 0
+
+    def __len__(self) -> int:
+        return self._require_open()["triples"]
+
+    def distinct_ids(self, position: int) -> Iterator[int]:
+        """Distinct subject/predicate/object ids, globally sorted."""
+        self._require_open()
+        streams = [shard.distinct_ids(position) for shard in self._shards]
+        previous: int | None = None
+        for value in heapq.merge(*streams):
+            if value != previous:
+                previous = value
+                yield value
+
+    # -- identity and observability -------------------------------------
+
+    def fingerprint(self) -> dict:
+        manifest = self._require_open()
+        return {
+            "kind": "segments",
+            "schema": manifest["schema"],
+            "shards": manifest["shards"],
+            "triples": manifest["triples"],
+            "content": manifest["fingerprint"],
+        }
+
+    def stats(self) -> dict:
+        manifest = self._require_open()
+        counters = self._stats.snapshot()["counters"]
+        return {
+            "kind": "segments",
+            "path": self._path,
+            "shards": manifest["shards"],
+            "triples": manifest["triples"],
+            "terms": manifest["terms"],
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("kb.segments.")
+            },
+        }
+
+    # -- scatter-gather support -----------------------------------------
+
+    def shard_view(self, index: int) -> BackendGraph:
+        """A Graph-compatible view restricted to one shard (shared global
+        dictionary) — what a scatter-gather worker executes its plan
+        against (:mod:`repro.sparql.scatter`)."""
+        return BackendGraph(_SingleShardBackend(self, index))
+
+
+class _SingleShardBackend(KBBackend):
+    """One shard of a :class:`SegmentedBackend` behind the same protocol.
+
+    Shares the parent's (global-id) dictionary, so id-space plans and
+    filter constants resolved against any view agree across shards.
+    """
+
+    def __init__(self, parent: SegmentedBackend, index: int) -> None:
+        self._parent = parent
+        self._index = index
+
+    def open(self) -> "_SingleShardBackend":
+        self._parent.open()
+        return self
+
+    def close(self) -> None:  # the parent owns the mmap lifecycle
+        pass
+
+    def scan(
+        self, s: int | None, p: int | None, o: int | None
+    ) -> Iterator[IdTriple]:
+        if -1 in (s, p, o):
+            return iter(())
+        return self._parent.shard(self._index).scan(s, p, o)
+
+    def count(
+        self, s: int | None = None, p: int | None = None, o: int | None = None
+    ) -> int:
+        if -1 in (s, p, o):
+            return 0
+        return self._parent.shard(self._index).count(s, p, o)
+
+    def lookup(self, term: Term) -> int:
+        return self._parent.lookup(term)
+
+    def decode(self, term_id: int) -> Term:
+        return self._parent.decode(term_id)
+
+    @property
+    def dictionary(self) -> SegmentDictionary:
+        return self._parent.dictionary
+
+    @property
+    def generation(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return len(self._parent.shard(self._index))
+
+    def fingerprint(self) -> dict:
+        return dict(self._parent.fingerprint(), shard=self._index)
+
+    def stats(self) -> dict:
+        return {"kind": "segments.shard", "shard": self._index}

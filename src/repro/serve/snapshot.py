@@ -41,10 +41,24 @@ from repro.serve.errors import SnapshotError
 SNAPSHOT_SCHEMA = "repro.snapshot/v1"
 
 
-def kb_fingerprint(system) -> dict[str, int]:
-    """The identity of the graph a warm state is valid against."""
+def kb_fingerprint(system) -> dict:
+    """The identity of the storage a warm state is valid against.
+
+    Combines the graph-level counts with the storage backend's own
+    :meth:`~repro.kb.backend.KBBackend.fingerprint` — for segment sets
+    that is the content hash of every shard's checksum, so a snapshot
+    taken over one segment directory never restores over different (or
+    rebuilt) segments even when the triple counts happen to agree.
+    """
     graph = system.kb.graph
-    return {"triples": len(graph), "generation": graph.generation}
+    fingerprint: dict = {
+        "triples": len(graph),
+        "generation": graph.generation,
+    }
+    backend = getattr(system.kb, "backend", None)
+    if backend is not None:
+        fingerprint["backend"] = backend.fingerprint()
+    return fingerprint
 
 
 def save_snapshot(system, path: str | os.PathLike) -> dict:

@@ -26,12 +26,15 @@ from repro.sparql.engine import SparqlEngine, ask, select
 from repro.sparql.errors import SparqlError, SparqlParseError, SparqlTypeError
 from repro.sparql.parser import parse_query
 from repro.sparql.results import AskResult, SelectResult
+from repro.sparql.scatter import ScatterGatherExecutor, partition_variable
 from repro.sparql.serializer import serialize_query
 
 __all__ = [
     "SparqlEngine",
     "ColumnarQuery",
     "ColumnBatch",
+    "ScatterGatherExecutor",
+    "partition_variable",
     "parse_query",
     "serialize_query",
     "select",

@@ -120,6 +120,9 @@ class SparqlEngine:
         # Observability hook (docs/observability.md): tracing systems
         # install their tracers via add_tracer(); see _trace_event.
         self._tracers: tuple = ()
+        # Optional scatter-gather executor (repro.sparql.scatter) consulted
+        # per plan by _execute_plan; None keeps single-process execution.
+        self._scatter = None
 
     @property
     def graph(self) -> Graph:
@@ -142,6 +145,18 @@ class SparqlEngine:
         """
         if tracer not in self._tracers:
             self._tracers = self._tracers + (tracer,)
+
+    def install_scatter(self, executor) -> None:
+        """Route shard-partitionable plans through a scatter-gather
+        executor (:class:`repro.sparql.scatter.ScatterGatherExecutor`).
+
+        Every compiled plan is offered to ``executor.maybe_execute``
+        first; it answers the partitionable ones from the segment shards
+        and returns ``None`` for the rest, which then execute on the
+        single-process path exactly as before.  Pass ``None`` to
+        uninstall.
+        """
+        self._scatter = executor
 
     def _trace_event(self, name: str, **attributes) -> None:
         for tracer in self._tracers:
@@ -328,6 +343,10 @@ class SparqlEngine:
                     self._prefix_memo.invalidate()
                     self._memo_generation = generation
         context = ExecContext(self._graph, self._stats, self._prefix_memo)
+        if self._scatter is not None:
+            result = self._scatter.maybe_execute(plan, context)
+            if result is not None:
+                return result
         return plan.execute(context)
 
     def select(self, query: str | SelectQuery) -> SelectResult:

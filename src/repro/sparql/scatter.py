@@ -1,0 +1,299 @@
+"""Scatter-gather execution of compiled plans over KB segment shards.
+
+The :class:`~repro.kb.shard.SegmentedBackend` partitions triples by a hash
+of the **subject id**, which gives one class of queries an embarrassingly
+parallel decomposition: a *subject-star* query — every triple pattern's
+subject is the same variable, combined only with FILTERs — binds each
+solution's subject to exactly one id, and all triples of that id live in
+one shard.  Running the same compiled plan independently per shard
+therefore produces the exact global solution set, partitioned, with no
+cross-shard joins and no deduplication.
+
+:class:`ScatterGatherExecutor` implements that decomposition:
+
+1. **Scatter** — the query AST (frozen, picklable dataclasses) fans out to
+   one task per shard.  Each task compiles the plan against a single-shard
+   Graph view (:meth:`~repro.kb.shard.SegmentedBackend.shard_view`); the
+   dictionary is global, so constants and slot layouts resolve identically
+   in every process.  Tasks run either inline (``processes=0`` —
+   deterministic, no pool) or on a lazily created ``multiprocessing``
+   pool, returning their id rows packed as ``array('q')`` bytes.
+2. **Gather** — the coordinator concatenates the per-shard row batches in
+   shard order and hands them to the coordinator plan's own result
+   shaping (:meth:`CompiledQuery._shape_select`).  ORDER BY runs there
+   with the engine's deterministic id-tuple tie-break, so ordered answers
+   are **byte-identical** to single-process execution regardless of
+   gather interleaving; unordered answers are multiset-identical (the
+   documented engine contract).  DISTINCT, OFFSET/LIMIT and aggregates
+   also shape at the coordinator, over the complete solution set.
+
+Queries outside the partitionable class (OPTIONAL, UNION, nested groups,
+constant or differing subjects) return ``None`` from
+:meth:`ScatterGatherExecutor.maybe_execute` and fall back to ordinary
+execution over the full backend view.  Counters land in the
+``sparql.scatter.*`` family (docs/observability.md).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from itertools import chain
+
+from repro.kb.shard import SegmentedBackend
+from repro.perf.stats import PerfStats
+from repro.rdf.terms import Variable
+from repro.sparql.ast import BGP, Filter
+from repro.sparql.compiler import UNBOUND, CompiledQuery, ExecContext
+from repro.sparql.results import AskResult, SelectResult
+
+
+def _slice_deterministic(query) -> bool:
+    """Whether LIMIT/OFFSET slicing commutes with scatter-gather.
+
+    An unordered LIMIT/OFFSET keeps "whichever rows the operators
+    produced first" — a production order scatter-gather cannot reproduce.
+    With ORDER BY the full solution set sorts under the deterministic
+    tie-break before slicing, so the slice is identical on both paths.
+    """
+    if getattr(query, "limit", None) is None and not getattr(
+        query, "offset", 0
+    ):
+        return True
+    return bool(getattr(query, "order_by", ()))
+
+
+def partition_variable(query) -> Variable | None:
+    """The shared subject variable, when ``query`` is shard-partitionable.
+
+    Partitionable means: the WHERE clause is a flat conjunction of BGPs
+    and FILTERs (no OPTIONAL / UNION / nested group) with **at least one**
+    triple pattern, every pattern's subject is the same
+    :class:`Variable`, and any LIMIT/OFFSET is pinned by an ORDER BY
+    (:func:`_slice_deterministic`).  Each solution then binds that
+    variable to one subject id, whose triples all live in one shard — so
+    per-shard execution partitions the global solution set exactly.
+    Returns ``None`` for everything else.
+    """
+    if not _slice_deterministic(query):
+        return None
+    subject: Variable | None = None
+    for child in query.where.patterns:
+        if isinstance(child, Filter):
+            continue
+        if not isinstance(child, BGP):
+            return None
+        for triple in child.triples:
+            if not isinstance(triple.subject, Variable):
+                return None
+            if subject is None:
+                subject = triple.subject
+            elif triple.subject != subject:
+                return None
+    return subject
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in pool processes; also reused by inline mode)
+# ---------------------------------------------------------------------------
+
+#: Per-process caches: segment backends keyed by directory, row plans
+#: keyed by (directory, frozen query AST).  Workers live for the pool's
+#: lifetime, so repeated queries against the same segments compile once.
+_WORKER_BACKENDS: dict[str, SegmentedBackend] = {}
+_WORKER_PLANS: dict = {}
+
+
+def _worker_backend(path: str) -> SegmentedBackend:
+    backend = _WORKER_BACKENDS.get(path)
+    if backend is None:
+        backend = SegmentedBackend(path).open()
+        _WORKER_BACKENDS[path] = backend
+    return backend
+
+
+def _shard_task(path: str, shard_index: int, query) -> tuple[int, int, bytes]:
+    """Run ``query`` against one shard; return packed id rows.
+
+    The return value is ``(shard_index, row_count, bytes)`` where the
+    bytes are the rows' ids flattened into an ``array('q')`` — compact to
+    pickle back across the process boundary, and cast straight back to
+    int64 columns on the coordinator.
+    """
+    backend = _worker_backend(path)
+    key = (path, query)
+    plan = _WORKER_PLANS.get(key)
+    if plan is None:
+        # Compiled against the full view so pattern-selectivity planning
+        # sees global counts; constants are global ids, valid per shard.
+        plan = CompiledQuery(query, backend.graph_view())
+        _WORKER_PLANS[key] = plan
+    rows = _run_rows(plan, backend.shard_view(shard_index), stats=None)
+    packed = array("q", chain.from_iterable(rows))
+    return shard_index, len(rows), packed.tobytes()
+
+
+def _run_rows(plan: CompiledQuery, graph, stats: PerfStats | None) -> list:
+    """Execute a compiled plan's operator tree over ``graph``, returning
+    raw slot-aligned id rows (no result shaping)."""
+    plan._resolve(graph)
+    context = ExecContext(graph, stats, None)
+    seed = [(UNBOUND,) * plan.width]
+    return plan.root.run(context, seed, plan)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class ScatterGatherExecutor:
+    """Fans compiled plans out across a segmented backend's shards.
+
+    Install on an engine with
+    :meth:`repro.sparql.SparqlEngine.install_scatter`; the engine then
+    offers every plan via :meth:`maybe_execute`, which either answers it
+    (partitionable queries) or returns ``None`` (engine falls back to
+    ordinary full-view execution).
+
+    ``processes=0`` runs shard tasks inline in the calling process —
+    fully deterministic, no pool, the mode the differential tests pin
+    down.  ``processes=N`` (or ``None`` for a CPU-bounded default) runs
+    them on a lazily created ``multiprocessing`` pool; each worker maps
+    the segment files itself, so peak RSS per process stays bounded by
+    its own shard working set rather than the whole KB.
+    """
+
+    def __init__(
+        self,
+        backend: SegmentedBackend,
+        processes: int | None = None,
+        stats: PerfStats | None = None,
+    ) -> None:
+        self._backend = backend
+        self._processes = processes
+        self._stats = stats
+        self._pool = None
+        self._plans: dict = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def backend(self) -> SegmentedBackend:
+        return self._backend
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ScatterGatherExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _effective_processes(self) -> int:
+        if self._processes is not None:
+            return self._processes
+        return min(4, os.cpu_count() or 1)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                context = multiprocessing.get_context()
+            size = min(
+                self._effective_processes(), self._backend.shard_count
+            )
+            self._pool = context.Pool(processes=max(1, size))
+        return self._pool
+
+    # -- execution -----------------------------------------------------
+
+    def maybe_execute(
+        self, plan: CompiledQuery, context: ExecContext
+    ) -> SelectResult | AskResult | None:
+        """Answer ``plan`` by scatter-gather, or ``None`` if it is not
+        shard-partitionable (the caller then executes it normally)."""
+        stats = context.stats if context.stats is not None else self._stats
+        if partition_variable(plan.query) is None:
+            if stats is not None:
+                stats.increment("sparql.scatter.fallback_queries")
+            return None
+        if stats is not None:
+            stats.increment("sparql.scatter.queries")
+        rows = self._gather(plan, stats)
+        if stats is not None:
+            stats.increment("sparql.scatter.rows_gathered", len(rows))
+        if plan.is_ask:
+            return AskResult(bool(rows))
+        # Global shaping on the coordinator: ORDER BY sorts the complete
+        # row set under the engine's deterministic id-tuple tie-break
+        # (byte-identical to single-process), DISTINCT/OFFSET/LIMIT and
+        # aggregates see every shard's solutions.
+        plan._resolve(context.graph)
+        return plan._shape_select(rows, context)
+
+    def _gather(self, plan: CompiledQuery, stats: PerfStats | None) -> list:
+        backend = self._backend
+        shard_count = backend.shard_count
+        if stats is not None:
+            stats.increment("sparql.scatter.shards_scanned", shard_count)
+        if self._effective_processes() == 0:
+            return self._gather_inline(plan, shard_count, stats)
+        return self._gather_pool(plan, shard_count)
+
+    def _gather_inline(
+        self, plan: CompiledQuery, shard_count: int, stats: PerfStats | None
+    ) -> list:
+        local = self._local_plan(plan)
+        rows: list = []
+        for index in range(shard_count):
+            rows.extend(
+                _run_rows(local, self._backend.shard_view(index), stats)
+            )
+            if plan.is_ask and rows:
+                break  # ASK short-circuits at the first witness
+        return rows
+
+    def _local_plan(self, plan: CompiledQuery) -> CompiledQuery:
+        """A row plan for inline per-shard runs.
+
+        The engine's plan may be columnar; per-shard execution reuses the
+        row operator tree (identical slot layout — both derive it from
+        the same frozen AST), compiled once per distinct query.
+        """
+        if type(plan) is CompiledQuery:
+            return plan
+        cached = self._plans.get(plan.query)
+        if cached is None:
+            cached = CompiledQuery(plan.query, self._backend.graph_view())
+            self._plans[plan.query] = cached
+        return cached
+
+    def _gather_pool(self, plan: CompiledQuery, shard_count: int) -> list:
+        pool = self._ensure_pool()
+        results = pool.starmap(
+            _shard_task,
+            [
+                (self._backend.path, index, plan.query)
+                for index in range(shard_count)
+            ],
+        )
+        results.sort(key=lambda item: item[0])  # deterministic shard order
+        width = plan.width
+        rows: list = []
+        for __, count, blob in results:
+            if not count:
+                continue
+            ids = memoryview(blob).cast("q")
+            rows.extend(
+                tuple(ids[start : start + width])
+                for start in range(0, count * width, width)
+            )
+        return rows

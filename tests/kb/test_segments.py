@@ -1,0 +1,266 @@
+"""On-disk segments: format round trip, shard routing, typed corruption
+failures, and the differential against the in-memory graph."""
+
+import itertools
+import json
+import os
+import random
+
+import pytest
+
+from repro.kb import (
+    SegmentedBackend,
+    SegmentError,
+    SegmentIntegrityError,
+    build_segments,
+    load_curated_kb,
+    shard_of_subject,
+)
+from repro.kb.segment import (
+    SegmentDictionary,
+    decode_term,
+    encode_term,
+    read_manifest,
+    scan_order_key,
+    term_hash,
+    write_dictionary,
+)
+from repro.kb.shard import shard_filename
+from repro.rdf import BNode, Graph, IRI, Literal, Triple
+from repro.rdf.namespaces import DBO, DBR, RDF
+
+
+def _random_graph(seed: int = 7, size: int = 200) -> Graph:
+    rng = random.Random(seed)
+    subjects = [DBR[f"S{i}"] for i in range(17)]
+    predicates = [DBO[f"p{i}"] for i in range(5)]
+    objects = subjects + [Literal(str(i)) for i in range(9)]
+    graph = Graph()
+    while len(graph) < size:
+        graph.add(
+            Triple(
+                rng.choice(subjects),
+                rng.choice(predicates),
+                rng.choice(objects),
+            )
+        )
+    return graph
+
+
+@pytest.fixture(scope="module")
+def curated_segments(tmp_path_factory):
+    kb = load_curated_kb()
+    directory = tmp_path_factory.mktemp("segments")
+    build_segments(kb.graph, directory, shards=5)
+    backend = SegmentedBackend(directory).open()
+    yield kb.graph, backend
+    backend.close()
+
+
+class TestTermCodec:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            IRI("http://example.org/x"),
+            Literal("plain"),
+            Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer"),
+            Literal("hallo", language="de"),
+            Literal(""),
+            Literal("unicode éß中"),
+            BNode("b0"),
+        ],
+    )
+    def test_round_trip(self, term):
+        assert decode_term(encode_term(term)) == term
+
+    def test_hash_is_deterministic_and_int64(self):
+        record = encode_term(IRI("http://example.org/x"))
+        value = term_hash(record)
+        assert value == term_hash(record)
+        assert -(2**63) <= value < 2**63
+
+
+class TestDictionarySegment:
+    def test_round_trip_lookup_decode(self, tmp_path):
+        graph = _random_graph()
+        terms = [
+            graph.dictionary.decode(i) for i in range(len(graph.dictionary))
+        ]
+        path = tmp_path / "dictionary.bin"
+        write_dictionary(path, terms)
+        mapped = SegmentDictionary(path)
+        assert len(mapped) == len(terms)
+        for term_id, term in enumerate(terms):
+            assert mapped.lookup(term) == term_id
+            assert mapped.decode(term_id) == term
+        assert mapped.lookup(IRI("http://nowhere.example/absent")) is None
+        with pytest.raises(KeyError):
+            mapped.decode(len(terms))
+        mapped.close()
+
+
+class TestDifferential:
+    def test_all_pattern_shapes_agree(self, curated_segments):
+        graph, backend = curated_segments
+        view = backend.graph_view()
+        rng = random.Random(3)
+        ids = [
+            rng.randrange(len(graph.dictionary)) for __ in range(40)
+        ] + [-1, len(graph.dictionary) + 7]
+        for mask in itertools.product([False, True], repeat=3):
+            for sample in range(12):
+                s = ids[(sample * 3) % len(ids)] if mask[0] else None
+                p = ids[(sample * 5 + 1) % len(ids)] if mask[1] else None
+                o = ids[(sample * 7 + 2) % len(ids)] if mask[2] else None
+                expected = sorted(graph.match_ids(s, p, o))
+                assert sorted(view.match_ids(s, p, o)) == expected
+                assert view.count_ids(s, p, o) == len(expected)
+
+    def test_multi_shard_scans_are_globally_sorted(self, curated_segments):
+        graph, backend = curated_segments
+        some_p = graph.lookup_id(RDF.type)
+        for pattern in [(None, None, None), (None, some_p, None)]:
+            key = scan_order_key(*pattern)
+            rows = list(backend.scan(*pattern))
+            ordered = sorted(rows, key=key) if key else sorted(rows)
+            assert rows == ordered
+
+    def test_subject_bound_scan_touches_one_shard(self, curated_segments):
+        graph, backend = curated_segments
+        before = backend.perf.snapshot()["counters"].get(
+            "kb.segments.single_shard_scans", 0
+        )
+        subject = next(iter(graph.match_ids(None, None, None)))[0]
+        rows = list(backend.scan(subject, None, None))
+        assert rows == sorted(graph.match_ids(subject, None, None))
+        after = backend.perf.snapshot()["counters"][
+            "kb.segments.single_shard_scans"
+        ]
+        assert after == before + 1
+        assert {shard_of_subject(subject, backend.shard_count)} == {
+            shard_of_subject(s, backend.shard_count) for s, __, __ in rows
+        }
+
+    def test_dictionary_ids_are_global(self, curated_segments):
+        graph, backend = curated_segments
+        for term in [DBR["Dune"], RDF.type, Literal("absent-from-kb")]:
+            assert backend.lookup(term) == graph.lookup_id(term)
+
+
+class TestShardEdgeCases:
+    def test_empty_shards_are_valid(self, tmp_path):
+        graph = Graph()
+        graph.add(Triple(DBR["Only"], RDF.type, DBO["Thing"]))
+        manifest = build_segments(graph, tmp_path, shards=8)
+        assert sorted(manifest["shard_triples"]) == [0] * 7 + [1]
+        backend = SegmentedBackend(tmp_path).open()
+        assert len(backend) == 1
+        assert list(backend.scan(None, None, None)) == sorted(
+            graph.match_ids(None, None, None)
+        )
+        backend.close()
+
+    def test_all_one_shard_skew(self, tmp_path):
+        graph = _random_graph(size=60)
+        build_segments(graph, tmp_path, shards=1)
+        backend = SegmentedBackend(tmp_path).open()
+        assert backend.shard_count == 1
+        assert sorted(backend.scan(None, None, None)) == sorted(
+            graph.match_ids(None, None, None)
+        )
+        backend.close()
+
+    def test_absent_term_and_out_of_range_id(self, tmp_path):
+        graph = _random_graph(size=30)
+        build_segments(graph, tmp_path, shards=3)
+        backend = SegmentedBackend(tmp_path).open()
+        assert backend.lookup(IRI("http://nowhere.example/no")) == -1
+        assert backend.count(-1, None, None) == 0
+        assert list(backend.scan(None, -1, None)) == []
+        with pytest.raises(KeyError):
+            backend.decode(10**6)
+        backend.close()
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            build_segments(Graph(), tmp_path, shards=0)
+
+
+class TestCorruption:
+    def _built(self, tmp_path):
+        build_segments(_random_graph(size=80), tmp_path, shards=2)
+        return tmp_path
+
+    def test_corrupted_shard_body_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        path = directory / shard_filename(0)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        backend = SegmentedBackend(directory).open()  # shards map lazily
+        with pytest.raises(SegmentIntegrityError):
+            list(backend.scan(None, None, None))
+        backend.close()
+
+    def test_truncated_dictionary_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        path = directory / "dictionary.bin"
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises((SegmentError, SegmentIntegrityError)):
+            SegmentedBackend(directory).open()
+
+    def test_wrong_magic_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        path = directory / shard_filename(1)
+        data = path.read_bytes()
+        path.write_bytes(b"NOTASEG1\n" + data[9:])
+        backend = SegmentedBackend(directory).open()
+        with pytest.raises(SegmentError):
+            list(backend.scan(None, None, None))
+        backend.close()
+
+    def test_corrupt_manifest_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        (directory / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(SegmentIntegrityError):
+            SegmentedBackend(directory).open()
+
+    def test_missing_listed_file_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        os.remove(directory / shard_filename(0))
+        with pytest.raises(SegmentError):
+            SegmentedBackend(directory).open()
+
+    def test_wrong_manifest_schema_is_typed(self, tmp_path):
+        directory = self._built(tmp_path)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["schema"] = "repro.kbseg/v999"
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(SegmentError):
+            SegmentedBackend(directory).open()
+
+
+class TestManifestIdentity:
+    def test_fingerprint_tracks_content(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        c = tmp_path / "c"
+        same = build_segments(_random_graph(seed=1), a, shards=3)
+        again = build_segments(_random_graph(seed=1), b, shards=3)
+        other = build_segments(_random_graph(seed=2), c, shards=3)
+        assert same["fingerprint"] == again["fingerprint"]
+        assert same["fingerprint"] != other["fingerprint"]
+        assert read_manifest(a)["fingerprint"] == same["fingerprint"]
+
+    def test_backend_fingerprint_shape(self, tmp_path):
+        build_segments(_random_graph(size=40), tmp_path, shards=4)
+        backend = SegmentedBackend(tmp_path).open()
+        fingerprint = backend.fingerprint()
+        assert fingerprint["kind"] == "segments"
+        assert fingerprint["shards"] == 4
+        assert isinstance(fingerprint["content"], str)
+        stats = backend.stats()
+        assert stats["kind"] == "segments"
+        assert stats["counters"]["kb.segments.opened"] == 1
+        backend.close()

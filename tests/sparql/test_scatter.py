@@ -1,0 +1,278 @@
+"""Scatter-gather executor: differential vs single-process execution.
+
+The contract under test is the engine-wide one (see
+tests/sparql/test_threeway_differential.py): ordered results byte-identical
+row for row — ORDER BY ties included — unordered results multiset-equal,
+unordered slices any valid |slice| draw.  Scatter answers only the
+subject-star fragment; everything else must fall back to the ordinary
+path, bit-for-bit.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.kb import SegmentedBackend, build_segments
+from repro.perf.stats import PerfStats
+from repro.rdf import Graph, IRI, Triple, Variable
+from repro.sparql import ScatterGatherExecutor, SparqlEngine, partition_variable
+from repro.sparql.ast import (
+    BGP,
+    Filter,
+    Group,
+    AskQuery,
+    OptionalPattern,
+    OrderCondition,
+    SelectQuery,
+    TermExpr,
+    UnionPattern,
+)
+
+from tests.sparql import querygen
+
+
+def _segmented(graph, tmp_path, shards=4):
+    build_segments(graph, tmp_path, shards=shards)
+    return SegmentedBackend(tmp_path).open()
+
+
+def _star_query(order=True, distinct=False, limit=None):
+    s, p, o = Variable("s"), Variable("p"), Variable("o")
+    where = Group(
+        (
+            BGP(
+                (
+                    Triple(s, IRI("http://example.org/p0"), o),
+                    Triple(s, p, Variable("q")),
+                )
+            ),
+        )
+    )
+    return SelectQuery(
+        projection=(s, o),
+        where=where,
+        distinct=distinct,
+        order_by=(
+            (OrderCondition(TermExpr(o), False), OrderCondition(TermExpr(s), False))
+            if order
+            else ()
+        ),
+        limit=limit,
+    )
+
+
+def _assert_agrees(query, expected, actual, oracle):
+    assert actual.variables == expected.variables
+    if getattr(query, "order_by", ()):
+        assert actual.rows == expected.rows
+    elif query.limit is not None or query.offset:
+        unsliced = SelectQuery(
+            projection=query.projection,
+            where=query.where,
+            distinct=query.distinct,
+        )
+        full = Counter(oracle.query(unsliced).rows)
+        actual_rows = Counter(actual.rows)
+        assert sum(actual_rows.values()) == len(expected.rows)
+        assert all(full[row] >= count for row, count in actual_rows.items())
+    else:
+        assert Counter(actual.rows) == Counter(expected.rows)
+
+
+class TestPartitionability:
+    def _bgp(self, subject):
+        return BGP((Triple(subject, Variable("p"), Variable("o")),))
+
+    def test_subject_star_is_partitionable(self):
+        query = _star_query()
+        assert partition_variable(query) == Variable("s")
+
+    def test_ask_is_partitionable(self):
+        query = AskQuery(where=Group((self._bgp(Variable("x")),)))
+        assert partition_variable(query) == Variable("x")
+
+    def test_filters_do_not_block(self):
+        query = SelectQuery(
+            projection=(Variable("x"),),
+            where=Group(
+                (
+                    self._bgp(Variable("x")),
+                    Filter(TermExpr(Variable("x"))),
+                )
+            ),
+        )
+        assert partition_variable(query) == Variable("x")
+
+    @pytest.mark.parametrize(
+        "where",
+        [
+            Group(()),  # no triple pattern at all
+            Group((BGP((Triple(IRI("http://e.org/a"), Variable("p"), Variable("o")),)),)),
+            Group(
+                (
+                    BGP((Triple(Variable("a"), Variable("p"), Variable("o")),)),
+                    BGP((Triple(Variable("b"), Variable("q"), Variable("r")),)),
+                )
+            ),
+            Group(
+                (
+                    BGP((Triple(Variable("a"), Variable("p"), Variable("o")),)),
+                    OptionalPattern(
+                        Group((BGP((Triple(Variable("a"), Variable("q"), Variable("r")),)),))
+                    ),
+                )
+            ),
+            Group(
+                (
+                    UnionPattern(
+                        Group((BGP((Triple(Variable("a"), Variable("p"), Variable("o")),)),)),
+                        Group((BGP((Triple(Variable("a"), Variable("q"), Variable("o")),)),)),
+                    ),
+                )
+            ),
+        ],
+    )
+    def test_non_star_shapes_fall_back(self, where):
+        query = SelectQuery(projection=(Variable("a"),), where=where)
+        assert partition_variable(query) is None
+
+    def test_unordered_slice_falls_back(self):
+        assert partition_variable(_star_query(order=False, limit=3)) is None
+        assert partition_variable(_star_query(order=True, limit=3)) is not None
+
+
+class TestInlineDifferential:
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_seeded_workload_agrees(self, seed, tmp_path):
+        graph, queries = querygen.random_workload(
+            seed, queries=25, graph_size=60, conjunctive=True
+        )
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(
+            backend.graph_view(), cache_size=0, stats=stats
+        )
+        engine.install_scatter(
+            ScatterGatherExecutor(backend, processes=0)
+        )
+        for query in queries:
+            _assert_agrees(
+                query, oracle.query(query), engine.query(query), oracle
+            )
+        counters = stats.snapshot()["counters"]
+        assert (
+            counters.get("sparql.scatter.queries", 0)
+            + counters.get("sparql.scatter.fallback_queries", 0)
+            == len(queries)
+        )
+        backend.close()
+
+    def test_star_queries_fan_out(self, tmp_path):
+        graph, __ = querygen.random_workload(5, queries=0, graph_size=80)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        for query in [
+            _star_query(),
+            _star_query(distinct=True),
+            _star_query(order=True, limit=5),
+            _star_query(order=False),
+        ]:
+            _assert_agrees(
+                query, oracle.query(query), engine.query(query), oracle
+            )
+        counters = stats.snapshot()["counters"]
+        assert counters["sparql.scatter.queries"] == 4
+        assert counters["sparql.scatter.shards_scanned"] == 16
+        assert "sparql.scatter.fallback_queries" not in counters
+        backend.close()
+
+    def test_order_by_ties_are_byte_identical(self, tmp_path):
+        # Every solution shares one object value, so the sort key ties on
+        # every row and only the deterministic id-tuple tie-break orders
+        # them — the scatter path must reproduce it exactly.
+        graph = Graph()
+        common = IRI("http://example.org/common")
+        p0 = IRI("http://example.org/p0")
+        for i in range(40):
+            graph.add(Triple(IRI(f"http://example.org/s{i}"), p0, common))
+            graph.add(
+                Triple(
+                    IRI(f"http://example.org/s{i}"),
+                    IRI("http://example.org/p1"),
+                    common,
+                )
+            )
+        backend = _segmented(graph, tmp_path, shards=5)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        s, o = Variable("s"), Variable("o")
+        query = SelectQuery(
+            projection=(s,),
+            where=Group(
+                (
+                    BGP(
+                        (
+                            Triple(s, p0, o),
+                            Triple(s, IRI("http://example.org/p1"), o),
+                        )
+                    ),
+                )
+            ),
+            order_by=(OrderCondition(TermExpr(o), False),),
+        )
+        assert engine.query(query).rows == oracle.query(query).rows
+        backend.close()
+
+    def test_ask_short_circuits(self, tmp_path):
+        graph, __ = querygen.random_workload(9, queries=0, graph_size=50)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        x = Variable("x")
+        hit = AskQuery(
+            where=Group((BGP((Triple(x, Variable("p"), Variable("o")),)),))
+        )
+        miss = AskQuery(
+            where=Group(
+                (BGP((Triple(x, IRI("http://nowhere.example/p"), x),)),)
+            )
+        )
+        for query in (hit, miss):
+            assert engine.query(query).value == oracle.query(query).value
+        backend.close()
+
+    def test_uninstall_restores_plain_execution(self, tmp_path):
+        graph, __ = querygen.random_workload(2, queries=0, graph_size=30)
+        backend = _segmented(graph, tmp_path)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        engine.query(_star_query())
+        engine.install_scatter(None)
+        engine.query(_star_query())
+        counters = stats.snapshot()["counters"]
+        assert counters["sparql.scatter.queries"] == 1
+        backend.close()
+
+
+class TestProcessPool:
+    def test_pool_agrees_with_inline(self, tmp_path):
+        graph, queries = querygen.random_workload(
+            31, queries=8, graph_size=60, conjunctive=True
+        )
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        with ScatterGatherExecutor(backend, processes=2) as executor:
+            engine.install_scatter(executor)
+            for query in queries + [_star_query(), _star_query(distinct=True)]:
+                _assert_agrees(
+                    query, oracle.query(query), engine.query(query), oracle
+                )
+        backend.close()
