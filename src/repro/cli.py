@@ -290,6 +290,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="chaos schedule seed (reproducible)")
     soak.add_argument("--quick", action="store_true",
                       help="CI smoke mode: smaller fault bursts")
+    soak.add_argument("--segmented", action="store_true",
+                      help="serve from an on-disk segment directory: the "
+                           "worker threads share one mmap'd SegmentedBackend "
+                           "and one scatter pool (peak RSS reported)")
     soak.add_argument("--json", metavar="PATH",
                       help="write the machine-readable soak report")
     return parser
@@ -555,8 +559,19 @@ def _cmd_soak(args: argparse.Namespace) -> int:
     faulthandler.dump_traceback_later(watchdog_s, exit=True)
     try:
         with tempfile.TemporaryDirectory() as tmp:
+            if args.segmented:
+                # One segment directory, shared by every serving worker
+                # (and the hot-reload twin) through one mmap'd backend +
+                # scatter pool — the shared-segment serving mode.
+                from repro.kb import build_segments
+
+                segment_dir = os.path.join(tmp, "segments")
+                build_segments(load_curated_kb().graph, segment_dir)
+                kb = load_kb(segment_dir)
+            else:
+                kb = load_curated_kb()
             report = run_soak(
-                load_curated_kb(),
+                kb,
                 duration_s=args.duration,
                 seed=args.seed,
                 quick=args.quick,
@@ -579,6 +594,8 @@ def _cmd_soak(args: argparse.Namespace) -> int:
             "chaos_events": report.chaos_events,
             "violations": report.violations,
             "post_soak_identical": report.post_soak_identical,
+            "shared_segments": report.shared_segments,
+            "peak_rss_mb": report.peak_rss_mb,
             "ok": report.ok,
         }
         with open(args.json, "w", encoding="utf-8") as handle:

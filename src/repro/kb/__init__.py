@@ -28,7 +28,9 @@ from repro.kb.segment import SegmentError, SegmentIntegrityError
 from repro.kb.shard import (
     DEFAULT_SHARDS,
     SegmentedBackend,
+    ShardResultCache,
     build_segments,
+    shard_of_object,
     shard_of_subject,
 )
 
@@ -56,5 +58,7 @@ __all__ = [
     "SegmentIntegrityError",
     "build_segments",
     "shard_of_subject",
+    "shard_of_object",
+    "ShardResultCache",
     "DEFAULT_SHARDS",
 ]

@@ -517,8 +517,16 @@ def write_manifest(
     shard_triples: Sequence[int],
     terms: int,
     checksums: dict[str, str],
+    object_shard_triples: Sequence[int] | None = None,
 ) -> dict:
-    """Write ``manifest.json``; returns the manifest dict."""
+    """Write ``manifest.json``; returns the manifest dict.
+
+    ``object_shard_triples`` describes the optional secondary object-hash
+    partition (same triples, repartitioned — it does not contribute to the
+    ``triples`` total).  The keys are additive so directories written
+    without the secondary partition keep the same schema and stay
+    readable.
+    """
     fingerprint = hashlib.sha256(
         json.dumps(
             {"checksums": dict(sorted(checksums.items())), "terms": terms},
@@ -534,6 +542,9 @@ def write_manifest(
         "files": checksums,
         "fingerprint": fingerprint,
     }
+    if object_shard_triples is not None:
+        manifest["object_shards"] = len(object_shard_triples)
+        manifest["object_shard_triples"] = list(object_shard_triples)
     path = os.path.join(directory, "manifest.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)

@@ -12,18 +12,38 @@ query layer leans on:
   per-shard fan-out of :mod:`repro.sparql.scatter` correct without any
   cross-shard deduplication.
 
+Alongside the subject partition the builder writes a **secondary
+object-hash partition** (``oshard_NNN.seg``): the same triples,
+repartitioned by a mixed hash of the **object id**.  That gives the two
+mirror properties for the POS/OSP side of the index:
+
+* an object-bound scan (``s`` free) touches exactly **one** object shard
+  (:func:`shard_of_object` routes it — no heap-merge across the subject
+  shards), and
+* every solution of an object-star BGP (all patterns sharing one object
+  variable) lives entirely inside one object shard, so predicate-bound
+  stars fan out per shard exactly like subject stars do.
+
 :class:`SegmentedBackend` serves the :class:`repro.kb.backend.KBBackend`
 protocol from such a directory: the dictionary and the shard columns stay
 mmapped (out-of-core — the heap never holds the triple set), multi-shard
 scans heap-merge the per-shard sorted streams into one deterministic
 globally sorted stream, and counts are sums of per-shard range
-subtractions.
+subtractions.  Directories written before the secondary partition existed
+(no ``object_shards`` manifest key) still open and serve; only the
+object-routing fast paths stay off.
+
+:class:`ShardResultCache` is the per-shard result cache the scatter layer
+(:mod:`repro.sparql.scatter`) keys on a *cache generation*: entries are
+only served while the stamp matches, so a hot KB reload (which bumps the
+owning executor's generation) empties every shard cache at once.
 """
 
 from __future__ import annotations
 
 import heapq
 import os
+import threading
 from typing import Iterator
 
 from repro.kb.backend import KBBackend, BackendGraph, IdTriple
@@ -54,17 +74,35 @@ def _mix64(value: int) -> int:
     return value ^ (value >> 31)
 
 
+#: Salt decorrelating the object partition from the subject partition, so
+#: a term appearing as both subject and object does not force the two
+#: partitions to co-locate it (sizes stay independently balanced).
+_OBJECT_SALT = 0x6A09E667F3BCC909
+
+
 def shard_of_subject(subject_id: int, shards: int) -> int:
     """The shard a subject id routes to."""
     return _mix64(subject_id) % shards
+
+
+def shard_of_object(object_id: int, shards: int) -> int:
+    """The secondary (object-hash) shard an object id routes to."""
+    return _mix64(object_id ^ _OBJECT_SALT) % shards
 
 
 def shard_filename(shard: int) -> str:
     return f"shard_{shard:03d}.seg"
 
 
+def object_shard_filename(shard: int) -> str:
+    return f"oshard_{shard:03d}.seg"
+
+
 def build_segments(
-    graph: Graph, out_dir: str | os.PathLike, shards: int = DEFAULT_SHARDS
+    graph: Graph,
+    out_dir: str | os.PathLike,
+    shards: int = DEFAULT_SHARDS,
+    object_shards: int | None = None,
 ) -> dict:
     """Partition ``graph`` into an on-disk segment directory.
 
@@ -73,9 +111,20 @@ def build_segments(
     against either backend resolve constants to the same ids); each shard
     holds the triples whose subject hashes to it — possibly none, an empty
     shard is a valid (and checksummed) segment.
+
+    ``object_shards`` sizes the secondary object-hash partition (defaults
+    to ``shards``; pass ``0`` to skip it — the directory then serves
+    subject routing only, like directories written before the secondary
+    partition existed).
     """
     if shards < 1:
         raise ValueError(f"shard count must be >= 1, got {shards}")
+    if object_shards is None:
+        object_shards = shards
+    if object_shards < 0:
+        raise ValueError(
+            f"object shard count must be >= 0, got {object_shards}"
+        )
     directory = os.fspath(out_dir)
     os.makedirs(directory, exist_ok=True)
 
@@ -88,10 +137,22 @@ def build_segments(
     }
 
     partitions: list[list[IdTriple]] = [[] for __ in range(shards)]
+    object_partitions: list[list[IdTriple]] = [
+        [] for __ in range(object_shards)
+    ]
     for triple in graph.match_ids(None, None, None):
         partitions[shard_of_subject(triple[0], shards)].append(triple)
+        if object_shards:
+            object_partitions[
+                shard_of_object(triple[2], object_shards)
+            ].append(triple)
     for shard, triples in enumerate(partitions):
         name = shard_filename(shard)
+        checksums[name] = write_shard(
+            os.path.join(directory, name), shard, triples
+        )
+    for shard, triples in enumerate(object_partitions):
+        name = object_shard_filename(shard)
         checksums[name] = write_shard(
             os.path.join(directory, name), shard, triples
         )
@@ -101,6 +162,11 @@ def build_segments(
         [len(triples) for triples in partitions],
         len(terms),
         checksums,
+        object_shard_triples=(
+            [len(triples) for triples in object_partitions]
+            if object_shards
+            else None
+        ),
     )
 
 
@@ -128,6 +194,7 @@ class SegmentedBackend(KBBackend):
         self._manifest: dict | None = None
         self._dictionary: SegmentDictionary | None = None
         self._shards: list[SegmentShard] = []
+        self._object_shards: list[SegmentShard] = []
 
     @property
     def path(self) -> str:
@@ -155,6 +222,12 @@ class SegmentedBackend(KBBackend):
             SegmentShard(os.path.join(self._path, shard_filename(shard)), shard)
             for shard in range(manifest["shards"])
         ]
+        self._object_shards = [
+            SegmentShard(
+                os.path.join(self._path, object_shard_filename(shard)), shard
+            )
+            for shard in range(manifest.get("object_shards", 0))
+        ]
         self._manifest = manifest
         self._stats.increment("kb.segments.opened")
         return self
@@ -163,6 +236,9 @@ class SegmentedBackend(KBBackend):
         for shard in self._shards:
             shard.close()
         self._shards = []
+        for shard in self._object_shards:
+            shard.close()
+        self._object_shards = []
         if self._dictionary is not None:
             self._dictionary.close()
             self._dictionary = None
@@ -179,9 +255,19 @@ class SegmentedBackend(KBBackend):
     def shard_count(self) -> int:
         return self._require_open()["shards"]
 
+    @property
+    def object_shard_count(self) -> int:
+        """Size of the secondary object-hash partition (0 when the
+        directory was written without one)."""
+        return self._require_open().get("object_shards", 0)
+
     def shard(self, index: int) -> SegmentShard:
         self._require_open()
         return self._shards[index]
+
+    def object_shard(self, index: int) -> SegmentShard:
+        self._require_open()
+        return self._object_shards[index]
 
     def scan(
         self, s: int | None, p: int | None, o: int | None
@@ -195,6 +281,14 @@ class SegmentedBackend(KBBackend):
             self._stats.increment("kb.segments.single_shard_scans")
             shard = shard_of_subject(s, manifest["shards"])
             return self._shards[shard].scan(s, p, o)
+        if o is not None and self._object_shards:
+            # Object-bound, subject free: the secondary partition pins one
+            # object shard.  Its stream is sorted under the same shape key
+            # and holds exactly the triples with this object, so it is
+            # byte-identical to the merged subject-shard stream.
+            self._stats.increment("kb.segments.object_routed_scans")
+            shard = shard_of_object(o, len(self._object_shards))
+            return self._object_shards[shard].scan(s, p, o)
         self._stats.increment("kb.segments.merged_scans")
         streams = [shard.scan(s, p, o) for shard in self._shards]
         return heapq.merge(*streams, key=scan_order_key(s, p, o))
@@ -209,6 +303,10 @@ class SegmentedBackend(KBBackend):
         if s is not None:
             shard = shard_of_subject(s, manifest["shards"])
             return self._shards[shard].count(s, p, o)
+        if o is not None and self._object_shards:
+            self._stats.increment("kb.segments.object_routed_counts")
+            shard = shard_of_object(o, len(self._object_shards))
+            return self._object_shards[shard].count(s, p, o)
         return sum(shard.count(s, p, o) for shard in self._shards)
 
     def lookup(self, term: Term) -> int:
@@ -253,6 +351,7 @@ class SegmentedBackend(KBBackend):
             "kind": "segments",
             "schema": manifest["schema"],
             "shards": manifest["shards"],
+            "object_shards": manifest.get("object_shards", 0),
             "triples": manifest["triples"],
             "content": manifest["fingerprint"],
         }
@@ -264,6 +363,7 @@ class SegmentedBackend(KBBackend):
             "kind": "segments",
             "path": self._path,
             "shards": manifest["shards"],
+            "object_shards": manifest.get("object_shards", 0),
             "triples": manifest["triples"],
             "terms": manifest["terms"],
             "counters": {
@@ -281,17 +381,44 @@ class SegmentedBackend(KBBackend):
         against (:mod:`repro.sparql.scatter`)."""
         return BackendGraph(_SingleShardBackend(self, index))
 
+    def object_shard_view(self, index: int) -> BackendGraph:
+        """Like :meth:`shard_view`, restricted to one shard of the
+        secondary object-hash partition."""
+        return BackendGraph(_SingleShardBackend(self, index, partition="object"))
+
+    def partition_view(self, kind: str, index: int) -> BackendGraph:
+        """Dispatch to :meth:`shard_view` / :meth:`object_shard_view` by
+        partition kind (``"subject"`` or ``"object"``)."""
+        if kind == "object":
+            return self.object_shard_view(index)
+        return self.shard_view(index)
+
+    def partition_count(self, kind: str) -> int:
+        return (
+            self.object_shard_count if kind == "object" else self.shard_count
+        )
+
 
 class _SingleShardBackend(KBBackend):
     """One shard of a :class:`SegmentedBackend` behind the same protocol.
 
     Shares the parent's (global-id) dictionary, so id-space plans and
     filter constants resolved against any view agree across shards.
+    ``partition`` selects the subject-hash (primary) or object-hash
+    (secondary) partition.
     """
 
-    def __init__(self, parent: SegmentedBackend, index: int) -> None:
+    def __init__(
+        self, parent: SegmentedBackend, index: int, partition: str = "subject"
+    ) -> None:
         self._parent = parent
         self._index = index
+        self._partition = partition
+
+    def _shard(self) -> SegmentShard:
+        if self._partition == "object":
+            return self._parent.object_shard(self._index)
+        return self._parent.shard(self._index)
 
     def open(self) -> "_SingleShardBackend":
         self._parent.open()
@@ -305,14 +432,14 @@ class _SingleShardBackend(KBBackend):
     ) -> Iterator[IdTriple]:
         if -1 in (s, p, o):
             return iter(())
-        return self._parent.shard(self._index).scan(s, p, o)
+        return self._shard().scan(s, p, o)
 
     def count(
         self, s: int | None = None, p: int | None = None, o: int | None = None
     ) -> int:
         if -1 in (s, p, o):
             return 0
-        return self._parent.shard(self._index).count(s, p, o)
+        return self._shard().count(s, p, o)
 
     def lookup(self, term: Term) -> int:
         return self._parent.lookup(term)
@@ -329,10 +456,70 @@ class _SingleShardBackend(KBBackend):
         return 0
 
     def __len__(self) -> int:
-        return len(self._parent.shard(self._index))
+        return len(self._shard())
 
     def fingerprint(self) -> dict:
-        return dict(self._parent.fingerprint(), shard=self._index)
+        return dict(
+            self._parent.fingerprint(),
+            shard=self._index,
+            partition=self._partition,
+        )
 
     def stats(self) -> dict:
-        return {"kind": "segments.shard", "shard": self._index}
+        return {
+            "kind": "segments.shard",
+            "shard": self._index,
+            "partition": self._partition,
+        }
+
+
+class ShardResultCache:
+    """A small generation-stamped LRU of per-shard packed results.
+
+    The *stamp* is whatever hashable token the owner uses to mark the
+    cache's validity epoch (the scatter executor uses its backend
+    fingerprint token plus a reload generation).  A :meth:`get` or
+    :meth:`put` under a different stamp empties the cache first, so a hot
+    KB reload — which changes the stamp — invalidates every entry at once
+    without touching each cache.  Thread-safe: serving workers share one
+    executor and therefore one cache per shard.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        self._stamp: object = None
+        self._data: dict = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def _sync_stamp(self, stamp: object) -> None:
+        if stamp != self._stamp:
+            self._data.clear()
+            self._stamp = stamp
+
+    def get(self, stamp: object, key: object):
+        """The cached value, or ``None`` on miss / stale stamp."""
+        with self._lock:
+            self._sync_stamp(stamp)
+            value = self._data.pop(key, None)
+            if value is not None:
+                self._data[key] = value  # re-insert: LRU order is dict order
+            return value
+
+    def put(self, stamp: object, key: object, value: object) -> None:
+        with self._lock:
+            self._sync_stamp(stamp)
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self._maxsize:
+                self._data.pop(next(iter(self._data)))
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._stamp = None

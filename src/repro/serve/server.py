@@ -37,13 +37,33 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 
 from repro.core.system import Answer, QuestionAnsweringSystem
+from repro.kb.shard import SegmentedBackend
 from repro.obs.metrics import MetricsRegistry
 from repro.perf.stats import PerfStats
 from repro.reliability.budgets import Deadline
 from repro.reliability.errors import InternalError, StageError
-from repro.serve.errors import Overloaded, ServerClosed
+from repro.serve.errors import Overloaded, ServerClosed, SnapshotError
 from repro.serve.guard import StageGuard
 from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.sparql.scatter import ScatterGatherExecutor
+
+
+def peak_rss_mb() -> float | None:
+    """This process's peak resident set (VmHWM), in MiB.
+
+    Linux-only (``/proc/self/status``); returns ``None`` elsewhere.  The
+    serving layer reports it per replica so the shared-segment claim —
+    replicas mmap one segment directory instead of holding one heap copy
+    each — is a measured number in ``metrics()`` and the soak report.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return round(int(line.split()[1]) / 1024, 1)
+    except OSError:
+        return None
+    return None
 
 #: Queue sentinel telling a worker to exit.
 _STOP = object()
@@ -82,6 +102,16 @@ class ServerConfig:
     #: half-open probe is allowed).
     breaker_failure_threshold: int = 5
     breaker_recovery_s: float = 5.0
+    #: Shard-parallel execution over segmented KBs: when the served
+    #: system's backend is a :class:`~repro.kb.shard.SegmentedBackend`,
+    #: the server installs one shared
+    #: :class:`~repro.sparql.scatter.ScatterGatherExecutor` (one scatter
+    #: pool + one set of per-shard result caches for all worker threads,
+    #: kept across hot reloads via ``rebind``).  ``scatter_processes``
+    #: follows the executor's convention: ``0`` = inline per-shard
+    #: execution, ``N`` = pool of N, ``None`` = CPU-bounded default.
+    enable_scatter: bool = True
+    scatter_processes: int | None = 0
 
     def __post_init__(self) -> None:
         if self.shed_policy not in SHED_POLICIES:
@@ -128,6 +158,11 @@ class ResilientServer:
             stats=self._stats,
         )
         system.install_stage_guard(self._guard)
+        #: One scatter executor shared by every worker thread (and every
+        #: hot-reloaded system over the same segments): one process pool,
+        #: one mapped segment directory, one set of shard caches.
+        self._scatter: ScatterGatherExecutor | None = None
+        self._wire_scatter(system)
         #: Swapped atomically by :meth:`hot_reload`; workers read it once
         #: per request.
         self._system = system
@@ -247,13 +282,42 @@ class ResilientServer:
 
     # -- warm state & hot reload ---------------------------------------
 
+    def _wire_scatter(self, system: QuestionAnsweringSystem) -> None:
+        """Install (or rebind) the shared scatter executor on ``system``.
+
+        Only systems over a :class:`SegmentedBackend` get one; in-memory
+        systems keep plain execution.  On hot reload the *same* executor
+        rebinds to the new system's backend — the pool and the mmap'd
+        segment pages survive, while the rebind's generation bump empties
+        every per-shard result cache (stale cached rows can never serve
+        the reloaded KB).
+        """
+        if not self._config.enable_scatter:
+            return
+        backend = getattr(system.kb, "backend", None)
+        if not isinstance(backend, SegmentedBackend):
+            return
+        if self._scatter is None:
+            self._scatter = ScatterGatherExecutor(
+                backend,
+                processes=self._config.scatter_processes,
+                stats=self._stats,
+            )
+        else:
+            self._scatter.rebind(backend)
+        system.kb.engine.install_scatter(self._scatter)
+
     def hot_reload(self, system: QuestionAnsweringSystem) -> None:
         """Swap in a new system (e.g. over a rebuilt KB) under live load.
 
         The stage guard moves to the new system; the reference swap is
         atomic, in-flight requests finish on the system they started on.
+        The shared scatter executor rebinds to the new system's backend
+        (invalidating every per-shard result cache) before the swap, so
+        no request ever sees the new system with stale shard state.
         """
         system.install_stage_guard(self._guard)
+        self._wire_scatter(system)
         self._system = system
         self._stats.increment("serve.reloads")
 
@@ -262,7 +326,25 @@ class ResilientServer:
         return save_snapshot(self._system, path)
 
     def restore_snapshot(self, path) -> dict[str, int]:
-        """Load a warm-state snapshot into the current system."""
+        """Load a warm-state snapshot into the current system.
+
+        When a scatter pool is installed, its backend must agree with the
+        served system's backend fingerprint — a drifted pool (e.g. an
+        external rebind against different segments) would otherwise let a
+        snapshot restore warm caches that the pool's answers no longer
+        match.
+        """
+        if self._scatter is not None:
+            backend = getattr(self._system.kb, "backend", None)
+            if (
+                backend is not None
+                and self._scatter.backend.fingerprint() != backend.fingerprint()
+            ):
+                self._stats.increment("snapshot.rejected")
+                raise SnapshotError(
+                    "scatter pool is bound to different segments than the "
+                    "served system; refusing snapshot restore"
+                )
         return load_snapshot(self._system, path)
 
     @property
@@ -272,6 +354,11 @@ class ResilientServer:
     @property
     def guard(self) -> StageGuard:
         return self._guard
+
+    @property
+    def scatter(self) -> ScatterGatherExecutor | None:
+        """The shared scatter executor (``None`` for in-memory systems)."""
+        return self._scatter
 
     # -- lifecycle ------------------------------------------------------
 
@@ -305,6 +392,8 @@ class ResilientServer:
                     item.question,
                     ServerClosed("server stopped before the request ran"),
                 )
+        if self._scatter is not None:
+            self._scatter.close()
 
     def __enter__(self) -> "ResilientServer":
         return self
@@ -329,6 +418,12 @@ class ResilientServer:
             "serve.degraded_queue.depth", self._degraded_queue.qsize()
         )
         registry.set_gauge("serve.workers", self._config.workers)
+        registry.set_gauge(
+            "serve.scatter.installed", 1 if self._scatter is not None else 0
+        )
+        rss = peak_rss_mb()
+        if rss is not None:
+            registry.set_gauge("serve.replica.peak_rss_mb", rss)
         for family, values in self._guard.snapshot().items():
             for field_name, value in values.items():
                 registry.set_gauge(f"{family}.{field_name}", value)

@@ -49,7 +49,7 @@ from repro.kb.builder import KnowledgeBase
 from repro.qald.devset import load_dev_questions
 from repro.reliability.faults import FaultInjector, FaultSpec
 from repro.serve.errors import SnapshotError
-from repro.serve.server import ResilientServer, ServerConfig
+from repro.serve.server import ResilientServer, ServerConfig, peak_rss_mb
 from repro.serve.snapshot import load_snapshot, save_snapshot
 
 #: Substring marking dedicated chaos questions; match-targeted faults fire
@@ -89,6 +89,11 @@ class SoakReport:
     violations: list[str] = field(default_factory=list)
     post_soak_identical: bool = False
     metrics: dict = field(default_factory=dict)
+    #: Whether the serving workers shared one segment directory + scatter
+    #: pool (segmented KB), and this replica's peak resident set — the
+    #: measured form of the "no per-replica heap copy" claim.
+    shared_segments: bool = False
+    peak_rss_mb: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -104,6 +109,12 @@ class SoakReport:
             "chaos events: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.chaos_events.items())),
             f"post-soak control answers identical: {self.post_soak_identical}",
+            f"shared segments + scatter pool: {self.shared_segments}"
+            + (
+                f", replica peak RSS {self.peak_rss_mb} MiB"
+                if self.peak_rss_mb is not None
+                else ""
+            ),
         ]
         lines.extend(f"VIOLATION: {v}" for v in self.violations)
         return "\n".join(lines)
@@ -144,6 +155,7 @@ def run_soak(
         )
     server = ResilientServer(system, server_config)
     report = SoakReport(duration_s=duration_s)
+    report.shared_segments = server.scatter is not None
     events = report.chaos_events
     in_flight: list[tuple[str, bool, Future]] = []
     storm_size = server_config.breaker_failure_threshold + (1 if quick else 3)
@@ -260,6 +272,7 @@ def run_soak(
             "post-soak sequential control answers differ from the clean run"
         )
     report.metrics = server.metrics()
+    report.peak_rss_mb = peak_rss_mb()
     return report
 
 

@@ -26,7 +26,12 @@ from repro.sparql.engine import SparqlEngine, ask, select
 from repro.sparql.errors import SparqlError, SparqlParseError, SparqlTypeError
 from repro.sparql.parser import parse_query
 from repro.sparql.results import AskResult, SelectResult
-from repro.sparql.scatter import ScatterGatherExecutor, partition_variable
+from repro.sparql.scatter import (
+    ScatterGatherExecutor,
+    object_partition_variable,
+    partition_spec,
+    partition_variable,
+)
 from repro.sparql.serializer import serialize_query
 
 __all__ = [
@@ -35,6 +40,8 @@ __all__ = [
     "ColumnBatch",
     "ScatterGatherExecutor",
     "partition_variable",
+    "object_partition_variable",
+    "partition_spec",
     "parse_query",
     "serialize_query",
     "select",

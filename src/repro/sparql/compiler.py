@@ -1044,3 +1044,148 @@ def compile_query(
         from repro.sparql.columnar import ColumnarQuery
         return ColumnarQuery(query, graph)
     return CompiledQuery(query, graph)
+
+
+# ---------------------------------------------------------------------------
+# Star decomposition (plan slicing for the scatter layer)
+# ---------------------------------------------------------------------------
+
+
+def _expression_names(expression) -> set[str]:
+    """Names of every variable mentioned anywhere in ``expression``."""
+    if isinstance(expression, TermExpr):
+        return (
+            {expression.term.name}
+            if isinstance(expression.term, Variable)
+            else set()
+        )
+    if isinstance(expression, (Comparison, BooleanOp)):
+        return _expression_names(expression.left) | _expression_names(
+            expression.right
+        )
+    if isinstance(expression, Not):
+        return _expression_names(expression.operand)
+    if isinstance(expression, FunctionCall):
+        out: set[str] = set()
+        for argument in expression.arguments:
+            out |= _expression_names(argument)
+        return out
+    return set()
+
+
+class StarSlice:
+    """One subject star of a decomposed conjunctive query.
+
+    ``query`` is a ``SELECT *`` subquery holding exactly this star's
+    triples plus any pushed-down filters (no ordering, no slicing) —
+    picklable and structurally hashable, so shard workers compile and
+    cache it like any other plan.  ``names`` is the name-sorted set of
+    variables the star binds.
+    """
+
+    __slots__ = ("variable", "query", "names")
+
+    def __init__(
+        self,
+        variable: Variable,
+        triples: tuple[Triple, ...],
+        filters: tuple = (),
+    ) -> None:
+        self.variable = variable
+        self.names = tuple(
+            sorted(
+                {
+                    term.name
+                    for triple in triples
+                    for term in triple.variables()
+                }
+            )
+        )
+        children: tuple = (BGP(triples),) + tuple(
+            Filter(expression) for expression in filters
+        )
+        self.query = SelectQuery(projection=(), where=Group(children))
+
+
+class TwoStarSlice:
+    """A flat conjunctive query decomposed into two subject stars.
+
+    ``join_names`` is the (nonempty, name-sorted) set of variable names
+    the stars share.  Because BGP solutions over a set-graph are *sets* of
+    assignments, the full query's solution multiset is exactly the natural
+    join of the two stars' solution sets on these variables — which is
+    what makes per-shard semi-join evaluation in
+    :mod:`repro.sparql.scatter` equivalent to single-process execution.
+    """
+
+    __slots__ = ("stars", "join_names")
+
+    def __init__(self, stars: tuple[StarSlice, StarSlice]) -> None:
+        self.stars = stars
+        self.join_names = tuple(
+            sorted(set(stars[0].names) & set(stars[1].names))
+        )
+
+
+def slice_two_star(query: SelectQuery | AskQuery) -> TwoStarSlice | None:
+    """Decompose a flat conjunctive query into two connected subject stars.
+
+    Returns ``None`` whenever the query is not exactly this shape: the
+    WHERE group must contain only BGP/Filter children, every triple's
+    subject must be a variable, the subjects must form exactly two
+    distinct variables, and the two stars must share at least one
+    variable (a disconnected pair would be a cartesian product — cheaper
+    to leave to the single-process engine than to broadcast).
+
+    A filter whose variables are all bound by one star is *pushed down*
+    into that star's subquery, so shards prune before shipping — sound
+    because a flat BGP star always binds every one of its variables, so
+    the filter sees identical bindings per solution whether it runs
+    per-shard or after the join.  The scatter coordinator still
+    re-applies the full plan's compiled filter closures after the join
+    (cross-star filters run only there; pushed filters pass their
+    surviving rows again), which reproduces group-level FILTER semantics
+    exactly.
+    """
+    triples: list[Triple] = []
+    expressions: list = []
+    for child in query.where.patterns:
+        if isinstance(child, BGP):
+            triples.extend(child.triples)
+        elif isinstance(child, Filter):
+            expressions.append(child.expression)
+        else:
+            return None
+    if len(triples) < 2:
+        return None
+    subjects: list[Variable] = []
+    for triple in triples:
+        if not isinstance(triple.subject, Variable):
+            return None
+        if triple.subject not in subjects:
+            subjects.append(triple.subject)
+    if len(subjects) != 2:
+        return None
+    star_triples = [
+        tuple(t for t in triples if t.subject == subject)
+        for subject in subjects
+    ]
+    star_names = [
+        {term.name for t in group for term in t.variables()}
+        for group in star_triples
+    ]
+    star_filters: list[list] = [[], []]
+    for expression in expressions:
+        names = _expression_names(expression)
+        for index in (0, 1):
+            if names and names <= star_names[index]:
+                star_filters[index].append(expression)
+                break
+    stars = tuple(
+        StarSlice(subject, star_triples[index], tuple(star_filters[index]))
+        for index, subject in enumerate(subjects)
+    )
+    sliced = TwoStarSlice(stars)  # type: ignore[arg-type]
+    if not sliced.join_names:
+        return None
+    return sliced

@@ -1,23 +1,43 @@
 """Scatter-gather execution of compiled plans over KB segment shards.
 
-The :class:`~repro.kb.shard.SegmentedBackend` partitions triples by a hash
-of the **subject id**, which gives one class of queries an embarrassingly
-parallel decomposition: a *subject-star* query — every triple pattern's
-subject is the same variable, combined only with FILTERs — binds each
-solution's subject to exactly one id, and all triples of that id live in
-one shard.  Running the same compiled plan independently per shard
-therefore produces the exact global solution set, partitioned, with no
-cross-shard joins and no deduplication.
+The :class:`~repro.kb.shard.SegmentedBackend` partitions triples twice —
+by a hash of the **subject id** (primary) and, in directories that carry
+the secondary partition, by a hash of the **object id** — which gives
+three classes of queries a parallel decomposition with no cross-shard
+deduplication:
 
-:class:`ScatterGatherExecutor` implements that decomposition:
+* **subject-star** — every triple pattern's subject is the same variable.
+  A solution binds that variable to one id whose triples all live in one
+  subject shard, so per-shard execution partitions the global solution
+  set exactly.
+* **object-star** — every pattern's object is the same variable; the
+  mirror argument holds over the object-hash partition.  This is the
+  POS-order routing path: predicate-bound patterns (``?s dbo:p ?v``
+  stars on ``?v``) partition by object hash instead of falling back to
+  the merged scan.
+* **two-star** — a flat conjunction whose subjects form exactly two
+  variables with at least one shared variable.  Executed by **semi-join
+  shipping**: the more selective star (by minimum pattern count) runs per
+  shard first; the distinct id-tuples of its join variables are then
+  *shipped* to the other star's shards — routed to the one owning shard
+  when the second star's subject is itself a join variable, broadcast as
+  a per-shard semi-join filter otherwise.  The coordinator hash-joins the
+  two row sets, re-applies the full plan's compiled FILTER closures
+  (group-level SPARQL semantics: filters see the whole conjunction), and
+  shapes the result.  Because BGP solutions over a set-graph are sets of
+  assignments, the natural join of the two stars' solution sets *is* the
+  full query's solution multiset — no multiplicity correction needed.
+
+:class:`ScatterGatherExecutor` implements the decomposition:
 
 1. **Scatter** — the query AST (frozen, picklable dataclasses) fans out to
    one task per shard.  Each task compiles the plan against a single-shard
-   Graph view (:meth:`~repro.kb.shard.SegmentedBackend.shard_view`); the
-   dictionary is global, so constants and slot layouts resolve identically
-   in every process.  Tasks run either inline (``processes=0`` —
-   deterministic, no pool) or on a lazily created ``multiprocessing``
-   pool, returning their id rows packed as ``array('q')`` bytes.
+   Graph view; the dictionary is global, so constants and slot layouts
+   resolve identically in every process.  Tasks run either inline
+   (``processes=0`` — deterministic, no pool) or on a lazily created
+   ``multiprocessing`` pool (spawn-safe: workers re-open the segment
+   directory in an initializer instead of inheriting mapped state),
+   returning their id rows packed as ``array('q')`` bytes.
 2. **Gather** — the coordinator concatenates the per-shard row batches in
    shard order and hands them to the coordinator plan's own result
    shaping (:meth:`CompiledQuery._shape_select`).  ORDER BY runs there
@@ -27,8 +47,17 @@ cross-shard joins and no deduplication.
    documented engine contract).  DISTINCT, OFFSET/LIMIT and aggregates
    also shape at the coordinator, over the complete solution set.
 
-Queries outside the partitionable class (OPTIONAL, UNION, nested groups,
-constant or differing subjects) return ``None`` from
+Per-shard results are cached in generation-stamped
+:class:`~repro.kb.shard.ShardResultCache` instances (one per shard, on
+the coordinator for inline mode and inside each worker for pool mode).
+The stamp combines the backend's content fingerprint with the executor's
+reload generation: :meth:`ScatterGatherExecutor.rebind` — called on every
+hot KB reload — bumps the generation, so one reload empties every shard
+cache at once (``kb.shard_cache.*`` counters).
+
+Queries outside the partitionable fragment (OPTIONAL, UNION, nested
+groups, three or more stars, disconnected stars, unordered LIMIT/OFFSET,
+ORDER BY keys that are not plain terms) return ``None`` from
 :meth:`ScatterGatherExecutor.maybe_execute` and fall back to ordinary
 execution over the full backend view.  Counters land in the
 ``sparql.scatter.*`` family (docs/observability.md).
@@ -36,15 +65,29 @@ execution over the full backend view.  Counters land in the
 
 from __future__ import annotations
 
+import hashlib
 import os
+import threading
 from array import array
 from itertools import chain
 
-from repro.kb.shard import SegmentedBackend
+from repro.kb.shard import (
+    SegmentedBackend,
+    ShardResultCache,
+    shard_of_subject,
+)
 from repro.perf.stats import PerfStats
 from repro.rdf.terms import Variable
-from repro.sparql.ast import BGP, Filter
-from repro.sparql.compiler import UNBOUND, CompiledQuery, ExecContext
+from repro.sparql.ast import BGP, Filter, TermExpr
+from repro.sparql.compiler import (
+    UNBOUND,
+    CompiledQuery,
+    ExecContext,
+    TwoStarSlice,
+    slice_two_star,
+)
+from repro.sparql.errors import SparqlTypeError
+from repro.sparql.functions import effective_boolean
 from repro.sparql.results import AskResult, SelectResult
 
 
@@ -54,13 +97,37 @@ def _slice_deterministic(query) -> bool:
     An unordered LIMIT/OFFSET keeps "whichever rows the operators
     produced first" — a production order scatter-gather cannot reproduce.
     With ORDER BY the full solution set sorts under the deterministic
-    tie-break before slicing, so the slice is identical on both paths.
+    tie-break before slicing, so the slice is identical on both paths —
+    **provided every ORDER BY key is a plain term** (variable or
+    constant).  A computed key (function call, comparison, negation) can
+    collapse many rows into one rank whose tie source is not the id
+    tuple the scatter merge reproduces — e.g. a key expression that
+    type-errors on some rows ranks them all as "unorderable" — so sliced
+    queries with non-term keys are *rejected* here rather than
+    mis-routed; the engine executes them single-process.
     """
     if getattr(query, "limit", None) is None and not getattr(
         query, "offset", 0
     ):
         return True
-    return bool(getattr(query, "order_by", ()))
+    order = getattr(query, "order_by", ())
+    if not order:
+        return False
+    return all(
+        isinstance(condition.expression, TermExpr) for condition in order
+    )
+
+
+def _flat_triples(query):
+    """The triples of a flat BGP/FILTER conjunction, or ``None`` when the
+    WHERE clause contains any other pattern kind."""
+    triples = []
+    for child in query.where.patterns:
+        if isinstance(child, BGP):
+            triples.extend(child.triples)
+        elif not isinstance(child, Filter):
+            return None
+    return triples
 
 
 def partition_variable(query) -> Variable | None:
@@ -69,28 +136,83 @@ def partition_variable(query) -> Variable | None:
     Partitionable means: the WHERE clause is a flat conjunction of BGPs
     and FILTERs (no OPTIONAL / UNION / nested group) with **at least one**
     triple pattern, every pattern's subject is the same
-    :class:`Variable`, and any LIMIT/OFFSET is pinned by an ORDER BY
-    (:func:`_slice_deterministic`).  Each solution then binds that
-    variable to one subject id, whose triples all live in one shard — so
-    per-shard execution partitions the global solution set exactly.
+    :class:`Variable`, and any LIMIT/OFFSET is pinned by a plain-term
+    ORDER BY (:func:`_slice_deterministic`).  Each solution then binds
+    that variable to one subject id, whose triples all live in one shard —
+    so per-shard execution partitions the global solution set exactly.
     Returns ``None`` for everything else.
     """
     if not _slice_deterministic(query):
         return None
-    subject: Variable | None = None
-    for child in query.where.patterns:
-        if isinstance(child, Filter):
-            continue
-        if not isinstance(child, BGP):
+    triples = _flat_triples(query)
+    if not triples:
+        return None
+    subject = triples[0].subject
+    if not isinstance(subject, Variable):
+        return None
+    for triple in triples:
+        if triple.subject != subject:
             return None
-        for triple in child.triples:
-            if not isinstance(triple.subject, Variable):
-                return None
-            if subject is None:
-                subject = triple.subject
-            elif triple.subject != subject:
-                return None
     return subject
+
+
+def object_partition_variable(query) -> Variable | None:
+    """The shared object variable, when ``query`` is an object-star.
+
+    The mirror of :func:`partition_variable` over the secondary
+    object-hash partition: every triple pattern's object must be the same
+    variable.  A solution binds it to one object id, and all the
+    solution's triples carry that id as object — so they live in exactly
+    one object shard, and per-shard fan-out partitions the solution set.
+    """
+    if not _slice_deterministic(query):
+        return None
+    triples = _flat_triples(query)
+    if not triples:
+        return None
+    obj = triples[0].object
+    if not isinstance(obj, Variable):
+        return None
+    for triple in triples:
+        if triple.object != obj:
+            return None
+    return obj
+
+
+def partition_spec(query, object_shards: bool = True):
+    """Classify ``query`` for scatter execution.
+
+    Returns ``("subject", Variable)``, ``("object", Variable)``,
+    ``("twostar", TwoStarSlice)``, or ``None`` (not partitionable).
+    Subject stars win over object stars (the primary partition needs no
+    secondary files); ``object_shards=False`` disables the object-star
+    class (directories written without the secondary partition).
+    """
+    variable = partition_variable(query)
+    if variable is not None:
+        return ("subject", variable)
+    if object_shards:
+        variable = object_partition_variable(query)
+        if variable is not None:
+            return ("object", variable)
+    if not _slice_deterministic(query):
+        return None
+    sliced = slice_two_star(query)
+    if sliced is not None:
+        return ("twostar", sliced)
+    return None
+
+
+def _keys_token(keys) -> object:
+    """A compact, hashable cache-key component for a broadcast key set
+    (the raw frozenset would bloat every cache entry's key)."""
+    if keys is None:
+        return None
+    names, keyset = keys
+    digest = hashlib.blake2b(digest_size=16)
+    packed = array("q", chain.from_iterable(sorted(keyset)))
+    digest.update(packed.tobytes())
+    return (names, len(keyset), digest.digest())
 
 
 # ---------------------------------------------------------------------------
@@ -98,10 +220,16 @@ def partition_variable(query) -> Variable | None:
 # ---------------------------------------------------------------------------
 
 #: Per-process caches: segment backends keyed by directory, row plans
-#: keyed by (directory, frozen query AST).  Workers live for the pool's
-#: lifetime, so repeated queries against the same segments compile once.
+#: keyed by (directory, frozen query AST), per-shard result caches keyed
+#: by (directory, partition kind, shard index).  Workers live for the
+#: pool's lifetime, so repeated queries against the same segments compile
+#: once and hit warm shard caches.
 _WORKER_BACKENDS: dict[str, SegmentedBackend] = {}
 _WORKER_PLANS: dict = {}
+_WORKER_CACHES: dict = {}
+
+#: Result-cache capacity inside pool workers (entries per shard).
+WORKER_CACHE_SIZE = 256
 
 
 def _worker_backend(path: str) -> SegmentedBackend:
@@ -112,15 +240,19 @@ def _worker_backend(path: str) -> SegmentedBackend:
     return backend
 
 
-def _shard_task(path: str, shard_index: int, query) -> tuple[int, int, bytes]:
-    """Run ``query`` against one shard; return packed id rows.
+def _worker_init(path: str) -> None:
+    """Pool initializer: open the segment directory in this worker.
 
-    The return value is ``(shard_index, row_count, bytes)`` where the
-    bytes are the rows' ids flattened into an ``array('q')`` — compact to
-    pickle back across the process boundary, and cast straight back to
-    int64 columns on the coordinator.
+    Explicit initialization makes the pool **spawn-safe**: a spawned
+    worker starts from a fresh interpreter with empty module globals, so
+    nothing may rely on fork-inherited mapped state.  (Under fork this is
+    merely a warm-up; the lazy :func:`_worker_backend` path stays as the
+    fallback for directories seen after pool creation.)
     """
-    backend = _worker_backend(path)
+    _worker_backend(path)
+
+
+def _worker_plan(path: str, backend: SegmentedBackend, query) -> CompiledQuery:
     key = (path, query)
     plan = _WORKER_PLANS.get(key)
     if plan is None:
@@ -128,18 +260,103 @@ def _shard_task(path: str, shard_index: int, query) -> tuple[int, int, bytes]:
         # sees global counts; constants are global ids, valid per shard.
         plan = CompiledQuery(query, backend.graph_view())
         _WORKER_PLANS[key] = plan
-    rows = _run_rows(plan, backend.shard_view(shard_index), stats=None)
+    return plan
+
+
+def _execute_shard(
+    plan: CompiledQuery,
+    view,
+    seeds=None,
+    keys=None,
+    stats: PerfStats | None = None,
+) -> list:
+    """Execute a compiled plan's operator tree over one shard view.
+
+    ``seeds`` — optional ``(variable_name, ids)`` pair: the run starts
+    from one seed row per id with that variable pre-bound (semi-join
+    shipping routed the ids to this shard).  ``keys`` — optional
+    ``(names, keyset)`` broadcast filter: only rows whose id tuple over
+    the named slots is in the set survive (per-shard semi-join).
+    Returns raw slot-aligned id rows, no result shaping.
+    """
+    plan._resolve(view)
+    context = ExecContext(view, stats, None)
+    if seeds is None:
+        seed_rows = [(UNBOUND,) * plan.width]
+    else:
+        name, ids = seeds
+        slot = plan.slot_by_name[name]
+        base = [UNBOUND] * plan.width
+        seed_rows = []
+        for value in ids:
+            row = list(base)
+            row[slot] = value
+            seed_rows.append(tuple(row))
+        if not seed_rows:
+            return []
+    rows = plan.root.run(context, seed_rows, plan)
+    if keys is not None and rows:
+        names, keyset = keys
+        slots = [plan.slot_by_name[name] for name in names]
+        rows = [
+            row
+            for row in rows
+            if tuple(row[slot] for slot in slots) in keyset
+        ]
+    return rows
+
+
+def _shard_task(
+    path: str,
+    kind: str,
+    shard_index: int,
+    query,
+    seeds=None,
+    keys=None,
+    token=None,
+) -> tuple[int, int, bytes, bool]:
+    """Run ``query`` against one shard; return packed id rows.
+
+    The return value is ``(shard_index, row_count, bytes, cache_hit)``
+    where the bytes are the rows' ids flattened into an ``array('q')`` —
+    compact to pickle back across the process boundary, and cast straight
+    back to int64 columns on the coordinator.  ``token`` (when not
+    ``None``) stamps this worker's per-shard result cache; a stale stamp
+    — the coordinator bumps it on every hot KB reload — empties the
+    cache before lookup.
+    """
+    backend = _worker_backend(path)
+    cache = None
+    cache_key = None
+    if token is not None:
+        cache = _WORKER_CACHES.get((path, kind, shard_index))
+        if cache is None:
+            cache = ShardResultCache(WORKER_CACHE_SIZE)
+            _WORKER_CACHES[(path, kind, shard_index)] = cache
+        cache_key = (query, seeds, _keys_token(keys))
+        cached = cache.get(token, cache_key)
+        if cached is not None:
+            count, blob = cached
+            return shard_index, count, blob, True
+    plan = _worker_plan(path, backend, query)
+    rows = _execute_shard(
+        plan, backend.partition_view(kind, shard_index), seeds, keys
+    )
     packed = array("q", chain.from_iterable(rows))
-    return shard_index, len(rows), packed.tobytes()
+    blob = packed.tobytes()
+    if cache is not None:
+        cache.put(token, cache_key, (len(rows), blob))
+    return shard_index, len(rows), blob, False
 
 
-def _run_rows(plan: CompiledQuery, graph, stats: PerfStats | None) -> list:
-    """Execute a compiled plan's operator tree over ``graph``, returning
-    raw slot-aligned id rows (no result shaping)."""
-    plan._resolve(graph)
-    context = ExecContext(graph, stats, None)
-    seed = [(UNBOUND,) * plan.width]
-    return plan.root.run(context, seed, plan)
+def _unpack_rows(count: int, blob: bytes, width: int) -> list:
+    if not count:
+        return []
+    ids = memoryview(blob).cast("q")
+    return [
+        tuple(ids[start : start + width])
+        for start in range(0, count * width, width)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -161,7 +378,17 @@ class ScatterGatherExecutor:
     down.  ``processes=N`` (or ``None`` for a CPU-bounded default) runs
     them on a lazily created ``multiprocessing`` pool; each worker maps
     the segment files itself, so peak RSS per process stays bounded by
-    its own shard working set rather than the whole KB.
+    its own shard working set rather than the whole KB.  ``start_method``
+    picks the pool's multiprocessing start method (default: ``fork``
+    where available, the platform default elsewhere — workers are
+    spawn-safe either way).
+
+    One executor may be shared by many engines and serving threads (the
+    :class:`repro.serve.ResilientServer` workers share one pool over one
+    mapped segment directory): pool creation and cache bookkeeping are
+    lock-protected, and :meth:`rebind` atomically points the executor at
+    a reloaded backend while invalidating every per-shard result cache
+    via the generation stamp.
     """
 
     def __init__(
@@ -169,12 +396,19 @@ class ScatterGatherExecutor:
         backend: SegmentedBackend,
         processes: int | None = None,
         stats: PerfStats | None = None,
+        start_method: str | None = None,
+        shard_cache_size: int = 256,
     ) -> None:
         self._backend = backend
         self._processes = processes
         self._stats = stats
+        self._start_method = start_method
+        self._shard_cache_size = shard_cache_size
         self._pool = None
         self._plans: dict = {}
+        self._caches: dict = {}
+        self._generation = 0
+        self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -182,11 +416,18 @@ class ScatterGatherExecutor:
     def backend(self) -> SegmentedBackend:
         return self._backend
 
+    @property
+    def generation(self) -> int:
+        """Cache epoch: bumped by every :meth:`rebind` /
+        :meth:`invalidate_caches`."""
+        return self._generation
+
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
     def __enter__(self) -> "ScatterGatherExecutor":
         return self
@@ -194,24 +435,96 @@ class ScatterGatherExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def rebind(self, backend: SegmentedBackend) -> None:
+        """Point the executor at a (possibly reloaded) backend.
+
+        Called by the serving layer on every hot KB reload.  Bumps the
+        cache generation so every per-shard result cache — coordinator
+        and pool-worker alike — is empty for the next query, and drops
+        the pool when the segment directory actually changed (workers
+        would otherwise keep serving the old mapped files).
+        """
+        with self._lock:
+            changed = (
+                backend.path != self._backend.path
+                or backend.fingerprint() != self._backend.fingerprint()
+            )
+            self._backend = backend
+            self._generation += 1
+            self._plans.clear()
+            pool = None
+            if changed:
+                pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if self._stats is not None:
+            self._stats.increment("kb.shard_cache.invalidations")
+
+    def invalidate_caches(self) -> None:
+        """Empty every per-shard result cache (generation bump)."""
+        with self._lock:
+            self._generation += 1
+        if self._stats is not None:
+            self._stats.increment("kb.shard_cache.invalidations")
+
     def _effective_processes(self) -> int:
         if self._processes is not None:
             return self._processes
         return min(4, os.cpu_count() or 1)
 
     def _ensure_pool(self):
-        if self._pool is None:
-            import multiprocessing
+        with self._lock:
+            if self._pool is None:
+                import multiprocessing
 
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-fork platforms
-                context = multiprocessing.get_context()
-            size = min(
-                self._effective_processes(), self._backend.shard_count
-            )
-            self._pool = context.Pool(processes=max(1, size))
-        return self._pool
+                method = self._start_method
+                if method is None:
+                    methods = multiprocessing.get_all_start_methods()
+                    method = "fork" if "fork" in methods else None
+                context = multiprocessing.get_context(method)
+                size = min(
+                    self._effective_processes(), self._backend.shard_count
+                )
+                self._pool = context.Pool(
+                    processes=max(1, size),
+                    initializer=_worker_init,
+                    initargs=(self._backend.path,),
+                )
+            return self._pool
+
+    def _run_tasks(self, tasks) -> list:
+        """Run shard tasks on the pool; never leak a broken pool.
+
+        A raising task (e.g. a corrupt shard surfacing its
+        ``SegmentIntegrityError`` in a worker) tears the pool down before
+        the exception propagates, so the next query — or the next soak
+        iteration — starts from a clean pool instead of a poisoned one.
+        """
+        pool = self._ensure_pool()
+        try:
+            return pool.starmap(_shard_task, tasks)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- caches --------------------------------------------------------
+
+    def _cache_token(self):
+        if not self._shard_cache_size:
+            return None
+        return (
+            self._backend.fingerprint()["content"],
+            self._generation,
+        )
+
+    def _cache_for(self, kind: str, index: int) -> ShardResultCache:
+        with self._lock:
+            cache = self._caches.get((kind, index))
+            if cache is None:
+                cache = ShardResultCache(self._shard_cache_size)
+                self._caches[(kind, index)] = cache
+            return cache
 
     # -- execution -----------------------------------------------------
 
@@ -221,13 +534,31 @@ class ScatterGatherExecutor:
         """Answer ``plan`` by scatter-gather, or ``None`` if it is not
         shard-partitionable (the caller then executes it normally)."""
         stats = context.stats if context.stats is not None else self._stats
-        if partition_variable(plan.query) is None:
+        graph_backend = getattr(context.graph, "backend", None)
+        if graph_backend is not None and graph_backend is not self._backend:
+            # The engine is serving a different KB than this executor's
+            # pool (e.g. a hot reload raced the install): answering from
+            # the pool would read the wrong segments.  Fall back.
+            if stats is not None:
+                stats.increment("sparql.scatter.foreign_graph_fallbacks")
+            return None
+        spec = partition_spec(
+            plan.query, object_shards=self._backend.object_shard_count > 0
+        )
+        if spec is None:
             if stats is not None:
                 stats.increment("sparql.scatter.fallback_queries")
             return None
+        kind, payload = spec
         if stats is not None:
             stats.increment("sparql.scatter.queries")
-        rows = self._gather(plan, stats)
+        if kind == "twostar":
+            return self._execute_semijoin(plan, payload, context, stats)
+        if stats is not None and kind == "object":
+            stats.increment("sparql.scatter.object_queries")
+        rows = self._gather_rows(
+            plan.query, kind, stats=stats, ask=plan.is_ask, plan=plan
+        )
         if stats is not None:
             stats.increment("sparql.scatter.rows_gathered", len(rows))
         if plan.is_ask:
@@ -239,61 +570,276 @@ class ScatterGatherExecutor:
         plan._resolve(context.graph)
         return plan._shape_select(rows, context)
 
-    def _gather(self, plan: CompiledQuery, stats: PerfStats | None) -> list:
-        backend = self._backend
-        shard_count = backend.shard_count
+    # -- star gathering ------------------------------------------------
+
+    def _gather_rows(
+        self,
+        query,
+        kind: str,
+        seeds_by_shard: dict | None = None,
+        keys=None,
+        stats: PerfStats | None = None,
+        ask: bool = False,
+        plan: CompiledQuery | None = None,
+    ) -> list:
+        """Rows of ``query`` over every shard of one partition (or just
+        the seeded shards), in shard order, slot-aligned to the local row
+        plan for ``query``."""
+        if seeds_by_shard is not None:
+            indices = sorted(seeds_by_shard)
+        else:
+            indices = list(range(self._backend.partition_count(kind)))
         if stats is not None:
-            stats.increment("sparql.scatter.shards_scanned", shard_count)
+            stats.increment("sparql.scatter.shards_scanned", len(indices))
+        if not indices:
+            return []
+        local = (
+            plan
+            if plan is not None and type(plan) is CompiledQuery
+            else self._local_plan(query)
+        )
         if self._effective_processes() == 0:
-            return self._gather_inline(plan, shard_count, stats)
-        return self._gather_pool(plan, shard_count)
+            return self._gather_inline(
+                local, query, kind, indices, seeds_by_shard, keys, stats, ask
+            )
+        return self._gather_pool(
+            local, query, kind, indices, seeds_by_shard, keys, stats
+        )
 
     def _gather_inline(
-        self, plan: CompiledQuery, shard_count: int, stats: PerfStats | None
+        self, local, query, kind, indices, seeds_by_shard, keys, stats, ask
     ) -> list:
-        local = self._local_plan(plan)
+        token = self._cache_token()
         rows: list = []
-        for index in range(shard_count):
-            rows.extend(
-                _run_rows(local, self._backend.shard_view(index), stats)
+        for index in indices:
+            seeds = (
+                None if seeds_by_shard is None else seeds_by_shard[index]
             )
-            if plan.is_ask and rows:
+            if token is not None:
+                cache = self._cache_for(kind, index)
+                cache_key = (query, seeds, _keys_token(keys))
+                cached = cache.get(token, cache_key)
+                if cached is not None:
+                    if stats is not None:
+                        stats.increment("kb.shard_cache.hits")
+                    rows.extend(cached)
+                    if ask and rows:
+                        break
+                    continue
+                if stats is not None:
+                    stats.increment("kb.shard_cache.misses")
+            shard_rows = _execute_shard(
+                local,
+                self._backend.partition_view(kind, index),
+                seeds,
+                keys,
+                stats,
+            )
+            if token is not None:
+                cache.put(token, cache_key, tuple(shard_rows))
+            rows.extend(shard_rows)
+            if ask and rows:
                 break  # ASK short-circuits at the first witness
         return rows
 
-    def _local_plan(self, plan: CompiledQuery) -> CompiledQuery:
-        """A row plan for inline per-shard runs.
+    def _gather_pool(
+        self, local, query, kind, indices, seeds_by_shard, keys, stats
+    ) -> list:
+        token = self._cache_token()
+        path = self._backend.path
+        tasks = [
+            (
+                path,
+                kind,
+                index,
+                query,
+                None if seeds_by_shard is None else seeds_by_shard[index],
+                keys,
+                token,
+            )
+            for index in indices
+        ]
+        results = self._run_tasks(tasks)
+        results.sort(key=lambda item: item[0])  # deterministic shard order
+        width = local.width
+        rows: list = []
+        for __, count, blob, cache_hit in results:
+            if stats is not None:
+                stats.increment(
+                    "kb.shard_cache.hits"
+                    if cache_hit
+                    else "kb.shard_cache.misses"
+                )
+            rows.extend(_unpack_rows(count, blob, width))
+        return rows
+
+    def _local_plan(self, query) -> CompiledQuery:
+        """The coordinator's row plan for a query AST.
 
         The engine's plan may be columnar; per-shard execution reuses the
         row operator tree (identical slot layout — both derive it from
-        the same frozen AST), compiled once per distinct query.
+        the same frozen AST), compiled once per distinct query.  Star
+        subqueries built by :func:`slice_two_star` compile here too.
         """
-        if type(plan) is CompiledQuery:
-            return plan
-        cached = self._plans.get(plan.query)
+        with self._lock:
+            cached = self._plans.get(query)
         if cached is None:
-            cached = CompiledQuery(plan.query, self._backend.graph_view())
-            self._plans[plan.query] = cached
+            cached = CompiledQuery(query, self._backend.graph_view())
+            with self._lock:
+                self._plans[query] = cached
         return cached
 
-    def _gather_pool(self, plan: CompiledQuery, shard_count: int) -> list:
-        pool = self._ensure_pool()
-        results = pool.starmap(
-            _shard_task,
-            [
-                (self._backend.path, index, plan.query)
-                for index in range(shard_count)
-            ],
+    # -- semi-join shipping --------------------------------------------
+
+    def _estimate_star(self, star, graph) -> int:
+        """Selectivity estimate: the smallest pattern cardinality in the
+        star (coordinator-side counts over the full backend view)."""
+        estimate = None
+        for triple in star.query.where.patterns[0].triples:
+            s = p = o = None
+            if not isinstance(triple.subject, Variable):
+                s = graph.lookup_id(triple.subject)
+            if not isinstance(triple.predicate, Variable):
+                p = graph.lookup_id(triple.predicate)
+            if not isinstance(triple.object, Variable):
+                o = graph.lookup_id(triple.object)
+            count = graph.count_ids(s, p, o)
+            if estimate is None or count < estimate:
+                estimate = count
+        return 0 if estimate is None else estimate
+
+    def _execute_semijoin(
+        self,
+        plan: CompiledQuery,
+        sliced: TwoStarSlice,
+        context: ExecContext,
+        stats: PerfStats | None,
+    ) -> SelectResult | AskResult:
+        if stats is not None:
+            stats.increment("sparql.scatter.semijoin.queries")
+        graph = context.graph
+        estimates = [
+            self._estimate_star(star, graph) for star in sliced.stars
+        ]
+        lead = 0 if estimates[0] <= estimates[1] else 1
+        star_lead = sliced.stars[lead]
+        star_trail = sliced.stars[1 - lead]
+        join_names = sliced.join_names
+
+        plan_lead = self._local_plan(star_lead.query)
+        plan_trail = self._local_plan(star_trail.query)
+
+        # Phase 1: the more selective star, full fan-out.
+        rows_lead = self._gather_rows(
+            star_lead.query, "subject", stats=stats, plan=plan_lead
         )
-        results.sort(key=lambda item: item[0])  # deterministic shard order
-        width = plan.width
-        rows: list = []
-        for __, count, blob in results:
-            if not count:
-                continue
-            ids = memoryview(blob).cast("q")
-            rows.extend(
-                tuple(ids[start : start + width])
-                for start in range(0, count * width, width)
+        slots_lead = [plan_lead.slot_by_name[n] for n in join_names]
+        keyset = {
+            tuple(row[slot] for slot in slots_lead) for row in rows_lead
+        }
+        if stats is not None:
+            stats.increment("sparql.scatter.rows_gathered", len(rows_lead))
+            stats.increment(
+                "sparql.scatter.semijoin.keys_shipped", len(keyset)
             )
-        return rows
+
+        # Phase 2: ship the distinct join keys to the trailing star.
+        if not keyset:
+            rows_trail: list = []
+        elif star_trail.variable.name in join_names:
+            # The trailing star's subject is itself a join variable:
+            # route each candidate subject id to its one owning shard and
+            # seed the star run with it — only shards that can contribute
+            # execute, and each scans only its shipped ids.
+            position = join_names.index(star_trail.variable.name)
+            subject_ids = sorted({key[position] for key in keyset})
+            shard_count = self._backend.shard_count
+            by_shard: dict[int, list] = {}
+            for value in subject_ids:
+                by_shard.setdefault(
+                    shard_of_subject(value, shard_count), []
+                ).append(value)
+            seeds_by_shard = {
+                index: (star_trail.variable.name, tuple(ids))
+                for index, ids in by_shard.items()
+            }
+            if stats is not None:
+                stats.increment(
+                    "sparql.scatter.semijoin.shipped_ids", len(subject_ids)
+                )
+            rows_trail = self._gather_rows(
+                star_trail.query,
+                "subject",
+                seeds_by_shard=seeds_by_shard,
+                stats=stats,
+                plan=plan_trail,
+            )
+        else:
+            # The join variables are all non-subject positions of the
+            # trailing star: broadcast the key set to every shard as a
+            # per-shard semi-join filter.
+            if stats is not None:
+                stats.increment("sparql.scatter.semijoin.broadcasts")
+            rows_trail = self._gather_rows(
+                star_trail.query,
+                "subject",
+                keys=(join_names, frozenset(keyset)),
+                stats=stats,
+                plan=plan_trail,
+            )
+        if stats is not None:
+            stats.increment("sparql.scatter.rows_gathered", len(rows_trail))
+
+        # Phase 3: coordinator hash join into the full plan's slot layout.
+        plan._resolve(graph)
+        slots_trail = [plan_trail.slot_by_name[n] for n in join_names]
+        buckets: dict = {}
+        for row in rows_trail:
+            buckets.setdefault(
+                tuple(row[slot] for slot in slots_trail), []
+            ).append(row)
+        map_lead = [
+            (plan.slot_by_name[name], plan_lead.slot_by_name[name])
+            for name in star_lead.names
+        ]
+        map_trail = [
+            (plan.slot_by_name[name], plan_trail.slot_by_name[name])
+            for name in star_trail.names
+        ]
+        width = plan.width
+        joined: list = []
+        for row_lead in rows_lead:
+            key = tuple(row_lead[slot] for slot in slots_lead)
+            matches = buckets.get(key)
+            if not matches:
+                continue
+            for row_trail in matches:
+                merged = [UNBOUND] * width
+                for target, source in map_lead:
+                    merged[target] = row_lead[source]
+                for target, source in map_trail:
+                    merged[target] = row_trail[source]
+                joined.append(tuple(merged))
+
+        # Phase 4: the full plan's FILTER closures, group-level semantics
+        # (every filter sees the whole conjunction's bindings — exactly
+        # what CompiledGroup.run applies after its children).
+        if plan.root.filters and joined:
+            passing = []
+            for row in joined:
+                for constraint in plan.root.filters:
+                    try:
+                        if not effective_boolean(constraint(row)):
+                            break
+                    except SparqlTypeError:
+                        break
+                else:
+                    passing.append(row)
+            joined = passing
+        if stats is not None:
+            stats.increment(
+                "sparql.scatter.semijoin.rows_joined", len(joined)
+            )
+        if plan.is_ask:
+            return AskResult(bool(joined))
+        return plan._shape_select(joined, context)

@@ -264,3 +264,79 @@ class TestManifestIdentity:
         assert stats["kind"] == "segments"
         assert stats["counters"]["kb.segments.opened"] == 1
         backend.close()
+
+
+class TestObjectPartition:
+    """The secondary object-hash partition (``oshard_*.seg``): manifest
+    bookkeeping, o-bound routing, and back-compat with directories
+    written without it."""
+
+    def test_manifest_records_both_partitions(self, tmp_path):
+        graph = _random_graph()
+        manifest = build_segments(graph, tmp_path, shards=4, object_shards=3)
+        assert manifest["shards"] == 4
+        assert manifest["object_shards"] == 3
+        assert sum(manifest["shard_triples"]) == len(graph)
+        # ``triples`` stays the primary-partition sum — the secondary is
+        # a copy, not extra data.
+        assert manifest["triples"] == len(graph)
+        assert sum(manifest["object_shard_triples"]) == len(graph)
+        on_disk = read_manifest(tmp_path)
+        assert on_disk["object_shards"] == 3
+
+    def test_object_routed_scan_equals_merged(self, tmp_path):
+        graph = _random_graph(11)
+        build_segments(graph, tmp_path, shards=4, object_shards=5)
+        backend = SegmentedBackend(tmp_path).open()
+        try:
+            view = backend.graph_view()
+            # Every (p?, o) probe must see exactly the triples the full
+            # scan yields for that object, in the same global order.
+            objects = {triple.object for triple in graph}
+            for obj in objects:
+                o = backend.lookup(obj)
+                routed = list(backend.scan(None, None, o))
+                full = [
+                    t for t in backend.scan(None, None, None) if t[2] == o
+                ]
+                assert routed == full
+                assert backend.count(None, None, o) == len(full)
+            stats = backend.stats()
+            assert stats["counters"]["kb.segments.object_routed_scans"] > 0
+            assert view.backend is backend
+        finally:
+            backend.close()
+
+    def test_directory_without_object_shards_opens(self, tmp_path):
+        graph = _random_graph(13)
+        manifest = build_segments(graph, tmp_path, shards=4, object_shards=0)
+        assert "object_shards" not in manifest
+        backend = SegmentedBackend(tmp_path).open()
+        try:
+            assert backend.object_shard_count == 0
+            # o-bound scans still work — merged across subject shards.
+            obj = next(iter(graph)).object
+            o = backend.lookup(obj)
+            expected = sorted(
+                (t for t in backend.scan(None, None, None) if t[2] == o),
+            )
+            assert sorted(backend.scan(None, None, o)) == expected
+        finally:
+            backend.close()
+
+    def test_fingerprint_covers_object_shards(self, tmp_path):
+        graph = _random_graph(17)
+        build_segments(graph, tmp_path, shards=3, object_shards=3)
+        backend = SegmentedBackend(tmp_path).open()
+        base = backend.fingerprint()
+        backend.close()
+        assert base["object_shards"] == 3
+        # Rewriting with a different secondary layout changes the content
+        # fingerprint even though the logical triples are identical.
+        for name in os.listdir(tmp_path):
+            os.remove(os.path.join(tmp_path, name))
+        build_segments(graph, tmp_path, shards=3, object_shards=5)
+        backend = SegmentedBackend(tmp_path).open()
+        changed = backend.fingerprint()
+        backend.close()
+        assert changed["content"] != base["content"]

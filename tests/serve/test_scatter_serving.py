@@ -1,0 +1,179 @@
+"""Shared-segment serving: one SegmentedBackend + one scatter pool behind
+every ResilientServer worker.
+
+Covers the serving side of the scatter engine: auto-install over
+segmented KBs, hot-reload shard-cache invalidation with the cached-vs-cold
+byte-identity differential, the snapshot fingerprint guard against a
+drifted pool, and executor teardown on ``stop()``.
+"""
+
+import pytest
+
+from repro.api import QuestionAnsweringSystem, load_kb
+from repro.kb import build_segments
+from repro.perf.stats import PerfStats
+from repro.rdf import Triple, Variable
+from repro.serve.errors import SnapshotError
+from repro.serve.server import ResilientServer, ServerConfig
+from repro.serve.soak import run_soak
+from repro.sparql import SparqlEngine
+from repro.sparql.ast import BGP, Group, OrderCondition, SelectQuery, TermExpr
+
+
+@pytest.fixture(scope="module")
+def segment_dir(kb, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("segments")
+    build_segments(kb.graph, directory)
+    return directory
+
+
+@pytest.fixture()
+def segmented_system(segment_dir):
+    return QuestionAnsweringSystem.over(load_kb(segment_dir))
+
+
+def _star_query():
+    s, p, o = Variable("s"), Variable("p"), Variable("o")
+    return SelectQuery(
+        projection=(s, o),
+        where=Group((BGP((Triple(s, p, o),)),)),
+        order_by=(
+            OrderCondition(TermExpr(s), False),
+            OrderCondition(TermExpr(p), False),
+            OrderCondition(TermExpr(o), False),
+        ),
+        limit=50,
+    )
+
+
+def test_segmented_system_installs_shared_scatter(segmented_system):
+    server = ResilientServer(segmented_system, ServerConfig(workers=2))
+    try:
+        assert server.scatter is not None
+        assert server.scatter.backend is segmented_system.kb.backend
+        gauges = server.metrics()["gauges"]
+        assert gauges["serve.scatter.installed"] == 1
+    finally:
+        server.stop()
+
+
+def test_in_memory_system_gets_no_scatter(qa):
+    server = ResilientServer(qa, ServerConfig(workers=2))
+    try:
+        assert server.scatter is None
+        assert server.metrics()["gauges"]["serve.scatter.installed"] == 0
+    finally:
+        server.stop()
+
+
+def test_scatter_can_be_disabled(segmented_system):
+    server = ResilientServer(
+        segmented_system, ServerConfig(workers=2, enable_scatter=False)
+    )
+    try:
+        assert server.scatter is None
+    finally:
+        server.stop()
+
+
+def test_hot_reload_empties_every_shard_cache(segment_dir, segmented_system):
+    """Satellite S3: the cached-vs-cold differential across a hot reload.
+
+    Before the reload, repeated queries serve from warm per-shard caches;
+    the reload must empty them (fresh misses), and cached, cold, and
+    post-reload answers must all be byte-identical.
+    """
+    server = ResilientServer(segmented_system, ServerConfig(workers=2))
+    try:
+        backend = segmented_system.kb.backend
+        stats = PerfStats()
+        probe = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        probe.install_scatter(server.scatter)
+        query = _star_query()
+
+        cold = probe.query(query).rows
+        misses_cold = stats.snapshot()["counters"]["kb.shard_cache.misses"]
+        cached = probe.query(query).rows
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.hits"] > 0
+        assert counters["kb.shard_cache.misses"] == misses_cold
+        assert cached == cold
+
+        # Hot reload: a twin system over the same segment directory.  The
+        # executor rebinds (same fingerprint, pool survives) and the
+        # generation bump must strand every cached shard result.
+        twin = QuestionAnsweringSystem.over(load_kb(segment_dir))
+        server.hot_reload(twin)
+        assert server.scatter.backend is twin.kb.backend
+        assert (
+            server.metrics()["counters"]["kb.shard_cache.invalidations"] == 1
+        )
+
+        probe_reloaded = SparqlEngine(
+            twin.kb.backend.graph_view(), cache_size=0, stats=stats
+        )
+        probe_reloaded.install_scatter(server.scatter)
+        reloaded = probe_reloaded.query(query).rows
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.misses"] == 2 * misses_cold
+        assert reloaded == cold
+    finally:
+        server.stop()
+
+
+def test_restore_snapshot_rejects_drifted_pool(
+    kb, segment_dir, segmented_system, tmp_path
+):
+    server = ResilientServer(segmented_system, ServerConfig(workers=2))
+    try:
+        path = tmp_path / "warm.snapshot"
+        server.save_snapshot(path)
+        server.restore_snapshot(path)  # aligned pool: accepted
+
+        # Externally rebind the shared executor to different segments
+        # (fewer shards -> different fingerprint): the server must now
+        # refuse to restore warm caches the pool's answers no longer
+        # match.
+        drifted_dir = tmp_path / "drifted"
+        build_segments(kb.graph, drifted_dir, shards=2)
+        from repro.kb import SegmentedBackend
+
+        drifted = SegmentedBackend(drifted_dir).open()
+        try:
+            server.scatter.rebind(drifted)
+            with pytest.raises(SnapshotError):
+                server.restore_snapshot(path)
+            assert server.metrics()["counters"]["snapshot.rejected"] == 1
+            # Rebinding back realigns the pool and restore succeeds again.
+            server.scatter.rebind(segmented_system.kb.backend)
+            server.restore_snapshot(path)
+        finally:
+            drifted.close()
+    finally:
+        server.stop()
+
+
+def test_stop_closes_scatter_pool(segmented_system):
+    server = ResilientServer(
+        segmented_system, ServerConfig(workers=2, scatter_processes=1)
+    )
+    backend = segmented_system.kb.backend
+    probe = SparqlEngine(backend.graph_view(), cache_size=0)
+    probe.install_scatter(server.scatter)
+    probe.query(_star_query())
+    assert server.scatter._pool is not None
+    server.stop()
+    assert server.scatter._pool is None
+
+
+@pytest.mark.slow
+def test_segmented_soak_shares_segments(kb, segment_dir, tmp_path):
+    report = run_soak(
+        load_kb(segment_dir),
+        duration_s=3.0,
+        quick=True,
+        snapshot_path=tmp_path / "warm.snapshot",
+    )
+    assert report.ok, report.summary()
+    assert report.shared_segments
+    assert report.peak_rss_mb is None or report.peak_rss_mb > 0

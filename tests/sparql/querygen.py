@@ -248,3 +248,108 @@ def random_workload(
     return graph, [
         random_query(rng, conjunctive=conjunctive) for __ in range(queries)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Star-shaped generation (scatter differential + slicing-guard sweeps)
+# ---------------------------------------------------------------------------
+
+
+def random_star_query(
+    rng: random.Random, computed_order: bool = False
+) -> SelectQuery:
+    """A subject-star query (every pattern's subject is ``?x``).
+
+    With ``computed_order=True`` the ORDER BY keys are *computed*
+    expressions (BOUND / negated comparisons) instead of plain terms, and
+    a LIMIT is always present — the shape the scatter layer's slicing
+    guard must reject rather than mis-route.
+    """
+    subject = Variable("x")
+    triples = tuple(
+        Triple(
+            subject,
+            rng.choice(IRIS),
+            _random_slot(rng, objects=True),
+        )
+        for __ in range(rng.randint(1, 3))
+    )
+    children: list = [BGP(triples)]
+    if rng.random() < 0.4:
+        children.append(Filter(_random_expression(rng)))
+    if computed_order:
+        variable = rng.choice(VARIABLES)
+        expression = (
+            FunctionCall("BOUND", (TermExpr(variable),))
+            if rng.random() < 0.5
+            else Not(
+                Comparison("=", TermExpr(variable), TermExpr(rng.choice(IRIS)))
+            )
+        )
+        order_by = (OrderCondition(expression, rng.random() < 0.5),)
+        limit = rng.randint(1, 5)
+    else:
+        order_by = tuple(
+            OrderCondition(TermExpr(rng.choice(VARIABLES)), rng.random() < 0.5)
+            for __ in range(rng.randint(0, 2))
+        )
+        limit = rng.randint(0, 8) if order_by and rng.random() < 0.5 else None
+    variable_pool = list(VARIABLES)
+    rng.shuffle(variable_pool)
+    return SelectQuery(
+        projection=tuple(variable_pool[: rng.randint(1, 3)]),
+        where=Group(tuple(children)),
+        distinct=rng.random() < 0.4,
+        order_by=order_by,
+        limit=limit,
+        offset=rng.randint(0, 3) if limit is not None else 0,
+    )
+
+
+def random_two_star_query(rng: random.Random) -> SelectQuery:
+    """A two-star conjunction: stars on ``?x`` and ``?y``, connected
+    either subject-to-subject (an ``?x``-pattern whose object is ``?y`` —
+    the semi-join *ship-to-owner* path) or through a shared object
+    variable ``?z`` (the *broadcast* path)."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    star_x = [
+        Triple(x, rng.choice(IRIS), rng.choice(IRIS + LITERALS))
+        for __ in range(rng.randint(1, 2))
+    ]
+    star_y = [
+        Triple(y, rng.choice(IRIS), rng.choice(IRIS + LITERALS))
+        for __ in range(rng.randint(1, 2))
+    ]
+    if rng.random() < 0.5:
+        star_x.append(Triple(x, rng.choice(IRIS), y))
+    else:
+        star_x.append(Triple(x, rng.choice(IRIS), z))
+        star_y.append(Triple(y, rng.choice(IRIS), z))
+    children: list = [BGP(tuple(star_x)), BGP(tuple(star_y))]
+    if rng.random() < 0.4:
+        children.append(Filter(_random_expression(rng)))
+    order_by = tuple(
+        OrderCondition(TermExpr(rng.choice(VARIABLES)), rng.random() < 0.5)
+        for __ in range(rng.randint(0, 2))
+    )
+    limit = rng.randint(0, 8) if order_by and rng.random() < 0.5 else None
+    variable_pool = list(VARIABLES)
+    rng.shuffle(variable_pool)
+    return SelectQuery(
+        projection=tuple(variable_pool[: rng.randint(1, 3)]),
+        where=Group(tuple(children)),
+        distinct=rng.random() < 0.4,
+        order_by=order_by,
+        limit=limit,
+        offset=rng.randint(0, 3) if limit is not None else 0,
+    )
+
+
+def random_two_star_workload(
+    seed: int, queries: int, graph_size: int = 60
+) -> tuple[Graph, list[SelectQuery]]:
+    """A reproducible (graph, two-star queries) pair for the semi-join
+    differential sweep."""
+    rng = random.Random(seed)
+    graph = random_graph(rng, graph_size)
+    return graph, [random_two_star_query(rng) for __ in range(queries)]

@@ -15,7 +15,12 @@ import pytest
 from repro.kb import SegmentedBackend, build_segments
 from repro.perf.stats import PerfStats
 from repro.rdf import Graph, IRI, Triple, Variable
-from repro.sparql import ScatterGatherExecutor, SparqlEngine, partition_variable
+from repro.sparql import (
+    ScatterGatherExecutor,
+    SparqlEngine,
+    partition_spec,
+    partition_variable,
+)
 from repro.sparql.ast import (
     BGP,
     Filter,
@@ -275,4 +280,412 @@ class TestProcessPool:
                 _assert_agrees(
                     query, oracle.query(query), engine.query(query), oracle
                 )
+        backend.close()
+
+
+def _object_star_query(order=True, triples=2):
+    o = Variable("o")
+    patterns = tuple(
+        Triple(Variable(f"s{i}"), IRI(f"http://e/{'abcdef'[i]}"), o)
+        for i in range(triples)
+    )
+    return SelectQuery(
+        projection=(o,),
+        where=Group((BGP(patterns),)),
+        order_by=(OrderCondition(TermExpr(o), False),) if order else (),
+    )
+
+
+def _two_star_query():
+    x, y = Variable("x"), Variable("y")
+    return SelectQuery(
+        projection=(x, y),
+        where=Group(
+            (
+                BGP(
+                    (
+                        Triple(x, IRI("http://e/a"), Variable("v")),
+                        Triple(x, IRI("http://e/b"), y),
+                    )
+                ),
+                BGP((Triple(y, IRI("http://e/c"), Variable("w")),)),
+            )
+        ),
+        order_by=(
+            OrderCondition(TermExpr(x), False),
+            OrderCondition(TermExpr(y), False),
+        ),
+    )
+
+
+class TestPartitionSpec:
+    def test_subject_star_wins_over_object(self):
+        # Single-triple star is both a subject star and an object star;
+        # the primary partition must win (no secondary files needed).
+        query = SelectQuery(
+            projection=(Variable("s"),),
+            where=Group(
+                (BGP((Triple(Variable("s"), Variable("p"), Variable("o")),)),)
+            ),
+        )
+        kind, variable = partition_spec(query)
+        assert kind == "subject"
+        assert variable == Variable("s")
+
+    def test_object_star_classified(self):
+        kind, variable = partition_spec(_object_star_query())
+        assert kind == "object"
+        assert variable == Variable("o")
+
+    def test_object_star_needs_secondary_partition(self):
+        # Two distinct subjects sharing an object IS a two-star join, so
+        # without object shards the spec degrades to the semi-join class
+        # rather than disappearing...
+        spec = partition_spec(_object_star_query(), object_shards=False)
+        assert spec is not None and spec[0] == "twostar"
+        # ...but three subjects cannot, and fall back entirely.
+        assert (
+            partition_spec(
+                _object_star_query(triples=3), object_shards=False
+            )
+            is None
+        )
+
+    def test_two_star_classified(self):
+        kind, sliced = partition_spec(_two_star_query())
+        assert kind == "twostar"
+        assert sliced.join_names == ("y",)
+        assert {star.variable.name for star in sliced.stars} == {"x", "y"}
+
+    def test_three_stars_fall_back(self):
+        query = SelectQuery(
+            projection=(Variable("a"),),
+            where=Group(
+                (
+                    BGP(
+                        (
+                            Triple(Variable("a"), IRI("http://e/a"), Variable("b")),
+                            Triple(Variable("b"), IRI("http://e/b"), Variable("c")),
+                            Triple(Variable("c"), IRI("http://e/c"), Variable("a")),
+                        )
+                    ),
+                )
+            ),
+        )
+        assert partition_spec(query) is None
+
+    def test_disconnected_stars_fall_back(self):
+        query = SelectQuery(
+            projection=(Variable("a"), Variable("b")),
+            where=Group(
+                (
+                    BGP((Triple(Variable("a"), IRI("http://e/a"), IRI("http://e/b")),)),
+                    BGP((Triple(Variable("b"), IRI("http://e/c"), IRI("http://e/d")),)),
+                )
+            ),
+        )
+        assert partition_spec(query) is None
+
+
+class TestSlicingGuard:
+    """Satellite S2: sliced queries whose ORDER BY keys are computed
+    expressions must be rejected by every partition class, not mis-routed
+    — a computed key can rank ties by something the shard merge does not
+    reproduce."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_computed_order_keys_reject_partitioning(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        query = querygen.random_star_query(rng, computed_order=True)
+        assert query.limit is not None
+        assert partition_spec(query) is None
+
+    def test_computed_order_without_slice_is_accepted(self):
+        sliced = querygen.random_star_query(
+            __import__("random").Random(0), computed_order=True
+        )
+        unsliced = SelectQuery(
+            projection=sliced.projection,
+            where=sliced.where,
+            distinct=sliced.distinct,
+            order_by=sliced.order_by,
+        )
+        assert partition_spec(unsliced) is not None
+
+    def test_fallback_answers_agree(self, tmp_path):
+        import random
+
+        rng = random.Random(13)
+        graph = querygen.random_graph(rng, 60)
+        queries = [
+            querygen.random_star_query(random.Random(seed), computed_order=True)
+            for seed in range(6)
+        ]
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        for query in queries:
+            assert engine.query(query).rows == oracle.query(query).rows
+        counters = stats.snapshot()["counters"]
+        assert counters["sparql.scatter.fallback_queries"] == len(queries)
+        assert "sparql.scatter.queries" not in counters
+        backend.close()
+
+
+class TestObjectStarDifferential:
+    def test_object_star_routes_and_agrees(self, tmp_path):
+        import random
+
+        graph = querygen.random_graph(random.Random(21), 80)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        for query in [
+            _object_star_query(),
+            _object_star_query(order=False),
+            _object_star_query(triples=3),
+        ]:
+            _assert_agrees(
+                query, oracle.query(query), engine.query(query), oracle
+            )
+        counters = stats.snapshot()["counters"]
+        assert counters["sparql.scatter.object_queries"] == 3
+        assert counters["sparql.scatter.queries"] == 3
+        backend.close()
+
+    def test_without_object_shards_still_agrees(self, tmp_path):
+        import random
+
+        graph = querygen.random_graph(random.Random(22), 60)
+        build_segments(graph, tmp_path, shards=4, object_shards=0)
+        backend = SegmentedBackend(tmp_path).open()
+        assert backend.object_shard_count == 0
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        query = _object_star_query()
+        _assert_agrees(query, oracle.query(query), engine.query(query), oracle)
+        assert "sparql.scatter.object_queries" not in stats.snapshot()["counters"]
+        backend.close()
+
+
+class TestSemiJoinDifferential:
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_seeded_two_star_workload_agrees(self, seed, tmp_path):
+        graph, queries = querygen.random_two_star_workload(
+            seed, queries=20, graph_size=70
+        )
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        for query in queries:
+            _assert_agrees(
+                query, oracle.query(query), engine.query(query), oracle
+            )
+        counters = stats.snapshot()["counters"]
+        assert counters.get("sparql.scatter.semijoin.queries", 0) > 0
+        backend.close()
+
+    def test_handcrafted_join_counters(self, tmp_path):
+        import random
+
+        graph = querygen.random_graph(random.Random(33), 90)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        query = _two_star_query()
+        assert engine.query(query).rows == oracle.query(query).rows
+        counters = stats.snapshot()["counters"]
+        assert counters["sparql.scatter.semijoin.queries"] == 1
+        # One of the two shipping strategies must have fired (unless the
+        # lead star was empty, which this graph size makes implausible —
+        # keys_shipped pins that down).
+        if counters.get("sparql.scatter.semijoin.keys_shipped", 0):
+            assert (
+                counters.get("sparql.scatter.semijoin.shipped_ids", 0) > 0
+                or counters.get("sparql.scatter.semijoin.broadcasts", 0) > 0
+            )
+        backend.close()
+
+    def test_two_star_ask_and_count(self, tmp_path):
+        graph, __ = querygen.random_two_star_workload(3, queries=0, graph_size=70)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        base = _two_star_query()
+        ask = AskQuery(where=base.where)
+        assert engine.query(ask).value == oracle.query(ask).value
+        backend.close()
+
+    def test_pool_semijoin_agrees(self, tmp_path):
+        graph, queries = querygen.random_two_star_workload(
+            11, queries=6, graph_size=60
+        )
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        with ScatterGatherExecutor(backend, processes=2) as executor:
+            engine.install_scatter(executor)
+            for query in queries + [_two_star_query()]:
+                _assert_agrees(
+                    query, oracle.query(query), engine.query(query), oracle
+                )
+        backend.close()
+
+
+class TestShardCache:
+    def test_inline_cache_hits_and_invalidation(self, tmp_path):
+        graph, queries = querygen.random_two_star_workload(
+            5, queries=4, graph_size=50
+        )
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        executor = ScatterGatherExecutor(backend, processes=0, stats=stats)
+        engine.install_scatter(executor)
+        workload = queries + [_star_query(), _two_star_query()]
+
+        def run_all():
+            return [engine.query(query).rows for query in workload]
+
+        first = run_all()
+        misses_cold = stats.snapshot()["counters"]["kb.shard_cache.misses"]
+        assert "kb.shard_cache.hits" not in stats.snapshot()["counters"]
+        second = run_all()
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.hits"] > 0
+        assert counters["kb.shard_cache.misses"] == misses_cold
+        assert second == first
+
+        # A rebind (the hot-reload entry point) empties every shard cache.
+        executor.rebind(backend)
+        third = run_all()
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.invalidations"] == 1
+        assert counters["kb.shard_cache.misses"] == 2 * misses_cold
+        assert third == first
+        assert first == [oracle.query(query).rows for query in workload]
+        backend.close()
+
+    def test_cached_empty_results_are_hits(self, tmp_path):
+        import random
+
+        graph = querygen.random_graph(random.Random(8), 40)
+        backend = _segmented(graph, tmp_path)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        engine.install_scatter(ScatterGatherExecutor(backend, processes=0))
+        x = Variable("x")
+        empty = SelectQuery(
+            projection=(x,),
+            where=Group(
+                (BGP((Triple(x, IRI("http://nowhere.example/p"), x),)),)
+            ),
+        )
+        assert engine.query(empty).rows == ()
+        assert engine.query(empty).rows == ()
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.hits"] == backend.shard_count
+        backend.close()
+
+    def test_pool_worker_caches_hit(self, tmp_path):
+        graph, __ = querygen.random_workload(17, queries=0, graph_size=60)
+        backend = _segmented(graph, tmp_path)
+        stats = PerfStats()
+        engine = SparqlEngine(backend.graph_view(), cache_size=0, stats=stats)
+        # One worker serves every shard, so the second run must hit the
+        # worker-resident cache for all of them (with more workers the
+        # task→worker assignment is scheduler-dependent).
+        with ScatterGatherExecutor(backend, processes=1) as executor:
+            engine.install_scatter(executor)
+            first = engine.query(_star_query()).rows
+            second = engine.query(_star_query()).rows
+        assert second == first
+        counters = stats.snapshot()["counters"]
+        assert counters["kb.shard_cache.hits"] == backend.shard_count
+        backend.close()
+
+
+class TestPoolLifecycle:
+    """Satellite S1: spawn-safe workers, and no pool leaks when a shard
+    task raises."""
+
+    def test_spawn_start_method_agrees(self, tmp_path):
+        graph, __ = querygen.random_workload(41, queries=0, graph_size=40)
+        backend = _segmented(graph, tmp_path)
+        oracle = SparqlEngine(graph, cache_size=0)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        with ScatterGatherExecutor(
+            backend, processes=2, start_method="spawn"
+        ) as executor:
+            engine.install_scatter(executor)
+            query = _star_query()
+            assert engine.query(query).rows == oracle.query(query).rows
+        backend.close()
+
+    def test_raising_task_closes_pool(self, tmp_path):
+        graph, __ = querygen.random_workload(43, queries=0, graph_size=40)
+        backend = _segmented(graph, tmp_path)
+        executor = ScatterGatherExecutor(backend, processes=2)
+        try:
+            engine = SparqlEngine(backend.graph_view(), cache_size=0)
+            engine.install_scatter(executor)
+            query = _star_query()
+            good = engine.query(query).rows
+            assert executor._pool is not None
+            # A task addressing a shard that does not exist surfaces the
+            # worker's exception on the coordinator (the wildcard pattern
+            # forces the scan to actually touch the shard)...
+            wildcard = SelectQuery(
+                projection=(Variable("s"),),
+                where=Group(
+                    (
+                        BGP(
+                            (
+                                Triple(
+                                    Variable("s"),
+                                    Variable("p"),
+                                    Variable("o"),
+                                ),
+                            )
+                        ),
+                    )
+                ),
+            )
+            with pytest.raises(Exception):
+                executor._run_tasks(
+                    [(backend.path, "subject", 999, wildcard, None, None, None)]
+                )
+            # ...and the broken pool must be gone, not left poisoned.
+            assert executor._pool is None
+            # The next query lazily rebuilds a clean pool and agrees.
+            assert engine.query(query).rows == good
+            assert executor._pool is not None
+        finally:
+            executor.close()
+            backend.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        graph, __ = querygen.random_workload(44, queries=0, graph_size=30)
+        backend = _segmented(graph, tmp_path)
+        executor = ScatterGatherExecutor(backend, processes=1)
+        engine = SparqlEngine(backend.graph_view(), cache_size=0)
+        engine.install_scatter(executor)
+        engine.query(_star_query())
+        executor.close()
+        executor.close()
+        assert executor._pool is None
         backend.close()
